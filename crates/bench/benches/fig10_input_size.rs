@@ -1,0 +1,57 @@
+//! Fig.-10 bench: discrete-event simulation cost as the average input size
+//! (and hence the number of in-flight transfer/compute events) varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgesim::cluster::Cluster;
+use edgesim::node::NodeId;
+use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+use std::hint::black_box;
+
+fn workload(num_tasks: usize, mean_mbit: f64) -> (Vec<SimTask>, NodeAssignment) {
+    let tasks: Vec<SimTask> = (0..num_tasks)
+        .map(|i| {
+            let scale = 0.5 + (i % 5) as f64 * 0.25;
+            // Zero resource demand: this bench measures DES engine cost,
+            // not capacity admission (50 round-robin tasks would exceed a
+            // Pi A+'s V_p budget).
+            SimTask::new(mean_mbit * 1e6 * scale, 1e4, 0.0).expect("valid task")
+        })
+        .collect();
+    let mut assignment = NodeAssignment::empty(num_tasks);
+    for i in 0..num_tasks {
+        assignment.assign(i, Some(NodeId(1 + i % 9)));
+    }
+    (tasks, assignment)
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let cluster = Cluster::paper_testbed().expect("testbed");
+    let mut group = c.benchmark_group("fig10_simulation");
+    group.sample_size(30);
+    for &mb in &[200.0f64, 600.0, 1000.0] {
+        let (tasks, assignment) = workload(50, mb);
+        group.bench_with_input(BenchmarkId::new("simulate_50_tasks", mb as u64), &mb, |b, _| {
+            b.iter(|| {
+                black_box(
+                    simulate(&cluster, &tasks, &assignment, SimConfig::default())
+                        .expect("simulate"),
+                )
+            })
+        });
+    }
+    for &n in &[10usize, 50, 200] {
+        let (tasks, assignment) = workload(n, 600.0);
+        group.bench_with_input(BenchmarkId::new("simulate_600mb", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    simulate(&cluster, &tasks, &assignment, SimConfig::default())
+                        .expect("simulate"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig.-11 bench: simulation cost under bandwidth scaling, plus the cost of
+//! the bandwidth-rescale operation itself (the sweep's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgesim::cluster::Cluster;
+use edgesim::node::NodeId;
+use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+use std::hint::black_box;
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let tasks: Vec<SimTask> =
+        (0..50).map(|_| SimTask::new(6e8, 1e4, 0.0).expect("valid")).collect();
+    let mut assignment = NodeAssignment::empty(50);
+    for i in 0..50 {
+        assignment.assign(i, Some(NodeId(1 + i % 9)));
+    }
+    let mut group = c.benchmark_group("fig11_bandwidth");
+    group.sample_size(30);
+    for &factor in &[0.5f64, 1.0, 2.0] {
+        let mut cluster = Cluster::paper_testbed().expect("testbed");
+        cluster.network_mut().scale_bandwidth(factor);
+        group.bench_with_input(
+            BenchmarkId::new("simulate_scaled", format!("{factor}x")),
+            &cluster,
+            |b, cl| {
+                b.iter(|| {
+                    black_box(
+                        simulate(cl, &tasks, &assignment, SimConfig::default())
+                            .expect("simulate"),
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function("scale_bandwidth_op", |b| {
+        let mut cluster = Cluster::paper_testbed().expect("testbed");
+        b.iter(|| {
+            cluster.network_mut().scale_bandwidth(2.0);
+            cluster.network_mut().scale_bandwidth(0.5);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Fig.-9 bench: per-round allocation latency of each method as the
+//! processor count grows. Complements the `reproduce --exp fig9` harness
+//! (which reports the *simulated* processing time): here we measure the
+//! controller-side decision cost that the paper folds into PT.
+
+use buildings::scenario::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcta_core::baselines::{dml_balanced, random_mapping};
+use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
+use dcta_core::processor::ProcessorFleet;
+use dcta_core::task::{EdgeTask, TaskId};
+use dcta_core::tatim::TatimInstance;
+use edgesim::cluster::Cluster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::crl::CrlConfig;
+use rl::dqn::DqnConfig;
+use std::hint::black_box;
+
+fn instance(workers: usize) -> TatimInstance {
+    let scenario = Scenario::generate(ScenarioConfig {
+        history_days: 60,
+        eval_days: 4,
+        ..Default::default()
+    })
+    .expect("scenario");
+    let n = scenario.num_tasks();
+    let mean_bits = (0..n).map(|t| scenario.input_bits(t)).sum::<f64>() / n as f64;
+    let tasks: Vec<EdgeTask> = (0..n)
+        .map(|t| {
+            EdgeTask::new(
+                TaskId(t),
+                scenario.tasks()[t].name.clone(),
+                scenario.input_bits(t),
+                scenario.input_bits(t) / mean_bits,
+                ((t % 10) as f64) / 10.0,
+            )
+            .expect("valid")
+        })
+        .collect();
+    let cluster = Cluster::testbed_with_workers(workers).expect("cluster");
+    let total: f64 = tasks.iter().map(EdgeTask::reference_time_s).sum();
+    let fleet =
+        ProcessorFleet::from_cluster(&cluster, 0.5 * total / workers as f64).expect("fleet");
+    TatimInstance::new(tasks, fleet)
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_allocation_latency");
+    group.sample_size(10);
+    for &workers in &[3usize, 9] {
+        let inst = instance(workers);
+        group.bench_with_input(BenchmarkId::new("random_mapping", workers), &inst, |b, i| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(random_mapping(i, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("dml_balanced", workers), &inst, |b, i| {
+            b.iter(|| black_box(dml_balanced(i)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_knapsack", workers), &inst, |b, i| {
+            b.iter(|| black_box(i.solve_greedy().expect("greedy")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dcta_end_to_end(c: &mut Criterion) {
+    // One full prepared-pipeline day with a cached CRL agent: the amortised
+    // DCTA decision cost.
+    let scenario = Scenario::generate(ScenarioConfig {
+        history_days: 60,
+        eval_days: 6,
+        num_tasks: 20,
+        ..Default::default()
+    })
+    .expect("scenario");
+    let config = PipelineConfig {
+        env_history_days: 4,
+        crl: CrlConfig {
+            episodes: 15,
+            dqn: DqnConfig { hidden: vec![24], ..DqnConfig::default() },
+            ..CrlConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let mut prepared = Pipeline::new(config).prepare(&scenario).expect("prepare");
+    let day = prepared.test_days().start;
+    // Warm the agent cache so we measure steady-state inference.
+    prepared.allocate(Method::Dcta, day).expect("warm-up");
+
+    let mut group = c.benchmark_group("fig9_dcta_cached_decision");
+    group.sample_size(10);
+    group.bench_function("dcta_allocate_cached", |b| {
+        b.iter(|| black_box(prepared.allocate(Method::Dcta, day).expect("allocate")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_dcta_end_to_end);
+criterion_main!(benches);

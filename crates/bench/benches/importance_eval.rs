@@ -1,0 +1,76 @@
+//! Figs. 2-5 bench: the cost of computing task importance (Definition 1).
+//!
+//! The paper's core tension is that importance is time-varying, so the
+//! leave-one-out evaluation recurs every round; this bench pins down what
+//! one decision-performance evaluation and one full importance vector cost.
+
+use buildings::scenario::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcta_core::importance::{CopModels, ImportanceEvaluator};
+use learn::transfer::MtlConfig;
+use std::hint::black_box;
+
+fn setup(num_tasks: usize) -> (Scenario, CopModels) {
+    let scenario = Scenario::generate(ScenarioConfig {
+        history_days: 60,
+        eval_days: 3,
+        num_tasks,
+        ..Default::default()
+    })
+    .expect("scenario");
+    let models = CopModels::train(
+        &scenario,
+        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
+    )
+    .expect("models");
+    (scenario, models)
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importance_eval");
+    group.sample_size(20);
+    for &n in &[20usize, 50] {
+        let (scenario, models) = setup(n);
+        let evaluator = ImportanceEvaluator::new(&scenario, &models);
+        let mask = vec![true; scenario.num_tasks()];
+        group.bench_with_input(BenchmarkId::new("decision_performance", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    evaluator
+                        .decision_performance(scenario.day(0), &mask)
+                        .expect("performance"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("leave_one_out_vector", n), &n, |b, _| {
+            b.iter(|| black_box(evaluator.importances(scenario.day(0)).expect("importances")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_training(c: &mut Criterion) {
+    let scenario = Scenario::generate(ScenarioConfig {
+        history_days: 60,
+        eval_days: 3,
+        ..Default::default()
+    })
+    .expect("scenario");
+    let mut group = c.benchmark_group("cop_model_training");
+    group.sample_size(10);
+    group.bench_function("mtl_train_50_tasks", |b| {
+        b.iter(|| {
+            black_box(
+                CopModels::train(
+                    &scenario,
+                    MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
+                )
+                .expect("train"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_importance, bench_model_training);
+criterion_main!(benches);

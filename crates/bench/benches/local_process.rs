@@ -1,0 +1,76 @@
+//! §IV-B / Table-I bench: training and inference cost of the three local
+//! process candidates (SVM, AdaBoost, Random Forest) on Table-I-shaped
+//! feature rows. The local process runs on scarce data at the edge, so its
+//! cost envelope matters as much as its accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcta_core::local::{LocalModelKind, LocalProcess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rows(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        // 10 features mimicking the Table-I vector's scales.
+        let row: Vec<f64> = vec![
+            rng.gen_range(0.0..20.0),   // past success
+            rng.gen_range(0.0..1.0),    // prediction accuracy
+            rng.gen_range(0.0..3.0),    // building
+            rng.gen_range(0.0..3.0),    // model type
+            rng.gen_range(10.0..400.0), // power
+            rng.gen_range(0.0..4.0),    // weather
+            rng.gen_range(10.0..36.0),  // temperature
+            rng.gen_range(50.0..900.0), // load
+            rng.gen_range(1.0..40.0),   // flow
+            rng.gen_range(3.0..7.0),    // delta T
+        ];
+        let y = if row[0] / 20.0 + row[1] > 1.0 { 1.0 } else { -1.0 };
+        xs.push(row);
+        ys.push(y);
+    }
+    (xs, ys)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (xs, ys) = rows(300, 3);
+    let mut group = c.benchmark_group("local_process_train");
+    group.sample_size(10);
+    for kind in [LocalModelKind::Svm, LocalModelKind::AdaBoost, LocalModelKind::RandomForest] {
+        group.bench_with_input(BenchmarkId::new("train_300", kind.to_string()), &kind, |b, &k| {
+            b.iter(|| {
+                black_box(LocalProcess::train(xs.clone(), ys.clone(), k, 0).expect("train"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (xs, ys) = rows(300, 4);
+    let (qs, _) = rows(50, 5);
+    let mut group = c.benchmark_group("local_process_infer");
+    group.sample_size(30);
+    for kind in [LocalModelKind::Svm, LocalModelKind::AdaBoost, LocalModelKind::RandomForest] {
+        let lp = LocalProcess::train(xs.clone(), ys.clone(), kind, 0).expect("train");
+        group.bench_with_input(
+            BenchmarkId::new("score_50_tasks", kind.to_string()),
+            &lp,
+            |b, lp| {
+                b.iter(|| {
+                    let total: f64 = qs
+                        .iter()
+                        .map(|q| lp.selection_score(q).expect("score"))
+                        .sum();
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

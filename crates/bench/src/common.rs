@@ -1,0 +1,189 @@
+//! Shared infrastructure for the reproduction experiments: run options,
+//! canonical configurations, text tables, and result snapshots.
+
+use buildings::scenario::{Scenario, ScenarioConfig, ScenarioError};
+use dcta_core::pipeline::PipelineConfig;
+use rl::crl::CrlConfig;
+use rl::dqn::DqnConfig;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Shrinks workloads (fewer days/episodes/sweep points) for smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self { quick: false, seed: 0xDC7A }
+    }
+}
+
+impl RunOpts {
+    /// Picks `full` or `quick` depending on the mode.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// The canonical evaluation scenario: 50 tasks, 3 buildings (§V-B).
+///
+/// # Errors
+///
+/// Propagates scenario generation failures.
+pub fn paper_scenario(opts: &RunOpts, eval_days: u32) -> Result<Scenario, ScenarioError> {
+    Scenario::generate(ScenarioConfig {
+        history_days: opts.pick(240, 90),
+        eval_days,
+        seed: opts.seed,
+        ..ScenarioConfig::default()
+    })
+}
+
+/// The canonical pipeline configuration used by the processing-time
+/// figures (allocation overhead included in PT, as the paper's PT metric
+/// covers partitioning and decision making).
+pub fn paper_pipeline(opts: &RunOpts) -> PipelineConfig {
+    PipelineConfig {
+        env_history_days: opts.pick(6, 4),
+        crl: CrlConfig {
+            episodes: opts.pick(200, 30),
+            dqn: DqnConfig { hidden: vec![48], ..DqnConfig::default() },
+            seed: opts.seed ^ 0x17,
+            ..CrlConfig::default()
+        },
+        include_allocation_overhead: true,
+        seed: opts.seed,
+        ..PipelineConfig::default()
+    }
+}
+
+/// A plain-text table renderer for experiment output.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn opts_pick() {
+        let q = RunOpts { quick: true, ..Default::default() };
+        let f = RunOpts { quick: false, ..Default::default() };
+        assert_eq!(q.pick(10, 2), 2);
+        assert_eq!(f.pick(10, 2), 10);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(pct(0.4568), "45.68%");
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn quick_scenario_generates() {
+        let opts = RunOpts { quick: true, ..Default::default() };
+        let s = paper_scenario(&opts, 6).unwrap();
+        assert_eq!(s.num_tasks(), 50);
+        assert_eq!(s.days().len(), 6);
+    }
+}

@@ -1,0 +1,293 @@
+//! The task-allocation matrix `u` (Definition 2) and its feasibility checks.
+
+use crate::processor::ProcessorFleet;
+use crate::task::EdgeTask;
+use edgesim::run::NodeAssignment;
+use std::fmt;
+
+/// A task→processor assignment: `placement[j]` is the processor *column*
+/// (index into the fleet) or `None` when task `j` is not executed this
+/// round. Equivalent to a binary matrix `u = [u_{j,p}]` with at most one 1
+/// per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    placement: Vec<Option<usize>>,
+}
+
+/// A constraint violation found by [`Allocation::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The allocation covers a different number of tasks than supplied.
+    LengthMismatch {
+        /// Entries in the allocation.
+        allocation: usize,
+        /// Tasks supplied.
+        tasks: usize,
+    },
+    /// A processor column index is out of range.
+    UnknownProcessor {
+        /// Offending task.
+        task: usize,
+        /// Offending column.
+        processor: usize,
+    },
+    /// Eq. (3): a processor's summed task time exceeds the limit `T`.
+    TimeExceeded {
+        /// Offending processor column.
+        processor: usize,
+        /// Its total assigned time.
+        total: f64,
+        /// The limit.
+        limit: f64,
+    },
+    /// Eq. (4): a processor's summed resource demand exceeds `V_p`.
+    ResourceExceeded {
+        /// Offending processor column.
+        processor: usize,
+        /// Its total assigned demand.
+        total: f64,
+        /// Its capacity.
+        capacity: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LengthMismatch { allocation, tasks } => {
+                write!(f, "allocation covers {allocation} tasks, instance has {tasks}")
+            }
+            Violation::UnknownProcessor { task, processor } => {
+                write!(f, "task {task} assigned to unknown processor column {processor}")
+            }
+            Violation::TimeExceeded { processor, total, limit } => {
+                write!(f, "processor {processor} time {total:.4}s exceeds limit {limit:.4}s")
+            }
+            Violation::ResourceExceeded { processor, total, capacity } => {
+                write!(f, "processor {processor} resource {total:.4} exceeds capacity {capacity:.4}")
+            }
+        }
+    }
+}
+
+impl Allocation {
+    /// All tasks unscheduled.
+    pub fn empty(num_tasks: usize) -> Self {
+        Self { placement: vec![None; num_tasks] }
+    }
+
+    /// Builds from an explicit placement vector.
+    pub fn from_placement(placement: Vec<Option<usize>>) -> Self {
+        Self { placement }
+    }
+
+    /// The raw placement.
+    pub fn placement(&self) -> &[Option<usize>] {
+        &self.placement
+    }
+
+    /// Number of tasks covered.
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// `true` when covering zero tasks.
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+
+    /// Processor column of task `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn processor_of(&self, j: usize) -> Option<usize> {
+        self.placement[j]
+    }
+
+    /// Assigns task `j` to a processor column (or unschedules it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn assign(&mut self, j: usize, processor: Option<usize>) {
+        self.placement[j] = processor;
+    }
+
+    /// Number of scheduled tasks.
+    pub fn scheduled_count(&self) -> usize {
+        self.placement.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// The TATIM objective value `Σ_j Σ_p I_j · u_{j,p}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` has a different length than the allocation.
+    pub fn total_importance(&self, tasks: &[EdgeTask]) -> f64 {
+        assert_eq!(tasks.len(), self.placement.len(), "task/allocation length mismatch");
+        self.placement
+            .iter()
+            .zip(tasks)
+            .filter_map(|(p, t)| p.map(|_| t.importance()))
+            .sum()
+    }
+
+    /// Checks Eqs. (2)-(4) against tasks and fleet; returns every violation
+    /// found (empty = feasible). Task times use the reference-processor
+    /// rate, matching the `t_j` the TATIM constraints are written in.
+    pub fn check(&self, tasks: &[EdgeTask], fleet: &ProcessorFleet) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        if tasks.len() != self.placement.len() {
+            violations.push(Violation::LengthMismatch {
+                allocation: self.placement.len(),
+                tasks: tasks.len(),
+            });
+            return violations;
+        }
+        let m = fleet.len();
+        let mut time = vec![0.0; m];
+        let mut resource = vec![0.0; m];
+        for (j, p) in self.placement.iter().enumerate() {
+            let Some(p) = *p else { continue };
+            if p >= m {
+                violations.push(Violation::UnknownProcessor { task: j, processor: p });
+                continue;
+            }
+            time[p] += tasks[j].reference_time_s();
+            resource[p] += tasks[j].resource_demand();
+        }
+        const EPS: f64 = 1e-9;
+        for p in 0..m {
+            if time[p] > fleet.time_limit_of(p) + EPS {
+                violations.push(Violation::TimeExceeded {
+                    processor: p,
+                    total: time[p],
+                    limit: fleet.time_limit_of(p),
+                });
+            }
+            if resource[p] > fleet.processors()[p].capacity + EPS {
+                violations.push(Violation::ResourceExceeded {
+                    processor: p,
+                    total: resource[p],
+                    capacity: fleet.processors()[p].capacity,
+                });
+            }
+        }
+        violations
+    }
+
+    /// `true` when [`Allocation::check`] finds nothing.
+    pub fn is_feasible(&self, tasks: &[EdgeTask], fleet: &ProcessorFleet) -> bool {
+        self.check(tasks, fleet).is_empty()
+    }
+
+    /// Converts processor columns to simulator node ids for execution.
+    pub fn to_node_assignment(&self, fleet: &ProcessorFleet) -> NodeAssignment {
+        NodeAssignment::from_vec(
+            self.placement.iter().map(|p| p.map(|col| fleet.node_of(col))).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::Processor;
+    use crate::task::TaskId;
+    use edgesim::node::NodeId;
+
+    fn tasks() -> Vec<EdgeTask> {
+        vec![
+            EdgeTask::new(TaskId(0), "a", 1e6, 1.0, 0.9).unwrap(),
+            EdgeTask::new(TaskId(1), "b", 2e6, 2.0, 0.5).unwrap(),
+            EdgeTask::new(TaskId(2), "c", 1e6, 1.0, 0.1).unwrap(),
+        ]
+    }
+
+    fn fleet(limit: f64) -> ProcessorFleet {
+        ProcessorFleet::new(
+            vec![
+                Processor { node: NodeId(1), capacity: 2.0, seconds_per_bit: 4.75e-7 },
+                Processor { node: NodeId(2), capacity: 4.0, seconds_per_bit: 2.4e-7 },
+            ],
+            limit,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn objective_counts_scheduled_only() {
+        let ts = tasks();
+        let mut a = Allocation::empty(3);
+        assert_eq!(a.total_importance(&ts), 0.0);
+        a.assign(0, Some(0));
+        a.assign(2, Some(1));
+        assert!((a.total_importance(&ts) - 1.0).abs() < 1e-12);
+        assert_eq!(a.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn feasible_allocation_passes() {
+        let ts = tasks();
+        // Reference times: 0.475s, 0.95s, 0.475s. Limit 1.0 each.
+        let f = fleet(1.0);
+        let a = Allocation::from_placement(vec![Some(0), Some(1), None]);
+        assert!(a.is_feasible(&ts, &f), "{:?}", a.check(&ts, &f));
+    }
+
+    #[test]
+    fn time_violation_detected() {
+        let ts = tasks();
+        let f = fleet(1.0);
+        // Tasks 0 and 1 on processor 0: 1.425s > 1.0s.
+        let a = Allocation::from_placement(vec![Some(0), Some(0), None]);
+        let v = a.check(&ts, &f);
+        assert!(matches!(v[0], Violation::TimeExceeded { processor: 0, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn resource_violation_detected() {
+        let ts = tasks();
+        let f = fleet(100.0);
+        // Tasks 0+1+2 on processor 0: resources 4.0 > capacity 2.0.
+        let a = Allocation::from_placement(vec![Some(0), Some(0), Some(0)]);
+        let v = a.check(&ts, &f);
+        assert!(v.iter().any(|x| matches!(x, Violation::ResourceExceeded { processor: 0, .. })));
+    }
+
+    #[test]
+    fn unknown_processor_detected() {
+        let ts = tasks();
+        let f = fleet(1.0);
+        let a = Allocation::from_placement(vec![Some(5), None, None]);
+        assert!(matches!(
+            a.check(&ts, &f)[0],
+            Violation::UnknownProcessor { task: 0, processor: 5 }
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let ts = tasks();
+        let f = fleet(1.0);
+        let a = Allocation::empty(2);
+        assert!(matches!(a.check(&ts, &f)[0], Violation::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn node_assignment_maps_columns() {
+        let f = fleet(1.0);
+        let a = Allocation::from_placement(vec![Some(1), None, Some(0)]);
+        let na = a.to_node_assignment(&f);
+        assert_eq!(na.node_of(0), Some(NodeId(2)));
+        assert_eq!(na.node_of(1), None);
+        assert_eq!(na.node_of(2), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::TimeExceeded { processor: 1, total: 2.0, limit: 1.0 };
+        assert!(v.to_string().contains("processor 1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The paper's non-data-driven comparison baselines (§V-C).
+//!
+//! * **Random Mapping (RM)** — "each task is processed at different edge
+//!   devices with equal probability" (citing \[33\]): every task runs, on a
+//!   uniformly random processor.
+//! * **Distributed Machine Learning (DML)** — "distributes tasks to multiple
+//!   computing nodes" (citing \[34\]): every task runs, spread for load
+//!   balance; implemented as longest-processing-time-first onto the
+//!   currently least-loaded processor, the standard makespan heuristic.
+//!
+//! Both ignore task importance — they execute *all* tasks — which is exactly
+//! why the importance-aware allocators beat them on processing time in
+//! Figs. 9-11.
+
+use crate::allocation::Allocation;
+use crate::tatim::TatimInstance;
+use rand::Rng;
+
+/// Random Mapping: every task to a uniformly random processor column.
+pub fn random_mapping(instance: &TatimInstance, rng: &mut impl Rng) -> Allocation {
+    let m = instance.fleet().len();
+    Allocation::from_placement(
+        (0..instance.num_tasks()).map(|_| Some(rng.gen_range(0..m))).collect(),
+    )
+}
+
+/// DML-style balanced distribution: tasks sorted by reference time
+/// (longest first), each placed on the processor with the least accumulated
+/// *execution* time given its actual speed. Every task is scheduled.
+pub fn dml_balanced(instance: &TatimInstance) -> Allocation {
+    let m = instance.fleet().len();
+    let mut order: Vec<usize> = (0..instance.num_tasks()).collect();
+    order.sort_by(|&a, &b| {
+        instance.tasks()[b]
+            .reference_time_s()
+            .partial_cmp(&instance.tasks()[a].reference_time_s())
+            .expect("finite times")
+    });
+    let mut load = vec![0.0f64; m];
+    let mut alloc = Allocation::empty(instance.num_tasks());
+    for j in order {
+        let bits = instance.tasks()[j].input_bits();
+        let p = (0..m)
+            .min_by(|&a, &b| {
+                let la = load[a] + bits * instance.fleet().processors()[a].seconds_per_bit;
+                let lb = load[b] + bits * instance.fleet().processors()[b].seconds_per_bit;
+                la.partial_cmp(&lb).expect("finite loads")
+            })
+            .expect("non-empty fleet");
+        load[p] += bits * instance.fleet().processors()[p].seconds_per_bit;
+        alloc.assign(j, Some(p));
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::{Processor, ProcessorFleet};
+    use crate::task::{EdgeTask, TaskId};
+    use edgesim::node::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, m: usize) -> TatimInstance {
+        let tasks = (0..n)
+            .map(|i| {
+                EdgeTask::new(TaskId(i), format!("t{i}"), (i as f64 + 1.0) * 1e6, 1.0, 0.5)
+                    .unwrap()
+            })
+            .collect();
+        let fleet = ProcessorFleet::new(
+            (0..m)
+                .map(|p| Processor {
+                    node: NodeId(p + 1),
+                    capacity: 100.0,
+                    seconds_per_bit: if p == 0 { 4.75e-7 } else { 2.4e-7 },
+                })
+                .collect(),
+            1e6,
+        )
+        .unwrap();
+        TatimInstance::new(tasks, fleet)
+    }
+
+    #[test]
+    fn random_mapping_schedules_everything() {
+        let inst = instance(20, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_mapping(&inst, &mut rng);
+        assert_eq!(a.scheduled_count(), 20);
+        assert!(a.placement().iter().all(|p| p.is_some_and(|x| x < 4)));
+    }
+
+    #[test]
+    fn random_mapping_spreads_over_processors() {
+        let inst = instance(200, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_mapping(&inst, &mut rng);
+        let mut counts = [0usize; 4];
+        for p in a.placement().iter().flatten() {
+            counts[*p] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 20), "counts {counts:?}");
+    }
+
+    #[test]
+    fn dml_schedules_everything_and_balances() {
+        let inst = instance(12, 3);
+        let a = dml_balanced(&inst);
+        assert_eq!(a.scheduled_count(), 12);
+        // Execution-time load spread must be tighter than worst case.
+        let mut load = [0.0f64; 3];
+        for (j, p) in a.placement().iter().enumerate() {
+            let p = p.unwrap();
+            load[p] += inst.tasks()[j].input_bits() * inst.fleet().processors()[p].seconds_per_bit;
+        }
+        let max = load.iter().cloned().fold(0.0, f64::max);
+        let min = load.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min.max(1e-12) < 2.0, "loads {load:?}");
+    }
+
+    #[test]
+    fn dml_prefers_faster_processors() {
+        // One huge task and one tiny task, two processors (0 slow, 1 fast):
+        // the huge task must land on the fast one.
+        let inst = instance(2, 2);
+        let a = dml_balanced(&inst);
+        // Task 1 has 2 Mb (the larger); processor 1 is the faster.
+        assert_eq!(a.processor_of(1), Some(1));
+    }
+
+    #[test]
+    fn dml_is_deterministic() {
+        let inst = instance(15, 3);
+        assert_eq!(dml_balanced(&inst), dml_balanced(&inst));
+    }
+}

@@ -1,0 +1,55 @@
+//! # dcta-core — the paper's contribution
+//!
+//! Task importance (Definition 1), the TATIM allocation problem
+//! (Definition 4) with its knapsack reduction (Theorem 1), and the
+//! allocator family evaluated in §V: the RM/DML baselines, Clustered
+//! Reinforcement Learning (`F1`), the SVM local process (`F2`), and their
+//! cooperative combination DCTA (Eq. 6).
+//!
+//! * [`task`], [`processor`] — TATIM's view of workloads and devices.
+//! * [`importance`] — leave-one-out task importance over the green-building
+//!   decision function.
+//! * [`allocation`], [`tatim`] — the allocation matrix `u`, constraints
+//!   Eqs. 2-4, and the MCMK reduction.
+//! * [`baselines`] — Random Mapping and DML.
+//! * [`features`], [`local`] — Table-I feature engineering and the local
+//!   process.
+//! * [`crl_alloc`], [`dcta`] — the general process and the cooperative
+//!   combiner.
+//! * [`pipeline`] — offline preparation + per-day evaluation producing the
+//!   paper's PT / decision-performance metrics.
+//! * [`shapley`] — permutation-sampling group importance (an extension
+//!   beyond the paper's leave-one-out metric).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use buildings::scenario::{Scenario, ScenarioConfig};
+//! use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::generate(ScenarioConfig::default())?;
+//! let pipeline = Pipeline::new(PipelineConfig::default());
+//! let mut prepared = pipeline.prepare(&scenario)?;
+//! let day = prepared.test_days().start;
+//! let report = prepared.run_day(Method::Dcta, day)?;
+//! println!("PT = {:.3}s, H = {:.3}", report.processing_time_s, report.decision_performance);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod allocation;
+pub mod baselines;
+pub mod crl_alloc;
+pub mod dcta;
+pub mod features;
+pub mod importance;
+pub mod local;
+pub mod pipeline;
+pub mod processor;
+pub mod shapley;
+pub mod task;
+pub mod tatim;

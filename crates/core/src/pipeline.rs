@@ -1,0 +1,752 @@
+//! End-to-end orchestration: data → MTL models → importance → allocation →
+//! simulated execution.
+//!
+//! [`Pipeline::prepare`] performs the offline phase once (train the COP
+//! models, walk the environment-history days to populate the CRL store and
+//! the local process's training set); [`PreparedPipeline::run_day`] then
+//! executes any allocation [`Method`] on any evaluation day and reports the
+//! paper's metrics: processing time `PT` and decision performance `H`.
+
+use crate::allocation::Allocation;
+use crate::baselines::{dml_balanced, random_mapping};
+use crate::crl_alloc::CrlAllocator;
+use crate::dcta::{DctaAllocator, DctaError};
+use crate::features::{local_features, TaskHistory};
+use crate::importance::{prediction_features, CopModels, ImportanceError, ImportanceEvaluator};
+use crate::local::{LocalError, LocalModelKind, LocalProcess};
+use crate::processor::{FleetError, ProcessorFleet};
+use crate::task::{EdgeTask, TaskId};
+use crate::tatim::{TatimError, TatimInstance};
+use buildings::scenario::Scenario;
+use edgesim::cluster::{Cluster, ClusterError};
+use edgesim::run::{simulate, SimConfig, SimError, SimTask};
+use learn::transfer::MtlConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::crl::{CrlConfig, CrlError};
+use std::fmt;
+use std::ops::Range;
+use std::time::Instant;
+
+/// The allocation methods under evaluation (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Random Mapping baseline.
+    RandomMapping,
+    /// Distributed-ML balanced baseline.
+    Dml,
+    /// Clustered Reinforcement Learning alone.
+    Crl,
+    /// The full cooperative DCTA.
+    Dcta,
+    /// Greedy knapsack over the *true* importances (the "accurate task
+    /// allocation" of Fig. 3; an oracle, not deployable).
+    GreedyOracle,
+    /// Exact (node-limited) branch-and-bound over true importances.
+    ExactOracle,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Method::RandomMapping => "RM",
+            Method::Dml => "DML",
+            Method::Crl => "CRL",
+            Method::Dcta => "DCTA",
+            Method::GreedyOracle => "GreedyOracle",
+            Method::ExactOracle => "ExactOracle",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// MTL settings for the COP models.
+    pub mtl: MtlConfig,
+    /// Worker count of the simulated testbed (Fig. 9 sweeps this); the
+    /// paper's full testbed has 9.
+    pub workers: usize,
+    /// Shared time limit `T` as a fraction of `Σ t_j / M` — i.e. how much
+    /// of the total reference workload each processor may take. Below ~1.0
+    /// the selection pressure of TATIM kicks in.
+    pub time_limit_fraction: f64,
+    /// Evaluation days reserved as CRL/local training history.
+    pub env_history_days: usize,
+    /// CRL settings.
+    pub crl: CrlConfig,
+    /// Local-process model family.
+    pub local_kind: LocalModelKind,
+    /// Cooperative weights `(w1, w2)` of Eq. 6.
+    pub weights: (f64, f64),
+    /// Simulator overheads.
+    pub sim: SimConfig,
+    /// Result payload shipped back per task, bits.
+    pub result_bits: f64,
+    /// Include the measured wall-clock of the allocator itself in PT
+    /// (the paper's PT covers partitioning and decision making). Off by
+    /// default so unit tests stay deterministic; the bench harness turns it
+    /// on.
+    pub include_allocation_overhead: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            mtl: MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
+            workers: 9,
+            time_limit_fraction: 0.5,
+            env_history_days: 6,
+            crl: CrlConfig::default(),
+            local_kind: LocalModelKind::Svm,
+            weights: (0.5, 0.5),
+            sim: SimConfig { enforce_capacity: false, ..SimConfig::default() },
+            result_bits: 1e4,
+            include_allocation_overhead: false,
+            seed: 99,
+        }
+    }
+}
+
+/// Error raised anywhere in the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Importance/MTL failure.
+    Importance(ImportanceError),
+    /// Cluster construction failure.
+    Cluster(ClusterError),
+    /// Fleet construction failure.
+    Fleet(FleetError),
+    /// TATIM/knapsack failure.
+    Tatim(TatimError),
+    /// CRL failure.
+    Crl(CrlError),
+    /// Local-process failure.
+    Local(LocalError),
+    /// DCTA failure.
+    Dcta(DctaError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// A day index outside the evaluation range.
+    BadDay {
+        /// Requested day.
+        day: usize,
+        /// Valid range.
+        range: Range<usize>,
+    },
+    /// Scenario has too few evaluation days for the configured history.
+    TooFewDays {
+        /// Days available.
+        available: usize,
+        /// History required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Importance(e) => write!(f, "importance stage failed: {e}"),
+            PipelineError::Cluster(e) => write!(f, "cluster setup failed: {e}"),
+            PipelineError::Fleet(e) => write!(f, "fleet setup failed: {e}"),
+            PipelineError::Tatim(e) => write!(f, "allocation stage failed: {e}"),
+            PipelineError::Crl(e) => write!(f, "CRL failed: {e}"),
+            PipelineError::Local(e) => write!(f, "local process failed: {e}"),
+            PipelineError::Dcta(e) => write!(f, "DCTA failed: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::BadDay { day, range } => {
+                write!(f, "day {day} outside evaluation range {range:?}")
+            }
+            PipelineError::TooFewDays { available, required } => {
+                write!(f, "scenario has {available} eval days, need more than {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Importance(e) => Some(e),
+            PipelineError::Cluster(e) => Some(e),
+            PipelineError::Fleet(e) => Some(e),
+            PipelineError::Tatim(e) => Some(e),
+            PipelineError::Crl(e) => Some(e),
+            PipelineError::Local(e) => Some(e),
+            PipelineError::Dcta(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for PipelineError {
+            fn from(e: $ty) -> Self {
+                PipelineError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Importance, ImportanceError);
+from_err!(Cluster, ClusterError);
+from_err!(Fleet, FleetError);
+from_err!(Tatim, TatimError);
+from_err!(Crl, CrlError);
+from_err!(Local, LocalError);
+from_err!(Dcta, DctaError);
+from_err!(Sim, SimError);
+
+/// One day's evaluation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayReport {
+    /// Method that produced the allocation.
+    pub method: Method,
+    /// Evaluation-day index.
+    pub day: usize,
+    /// The allocation executed.
+    pub allocation: Allocation,
+    /// The paper's PT metric, seconds.
+    pub processing_time_s: f64,
+    /// Decision performance `H` achieved with the executed task set.
+    pub decision_performance: f64,
+    /// Tasks executed.
+    pub scheduled: usize,
+    /// True importance captured by the executed set.
+    pub captured_importance: f64,
+}
+
+/// The pipeline factory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with `config`.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the offline phase against `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn prepare<'a>(&self, scenario: &'a Scenario) -> Result<PreparedPipeline<'a>, PipelineError> {
+        let cfg = &self.config;
+        if scenario.days().len() <= cfg.env_history_days {
+            return Err(PipelineError::TooFewDays {
+                available: scenario.days().len(),
+                required: cfg.env_history_days,
+            });
+        }
+
+        let models = CopModels::train(scenario, cfg.mtl)?;
+        let cluster = Cluster::testbed_with_workers(cfg.workers)?;
+
+        // Tasks: input sizes from the scenario; resource demand relative to
+        // the mean input (mean demand 1.0).
+        let n = scenario.num_tasks();
+        let mean_bits = (0..n).map(|t| scenario.input_bits(t)).sum::<f64>() / n.max(1) as f64;
+        let tasks: Vec<EdgeTask> = (0..n)
+            .map(|t| {
+                EdgeTask::new(
+                    TaskId(t),
+                    scenario.tasks()[t].name.clone(),
+                    scenario.input_bits(t),
+                    scenario.input_bits(t) / mean_bits.max(1e-12),
+                    0.0,
+                )
+                .expect("scenario sizes are valid")
+            })
+            .collect();
+        let total_ref_time: f64 = tasks.iter().map(EdgeTask::reference_time_s).sum();
+        let time_limit =
+            (cfg.time_limit_fraction * total_ref_time / cfg.workers.max(1) as f64).max(1e-6);
+        let fleet = ProcessorFleet::from_cluster(&cluster, time_limit)?;
+
+        // True importance of every evaluation day (oracles + CRL history +
+        // metrics all need it).
+        let evaluator = ImportanceEvaluator::new(scenario, &models);
+        let true_importances = evaluator.importance_matrix()?;
+
+        // Offline phase: walk the history days, feeding the CRL store and
+        // the local process's training set.
+        let mut crl = CrlAllocator::new(cfg.crl.clone());
+        let mut history = TaskHistory::new(n);
+        let mut local_rows = Vec::new();
+        let mut local_labels = Vec::new();
+        let base = TatimInstance::new(tasks.clone(), fleet.clone());
+        for d in 0..cfg.env_history_days {
+            let day = scenario.day(d);
+            let imp = &true_importances[d];
+            crl.observe(day.sensing.clone(), imp.clone())?;
+            // Optimal selection labels from the greedy oracle.
+            let (opt, _) = base.with_importances(imp).solve_greedy()?;
+            let selected: Vec<bool> =
+                (0..n).map(|j| opt.processor_of(j).is_some()).collect();
+            for j in 0..n {
+                local_rows.push(local_features(scenario, &models, &history, day, j));
+                local_labels.push(if selected[j] { 1.0 } else { -1.0 });
+            }
+            // Update the rolling record *after* extracting features (the
+            // features describe what was known before the day ran).
+            history.record_selection(&selected);
+            for j in 0..n {
+                let spec = &scenario.tasks()[j];
+                let plant = scenario.plant(spec.building);
+                let chiller = &plant.chillers()[spec.chiller];
+                if let Some(mid) = plant.band_midpoint_kw(
+                    spec.chiller,
+                    spec.band,
+                    scenario.config().bands_per_chiller,
+                ) {
+                    let f = prediction_features(
+                        spec.building,
+                        chiller.model(),
+                        chiller.capacity_kw(),
+                        &day.weather,
+                        mid,
+                    );
+                    history.record_prediction(
+                        j,
+                        models.predict(j, &f),
+                        chiller.cop(mid, day.weather.outdoor_temp_c),
+                    );
+                }
+            }
+        }
+        let local = LocalProcess::train(local_rows, local_labels, cfg.local_kind, cfg.seed)?;
+        let dcta = DctaAllocator::new(
+            CrlAllocator::new(cfg.crl.clone()),
+            local.clone(),
+            cfg.weights.0,
+            cfg.weights.1,
+        )?;
+        // DCTA's internal CRL shares the same history.
+        let mut dcta = dcta;
+        for d in 0..cfg.env_history_days {
+            dcta.crl_mut()
+                .observe(scenario.day(d).sensing.clone(), true_importances[d].clone())?;
+        }
+
+        Ok(PreparedPipeline {
+            scenario,
+            config: cfg.clone(),
+            models,
+            cluster,
+            fleet,
+            tasks,
+            true_importances,
+            crl,
+            dcta,
+            history,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x51AB),
+        })
+    }
+
+    /// Convenience one-shot: prepare and run DCTA on evaluation day `day`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn run_day(&self, scenario: &Scenario, day: usize) -> Result<DayReport, PipelineError> {
+        let mut prepared = self.prepare(scenario)?;
+        let day = prepared.test_days().start + day;
+        prepared.run_day(Method::Dcta, day)
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new(PipelineConfig::default())
+    }
+}
+
+/// The pipeline after its offline phase: ready to allocate and execute any
+/// evaluation day.
+#[derive(Debug)]
+pub struct PreparedPipeline<'a> {
+    scenario: &'a Scenario,
+    config: PipelineConfig,
+    models: CopModels,
+    cluster: Cluster,
+    fleet: ProcessorFleet,
+    tasks: Vec<EdgeTask>,
+    true_importances: Vec<Vec<f64>>,
+    crl: CrlAllocator,
+    dcta: DctaAllocator,
+    history: TaskHistory,
+    rng: StdRng,
+}
+
+impl<'a> PreparedPipeline<'a> {
+    /// The evaluation (non-history) day range.
+    pub fn test_days(&self) -> Range<usize> {
+        self.config.env_history_days..self.scenario.days().len()
+    }
+
+    /// The scenario under evaluation.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (bandwidth sweeps).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The processor fleet.
+    pub fn fleet(&self) -> &ProcessorFleet {
+        &self.fleet
+    }
+
+    /// The trained COP models.
+    pub fn models(&self) -> &CopModels {
+        &self.models
+    }
+
+    /// True importances of evaluation day `day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` is out of range.
+    pub fn true_importances(&self, day: usize) -> &[f64] {
+        &self.true_importances[day]
+    }
+
+    /// The TATIM instance of a day, priced with its true importances.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::BadDay`] for out-of-range days.
+    pub fn instance_for_day(&self, day: usize) -> Result<TatimInstance, PipelineError> {
+        self.check_day(day)?;
+        let base = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        Ok(base.with_importances(&self.true_importances[day]))
+    }
+
+    fn check_day(&self, day: usize) -> Result<(), PipelineError> {
+        let range = self.test_days();
+        if !range.contains(&day) {
+            return Err(PipelineError::BadDay { day, range });
+        }
+        Ok(())
+    }
+
+    /// Produces `method`'s allocation for evaluation day `day`, plus the
+    /// wall-clock seconds the allocator itself consumed.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn allocate(
+        &mut self,
+        method: Method,
+        day: usize,
+    ) -> Result<(Allocation, f64), PipelineError> {
+        self.check_day(day)?;
+        let start = Instant::now();
+        let ctx = self.scenario.day(day);
+        let blind = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        let allocation = match method {
+            Method::RandomMapping => random_mapping(&blind, &mut self.rng),
+            Method::Dml => dml_balanced(&blind),
+            Method::GreedyOracle => {
+                blind.with_importances(&self.true_importances[day]).solve_greedy()?.0
+            }
+            Method::ExactOracle => {
+                let instance = blind.with_importances(&self.true_importances[day]);
+                let problem = instance.to_knapsack()?;
+                let sol = knapsack::exact::BranchAndBound::with_node_limit(200_000)
+                    .solve(&problem);
+                instance.allocation_from_packing(&sol.packing)
+            }
+            Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
+            Method::Dcta => {
+                let rows: Vec<Vec<f64>> = (0..self.tasks.len())
+                    .map(|j| {
+                        local_features(self.scenario, &self.models, &self.history, ctx, j)
+                    })
+                    .collect();
+                self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
+            }
+        };
+        Ok((allocation, start.elapsed().as_secs_f64()))
+    }
+
+    /// Feeds evaluation day `day`'s observed importances back into the CRL
+    /// environment stores — the accumulating-store behaviour of the paper's
+    /// online mode (footnote 2 / §VII): "the environment can change over
+    /// time, due to the accumulating size of training data".
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::BadDay`] for out-of-range days; propagates store
+    /// shape errors.
+    pub fn observe_day(&mut self, day: usize) -> Result<(), PipelineError> {
+        self.check_day(day)?;
+        let sensing = self.scenario.day(day).sensing.clone();
+        let importances = self.true_importances[day].clone();
+        self.crl.observe(sensing.clone(), importances.clone())?;
+        self.dcta.crl_mut().observe(sensing, importances)?;
+        Ok(())
+    }
+
+    /// Allocates with `method` and executes on the simulated testbed,
+    /// returning the full report.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn run_day(&mut self, method: Method, day: usize) -> Result<DayReport, PipelineError> {
+        let (allocation, overhead) = self.allocate(method, day)?;
+        self.execute(method, day, allocation, overhead)
+    }
+
+    /// Executes a pre-computed allocation (used by sweeps that vary the
+    /// cluster between allocation and execution).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn execute(
+        &mut self,
+        method: Method,
+        day: usize,
+        allocation: Allocation,
+        allocator_overhead_s: f64,
+    ) -> Result<DayReport, PipelineError> {
+        self.check_day(day)?;
+        let sim_tasks: Vec<SimTask> = self
+            .tasks
+            .iter()
+            .map(|t| SimTask::new(t.input_bits(), self.config.result_bits, t.resource_demand()))
+            .collect::<Result<_, _>>()?;
+        let node_assignment = allocation.to_node_assignment(&self.fleet);
+        let report = simulate(&self.cluster, &sim_tasks, &node_assignment, self.config.sim)?;
+
+        let available: Vec<bool> =
+            (0..self.tasks.len()).map(|j| allocation.processor_of(j).is_some()).collect();
+        let evaluator = ImportanceEvaluator::new(self.scenario, &self.models);
+        let decision_performance =
+            evaluator.decision_performance(self.scenario.day(day), &available)?;
+        let captured_importance: f64 = available
+            .iter()
+            .zip(&self.true_importances[day])
+            .filter(|(&a, _)| a)
+            .map(|(_, &i)| i)
+            .sum();
+        let scheduled = allocation.scheduled_count();
+        let mut processing_time_s = report.processing_time;
+        if self.config.include_allocation_overhead {
+            processing_time_s += allocator_overhead_s;
+        }
+        Ok(DayReport {
+            method,
+            day,
+            allocation,
+            processing_time_s,
+            decision_performance,
+            scheduled,
+            captured_importance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buildings::scenario::ScenarioConfig;
+    use rl::dqn::DqnConfig;
+
+    fn small_scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig {
+            num_buildings: 2,
+            chillers_per_building: 2,
+            bands_per_chiller: 4,
+            num_tasks: 12,
+            history_days: 50,
+            eval_days: 8,
+            mean_input_mbit: 40.0,
+            ..ScenarioConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            workers: 4,
+            env_history_days: 5,
+            crl: CrlConfig {
+                episodes: 12,
+                dqn: DqnConfig { hidden: vec![24], ..DqnConfig::default() },
+                ..CrlConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn prepare_validates_day_budget() {
+        let s = small_scenario();
+        let p = Pipeline::new(PipelineConfig { env_history_days: 8, ..quick_config() });
+        assert!(matches!(p.prepare(&s), Err(PipelineError::TooFewDays { .. })));
+    }
+
+    #[test]
+    fn all_methods_produce_reports() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        for method in [
+            Method::RandomMapping,
+            Method::Dml,
+            Method::GreedyOracle,
+            Method::ExactOracle,
+            Method::Crl,
+            Method::Dcta,
+        ] {
+            let r = prepared.run_day(method, day).unwrap();
+            assert_eq!(r.method, method);
+            assert!(r.processing_time_s > 0.0, "{method}: PT = {}", r.processing_time_s);
+            assert!((0.0..=1.0).contains(&r.decision_performance), "{method}");
+            assert!(r.captured_importance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn baselines_execute_everything_allocators_select() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        let rm = prepared.run_day(Method::RandomMapping, day).unwrap();
+        let dml = prepared.run_day(Method::Dml, day).unwrap();
+        let oracle = prepared.run_day(Method::GreedyOracle, day).unwrap();
+        assert_eq!(rm.scheduled, s.num_tasks());
+        assert_eq!(dml.scheduled, s.num_tasks());
+        assert!(oracle.scheduled < s.num_tasks(), "oracle must select a subset");
+    }
+
+    #[test]
+    fn selective_methods_are_faster_than_baselines() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        let rm = prepared.run_day(Method::RandomMapping, day).unwrap();
+        let dcta = prepared.run_day(Method::Dcta, day).unwrap();
+        assert!(
+            dcta.processing_time_s < rm.processing_time_s,
+            "DCTA {} vs RM {}",
+            dcta.processing_time_s,
+            rm.processing_time_s
+        );
+    }
+
+    #[test]
+    fn oracle_allocations_are_feasible() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        let inst = prepared.instance_for_day(day).unwrap();
+        for method in [Method::GreedyOracle, Method::ExactOracle, Method::Crl, Method::Dcta] {
+            let (alloc, _) = prepared.allocate(method, day).unwrap();
+            assert!(
+                alloc.is_feasible(inst.tasks(), inst.fleet()),
+                "{method}: {:?}",
+                alloc.check(inst.tasks(), inst.fleet())
+            );
+        }
+    }
+
+    #[test]
+    fn bad_day_rejected() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        assert!(matches!(
+            prepared.run_day(Method::Dml, 0),
+            Err(PipelineError::BadDay { .. })
+        ));
+        assert!(matches!(
+            prepared.run_day(Method::Dml, 999),
+            Err(PipelineError::BadDay { .. })
+        ));
+    }
+
+    #[test]
+    fn convenience_run_day_uses_dcta() {
+        let s = small_scenario();
+        let r = Pipeline::new(quick_config()).run_day(&s, 0).unwrap();
+        assert_eq!(r.method, Method::Dcta);
+    }
+
+    #[test]
+    fn captured_importance_ordering_favours_oracle() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let mut oracle_total = 0.0;
+        let mut dcta_total = 0.0;
+        for day in prepared.test_days() {
+            oracle_total += prepared.run_day(Method::GreedyOracle, day).unwrap().captured_importance;
+            dcta_total += prepared.run_day(Method::Dcta, day).unwrap().captured_importance;
+        }
+        assert!(oracle_total + 1e-9 >= dcta_total * 0.8, "oracle {oracle_total} dcta {dcta_total}");
+    }
+}
+
+#[cfg(test)]
+mod online_tests {
+    use super::*;
+    use buildings::scenario::ScenarioConfig;
+    use rl::dqn::DqnConfig;
+
+    #[test]
+    fn observe_day_grows_the_environment_stores() {
+        let s = Scenario::generate(ScenarioConfig {
+            num_buildings: 2,
+            chillers_per_building: 2,
+            bands_per_chiller: 4,
+            num_tasks: 10,
+            history_days: 40,
+            eval_days: 7,
+            ..ScenarioConfig::default()
+        })
+        .unwrap();
+        let mut prepared = Pipeline::new(PipelineConfig {
+            workers: 3,
+            env_history_days: 4,
+            crl: CrlConfig {
+                episodes: 5,
+                dqn: DqnConfig { hidden: vec![16], ..DqnConfig::default() },
+                ..CrlConfig::default()
+            },
+            ..PipelineConfig::default()
+        })
+        .prepare(&s)
+        .unwrap();
+        let day = prepared.test_days().start;
+        assert_eq!(prepared.crl.store_len(), 4);
+        prepared.observe_day(day).unwrap();
+        assert_eq!(prepared.crl.store_len(), 5);
+        // Out-of-range observation is rejected.
+        assert!(matches!(prepared.observe_day(0), Err(PipelineError::BadDay { .. })));
+        // Allocation still works with the grown store.
+        assert!(prepared.run_day(Method::Crl, day + 1).is_ok());
+    }
+}

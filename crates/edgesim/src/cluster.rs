@@ -1,0 +1,213 @@
+//! Cluster assembly: the Fig. 8 testbed and variants.
+//!
+//! The paper's simulation uses "nine Raspberry Pi (version 3) and one laptop
+//! computer ... interconnected via WiFi under a star network topology", with
+//! Pi models A+, B and B+. The controller (laptop) partitions the
+//! application, allocates tasks, and aggregates the decision; sensing nodes
+//! execute the allocated tasks.
+
+use crate::network::{NetworkError, StarNetwork};
+use crate::node::{DeviceModel, Node, NodeId};
+use std::fmt;
+
+/// Error building or modifying a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A cluster needs at least the controller and one worker.
+    TooFewNodes {
+        /// Number supplied.
+        got: usize,
+    },
+    /// Duplicate node id.
+    DuplicateNode {
+        /// The repeated id.
+        node: NodeId,
+    },
+    /// Underlying network error.
+    Network(NetworkError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewNodes { got } => {
+                write!(f, "cluster needs a controller plus at least one worker, got {got} nodes")
+            }
+            ClusterError::DuplicateNode { node } => write!(f, "duplicate node id {node}"),
+            ClusterError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for ClusterError {
+    fn from(e: NetworkError) -> Self {
+        ClusterError::Network(e)
+    }
+}
+
+/// An edge cluster: one controller plus worker nodes on a star network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    network: StarNetwork,
+    controller: NodeId,
+}
+
+/// Default WiFi bandwidth of the testbed, bits per second: the effective
+/// per-link throughput of contended in-building WiFi, chosen so that — as
+/// the paper observes (§V-D) — "transmission time is also the main
+/// component of processing time". The Fig. 11 sweep scales around this.
+pub const DEFAULT_WIFI_BPS: f64 = 6e6;
+
+impl Cluster {
+    /// Builds a cluster. Node 0 is conventionally the controller; workers
+    /// are every other node.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::TooFewNodes`] for fewer than 2 nodes,
+    /// [`ClusterError::DuplicateNode`] for repeated ids.
+    pub fn new(nodes: Vec<Node>, network: StarNetwork, controller: NodeId) -> Result<Self, ClusterError> {
+        if nodes.len() < 2 {
+            return Err(ClusterError::TooFewNodes { got: nodes.len() });
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if nodes[..i].iter().any(|m| m.id() == n.id()) {
+                return Err(ClusterError::DuplicateNode { node: n.id() });
+            }
+        }
+        Ok(Self { nodes, network, controller })
+    }
+
+    /// The paper's Fig. 8 testbed: laptop controller + 9 Raspberry Pis
+    /// (three each of A+, B, B+) on a uniform WiFi star.
+    ///
+    /// # Errors
+    ///
+    /// Never in practice; propagates network validation.
+    pub fn paper_testbed() -> Result<Self, ClusterError> {
+        Self::testbed_with_workers(9)
+    }
+
+    /// A Fig. 8-style testbed with `workers` Pis (cycling A+, B, B+), used
+    /// by the Fig. 9 processor-count sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::TooFewNodes`] when `workers == 0`.
+    pub fn testbed_with_workers(workers: usize) -> Result<Self, ClusterError> {
+        let mut nodes = vec![Node::new(NodeId(0), DeviceModel::Laptop)];
+        let models = [
+            DeviceModel::RaspberryPiAPlus,
+            DeviceModel::RaspberryPiB,
+            DeviceModel::RaspberryPiBPlus,
+        ];
+        for w in 0..workers {
+            nodes.push(Node::new(NodeId(w + 1), models[w % models.len()]));
+        }
+        let network = StarNetwork::uniform(DEFAULT_WIFI_BPS, 1e-3)?;
+        Self::new(nodes, network, NodeId(0))
+    }
+
+    /// All nodes, controller included.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Worker nodes (everything except the controller).
+    pub fn workers(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.id() != self.controller)
+    }
+
+    /// Number of worker nodes.
+    pub fn num_workers(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The controller node id.
+    pub fn controller(&self) -> NodeId {
+        self.controller
+    }
+
+    /// The star network (immutable).
+    pub fn network(&self) -> &StarNetwork {
+        &self.network
+    }
+
+    /// The star network (mutable — e.g. for bandwidth sweeps).
+    pub fn network_mut(&mut self) -> &mut StarNetwork {
+        &mut self.network
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    /// Mutable node lookup (e.g. to inject slowdowns in tests).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.iter_mut().find(|n| n.id() == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed().unwrap();
+        assert_eq!(c.nodes().len(), 10);
+        assert_eq!(c.num_workers(), 9);
+        assert_eq!(c.controller(), NodeId(0));
+        assert_eq!(c.node(NodeId(0)).unwrap().model(), DeviceModel::Laptop);
+        // Three of each Pi model.
+        let count = |m: DeviceModel| c.workers().filter(|n| n.model() == m).count();
+        assert_eq!(count(DeviceModel::RaspberryPiAPlus), 3);
+        assert_eq!(count(DeviceModel::RaspberryPiB), 3);
+        assert_eq!(count(DeviceModel::RaspberryPiBPlus), 3);
+    }
+
+    #[test]
+    fn worker_sweep_sizes() {
+        for w in 1..=9 {
+            let c = Cluster::testbed_with_workers(w).unwrap();
+            assert_eq!(c.num_workers(), w);
+        }
+        assert!(matches!(
+            Cluster::testbed_with_workers(0),
+            Err(ClusterError::TooFewNodes { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let nodes = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(0), DeviceModel::RaspberryPiB),
+        ];
+        let net = StarNetwork::uniform(1e6, 0.0).unwrap();
+        assert!(matches!(
+            Cluster::new(nodes, net, NodeId(0)),
+            Err(ClusterError::DuplicateNode { .. })
+        ));
+    }
+
+    #[test]
+    fn node_lookup_and_mutation() {
+        let mut c = Cluster::paper_testbed().unwrap();
+        assert!(c.node(NodeId(42)).is_none());
+        let before = c.node(NodeId(1)).unwrap().compute_time(1e6);
+        c.node_mut(NodeId(1)).map(|n| *n = n.clone().with_slowdown(2.0)).unwrap();
+        assert!(c.node(NodeId(1)).unwrap().compute_time(1e6) > before);
+    }
+}

@@ -1,0 +1,177 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events carry an `f64` timestamp and a user payload; ties are broken by
+//! insertion order so simulations are fully reproducible. This engine drives
+//! [`crate::run`]'s transmission/compute pipeline.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T: PartialEq> Eq for Scheduled<T> {}
+
+impl<T: PartialEq> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, with
+        // insertion order as tiebreak.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must be finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event queue ordered by time, FIFO among equal times.
+///
+/// # Examples
+///
+/// ```
+/// use edgesim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop_next(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop_next(), Some((2.0, "later")));
+/// assert_eq!(q.pop_next(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is non-finite or earlier than the current time
+    /// (events cannot be scheduled in the past).
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(time + 1e-12 >= self.now, "cannot schedule in the past: {time} < {}", self.now);
+        self.heap.push(Scheduled { time, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    /// (Named `pop_next` rather than `next` to avoid reading like
+    /// `Iterator::next`.)
+    pub fn pop_next(&mut self) -> Option<(f64, T)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, ());
+        q.pop_next();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn scheduling_during_processing_is_allowed_at_now() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "first");
+        let (t, _) = q.pop_next().unwrap();
+        q.schedule(t, "same-time follow-up");
+        assert_eq!(q.pop_next().unwrap().1, "same-time follow-up");
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop_next();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop_next();
+        assert!(q.is_empty());
+        assert!(q.pop_next().is_none());
+    }
+}

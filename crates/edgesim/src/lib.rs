@@ -1,0 +1,45 @@
+//! # edgesim — discrete-event simulator of the paper's edge testbed
+//!
+//! The evaluation (§V) runs on nine Raspberry Pis (models A+, B, B+) plus a
+//! laptop, star-connected over WiFi (Fig. 8). Reproducing it without that
+//! hardware requires a simulator that models the same additive cost terms:
+//! input transmission over per-node half-duplex links, non-preemptive
+//! compute at the device's seconds-per-bit rate (Pi A+ = `4.75e-7 s/bit`,
+//! the paper's constant), result return, and controller-side
+//! partition/decision overheads. Processing time (`PT = t_s − t_c`) is the
+//! headline metric of Figs. 9-11.
+//!
+//! * [`node`] — device models and compute rates.
+//! * [`network`] — star WiFi links, bandwidth sweeps.
+//! * [`event`] — deterministic discrete-event queue.
+//! * [`cluster`] — Fig. 8 testbed assembly and variants.
+//! * [`run`] — executing a task→node assignment, producing a [`run::SimReport`].
+//! * [`trace`] — CSV execution traces and per-node utilisation.
+//!
+//! ## Example
+//!
+//! ```
+//! use edgesim::cluster::Cluster;
+//! use edgesim::node::NodeId;
+//! use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = Cluster::paper_testbed()?;
+//! let tasks = vec![SimTask::new(1e6, 1e4, 1.0)?];
+//! let mut assignment = NodeAssignment::empty(1);
+//! assignment.assign(0, Some(NodeId(1)));
+//! let report = simulate(&cluster, &tasks, &assignment, SimConfig::default())?;
+//! assert!(report.processing_time > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod event;
+pub mod network;
+pub mod node;
+pub mod run;
+pub mod trace;

@@ -1,0 +1,222 @@
+//! Star-topology WiFi network model.
+//!
+//! All nodes hang off one access point next to the controller (Fig. 8).
+//! Each node has its own link to the hub; a link carries one transfer at a
+//! time (transfers to the same node serialise), which is how task input
+//! shipping behaves in the paper's evaluation where transmission time is
+//! "the main component of processing time" (§V-D).
+
+use crate::node::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How transfers contend for the wireless medium.
+///
+/// The default models one half-duplex link per node (transfers to
+/// *different* nodes proceed in parallel). Real WiFi is a single shared
+/// radio channel; [`MediumMode::SharedMedium`] serialises *all* transfers
+/// through one medium, the pessimistic contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MediumMode {
+    /// One independent half-duplex link per node.
+    #[default]
+    PerNodeLink,
+    /// Every transfer in the star contends for one shared channel.
+    SharedMedium,
+}
+
+/// Error returned by network configuration or queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// Bandwidth must be positive and finite.
+    BadBandwidth {
+        /// Offending value (bits/second).
+        bandwidth_bps: f64,
+    },
+    /// Latency must be non-negative and finite.
+    BadLatency {
+        /// Offending value (seconds).
+        latency_s: f64,
+    },
+    /// The queried node has no link.
+    UnknownNode {
+        /// The missing node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::BadBandwidth { bandwidth_bps } => {
+                write!(f, "bandwidth must be positive and finite, got {bandwidth_bps} bps")
+            }
+            NetworkError::BadLatency { latency_s } => {
+                write!(f, "latency must be non-negative and finite, got {latency_s} s")
+            }
+            NetworkError::UnknownNode { node } => write!(f, "no link configured for {node}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// One point-to-point link of the star.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    bandwidth_bps: f64,
+    latency_s: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::BadBandwidth`] / [`NetworkError::BadLatency`] on
+    /// invalid parameters.
+    pub fn new(bandwidth_bps: f64, latency_s: f64) -> Result<Self, NetworkError> {
+        if !(bandwidth_bps.is_finite() && bandwidth_bps > 0.0) {
+            return Err(NetworkError::BadBandwidth { bandwidth_bps });
+        }
+        if !(latency_s.is_finite() && latency_s >= 0.0) {
+            return Err(NetworkError::BadLatency { latency_s });
+        }
+        Ok(Self { bandwidth_bps, latency_s })
+    }
+
+    /// Link bandwidth in bits per second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// One-way propagation latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.latency_s
+    }
+
+    /// Time to push `bits` across this link: latency + serialisation.
+    pub fn transfer_time(&self, bits: f64) -> f64 {
+        self.latency_s + bits.max(0.0) / self.bandwidth_bps
+    }
+}
+
+/// The star network: hub (controller side) plus per-node links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarNetwork {
+    links: HashMap<NodeId, Link>,
+    default_link: Link,
+    medium: MediumMode,
+}
+
+impl StarNetwork {
+    /// Creates a star where every node gets `default_link` unless
+    /// overridden.
+    pub fn new(default_link: Link) -> Self {
+        Self { links: HashMap::new(), default_link, medium: MediumMode::default() }
+    }
+
+    /// Switches the contention model (see [`MediumMode`]).
+    pub fn with_medium(mut self, medium: MediumMode) -> Self {
+        self.medium = medium;
+        self
+    }
+
+    /// The active contention model.
+    pub fn medium(&self) -> MediumMode {
+        self.medium
+    }
+
+    /// Switches the contention model in place.
+    pub fn set_medium(&mut self, medium: MediumMode) {
+        self.medium = medium;
+    }
+
+    /// Convenience: uniform WiFi star at `bandwidth_bps` with `latency_s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Link::new`] validation.
+    pub fn uniform(bandwidth_bps: f64, latency_s: f64) -> Result<Self, NetworkError> {
+        Ok(Self::new(Link::new(bandwidth_bps, latency_s)?))
+    }
+
+    /// Overrides the link of one node.
+    pub fn set_link(&mut self, node: NodeId, link: Link) {
+        self.links.insert(node, link);
+    }
+
+    /// The link serving `node`.
+    pub fn link(&self, node: NodeId) -> Link {
+        self.links.get(&node).copied().unwrap_or(self.default_link)
+    }
+
+    /// Time to ship `bits` from the hub to `node` (or back — links are
+    /// symmetric).
+    pub fn transfer_time(&self, node: NodeId, bits: f64) -> f64 {
+        self.link(node).transfer_time(bits)
+    }
+
+    /// Scales every link's bandwidth by `factor` (used by the Fig. 11
+    /// bandwidth sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_bandwidth(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        self.default_link.bandwidth_bps *= factor;
+        for link in self.links.values_mut() {
+            link.bandwidth_bps *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_validation() {
+        assert!(matches!(Link::new(0.0, 0.0), Err(NetworkError::BadBandwidth { .. })));
+        assert!(matches!(Link::new(-5.0, 0.0), Err(NetworkError::BadBandwidth { .. })));
+        assert!(matches!(Link::new(1.0, -1.0), Err(NetworkError::BadLatency { .. })));
+        assert!(matches!(Link::new(1.0, f64::INFINITY), Err(NetworkError::BadLatency { .. })));
+        assert!(Link::new(1e6, 0.001).is_ok());
+    }
+
+    #[test]
+    fn transfer_time_formula() {
+        let link = Link::new(1e6, 0.01).unwrap();
+        assert!((link.transfer_time(1e6) - 1.01).abs() < 1e-12);
+        assert_eq!(link.transfer_time(0.0), 0.01);
+        assert_eq!(link.transfer_time(-10.0), 0.01);
+    }
+
+    #[test]
+    fn default_and_override_links() {
+        let mut net = StarNetwork::uniform(1e6, 0.0).unwrap();
+        let fast = Link::new(1e9, 0.0).unwrap();
+        net.set_link(NodeId(3), fast);
+        assert_eq!(net.link(NodeId(0)).bandwidth_bps(), 1e6);
+        assert_eq!(net.link(NodeId(3)).bandwidth_bps(), 1e9);
+        assert!(net.transfer_time(NodeId(3), 1e6) < net.transfer_time(NodeId(0), 1e6));
+    }
+
+    #[test]
+    fn bandwidth_scaling_halves_time() {
+        let mut net = StarNetwork::uniform(1e6, 0.0).unwrap();
+        net.set_link(NodeId(1), Link::new(2e6, 0.0).unwrap());
+        let before_default = net.transfer_time(NodeId(0), 1e6);
+        let before_custom = net.transfer_time(NodeId(1), 1e6);
+        net.scale_bandwidth(2.0);
+        assert!((net.transfer_time(NodeId(0), 1e6) - before_default / 2.0).abs() < 1e-12);
+        assert!((net.transfer_time(NodeId(1), 1e6) - before_custom / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_scale_panics() {
+        StarNetwork::uniform(1e6, 0.0).unwrap().scale_bandwidth(0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Edge device models.
+//!
+//! The paper's testbed (§V-B, Fig. 8) is nine Raspberry Pi 3 boards of
+//! models A+, B and B+ plus one laptop, star-connected over WiFi. Each
+//! device is characterised by a *compute rate* in seconds per bit — the
+//! paper fixes the Pi A+ at `4.75e-7 s/bit` (from its citation \[33\]) — and a
+//! resource capacity that plays the `V_p` role in Eq. (4).
+
+use std::fmt;
+
+/// Hardware class of an edge node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceModel {
+    /// Raspberry Pi model A+ — the paper's reference device
+    /// (`4.75e-7 s/bit`).
+    RaspberryPiAPlus,
+    /// Raspberry Pi model B — slightly faster than the A+.
+    RaspberryPiB,
+    /// Raspberry Pi model B+ — the fastest Pi in the testbed.
+    RaspberryPiBPlus,
+    /// The laptop acting as controller/operation node.
+    Laptop,
+}
+
+impl DeviceModel {
+    /// Compute time in seconds per input bit.
+    ///
+    /// The A+ rate is the paper's published constant; sibling models are
+    /// scaled by their relative CPU clocks, which within one Raspberry Pi
+    /// generation differ modestly (roughly 1.0× / 1.13× / 1.32×); the
+    /// laptop is an order of magnitude faster.
+    pub fn seconds_per_bit(self) -> f64 {
+        match self {
+            DeviceModel::RaspberryPiAPlus => 4.75e-7,
+            DeviceModel::RaspberryPiB => 4.2e-7,
+            DeviceModel::RaspberryPiBPlus => 3.6e-7,
+            DeviceModel::Laptop => 4.0e-8,
+        }
+    }
+
+    /// Default resource capacity (the abstract `V_p` of Eq. 4). Units are
+    /// arbitrary "resource units"; what matters to TATIM is their relative
+    /// magnitude across heterogeneous devices.
+    pub fn default_capacity(self) -> f64 {
+        match self {
+            DeviceModel::RaspberryPiAPlus => 4.0,
+            DeviceModel::RaspberryPiB => 6.0,
+            DeviceModel::RaspberryPiBPlus => 8.0,
+            DeviceModel::Laptop => 32.0,
+        }
+    }
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeviceModel::RaspberryPiAPlus => "Raspberry Pi A+",
+            DeviceModel::RaspberryPiB => "Raspberry Pi B",
+            DeviceModel::RaspberryPiBPlus => "Raspberry Pi B+",
+            DeviceModel::Laptop => "Laptop",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Identifier of a node within a [`crate::cluster::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A concrete edge node instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    id: NodeId,
+    model: DeviceModel,
+    capacity: f64,
+    /// Multiplier on compute time (used for failure/degradation injection;
+    /// 1.0 = nominal).
+    slowdown: f64,
+}
+
+impl Node {
+    /// Creates a node with the model's default capacity.
+    pub fn new(id: NodeId, model: DeviceModel) -> Self {
+        Self { id, model, capacity: model.default_capacity(), slowdown: 1.0 }
+    }
+
+    /// Overrides the resource capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative or non-finite.
+    pub fn with_capacity(mut self, capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity >= 0.0, "capacity must be >= 0");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Applies a compute slowdown factor (≥ 1.0 slows the node; used by
+    /// failure-injection tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown` is not at least 1.0 or non-finite.
+    pub fn with_slowdown(mut self, slowdown: f64) -> Self {
+        assert!(slowdown.is_finite() && slowdown >= 1.0, "slowdown must be >= 1.0");
+        self.slowdown = slowdown;
+        self
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's hardware class.
+    pub fn model(&self) -> DeviceModel {
+        self.model
+    }
+
+    /// Resource capacity (`V_p`).
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Seconds needed to process `bits` of input on this node.
+    pub fn compute_time(&self, bits: f64) -> f64 {
+        self.model.seconds_per_bit() * self.slowdown * bits.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constant_for_a_plus() {
+        assert_eq!(DeviceModel::RaspberryPiAPlus.seconds_per_bit(), 4.75e-7);
+    }
+
+    #[test]
+    fn laptop_is_fastest() {
+        let models = [
+            DeviceModel::RaspberryPiAPlus,
+            DeviceModel::RaspberryPiB,
+            DeviceModel::RaspberryPiBPlus,
+        ];
+        for m in models {
+            assert!(DeviceModel::Laptop.seconds_per_bit() < m.seconds_per_bit());
+            assert!(DeviceModel::Laptop.default_capacity() > m.default_capacity());
+        }
+    }
+
+    #[test]
+    fn pi_ordering_matches_hardware_generation() {
+        assert!(
+            DeviceModel::RaspberryPiBPlus.seconds_per_bit()
+                < DeviceModel::RaspberryPiB.seconds_per_bit()
+        );
+        assert!(
+            DeviceModel::RaspberryPiB.seconds_per_bit()
+                < DeviceModel::RaspberryPiAPlus.seconds_per_bit()
+        );
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let n = Node::new(NodeId(0), DeviceModel::RaspberryPiAPlus);
+        assert_eq!(n.compute_time(1e6), 4.75e-7 * 1e6);
+        assert_eq!(n.compute_time(0.0), 0.0);
+        assert_eq!(n.compute_time(-5.0), 0.0);
+    }
+
+    #[test]
+    fn slowdown_multiplies_compute() {
+        let n = Node::new(NodeId(1), DeviceModel::Laptop).with_slowdown(3.0);
+        let base = Node::new(NodeId(1), DeviceModel::Laptop);
+        assert!((n.compute_time(1e6) - 3.0 * base.compute_time(1e6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_override() {
+        let n = Node::new(NodeId(2), DeviceModel::RaspberryPiB).with_capacity(99.0);
+        assert_eq!(n.capacity(), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn bad_slowdown_panics() {
+        let _ = Node::new(NodeId(0), DeviceModel::Laptop).with_slowdown(0.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DeviceModel::RaspberryPiAPlus.to_string(), "Raspberry Pi A+");
+        assert_eq!(NodeId(3).to_string(), "node-3");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of simulator invariants: causality, monotonicity,
+//! and conservation.
+
+use edgesim::cluster::Cluster;
+use edgesim::node::NodeId;
+use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = (Vec<SimTask>, NodeAssignment)> {
+    prop::collection::vec((1e4f64..1e8, 0.0f64..1e5, prop::option::of(1usize..10)), 1..20)
+        .prop_map(|specs| {
+            let tasks: Vec<SimTask> = specs
+                .iter()
+                .map(|&(bits, result, _)| {
+                    SimTask::new(bits, result, 0.0).expect("valid ranges")
+                })
+                .collect();
+            let mut assignment = NodeAssignment::empty(tasks.len());
+            for (i, &(_, _, node)) in specs.iter().enumerate() {
+                assignment.assign(i, node.map(NodeId));
+            }
+            (tasks, assignment)
+        })
+}
+
+fn config() -> SimConfig {
+    SimConfig { partition_overhead_s: 0.01, decision_overhead_s: 0.01, enforce_capacity: false }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timelines_are_causal((tasks, assignment) in workload()) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let report = simulate(&cluster, &tasks, &assignment, config()).expect("simulate");
+        for tl in report.timelines.iter().flatten() {
+            prop_assert!(tl.transfer_start >= 0.01 - 1e-12, "starts before partition");
+            prop_assert!(tl.transfer_start <= tl.compute_start);
+            prop_assert!(tl.compute_start <= tl.compute_end);
+            prop_assert!(tl.compute_end <= tl.result_at);
+        }
+        prop_assert!(report.processing_time >= report.makespan() - 1e-12);
+    }
+
+    #[test]
+    fn scheduled_tasks_get_timelines((tasks, assignment) in workload()) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let report = simulate(&cluster, &tasks, &assignment, config()).expect("simulate");
+        for (i, tl) in report.timelines.iter().enumerate() {
+            prop_assert_eq!(tl.is_some(), assignment.node_of(i).is_some(), "task {}", i);
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts((tasks, assignment) in workload(), factor in 1.1f64..8.0) {
+        let slow = Cluster::paper_testbed().expect("testbed");
+        let mut fast = Cluster::paper_testbed().expect("testbed");
+        fast.network_mut().scale_bandwidth(factor);
+        let pt_slow =
+            simulate(&slow, &tasks, &assignment, config()).expect("run").processing_time;
+        let pt_fast =
+            simulate(&fast, &tasks, &assignment, config()).expect("run").processing_time;
+        prop_assert!(pt_fast <= pt_slow + 1e-9, "{pt_fast} > {pt_slow}");
+    }
+
+    #[test]
+    fn removing_a_task_never_slows_the_round((tasks, assignment) in workload(),
+                                             drop_idx in 0usize..20) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let full =
+            simulate(&cluster, &tasks, &assignment, config()).expect("run").processing_time;
+        let mut reduced = assignment.clone();
+        let idx = drop_idx % tasks.len();
+        reduced.assign(idx, None);
+        let less =
+            simulate(&cluster, &tasks, &reduced, config()).expect("run").processing_time;
+        prop_assert!(less <= full + 1e-9, "dropping task {idx} raised PT: {less} > {full}");
+    }
+
+    #[test]
+    fn busy_time_conserved((tasks, assignment) in workload()) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let report = simulate(&cluster, &tasks, &assignment, config()).expect("simulate");
+        // Total compute busy time equals the sum of scheduled tasks'
+        // compute demands on their nodes.
+        let expected: f64 = (0..tasks.len())
+            .filter_map(|i| {
+                assignment.node_of(i).map(|n| {
+                    cluster.node(n).expect("node exists").compute_time(tasks[i].input_bits)
+                })
+            })
+            .sum();
+        let actual: f64 = report.node_busy.values().sum();
+        prop_assert!((expected - actual).abs() < 1e-6, "{expected} vs {actual}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Upper bounds on MCMK optima, used for branch-and-bound pruning and as
+//! optimality certificates in tests.
+
+use crate::problem::Problem;
+
+/// Fractional single-constraint bound: relax to one aggregate knapsack on
+/// the given `capacity`, allowing fractional items, considering only the
+/// constraint dimension selected by `size_of`.
+fn fractional_bound(
+    items: &[(f64, f64)], // (size, profit)
+    capacity: f64,
+) -> f64 {
+    let mut sorted: Vec<(f64, f64)> = items.to_vec();
+    sorted.sort_by(|a, b| {
+        let da = if a.0 <= 1e-15 { f64::INFINITY } else { a.1 / a.0 };
+        let db = if b.0 <= 1e-15 { f64::INFINITY } else { b.1 / b.0 };
+        db.partial_cmp(&da).expect("finite or +inf densities")
+    });
+    let mut remaining = capacity;
+    let mut bound = 0.0;
+    for (size, profit) in sorted {
+        if size <= 1e-15 {
+            bound += profit;
+        } else if size <= remaining {
+            remaining -= size;
+            bound += profit;
+        } else {
+            bound += profit * (remaining / size);
+            break;
+        }
+    }
+    bound
+}
+
+/// A valid upper bound on the optimal MCMK profit.
+///
+/// Every feasible packing satisfies, in aggregate, `Σ packed weights ≤
+/// Σ weight capacities` and `Σ packed volumes ≤ Σ volume capacities`; hence
+/// each single-constraint fractional relaxation bounds the optimum, and so
+/// does their minimum.
+pub fn upper_bound(problem: &Problem) -> f64 {
+    let total_w: f64 = problem.sacks().iter().map(|s| s.weight_capacity).sum();
+    let total_v: f64 = problem.sacks().iter().map(|s| s.volume_capacity).sum();
+    upper_bound_subset(problem, &(0..problem.num_items()).collect::<Vec<_>>(), total_w, total_v)
+}
+
+/// Same bound restricted to the item subset `indices` and explicit aggregate
+/// residual capacities — the form branch-and-bound needs mid-search.
+pub fn upper_bound_subset(
+    problem: &Problem,
+    indices: &[usize],
+    aggregate_weight: f64,
+    aggregate_volume: f64,
+) -> f64 {
+    let w_items: Vec<(f64, f64)> = indices
+        .iter()
+        .map(|&i| (problem.items()[i].weight, problem.items()[i].profit))
+        .collect();
+    let v_items: Vec<(f64, f64)> = indices
+        .iter()
+        .map(|&i| (problem.items()[i].volume, problem.items()[i].profit))
+        .collect();
+    let wb = fractional_bound(&w_items, aggregate_weight.max(0.0));
+    let vb = fractional_bound(&v_items, aggregate_volume.max(0.0));
+    wb.min(vb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Item, Sack};
+
+    fn problem(items: Vec<(f64, f64, f64)>, sacks: Vec<(f64, f64)>) -> Problem {
+        Problem::new(
+            items.into_iter().map(|(w, v, p)| Item::new(w, v, p).unwrap()).collect(),
+            sacks.into_iter().map(|(w, v)| Sack::new(w, v).unwrap()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bound_at_least_any_feasible_packing() {
+        // Pack item 0 alone: profit 10. Bound must be >= 10.
+        let p = problem(vec![(2.0, 1.0, 10.0), (3.0, 2.0, 5.0)], vec![(4.0, 2.0)]);
+        assert!(upper_bound(&p) >= 10.0);
+    }
+
+    #[test]
+    fn bound_no_more_than_total_profit() {
+        let p = problem(vec![(1.0, 1.0, 3.0), (1.0, 1.0, 4.0)], vec![(100.0, 100.0)]);
+        assert_eq!(upper_bound(&p), 7.0);
+    }
+
+    #[test]
+    fn tight_on_single_constraint_fit() {
+        // Weight binds: capacity 3 of weight, items of weight 2 each.
+        let p = problem(
+            vec![(2.0, 0.0, 6.0), (2.0, 0.0, 6.0)],
+            vec![(3.0, 10.0)],
+        );
+        // Fractional: 6 + 6 * (1/2) = 9.
+        assert!((upper_bound(&p) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_dimension_can_be_binding() {
+        let p = problem(vec![(0.0, 2.0, 6.0), (0.0, 2.0, 6.0)], vec![(100.0, 3.0)]);
+        assert!((upper_bound(&p) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size_items_count_fully() {
+        let p = problem(vec![(0.0, 0.0, 5.0), (1.0, 1.0, 1.0)], vec![(0.0, 0.0)]);
+        assert!((upper_bound(&p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_bound_uses_residuals() {
+        let p = problem(vec![(2.0, 1.0, 10.0), (2.0, 1.0, 8.0)], vec![(4.0, 2.0)]);
+        let b = upper_bound_subset(&p, &[1], 1.0, 1.0);
+        // Only half of item 1 fits the residual weight 1.0.
+        assert!((b - 4.0).abs() < 1e-12);
+        assert_eq!(upper_bound_subset(&p, &[], 4.0, 2.0), 0.0);
+        assert_eq!(upper_bound_subset(&p, &[0], -1.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Exact MCMK solvers: depth-first branch-and-bound, plus a tiny brute-force
+//! enumerator used as ground truth in tests.
+//!
+//! TATIM instances on the edge are small (tens of tasks, ~10 processors), so
+//! exact solutions are attainable offline; the paper's point is that solving
+//! them *repeatedly under varying importance* is too slow on-device, which is
+//! what the data-driven allocators amortise. The exact solver is the
+//! reference that CRL/DCTA allocation quality is measured against.
+
+use crate::bounds::upper_bound_subset;
+use crate::problem::{Packing, Problem, Solution};
+
+/// Exhaustive search over all `(num_sacks + 1)^num_items` placements.
+///
+/// Only viable for very small instances; used to validate
+/// [`BranchAndBound`]. Runs in `O((M+1)^N)`.
+///
+/// # Panics
+///
+/// Panics if `problem.num_items() > 16` — beyond that the enumeration is
+/// unreasonable even for tests.
+pub fn brute_force(problem: &Problem) -> Solution {
+    assert!(problem.num_items() <= 16, "brute force limited to 16 items");
+    let n = problem.num_items();
+    let m = problem.num_sacks();
+    let mut best = Packing::empty(n);
+    let mut best_profit = 0.0;
+    let mut current = Packing::empty(n);
+
+    fn recurse(
+        problem: &Problem,
+        i: usize,
+        current: &mut Packing,
+        best: &mut Packing,
+        best_profit: &mut f64,
+    ) {
+        let n = problem.num_items();
+        if i == n {
+            if current.is_feasible(problem) {
+                let profit = current.profit(problem);
+                if profit > *best_profit {
+                    *best_profit = profit;
+                    *best = current.clone();
+                }
+            }
+            return;
+        }
+        current.assign(i, None);
+        recurse(problem, i + 1, current, best, best_profit);
+        for s in 0..problem.num_sacks() {
+            current.assign(i, Some(s));
+            recurse(problem, i + 1, current, best, best_profit);
+        }
+        current.assign(i, None);
+    }
+
+    let _ = m;
+    recurse(problem, 0, &mut current, &mut best, &mut best_profit);
+    Solution { packing: best, profit: best_profit }
+}
+
+/// Depth-first branch-and-bound exact solver.
+///
+/// Items are explored in decreasing profit-density order; at each node the
+/// fractional aggregate relaxation ([`crate::bounds`]) prunes subtrees that
+/// cannot beat the incumbent. Identical residual sacks are canonicalised to
+/// curb permutation symmetry.
+///
+/// # Examples
+///
+/// ```
+/// use knapsack::exact::BranchAndBound;
+/// use knapsack::problem::{Item, Problem, Sack};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Problem::new(
+///     vec![Item::new(2.0, 1.0, 10.0)?, Item::new(2.0, 1.0, 7.0)?],
+///     vec![Sack::new(2.0, 1.0)?],
+/// )?;
+/// let solution = BranchAndBound::new().solve(&p);
+/// assert_eq!(solution.profit, 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BranchAndBound {
+    /// Optional cap on explored nodes; `None` = unlimited. When the cap is
+    /// hit the incumbent (a feasible, possibly sub-optimal packing) is
+    /// returned — useful as an anytime solver inside benchmarks.
+    pub node_limit: Option<u64>,
+}
+
+impl BranchAndBound {
+    /// Creates an exact solver with no node limit.
+    pub fn new() -> Self {
+        Self { node_limit: None }
+    }
+
+    /// Creates an anytime solver that stops after `limit` nodes.
+    pub fn with_node_limit(limit: u64) -> Self {
+        Self { node_limit: Some(limit) }
+    }
+
+    /// Solves `problem`, returning the best packing found (the optimum when
+    /// no node limit is set).
+    pub fn solve(&self, problem: &Problem) -> Solution {
+        let n = problem.num_items();
+        // Density order: big profit per aggregate size first.
+        let total_w: f64 =
+            problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
+        let total_v: f64 =
+            problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let da = problem.items()[a].density(total_w, total_v);
+            let db = problem.items()[b].density(total_w, total_v);
+            db.partial_cmp(&da).expect("densities comparable")
+        });
+
+        let mut search = Search {
+            problem,
+            order,
+            best: Packing::empty(n),
+            best_profit: -1.0,
+            residual: problem
+                .sacks()
+                .iter()
+                .map(|s| (s.weight_capacity, s.volume_capacity))
+                .collect(),
+            current: Packing::empty(n),
+            nodes: 0,
+            node_limit: self.node_limit,
+        };
+        search.dfs(0, 0.0);
+        let profit = search.best_profit.max(0.0);
+        Solution { packing: search.best, profit }
+    }
+}
+
+struct Search<'a> {
+    problem: &'a Problem,
+    order: Vec<usize>,
+    best: Packing,
+    best_profit: f64,
+    residual: Vec<(f64, f64)>,
+    current: Packing,
+    nodes: u64,
+    node_limit: Option<u64>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize, profit: f64) {
+        self.nodes += 1;
+        if let Some(limit) = self.node_limit {
+            if self.nodes > limit {
+                return;
+            }
+        }
+        if profit > self.best_profit {
+            self.best_profit = profit;
+            self.best = self.current.clone();
+        }
+        if depth == self.order.len() {
+            return;
+        }
+
+        // Prune: fractional bound on the remaining items over aggregate
+        // residual capacity.
+        let rest: Vec<usize> = self.order[depth..].to_vec();
+        let agg_w: f64 = self.residual.iter().map(|r| r.0.max(0.0)).sum();
+        let agg_v: f64 = self.residual.iter().map(|r| r.1.max(0.0)).sum();
+        let bound = upper_bound_subset(self.problem, &rest, agg_w, agg_v);
+        if profit + bound <= self.best_profit + 1e-12 {
+            return;
+        }
+
+        let item_idx = self.order[depth];
+        let item = self.problem.items()[item_idx];
+
+        // Branch 1..M: place into each distinct-residual sack that fits.
+        let mut seen: Vec<(f64, f64)> = Vec::new();
+        for s in 0..self.problem.num_sacks() {
+            let (rw, rv) = self.residual[s];
+            if item.weight > rw + 1e-12 || item.volume > rv + 1e-12 {
+                continue;
+            }
+            // Symmetry: identical residual sacks are interchangeable.
+            if seen.iter().any(|&(w, v)| (w - rw).abs() < 1e-12 && (v - rv).abs() < 1e-12) {
+                continue;
+            }
+            seen.push((rw, rv));
+            self.residual[s] = (rw - item.weight, rv - item.volume);
+            self.current.assign(item_idx, Some(s));
+            self.dfs(depth + 1, profit + item.profit);
+            self.current.assign(item_idx, None);
+            self.residual[s] = (rw, rv);
+        }
+        // Branch 0: skip the item.
+        self.dfs(depth + 1, profit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Item, Sack};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn problem(items: Vec<(f64, f64, f64)>, sacks: Vec<(f64, f64)>) -> Problem {
+        Problem::new(
+            items.into_iter().map(|(w, v, p)| Item::new(w, v, p).unwrap()).collect(),
+            sacks.into_iter().map(|(w, v)| Sack::new(w, v).unwrap()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_higher_profit_when_capacity_binds() {
+        let p = problem(vec![(2.0, 1.0, 10.0), (2.0, 1.0, 7.0)], vec![(2.0, 1.0)]);
+        let s = BranchAndBound::new().solve(&p);
+        assert_eq!(s.profit, 10.0);
+        assert!(s.packing.is_feasible(&p));
+        assert_eq!(s.packing.sack_of(0), Some(0));
+        assert_eq!(s.packing.sack_of(1), None);
+    }
+
+    #[test]
+    fn uses_both_sacks() {
+        let p = problem(
+            vec![(2.0, 1.0, 10.0), (2.0, 1.0, 7.0), (2.0, 1.0, 5.0)],
+            vec![(2.0, 1.0), (2.0, 1.0)],
+        );
+        let s = BranchAndBound::new().solve(&p);
+        assert_eq!(s.profit, 17.0);
+        assert_eq!(s.packing.packed_count(), 2);
+    }
+
+    #[test]
+    fn respects_volume_constraint() {
+        // Weight is loose, volume binds.
+        let p = problem(vec![(0.1, 2.0, 5.0), (0.1, 2.0, 4.0)], vec![(10.0, 2.0)]);
+        let s = BranchAndBound::new().solve(&p);
+        assert_eq!(s.profit, 5.0);
+    }
+
+    #[test]
+    fn empty_items_is_zero() {
+        let p = problem(vec![], vec![(1.0, 1.0)]);
+        let s = BranchAndBound::new().solve(&p);
+        assert_eq!(s.profit, 0.0);
+        assert_eq!(s.packing.packed_count(), 0);
+    }
+
+    #[test]
+    fn nothing_fits_is_zero() {
+        let p = problem(vec![(5.0, 5.0, 100.0)], vec![(1.0, 1.0)]);
+        let s = BranchAndBound::new().solve(&p);
+        assert_eq!(s.profit, 0.0);
+    }
+
+    #[test]
+    fn knapsack_classic_instance() {
+        // Classic single-sack 0-1 instance (volume unconstrained):
+        // capacities 10; items (w,p): (5,10) (4,40) (6,30) (3,50); opt = 90.
+        let p = problem(
+            vec![(5.0, 0.0, 10.0), (4.0, 0.0, 40.0), (6.0, 0.0, 30.0), (3.0, 0.0, 50.0)],
+            vec![(10.0, 0.0)],
+        );
+        let s = BranchAndBound::new().solve(&p);
+        assert_eq!(s.profit, 90.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for round in 0..60 {
+            let n = rng.gen_range(1..=7);
+            let m = rng.gen_range(1..=3);
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..5.0f64).round(),
+                        rng.gen_range(0.0..5.0f64).round(),
+                        rng.gen_range(0.0..10.0f64).round(),
+                    )
+                })
+                .collect();
+            let sacks: Vec<(f64, f64)> = (0..m)
+                .map(|_| (rng.gen_range(0.0..8.0f64).round(), rng.gen_range(0.0..8.0f64).round()))
+                .collect();
+            let p = problem(items, sacks);
+            let bb = BranchAndBound::new().solve(&p);
+            let bf = brute_force(&p);
+            assert!(
+                (bb.profit - bf.profit).abs() < 1e-9,
+                "round {round}: bb {} vs bf {} on {p:?}",
+                bb.profit,
+                bf.profit
+            );
+            assert!(bb.packing.is_feasible(&p));
+        }
+    }
+
+    #[test]
+    fn node_limit_returns_feasible_incumbent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items: Vec<(f64, f64, f64)> = (0..20)
+            .map(|_| (rng.gen_range(1.0..5.0), rng.gen_range(1.0..5.0), rng.gen_range(1.0..10.0)))
+            .collect();
+        let p = problem(items, vec![(15.0, 15.0), (10.0, 10.0)]);
+        let s = BranchAndBound::with_node_limit(50).solve(&p);
+        assert!(s.packing.is_feasible(&p));
+        let full = BranchAndBound::new().solve(&p);
+        assert!(full.profit >= s.profit);
+    }
+}

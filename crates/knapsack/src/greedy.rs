@@ -1,0 +1,245 @@
+//! Greedy and local-search heuristics for MCMK.
+//!
+//! The density-ordered greedy is what an edge controller can afford to run
+//! every allocation round; it is also the "accurate task allocation" proxy
+//! used when reproducing Fig. 3 (allocate by importance under capacity
+//! limits). Local search tightens it when a little more compute is
+//! available.
+
+use crate::problem::{Packing, Problem, Solution};
+
+/// Density-ordered greedy first-fit: items are sorted by profit density
+/// (profit per aggregate-normalised size) and each is placed into the sack
+/// with the *least* remaining headroom that still fits (best-fit), leaving
+/// big headroom for big items.
+///
+/// Runs in `O(N log N + N·M)`.
+///
+/// # Examples
+///
+/// ```
+/// use knapsack::greedy::greedy;
+/// use knapsack::problem::{Item, Problem, Sack};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Problem::new(
+///     vec![Item::new(2.0, 1.0, 10.0)?, Item::new(2.0, 1.0, 1.0)?],
+///     vec![Sack::new(2.0, 1.0)?],
+/// )?;
+/// assert_eq!(greedy(&p).profit, 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy(problem: &Problem) -> Solution {
+    let n = problem.num_items();
+    let total_w: f64 = problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
+    let total_v: f64 = problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let da = problem.items()[a].density(total_w, total_v);
+        let db = problem.items()[b].density(total_w, total_v);
+        db.partial_cmp(&da)
+            .expect("densities comparable")
+            .then(problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"))
+    });
+
+    let mut packing = Packing::empty(n);
+    let mut residual: Vec<(f64, f64)> =
+        problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect();
+    for &i in &order {
+        let item = problem.items()[i];
+        // Best fit: the feasible sack minimising leftover headroom.
+        let mut best: Option<(usize, f64)> = None;
+        for (s, &(rw, rv)) in residual.iter().enumerate() {
+            if item.weight <= rw + 1e-12 && item.volume <= rv + 1e-12 {
+                let slack = (rw - item.weight) / total_w + (rv - item.volume) / total_v;
+                if best.is_none_or(|(_, b)| slack < b) {
+                    best = Some((s, slack));
+                }
+            }
+        }
+        if let Some((s, _)) = best {
+            residual[s].0 -= item.weight;
+            residual[s].1 -= item.volume;
+            packing.assign(i, Some(s));
+        }
+    }
+    let profit = packing.profit(problem);
+    Solution { packing, profit }
+}
+
+/// Hill-climbing improvement over an initial packing: repeatedly applies the
+/// best profitable *insert* (unpacked item into a sack with room) or *swap*
+/// (unpacked item replaces a packed one of lower profit where it fits) until
+/// no move improves. Returns the improved solution.
+pub fn local_search(problem: &Problem, initial: Solution, max_rounds: usize) -> Solution {
+    let mut packing = initial.packing;
+    for _ in 0..max_rounds {
+        let mut residual = packing.residual_capacities(problem);
+        let mut improved = false;
+
+        // Insert moves.
+        for i in 0..problem.num_items() {
+            if packing.sack_of(i).is_some() {
+                continue;
+            }
+            let item = problem.items()[i];
+            if item.profit <= 0.0 {
+                continue;
+            }
+            if let Some(s) = (0..problem.num_sacks()).find(|&s| {
+                item.weight <= residual[s].0 + 1e-12 && item.volume <= residual[s].1 + 1e-12
+            }) {
+                packing.assign(i, Some(s));
+                residual[s].0 -= item.weight;
+                residual[s].1 -= item.volume;
+                improved = true;
+            }
+        }
+
+        // Swap moves: out-item j (packed) replaced by in-item i (unpacked).
+        'swap: for i in 0..problem.num_items() {
+            if packing.sack_of(i).is_some() {
+                continue;
+            }
+            let inc = problem.items()[i];
+            for j in 0..problem.num_items() {
+                let Some(s) = packing.sack_of(j) else { continue };
+                let out = problem.items()[j];
+                if inc.profit <= out.profit + 1e-12 {
+                    continue;
+                }
+                let rw = residual[s].0 + out.weight;
+                let rv = residual[s].1 + out.volume;
+                if inc.weight <= rw + 1e-12 && inc.volume <= rv + 1e-12 {
+                    packing.assign(j, None);
+                    packing.assign(i, Some(s));
+                    residual[s].0 = rw - inc.weight;
+                    residual[s].1 = rv - inc.volume;
+                    improved = true;
+                    continue 'swap;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    let profit = packing.profit(problem);
+    Solution { packing, profit }
+}
+
+/// Convenience: greedy followed by local search.
+pub fn greedy_with_local_search(problem: &Problem) -> Solution {
+    local_search(problem, greedy(problem), 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::BranchAndBound;
+    use crate::problem::{Item, Sack};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn problem(items: Vec<(f64, f64, f64)>, sacks: Vec<(f64, f64)>) -> Problem {
+        Problem::new(
+            items.into_iter().map(|(w, v, p)| Item::new(w, v, p).unwrap()).collect(),
+            sacks.into_iter().map(|(w, v)| Sack::new(w, v).unwrap()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_prefers_dense_items() {
+        let p = problem(vec![(2.0, 1.0, 10.0), (2.0, 1.0, 1.0)], vec![(2.0, 1.0)]);
+        let s = greedy(&p);
+        assert_eq!(s.profit, 10.0);
+        assert!(s.packing.is_feasible(&p));
+    }
+
+    #[test]
+    fn greedy_feasible_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..30);
+            let m = rng.gen_range(1..6);
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0), rng.gen_range(0.0..1.0)))
+                .collect();
+            let sacks: Vec<(f64, f64)> =
+                (0..m).map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect();
+            let p = problem(items, sacks);
+            let s = greedy(&p);
+            assert!(s.packing.is_feasible(&p));
+            assert!((s.profit - s.packing.profit(&p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_exact_and_is_close() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ratio_sum = 0.0;
+        let rounds = 25;
+        for _ in 0..rounds {
+            let n = rng.gen_range(4..9);
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (rng.gen_range(1.0..4.0), rng.gen_range(1.0..4.0), rng.gen_range(0.1..1.0))
+                })
+                .collect();
+            let p = problem(items, vec![(6.0, 6.0), (4.0, 4.0)]);
+            let g = greedy_with_local_search(&p);
+            let e = BranchAndBound::new().solve(&p);
+            assert!(g.profit <= e.profit + 1e-9, "greedy {} > exact {}", g.profit, e.profit);
+            if e.profit > 0.0 {
+                ratio_sum += g.profit / e.profit;
+            } else {
+                ratio_sum += 1.0;
+            }
+        }
+        assert!(ratio_sum / rounds as f64 > 0.85, "avg ratio {}", ratio_sum / rounds as f64);
+    }
+
+    #[test]
+    fn local_search_inserts_missed_items() {
+        let p = problem(vec![(1.0, 1.0, 1.0), (1.0, 1.0, 2.0)], vec![(2.0, 2.0)]);
+        // Start from an empty packing.
+        let init = Solution { packing: Packing::empty(2), profit: 0.0 };
+        let s = local_search(&p, init, 10);
+        assert_eq!(s.profit, 3.0);
+    }
+
+    #[test]
+    fn local_search_swaps_in_better_item() {
+        let p = problem(vec![(2.0, 2.0, 1.0), (2.0, 2.0, 5.0)], vec![(2.0, 2.0)]);
+        let mut packing = Packing::empty(2);
+        packing.assign(0, Some(0)); // suboptimal start
+        let s = local_search(&p, Solution { packing, profit: 1.0 }, 10);
+        assert_eq!(s.profit, 5.0);
+        assert_eq!(s.packing.sack_of(0), None);
+        assert_eq!(s.packing.sack_of(1), Some(0));
+    }
+
+    #[test]
+    fn local_search_terminates_at_local_optimum() {
+        let p = problem(vec![(1.0, 1.0, 4.0)], vec![(1.0, 1.0)]);
+        let s0 = greedy(&p);
+        let s1 = local_search(&p, s0.clone(), 100);
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    fn best_fit_keeps_room_for_large_items() {
+        // Best-fit puts the small item in the small sack so the large item
+        // still fits in the large sack. (First-fit into the large sack
+        // would lose profit 10.)
+        let p = problem(
+            vec![(1.0, 0.0, 10.0), (4.0, 0.0, 10.0)],
+            vec![(4.0, 0.0), (1.0, 0.0)],
+        );
+        let s = greedy(&p);
+        assert_eq!(s.profit, 20.0);
+    }
+}

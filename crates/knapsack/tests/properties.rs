@@ -1,0 +1,106 @@
+//! Property-based tests of the MCMK solver stack invariants:
+//! feasibility of every solver output, greedy ≤ exact ≤ upper bound, and
+//! monotonicity of the optimum in capacity.
+
+use knapsack::bounds::upper_bound;
+use knapsack::exact::{brute_force, BranchAndBound};
+use knapsack::greedy::{greedy, greedy_with_local_search};
+use knapsack::problem::{Item, Problem, Sack};
+use proptest::prelude::*;
+
+fn small_problem() -> impl Strategy<Value = Problem> {
+    let item = (0.0f64..5.0, 0.0f64..5.0, 0.0f64..1.0)
+        .prop_map(|(w, v, p)| Item::new(w, v, p).expect("valid ranges"));
+    let sack = (0.0f64..10.0, 0.0f64..10.0)
+        .prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
+    (prop::collection::vec(item, 0..8), prop::collection::vec(sack, 1..4))
+        .prop_map(|(items, sacks)| Problem::new(items, sacks).expect("sacks non-empty"))
+}
+
+fn medium_problem() -> impl Strategy<Value = Problem> {
+    let item = (0.0f64..5.0, 0.0f64..5.0, 0.0f64..1.0)
+        .prop_map(|(w, v, p)| Item::new(w, v, p).expect("valid ranges"));
+    let sack = (0.0f64..12.0, 0.0f64..12.0)
+        .prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
+    (prop::collection::vec(item, 0..25), prop::collection::vec(sack, 1..6))
+        .prop_map(|(items, sacks)| Problem::new(items, sacks).expect("sacks non-empty"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_matches_brute_force(p in small_problem()) {
+        let bb = BranchAndBound::new().solve(&p);
+        let bf = brute_force(&p);
+        prop_assert!((bb.profit - bf.profit).abs() < 1e-9,
+            "bb {} != bf {}", bb.profit, bf.profit);
+    }
+
+    #[test]
+    fn all_solvers_return_feasible_packings(p in medium_problem()) {
+        let g = greedy(&p);
+        prop_assert!(g.packing.is_feasible(&p));
+        let gl = greedy_with_local_search(&p);
+        prop_assert!(gl.packing.is_feasible(&p));
+        // Anytime exact with a small node budget must stay feasible too.
+        let bb = BranchAndBound::with_node_limit(500).solve(&p);
+        prop_assert!(bb.packing.is_feasible(&p));
+    }
+
+    #[test]
+    fn solver_chain_is_ordered(p in small_problem()) {
+        let g = greedy(&p);
+        let gl = greedy_with_local_search(&p);
+        let e = BranchAndBound::new().solve(&p);
+        let ub = upper_bound(&p);
+        prop_assert!(g.profit <= gl.profit + 1e-9, "local search regressed greedy");
+        prop_assert!(gl.profit <= e.profit + 1e-9, "heuristic beat the optimum");
+        prop_assert!(e.profit <= ub + 1e-9, "optimum {} exceeded bound {}", e.profit, ub);
+        prop_assert!(ub <= p.total_profit() + 1e-9);
+    }
+
+    #[test]
+    fn profit_cached_equals_recomputed(p in medium_problem()) {
+        let g = greedy(&p);
+        prop_assert!((g.profit - g.packing.profit(&p)).abs() < 1e-9);
+        let e = BranchAndBound::with_node_limit(2_000).solve(&p);
+        prop_assert!((e.profit - e.packing.profit(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimum_monotone_in_capacity(p in small_problem(), extra in 0.0f64..5.0) {
+        let base = BranchAndBound::new().solve(&p).profit;
+        let grown = Problem::new(
+            p.items().to_vec(),
+            p.sacks()
+                .iter()
+                .map(|s| Sack::new(s.weight_capacity + extra, s.volume_capacity + extra)
+                    .expect("valid"))
+                .collect(),
+        ).expect("sacks unchanged");
+        let bigger = BranchAndBound::new().solve(&grown).profit;
+        prop_assert!(bigger + 1e-9 >= base, "capacity growth reduced optimum");
+    }
+
+    #[test]
+    fn adding_an_item_never_hurts(p in small_problem(), w in 0.0f64..5.0, v in 0.0f64..5.0,
+                                  profit in 0.0f64..1.0) {
+        let base = BranchAndBound::new().solve(&p).profit;
+        let mut items = p.items().to_vec();
+        items.push(Item::new(w, v, profit).expect("valid"));
+        let grown = Problem::new(items, p.sacks().to_vec()).expect("sacks unchanged");
+        let bigger = BranchAndBound::new().solve(&grown).profit;
+        prop_assert!(bigger + 1e-9 >= base, "new item reduced optimum");
+    }
+
+    #[test]
+    fn zero_profit_items_do_not_change_optimum(p in small_problem()) {
+        let base = BranchAndBound::new().solve(&p).profit;
+        let mut items = p.items().to_vec();
+        items.push(Item::new(1.0, 1.0, 0.0).expect("valid"));
+        let grown = Problem::new(items, p.sacks().to_vec()).expect("sacks unchanged");
+        let same = BranchAndBound::new().solve(&grown).profit;
+        prop_assert!((same - base).abs() < 1e-9);
+    }
+}

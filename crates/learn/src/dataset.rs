@@ -1,0 +1,362 @@
+//! Labelled datasets, train/test splitting, and feature standardisation.
+//!
+//! Every learner in this crate consumes a [`Dataset`]: a feature matrix plus a
+//! target vector. Targets are `f64` throughout; classifiers interpret them as
+//! `±1.0` labels (the convention used by the paper's SVM local process).
+
+use crate::linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A labelled dataset: `n` samples with `d` features and one target each.
+///
+/// # Examples
+///
+/// ```
+/// use learn::dataset::Dataset;
+///
+/// let ds = Dataset::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![-1.0, 1.0]).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.num_features(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Matrix,
+    targets: Vec<f64>,
+}
+
+/// Error constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature rows were ragged or empty.
+    BadFeatures,
+    /// `targets.len()` did not match the number of feature rows.
+    LengthMismatch {
+        /// Number of feature rows supplied.
+        rows: usize,
+        /// Number of targets supplied.
+        targets: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::BadFeatures => write!(f, "feature rows are empty or ragged"),
+            DatasetError::LengthMismatch { rows, targets } => {
+                write!(f, "got {rows} feature rows but {targets} targets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset from feature rows and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BadFeatures`] for empty/ragged rows and
+    /// [`DatasetError::LengthMismatch`] when counts disagree.
+    pub fn from_rows(rows: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, DatasetError> {
+        if rows.len() != targets.len() {
+            return Err(DatasetError::LengthMismatch { rows: rows.len(), targets: targets.len() });
+        }
+        let features = Matrix::from_rows(&rows).ok_or(DatasetError::BadFeatures)?;
+        Ok(Self { features, targets })
+    }
+
+    /// Builds a dataset directly from a feature matrix and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::LengthMismatch`] when counts disagree.
+    pub fn new(features: Matrix, targets: Vec<f64>) -> Result<Self, DatasetError> {
+        if features.rows() != targets.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: features.rows(),
+                targets: targets.len(),
+            });
+        }
+        Ok(Self { features, targets })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The target vector.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn sample(&self, i: usize) -> (&[f64], f64) {
+        (self.features.row(i), self.targets[i])
+    }
+
+    /// Returns a new dataset containing only the samples at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            indices.iter().map(|&i| self.features.row(i).to_vec()).collect();
+        let targets: Vec<f64> = indices.iter().map(|&i| self.targets[i]).collect();
+        if rows.is_empty() {
+            // An empty subset keeps the feature arity so learners can
+            // validate against it.
+            return Dataset { features: Matrix::zeros(0, self.num_features()), targets };
+        }
+        Dataset::from_rows(rows, targets).expect("subset of valid dataset is valid")
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of samples in train,
+    /// after shuffling with `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `0.0..=1.0`.
+    pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must be in [0, 1], got {train_fraction}"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let cut = (self.len() as f64 * train_fraction).round() as usize;
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Draws a bootstrap resample (sampling with replacement) of the same
+    /// size, returning the resample and the out-of-bag indices.
+    pub fn bootstrap(&self, rng: &mut impl Rng) -> (Dataset, Vec<usize>) {
+        let n = self.len();
+        let mut chosen = vec![false; n];
+        let idx: Vec<usize> = (0..n)
+            .map(|_| {
+                let i = rng.gen_range(0..n);
+                chosen[i] = true;
+                i
+            })
+            .collect();
+        let oob = (0..n).filter(|&i| !chosen[i]).collect();
+        (self.subset(&idx), oob)
+    }
+}
+
+/// Per-feature affine standardiser: `x' = (x - mean) / std`.
+///
+/// Fit on training data, then applied to any vector with the same arity; the
+/// local SVM process standardises Table-I features this way so that power
+/// readings (kW) do not dominate temperature differences (°C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits a standardiser to the dataset's features.
+    ///
+    /// Features with zero variance are passed through unscaled (std treated
+    /// as 1) so constant features do not produce NaNs.
+    pub fn fit(data: &Dataset) -> Self {
+        let d = data.num_features();
+        let n = data.len().max(1) as f64;
+        let mut means = vec![0.0; d];
+        for i in 0..data.len() {
+            for (m, &x) in means.iter_mut().zip(data.features.row(i)) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for i in 0..data.len() {
+            for ((s, &x), m) in stds.iter_mut().zip(data.features.row(i)).zip(&means) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Number of features this standardiser was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardises one feature vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted arity.
+    pub fn transform_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.means.len(), "feature arity mismatch");
+        for ((v, m), s) in x.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Returns a standardised copy of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the fitted arity.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = x.to_vec();
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Returns a dataset whose features are standardised (targets untouched).
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..data.len()).map(|i| self.transform(data.features.row(i))).collect();
+        if rows.is_empty() {
+            return data.clone();
+        }
+        Dataset::from_rows(rows, data.targets.to_vec()).expect("same shape as input")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0], vec![3.0, 40.0]],
+            vec![-1.0, -1.0, 1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Dataset::from_rows(vec![vec![1.0]], vec![]),
+            Err(DatasetError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]),
+            Err(DatasetError::BadFeatures)
+        ));
+        let m = Matrix::zeros(2, 3);
+        assert!(Dataset::new(m.clone(), vec![0.0]).is_err());
+        assert!(Dataset::new(m, vec![0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_features(), 2);
+        let (x, y) = ds.sample(2);
+        assert_eq!(x, &[2.0, 30.0]);
+        assert_eq!(y, 1.0);
+    }
+
+    #[test]
+    fn subset_preserves_pairing() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.sample(0), (&[3.0, 40.0][..], 1.0));
+        assert_eq!(sub.sample(1), (&[0.0, 10.0][..], -1.0));
+    }
+
+    #[test]
+    fn empty_subset_keeps_arity() {
+        let ds = toy();
+        let sub = ds.subset(&[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.num_features(), 2);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (tr, te) = ds.split(0.75, &mut rng);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(te.len(), 1);
+        // Union of targets must be a permutation of originals.
+        let mut all: Vec<f64> = tr.targets().iter().chain(te.targets()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, vec![-1.0, -1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn split_rejects_bad_fraction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        toy().split(1.5, &mut rng);
+    }
+
+    #[test]
+    fn bootstrap_same_size_and_oob_disjoint() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (bs, oob) = ds.bootstrap(&mut rng);
+        assert_eq!(bs.len(), ds.len());
+        assert!(oob.iter().all(|&i| i < ds.len()));
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let ds = toy();
+        let st = Standardizer::fit(&ds);
+        let tds = st.transform_dataset(&ds);
+        for c in 0..2 {
+            let col = tds.features().col(c);
+            assert!(crate::linalg::mean(&col).abs() < 1e-10);
+            assert!((crate::linalg::std_dev(&col) - 1.0).abs() < 1e-10);
+        }
+        // Targets are untouched.
+        assert_eq!(tds.targets(), ds.targets());
+    }
+
+    #[test]
+    fn standardizer_constant_feature_no_nan() {
+        let ds =
+            Dataset::from_rows(vec![vec![5.0, 1.0], vec![5.0, 2.0]], vec![0.0, 1.0]).unwrap();
+        let st = Standardizer::fit(&ds);
+        let t = st.transform(&[5.0, 1.5]);
+        assert!(t.iter().all(|v| v.is_finite()));
+        assert_eq!(t[0], 0.0); // (5-5)/1
+    }
+}

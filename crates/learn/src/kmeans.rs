@@ -1,0 +1,263 @@
+//! Lloyd's k-means clustering.
+//!
+//! This is the *offline* environment-definition mode the paper's Discussion
+//! (§VII) contrasts against online kNN: historical environment signatures are
+//! clustered in advance, and at run time the nearest centroid's samples are
+//! used. The fig. ablation `knn-vs-kmeans` in the bench harness compares the
+//! two modes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+use crate::linalg::euclidean_distance;
+
+/// Error returned by k-means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KMeansError {
+    /// No points supplied.
+    EmptyInput,
+    /// `k` was zero or exceeded the number of points.
+    BadK {
+        /// Requested cluster count.
+        k: usize,
+        /// Number of points available.
+        points: usize,
+    },
+    /// Points were ragged.
+    ArityMismatch {
+        /// Arity of the first point.
+        expected: usize,
+        /// Arity of the offending point.
+        got: usize,
+    },
+}
+
+impl fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KMeansError::EmptyInput => write!(f, "k-means input is empty"),
+            KMeansError::BadK { k, points } => {
+                write!(f, "k = {k} is invalid for {points} points")
+            }
+            KMeansError::ArityMismatch { expected, got } => {
+                write!(f, "point has {got} features, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KMeansError {}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Runs Lloyd's algorithm with k-means++-style seeding until assignment
+    /// convergence or `max_iters`.
+    ///
+    /// # Errors
+    ///
+    /// See [`KMeansError`] variants.
+    pub fn fit(
+        points: &[Vec<f64>],
+        k: usize,
+        max_iters: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, KMeansError> {
+        if points.is_empty() {
+            return Err(KMeansError::EmptyInput);
+        }
+        let arity = points[0].len();
+        if let Some(bad) = points.iter().find(|p| p.len() != arity) {
+            return Err(KMeansError::ArityMismatch { expected: arity, got: bad.len() });
+        }
+        if k == 0 || k > points.len() {
+            return Err(KMeansError::BadK { k, points: points.len() });
+        }
+
+        // k-means++ seeding: first centroid uniform, rest ∝ squared distance.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points.choose(rng).expect("non-empty").clone());
+        while centroids.len() < k {
+            let d2: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| euclidean_distance(p, c).powi(2))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                // All remaining points coincide with centroids; pick any.
+                points.choose(rng).expect("non-empty").clone()
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = points.len() - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                points[chosen].clone()
+            };
+            centroids.push(next);
+        }
+
+        let mut assignments = vec![0usize; points.len()];
+        for _ in 0..max_iters {
+            // Assignment step.
+            let mut changed = false;
+            for (a, p) in assignments.iter_mut().zip(points) {
+                let best = nearest_centroid(&centroids, p);
+                if best != *a {
+                    *a = best;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; arity]; k];
+            let mut counts = vec![0usize; k];
+            for (&a, p) in assignments.iter().zip(points) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (ci, &s) in c.iter_mut().zip(sum) {
+                        *ci = s / count as f64;
+                    }
+                }
+                // Empty clusters keep their previous centroid.
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia = assignments
+            .iter()
+            .zip(points)
+            .map(|(&a, p)| euclidean_distance(&centroids[a], p).powi(2))
+            .sum();
+        Ok(Self { centroids, assignments, inertia })
+    }
+
+    /// Cluster centroids, one per cluster.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Training-point assignments, parallel to the input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances of points to their centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Index of the centroid closest to `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong arity.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest_centroid(&self.centroids, point)
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f64>], p: &[f64]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, euclidean_distance(c, p)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)))
+        .expect("at least one centroid")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs(n_per: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for _ in 0..n_per {
+            pts.push(vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]);
+        }
+        for _ in 0..n_per {
+            pts.push(vec![10.0 + rng.gen_range(-0.5..0.5), 10.0 + rng.gen_range(-0.5..0.5)]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs(25, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let km = KMeans::fit(&pts, 2, 100, &mut rng).unwrap();
+        // All of blob 1 shares one label; blob 2 the other.
+        let a0 = km.assignments()[0];
+        assert!(km.assignments()[..25].iter().all(|&a| a == a0));
+        assert!(km.assignments()[25..].iter().all(|&a| a != a0));
+        assert!(km.inertia() < 25.0);
+    }
+
+    #[test]
+    fn predict_routes_to_nearest() {
+        let pts = two_blobs(25, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let km = KMeans::fit(&pts, 2, 100, &mut rng).unwrap();
+        let near_origin = km.predict(&[0.2, -0.1]);
+        let near_ten = km.predict(&[9.8, 10.3]);
+        assert_ne!(near_origin, near_ten);
+        assert_eq!(near_origin, km.assignments()[0]);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let mut rng = StdRng::seed_from_u64(5);
+        let km = KMeans::fit(&pts, 3, 50, &mut rng).unwrap();
+        assert!(km.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_invalid_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(KMeans::fit(&[], 1, 10, &mut rng), Err(KMeansError::EmptyInput)));
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(matches!(KMeans::fit(&pts, 0, 10, &mut rng), Err(KMeansError::BadK { .. })));
+        assert!(matches!(KMeans::fit(&pts, 3, 10, &mut rng), Err(KMeansError::BadK { .. })));
+        let ragged = vec![vec![0.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            KMeans::fit(&ragged, 1, 10, &mut rng),
+            Err(KMeansError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash_seeding() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let mut rng = StdRng::seed_from_u64(9);
+        let km = KMeans::fit(&pts, 3, 10, &mut rng).unwrap();
+        assert_eq!(km.centroids().len(), 3);
+        assert!(km.inertia() < 1e-12);
+    }
+}

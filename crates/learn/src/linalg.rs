@@ -1,0 +1,604 @@
+//! Dense vector and matrix primitives used by every learner in this crate.
+//!
+//! The paper's models (ridge regression for COP prediction, the primal SVM of
+//! Eq. 8, the DQN's multi-layer perceptron) are all small and dense, so a
+//! straightforward row-major `Vec<f64>` representation is both sufficient and
+//! easy to audit. No external BLAS is used: experiments must be bit-for-bit
+//! reproducible across machines.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use learn::linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned when matrix dimensions do not line up for an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionError {
+    op: &'static str,
+    left: (usize, usize),
+    right: (usize, usize),
+}
+
+impl fmt::Display for DimensionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimension mismatch in {}: {}x{} vs {}x{}",
+            self.op, self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+impl std::error::Error for DimensionError {}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// Returns `None` when rows are empty or ragged (unequal lengths).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Option<Self> {
+        let ncols = rows.first()?.len();
+        if ncols == 0 || rows.iter().any(|r| r.len() != ncols) {
+            return None;
+        }
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Some(Self { rows: rows.len(), cols: ncols, data })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// Returns `None` if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Option<Self> {
+        (data.len() == rows * cols).then_some(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// A view of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` copied into a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, DimensionError> {
+        if self.cols != rhs.rows {
+            return Err(DimensionError { op: "matmul", left: self.shape(), right: rhs.shape() });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let lhs_rk = self[(r, k)];
+                if lhs_rk == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &x) in out_row.iter_mut().zip(rhs_row) {
+                    *o += lhs_rk * x;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, DimensionError> {
+        if self.cols != v.len() {
+            return Err(DimensionError { op: "matvec", left: self.shape(), right: (v.len(), 1) });
+        }
+        Ok((0..self.rows).map(|r| dot(self.row(r), v)).collect())
+    }
+
+    /// Element-wise map, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place scaled addition `self += alpha * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) -> Result<(), DimensionError> {
+        if self.shape() != rhs.shape() {
+            return Err(DimensionError { op: "axpy", left: self.shape(), right: rhs.shape() });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Solves `self · x = b` for square `self` via Gaussian elimination with
+    /// partial pivoting. Used by the ridge-regression normal equations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the matrix is non-square, `b` has the
+    /// wrong length, or the system is (numerically) singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(SolveError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        if b.len() != n {
+            return Err(SolveError::BadRhs { expected: n, got: b.len() });
+        }
+        // Augmented system, eliminated in place.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).expect("non-NaN")
+                })
+                .expect("non-empty range");
+            if a[pivot * n + col].abs() < 1e-12 {
+                return Err(SolveError::Singular { col });
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for k in (col + 1)..n {
+                sum -= a[col * n + k] * x[k];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+/// Error returned by [`Matrix::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The coefficient matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// The right-hand side has the wrong length.
+    BadRhs {
+        /// Expected length (matrix order).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// A pivot below tolerance was encountered.
+    Singular {
+        /// Column at which elimination failed.
+        col: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "cannot solve non-square system of shape {rows}x{cols}")
+            }
+            SolveError::BadRhs { expected, got } => {
+                write!(f, "right-hand side has length {got}, expected {expected}")
+            }
+            SolveError::Singular { col } => {
+                write!(f, "matrix is singular at column {col}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::axpy`] for a fallible variant.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        let mut out = self.clone();
+        out.axpy(1.0, rhs).expect("shapes checked");
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::axpy`] for a fallible variant.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs).expect("shapes checked");
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    /// # Panics
+    ///
+    /// Panics on shape mismatch; use [`Matrix::axpy`] for a fallible variant.
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs).expect("matrix += shape mismatch");
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// In-place scaled vector addition `a += alpha * b`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance of a slice; `0.0` for slices shorter than 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_shape_and_content() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal_ones() {
+        let m = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(m[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+        assert!(Matrix::from_rows(&[]).is_none());
+        assert!(Matrix::from_rows(&[vec![]]).is_none());
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_none());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_some());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
+        assert_eq!(Matrix::identity(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_dimension_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        // 2x + y = 3, x + 3y = 5 => x = 4/5, y = 7/5
+        assert!((x[0] - 0.8).abs() < 1e-10);
+        assert!((x[1] - 1.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero leading pivot forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.solve(&[0.0, 0.0]), Err(SolveError::NotSquare { .. })));
+        let b = Matrix::identity(2);
+        assert!(matches!(b.solve(&[0.0]), Err(SolveError::BadRhs { .. })));
+    }
+
+    #[test]
+    fn operators_add_sub_scale() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![10.0, 20.0]]).unwrap();
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((&b - &a).as_slice(), &[9.0, 18.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        let mut v = vec![1.0, 1.0];
+        axpy(&mut v, 2.0, &[1.0, 2.0]);
+        assert_eq!(v, vec![3.0, 5.0]);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_norm() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.map(|x| x * x).as_slice(), &[9.0, 16.0]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+}

@@ -1,0 +1,632 @@
+//! A small dense multi-layer perceptron with backpropagation.
+//!
+//! The paper's Deep Q-Network (§III-D, Alg. 1) needs only a modest value
+//! network: the state is an `N × M` binary selection matrix flattened to a
+//! vector, and the output is one Q-value per action. This module provides
+//! exactly that — dense layers, ReLU/tanh activations, mean-squared-error
+//! loss, and SGD/Adam optimisers — with no external deep-learning
+//! dependency, as called for by the reproduction's substitution rule.
+
+use crate::linalg::Matrix;
+use rand::Rng;
+use std::fmt;
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit `max(0, x)`.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No nonlinearity (used for output layers of value networks).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *pre-activation* input `x`.
+    fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - x.tanh().powi(2),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Error returned by network construction or use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// Fewer than two layer sizes supplied (need at least input and output).
+    TooFewLayers,
+    /// A layer size was zero.
+    ZeroWidth,
+    /// Input/target arity did not match the network.
+    ArityMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// An empty training batch was supplied.
+    EmptyBatch,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::TooFewLayers => write!(f, "network needs at least input and output sizes"),
+            NetworkError::ZeroWidth => write!(f, "layer width must be at least 1"),
+            NetworkError::ArityMismatch { expected, got } => {
+                write!(f, "expected a vector of length {expected}, got {got}")
+            }
+            NetworkError::EmptyBatch => write!(f, "training batch is empty"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Layer {
+    /// `out × in` weight matrix.
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+}
+
+/// Gradients of the loss with respect to one layer's parameters.
+///
+/// Public only because [`Optimizer::step`] mentions it; its fields are
+/// crate-private, so downstream crates cannot construct or inspect it.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrad {
+    weights: Matrix,
+    bias: Vec<f64>,
+}
+
+/// A dense feed-forward network.
+///
+/// # Examples
+///
+/// ```
+/// use learn::nn::{Activation, Mlp, SgdOptimizer};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // 2 inputs -> 8 hidden -> 1 output.
+/// let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, &mut rng)?;
+/// let mut opt = SgdOptimizer::new(0.1, 0.0);
+/// for _ in 0..500 {
+///     // learn XOR-ish parity of signs
+///     net.train_batch(
+///         &[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0]],
+///         &[vec![-1.0], vec![-1.0], vec![1.0], vec![1.0]],
+///         &mut opt,
+///     )?;
+/// }
+/// assert!(net.forward(&[1.0, -1.0])?[0] > 0.0);
+/// assert!(net.forward(&[1.0, 1.0])?[0] < 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    sizes: Vec<usize>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer sizes. All hidden layers use
+    /// `hidden_activation`; the output layer is linear (Identity), the
+    /// standard choice for Q-value regression.
+    ///
+    /// Weights are initialised with He/Xavier-style scaling from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::TooFewLayers`] / [`NetworkError::ZeroWidth`] on a bad
+    /// architecture.
+    pub fn new(
+        sizes: &[usize],
+        hidden_activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Result<Self, NetworkError> {
+        if sizes.len() < 2 {
+            return Err(NetworkError::TooFewLayers);
+        }
+        if sizes.contains(&0) {
+            return Err(NetworkError::ZeroWidth);
+        }
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let is_output = layers.len() == sizes.len() - 2;
+            let scale = (2.0 / fan_in as f64).sqrt();
+            let mut weights = Matrix::zeros(fan_out, fan_in);
+            for v in weights.as_mut_slice() {
+                *v = rng.gen_range(-1.0..1.0) * scale;
+            }
+            layers.push(Layer {
+                weights,
+                bias: vec![0.0; fan_out],
+                activation: if is_output { Activation::Identity } else { hidden_activation },
+            });
+        }
+        Ok(Self { layers, sizes: sizes.to_vec() })
+    }
+
+    /// Input arity.
+    pub fn input_size(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output arity.
+    pub fn output_size(&self) -> usize {
+        *self.sizes.last().expect("at least two sizes")
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.rows() * l.weights.cols() + l.bias.len())
+            .sum()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::ArityMismatch`] when `input` has the wrong length.
+    pub fn forward(&self, input: &[f64]) -> Result<Vec<f64>, NetworkError> {
+        if input.len() != self.input_size() {
+            return Err(NetworkError::ArityMismatch {
+                expected: self.input_size(),
+                got: input.len(),
+            });
+        }
+        let mut act = input.to_vec();
+        for layer in &self.layers {
+            let z = layer.weights.matvec(&act).expect("sizes consistent by construction");
+            act = z
+                .iter()
+                .zip(&layer.bias)
+                .map(|(&zi, &b)| layer.activation.apply(zi + b))
+                .collect();
+        }
+        Ok(act)
+    }
+
+    /// Forward pass retaining pre-activations and activations per layer, for
+    /// backprop. Returns `(pre_activations, activations)` where
+    /// `activations[0]` is the input.
+    fn forward_trace(&self, input: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut pres = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let mut z = layer.weights.matvec(acts.last().expect("non-empty")).expect("sizes");
+            for (zi, &b) in z.iter_mut().zip(&layer.bias) {
+                *zi += b;
+            }
+            let a = z.iter().map(|&zi| layer.activation.apply(zi)).collect();
+            pres.push(z);
+            acts.push(a);
+        }
+        (pres, acts)
+    }
+
+    /// Mean-squared-error over a batch: `mean_i ||f(x_i) - y_i||² / 2`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::EmptyBatch`] or [`NetworkError::ArityMismatch`].
+    pub fn loss(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> Result<f64, NetworkError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(NetworkError::EmptyBatch);
+        }
+        let mut total = 0.0;
+        for (x, y) in inputs.iter().zip(targets) {
+            let out = self.forward(x)?;
+            if out.len() != y.len() {
+                return Err(NetworkError::ArityMismatch { expected: out.len(), got: y.len() });
+            }
+            total += out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / 2.0;
+        }
+        Ok(total / inputs.len() as f64)
+    }
+
+    /// One optimiser step on the batch MSE. Returns the pre-step loss.
+    ///
+    /// DQN usage note: passing targets equal to the current prediction in
+    /// every coordinate except the taken action makes this exactly the Alg. 1
+    /// per-action temporal-difference update.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::EmptyBatch`] or [`NetworkError::ArityMismatch`].
+    pub fn train_batch(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        optimizer: &mut impl Optimizer,
+    ) -> Result<f64, NetworkError> {
+        let (loss, grads) = self.gradients(inputs, targets)?;
+        optimizer.step(self, &grads);
+        Ok(loss)
+    }
+
+    /// Computes batch loss and parameter gradients without applying them.
+    fn gradients(
+        &self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+    ) -> Result<(f64, Vec<LayerGrad>), NetworkError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(NetworkError::EmptyBatch);
+        }
+        let mut grads: Vec<LayerGrad> = self
+            .layers
+            .iter()
+            .map(|l| LayerGrad {
+                weights: Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                bias: vec![0.0; l.bias.len()],
+            })
+            .collect();
+        let mut total_loss = 0.0;
+        let scale = 1.0 / inputs.len() as f64;
+
+        for (x, y) in inputs.iter().zip(targets) {
+            if x.len() != self.input_size() {
+                return Err(NetworkError::ArityMismatch {
+                    expected: self.input_size(),
+                    got: x.len(),
+                });
+            }
+            if y.len() != self.output_size() {
+                return Err(NetworkError::ArityMismatch {
+                    expected: self.output_size(),
+                    got: y.len(),
+                });
+            }
+            let (pres, acts) = self.forward_trace(x);
+            let out = acts.last().expect("non-empty");
+            total_loss +=
+                out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / 2.0;
+
+            // delta at output: (out - y) ⊙ σ'(z)
+            let mut delta: Vec<f64> = out
+                .iter()
+                .zip(y)
+                .zip(&pres[self.layers.len() - 1])
+                .map(|((o, t), &z)| {
+                    (o - t) * self.layers[self.layers.len() - 1].activation.derivative(z)
+                })
+                .collect();
+
+            for li in (0..self.layers.len()).rev() {
+                // Accumulate grads for layer li: dW = delta ⊗ act_in, db = delta.
+                let act_in = &acts[li];
+                let g = &mut grads[li];
+                for (r, &dr) in delta.iter().enumerate() {
+                    let row = g.weights.row_mut(r);
+                    for (gw, &a) in row.iter_mut().zip(act_in) {
+                        *gw += scale * dr * a;
+                    }
+                    g.bias[r] += scale * dr;
+                }
+                // Propagate delta to previous layer.
+                if li > 0 {
+                    let w = &self.layers[li].weights;
+                    let mut next = vec![0.0; w.cols()];
+                    for (r, &dr) in delta.iter().enumerate() {
+                        for (nc, &wrc) in next.iter_mut().zip(w.row(r)) {
+                            *nc += dr * wrc;
+                        }
+                    }
+                    for (nc, &z) in next.iter_mut().zip(&pres[li - 1]) {
+                        *nc *= self.layers[li - 1].activation.derivative(z);
+                    }
+                    delta = next;
+                }
+            }
+        }
+        Ok((total_loss * scale, grads))
+    }
+
+    /// Copies all parameters from `other` (used for DQN target networks).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::ArityMismatch`] when architectures differ.
+    pub fn copy_parameters_from(&mut self, other: &Mlp) -> Result<(), NetworkError> {
+        if self.sizes != other.sizes {
+            return Err(NetworkError::ArityMismatch {
+                expected: self.num_parameters(),
+                got: other.num_parameters(),
+            });
+        }
+        self.layers.clone_from(&other.layers);
+        Ok(())
+    }
+}
+
+/// A gradient-descent rule. Sealed in practice: the two provided impls cover
+/// the paper's needs and the trait operates on private gradient types.
+pub trait Optimizer {
+    /// Applies one update to `net` from accumulated `grads`.
+    #[doc(hidden)]
+    fn step(&mut self, net: &mut Mlp, grads: &[LayerGrad]);
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdOptimizer {
+    learning_rate: f64,
+    momentum: f64,
+    velocity: Option<Vec<LayerGrad>>,
+}
+
+impl SgdOptimizer {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `learning_rate > 0` and `0 <= momentum < 1`.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { learning_rate, momentum, velocity: None }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+impl Optimizer for SgdOptimizer {
+    fn step(&mut self, net: &mut Mlp, grads: &[LayerGrad]) {
+        let velocity = self.velocity.get_or_insert_with(|| {
+            grads
+                .iter()
+                .map(|g| LayerGrad {
+                    weights: Matrix::zeros(g.weights.rows(), g.weights.cols()),
+                    bias: vec![0.0; g.bias.len()],
+                })
+                .collect()
+        });
+        for ((layer, grad), vel) in net.layers.iter_mut().zip(grads).zip(velocity.iter_mut()) {
+            vel.weights.scale(self.momentum);
+            vel.weights.axpy(-self.learning_rate, &grad.weights).expect("same shape");
+            layer.weights.axpy(1.0, &vel.weights).expect("same shape");
+            for ((b, &g), v) in layer.bias.iter_mut().zip(&grad.bias).zip(&mut vel.bias) {
+                *v = self.momentum * *v - self.learning_rate * g;
+                *b += *v;
+            }
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) — the usual choice for DQN training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamOptimizer {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    t: u64,
+    m: Option<Vec<LayerGrad>>,
+    v: Option<Vec<LayerGrad>>,
+}
+
+impl AdamOptimizer {
+    /// Creates an Adam optimiser with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `learning_rate > 0`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, t: 0, m: None, v: None }
+    }
+}
+
+impl Optimizer for AdamOptimizer {
+    fn step(&mut self, net: &mut Mlp, grads: &[LayerGrad]) {
+        let zeros = || -> Vec<LayerGrad> {
+            grads
+                .iter()
+                .map(|g| LayerGrad {
+                    weights: Matrix::zeros(g.weights.rows(), g.weights.cols()),
+                    bias: vec![0.0; g.bias.len()],
+                })
+                .collect()
+        };
+        if self.m.is_none() {
+            self.m = Some(zeros());
+            self.v = Some(zeros());
+        }
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let m = self.m.as_mut().expect("initialised above");
+        let v = self.v.as_mut().expect("initialised above");
+        for (((layer, grad), mi), vi) in
+            net.layers.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+        {
+            let wlen = layer.weights.as_slice().len();
+            for k in 0..wlen {
+                let g = grad.weights.as_slice()[k];
+                let mk = &mut mi.weights.as_mut_slice()[k];
+                *mk = b1 * *mk + (1.0 - b1) * g;
+                let vk = &mut vi.weights.as_mut_slice()[k];
+                *vk = b2 * *vk + (1.0 - b2) * g * g;
+                let m_hat = *mk / bc1;
+                let v_hat = *vk / bc2;
+                layer.weights.as_mut_slice()[k] -=
+                    self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+            for k in 0..layer.bias.len() {
+                let g = grad.bias[k];
+                mi.bias[k] = b1 * mi.bias[k] + (1.0 - b1) * g;
+                vi.bias[k] = b2 * vi.bias[k] + (1.0 - b2) * g * g;
+                let m_hat = mi.bias[k] / bc1;
+                let v_hat = vi.bias[k] / bc2;
+                layer.bias[k] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut r = rng(0);
+        assert!(matches!(
+            Mlp::new(&[3], Activation::Relu, &mut r),
+            Err(NetworkError::TooFewLayers)
+        ));
+        assert!(matches!(
+            Mlp::new(&[3, 0, 1], Activation::Relu, &mut r),
+            Err(NetworkError::ZeroWidth)
+        ));
+        let net = Mlp::new(&[3, 4, 2], Activation::Relu, &mut r).unwrap();
+        assert_eq!(net.input_size(), 3);
+        assert_eq!(net.output_size(), 2);
+        assert_eq!(net.num_parameters(), 3 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_checks_arity() {
+        let net = Mlp::new(&[2, 3, 1], Activation::Relu, &mut rng(1)).unwrap();
+        assert!(net.forward(&[1.0, 2.0]).is_ok());
+        assert!(matches!(
+            net.forward(&[1.0]),
+            Err(NetworkError::ArityMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // The canonical backprop correctness check.
+        let mut net = Mlp::new(&[2, 3, 2], Activation::Tanh, &mut rng(2)).unwrap();
+        let inputs = vec![vec![0.3, -0.7], vec![-0.1, 0.9]];
+        let targets = vec![vec![0.5, -0.5], vec![-1.0, 1.0]];
+        let (_, grads) = net.gradients(&inputs, &targets).unwrap();
+        let eps = 1e-6;
+        for li in 0..net.layers.len() {
+            for k in 0..net.layers[li].weights.as_slice().len() {
+                let orig = net.layers[li].weights.as_slice()[k];
+                net.layers[li].weights.as_mut_slice()[k] = orig + eps;
+                let lp = net.loss(&inputs, &targets).unwrap();
+                net.layers[li].weights.as_mut_slice()[k] = orig - eps;
+                let lm = net.loss(&inputs, &targets).unwrap();
+                net.layers[li].weights.as_mut_slice()[k] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads[li].weights.as_slice()[k];
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "layer {li} weight {k}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+            for k in 0..net.layers[li].bias.len() {
+                let orig = net.layers[li].bias[k];
+                net.layers[li].bias[k] = orig + eps;
+                let lp = net.loss(&inputs, &targets).unwrap();
+                net.layers[li].bias[k] = orig - eps;
+                let lm = net.loss(&inputs, &targets).unwrap();
+                net.layers[li].bias[k] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!((numeric - grads[li].bias[k]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_descends_on_linear_target() {
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Relu, &mut rng(3)).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 10.0 - 1.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![2.0 * x[0] + 0.3]).collect();
+        let mut opt = SgdOptimizer::new(0.05, 0.9);
+        let first = net.loss(&inputs, &targets).unwrap();
+        for _ in 0..300 {
+            net.train_batch(&inputs, &targets, &mut opt).unwrap();
+        }
+        let last = net.loss(&inputs, &targets).unwrap();
+        assert!(last < first / 10.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_fits_xor() {
+        let mut net = Mlp::new(&[2, 12, 1], Activation::Tanh, &mut rng(4)).unwrap();
+        let inputs =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let targets = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+        let mut opt = AdamOptimizer::new(0.01);
+        for _ in 0..2000 {
+            net.train_batch(&inputs, &targets, &mut opt).unwrap();
+        }
+        for (x, y) in inputs.iter().zip(&targets) {
+            let out = net.forward(x).unwrap()[0];
+            assert!((out - y[0]).abs() < 0.2, "xor({x:?}) = {out}, want {}", y[0]);
+        }
+    }
+
+    #[test]
+    fn copy_parameters_makes_outputs_identical() {
+        let mut a = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng(5)).unwrap();
+        let b = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng(6)).unwrap();
+        let x = vec![0.1, -0.2, 0.3];
+        assert_ne!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+        a.copy_parameters_from(&b).unwrap();
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+        // Architecture mismatch is rejected.
+        let c = Mlp::new(&[3, 6, 2], Activation::Relu, &mut rng(7)).unwrap();
+        assert!(a.copy_parameters_from(&c).is_err());
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut net = Mlp::new(&[1, 1], Activation::Relu, &mut rng(8)).unwrap();
+        let mut opt = SgdOptimizer::new(0.1, 0.0);
+        assert!(matches!(
+            net.train_batch(&[], &[], &mut opt),
+            Err(NetworkError::EmptyBatch)
+        ));
+        assert!(net.loss(&[], &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_learning_rate_panics() {
+        SgdOptimizer::new(0.0, 0.0);
+    }
+}

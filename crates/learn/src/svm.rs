@@ -1,0 +1,303 @@
+//! Primal linear SVM with the squared hinge loss of the paper's Eq. (8).
+//!
+//! The DCTA *local process* `F2` is an SVM trained on scarce real-world
+//! samples (§IV-B). Its per-sample loss is, verbatim from the paper:
+//!
+//! ```text
+//! L_k(w) = 1/2 ||w||^2  +  1/2 * max{0, 1 - y_k w^T x_k}^2        (Eq. 8)
+//! ```
+//!
+//! and the optimal parameters minimise the mean of `L_k` over the training
+//! set. We optimise this (convex, differentiable) objective by full-batch
+//! gradient descent with a decaying step size, which converges reliably on
+//! the small local datasets edge devices actually have. A bias term is
+//! absorbed by augmenting each sample with a constant feature, following the
+//! common primal-SVM treatment.
+
+use crate::dataset::Dataset;
+use crate::linalg::dot;
+use std::fmt;
+
+/// Error returned by SVM training or prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvmError {
+    /// Training set was empty.
+    EmptyDataset,
+    /// Training labels were not all `±1`.
+    BadLabel {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+    /// Wrong feature arity at predict time.
+    ArityMismatch {
+        /// Arity the model was trained with.
+        expected: usize,
+        /// Arity supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::EmptyDataset => write!(f, "cannot train an SVM on an empty dataset"),
+            SvmError::BadLabel { index } => {
+                write!(f, "sample {index} has a label that is not +1 or -1")
+            }
+            SvmError::ArityMismatch { expected, got } => {
+                write!(f, "SVM expects {expected} features, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvmError {}
+
+/// Hyper-parameters for [`LinearSvm`] training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmConfig {
+    /// Weight of the regulariser relative to the data term. Eq. (8) fixes
+    /// both coefficients at 1/2; exposing the ratio lets ablations explore
+    /// softer margins. `1.0` reproduces the paper exactly.
+    pub regularization: f64,
+    /// Number of full-batch gradient steps.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as `lr / (1 + t/epochs)`).
+    pub learning_rate: f64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self { regularization: 1.0, epochs: 500, learning_rate: 0.1 }
+    }
+}
+
+/// A trained linear SVM classifier with `±1` outputs.
+///
+/// # Examples
+///
+/// ```
+/// use learn::dataset::Dataset;
+/// use learn::svm::{LinearSvm, SvmConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ds = Dataset::from_rows(
+///     vec![vec![2.0], vec![3.0], vec![-2.0], vec![-3.0]],
+///     vec![1.0, 1.0, -1.0, -1.0],
+/// )?;
+/// let svm = LinearSvm::fit(&ds, SvmConfig::default())?;
+/// assert_eq!(svm.predict(&[4.0])?, 1.0);
+/// assert_eq!(svm.predict(&[-4.0])?, -1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    /// Weights over the raw features (bias excluded).
+    weights: Vec<f64>,
+    bias: f64,
+    config: SvmConfig,
+}
+
+impl LinearSvm {
+    /// Trains on `data`, whose targets must all be `+1.0` or `-1.0`.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::EmptyDataset`] or [`SvmError::BadLabel`] on invalid input.
+    pub fn fit(data: &Dataset, config: SvmConfig) -> Result<Self, SvmError> {
+        if data.is_empty() {
+            return Err(SvmError::EmptyDataset);
+        }
+        if let Some(index) =
+            (0..data.len()).find(|&i| data.targets()[i] != 1.0 && data.targets()[i] != -1.0)
+        {
+            return Err(SvmError::BadLabel { index });
+        }
+        let d = data.num_features();
+        let n = data.len() as f64;
+        // w holds [feature weights..., bias]; bias is *not* regularised.
+        let mut w = vec![0.0; d + 1];
+        let mut grad = vec![0.0; d + 1];
+        for t in 0..config.epochs {
+            // Gradient of mean_k L_k(w):
+            //   reg * w  (features only)  -  mean_k [ y_k x_k * max(0, 1 - y_k w.x_k) ]
+            for (g, &wi) in grad.iter_mut().zip(&w[..d]) {
+                *g = config.regularization * wi;
+            }
+            grad[d] = 0.0;
+            for i in 0..data.len() {
+                let (x, y) = data.sample(i);
+                let margin = 1.0 - y * (dot(&w[..d], x) + w[d]);
+                if margin > 0.0 {
+                    let coeff = y * margin / n;
+                    for (g, &xi) in grad.iter_mut().zip(x) {
+                        *g -= coeff * xi;
+                    }
+                    grad[d] -= coeff;
+                }
+            }
+            let lr = config.learning_rate / (1.0 + t as f64 / config.epochs as f64);
+            for (wi, g) in w.iter_mut().zip(&grad) {
+                *wi -= lr * g;
+            }
+        }
+        let bias = w[d];
+        w.truncate(d);
+        Ok(Self { weights: w, bias, config })
+    }
+
+    /// The learned feature weights (bias excluded).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The configuration used at training time.
+    pub fn config(&self) -> SvmConfig {
+        self.config
+    }
+
+    /// Signed decision value `w·x + b`; its sign is the class, its magnitude
+    /// a confidence. DCTA uses this raw margin when mixing `F2` with the
+    /// general process (Eq. 6).
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::ArityMismatch`] when `x` has the wrong length.
+    pub fn decision_value(&self, x: &[f64]) -> Result<f64, SvmError> {
+        if x.len() != self.weights.len() {
+            return Err(SvmError::ArityMismatch { expected: self.weights.len(), got: x.len() });
+        }
+        Ok(dot(&self.weights, x) + self.bias)
+    }
+
+    /// Hard `±1` class prediction (`0` decision values map to `+1`).
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::ArityMismatch`] when `x` has the wrong length.
+    pub fn predict(&self, x: &[f64]) -> Result<f64, SvmError> {
+        Ok(if self.decision_value(x)? >= 0.0 { 1.0 } else { -1.0 })
+    }
+
+    /// Mean Eq.-(8) loss of the current parameters over `data`; exposed so
+    /// tests and benchmarks can verify the optimiser actually descends.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::EmptyDataset`] or [`SvmError::ArityMismatch`] on invalid
+    /// input.
+    pub fn objective(&self, data: &Dataset) -> Result<f64, SvmError> {
+        if data.is_empty() {
+            return Err(SvmError::EmptyDataset);
+        }
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let (x, y) = data.sample(i);
+            let margin = (1.0 - y * self.decision_value(x)?).max(0.0);
+            total += 0.5 * self.config.regularization * dot(&self.weights, &self.weights)
+                + 0.5 * margin * margin;
+        }
+        Ok(total / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let y: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            // Clusters at (±2, ±2) with small jitter.
+            rows.push(vec![
+                2.0 * y + rng.gen_range(-0.5..0.5),
+                2.0 * y + rng.gen_range(-0.5..0.5),
+            ]);
+            ys.push(y);
+        }
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let ds = separable(100, 11);
+        let svm = LinearSvm::fit(&ds, SvmConfig::default()).unwrap();
+        let preds: Vec<f64> =
+            (0..ds.len()).map(|i| svm.predict(ds.features().row(i)).unwrap()).collect();
+        assert_eq!(accuracy(&preds, ds.targets()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn training_decreases_objective() {
+        let ds = separable(60, 5);
+        let short = LinearSvm::fit(&ds, SvmConfig { epochs: 1, ..SvmConfig::default() }).unwrap();
+        let long = LinearSvm::fit(&ds, SvmConfig::default()).unwrap();
+        assert!(long.objective(&ds).unwrap() < short.objective(&ds).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![1.0, 0.5]).unwrap();
+        assert!(matches!(
+            LinearSvm::fit(&ds, SvmConfig::default()),
+            Err(SvmError::BadLabel { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let ds = Dataset::from_rows(vec![vec![1.0]], vec![1.0]).unwrap().subset(&[]);
+        assert!(matches!(LinearSvm::fit(&ds, SvmConfig::default()), Err(SvmError::EmptyDataset)));
+    }
+
+    #[test]
+    fn decision_value_is_signed_margin() {
+        let ds = separable(80, 21);
+        let svm = LinearSvm::fit(&ds, SvmConfig::default()).unwrap();
+        // Points deeper inside a cluster carry a larger-magnitude margin.
+        let near = svm.decision_value(&[0.5, 0.5]).unwrap();
+        let far = svm.decision_value(&[4.0, 4.0]).unwrap();
+        assert!(far > near);
+        assert!(far > 0.0);
+        assert!(svm.decision_value(&[-4.0, -4.0]).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn predict_checks_arity() {
+        let ds = separable(10, 3);
+        let svm = LinearSvm::fit(&ds, SvmConfig::default()).unwrap();
+        assert!(matches!(
+            svm.predict(&[0.0]),
+            Err(SvmError::ArityMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn noisy_data_still_mostly_correct() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..200 {
+            let y: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            rows.push(vec![y + rng.gen_range(-1.2..1.2)]);
+            ys.push(y);
+        }
+        let ds = Dataset::from_rows(rows, ys).unwrap();
+        let svm = LinearSvm::fit(&ds, SvmConfig::default()).unwrap();
+        let preds: Vec<f64> =
+            (0..ds.len()).map(|i| svm.predict(ds.features().row(i)).unwrap()).collect();
+        assert!(accuracy(&preds, ds.targets()).unwrap() > 0.8);
+    }
+}

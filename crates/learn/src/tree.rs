@@ -1,0 +1,356 @@
+//! CART-style binary regression trees.
+//!
+//! Trees are the building block for the random forest of §IV-B's model
+//! comparison (SVM vs AdaBoost vs Random Forest). We fit regression trees on
+//! squared error; classification uses `±1` targets and takes the sign of the
+//! leaf mean, which for pure leaves is exactly majority vote.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// Error returned by tree training or prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Training set was empty.
+    EmptyDataset,
+    /// Wrong feature arity at predict time.
+    ArityMismatch {
+        /// Arity the tree was trained with.
+        expected: usize,
+        /// Arity supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EmptyDataset => write!(f, "cannot grow a tree on an empty dataset"),
+            TreeError::ArityMismatch { expected, got } => {
+                write!(f, "tree expects {expected} features, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Growth limits for a [`RegressionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum depth (root at depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node must hold to be split further.
+    pub min_samples_split: usize,
+    /// Number of features considered per split; `None` means all (plain
+    /// CART), `Some(m)` random-samples `m` (used by random forests).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_split: 2, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+///
+/// # Examples
+///
+/// ```
+/// use learn::dataset::Dataset;
+/// use learn::tree::{RegressionTree, TreeConfig};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]],
+///     vec![0.0, 0.0, 5.0, 5.0],
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let tree = RegressionTree::fit(&ds, TreeConfig::default(), &mut rng)?;
+/// assert_eq!(tree.predict(&[0.5])?, 0.0);
+/// assert_eq!(tree.predict(&[10.5])?, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    root: Node,
+    arity: usize,
+    node_count: usize,
+}
+
+impl RegressionTree {
+    /// Grows a tree on `data` under `config`, drawing feature subsets from
+    /// `rng` when `config.max_features` is set.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::EmptyDataset`] when `data` has no samples.
+    pub fn fit(
+        data: &Dataset,
+        config: TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, TreeError> {
+        if data.is_empty() {
+            return Err(TreeError::EmptyDataset);
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut node_count = 0;
+        let root = grow(data, &indices, &config, 0, rng, &mut node_count);
+        Ok(Self { root, arity: data.num_features(), node_count })
+    }
+
+    /// Number of nodes (splits + leaves) in the tree.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Depth of the deepest leaf (root = 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::ArityMismatch`] when `x` has the wrong length.
+    pub fn predict(&self, x: &[f64]) -> Result<f64, TreeError> {
+        if x.len() != self.arity {
+            return Err(TreeError::ArityMismatch { expected: self.arity, got: x.len() });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+fn mean_of(data: &Dataset, idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse_of(data: &Dataset, idx: &[usize]) -> f64 {
+    let m = mean_of(data, idx);
+    idx.iter().map(|&i| (data.targets()[i] - m).powi(2)).sum()
+}
+
+fn grow(
+    data: &Dataset,
+    idx: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+    rng: &mut impl Rng,
+    node_count: &mut usize,
+) -> Node {
+    *node_count += 1;
+    let value = mean_of(data, idx);
+    if depth >= config.max_depth
+        || idx.len() < config.min_samples_split
+        || sse_of(data, idx) < 1e-12
+    {
+        return Node::Leaf { value };
+    }
+
+    let d = data.num_features();
+    let mut features: Vec<usize> = (0..d).collect();
+    if let Some(m) = config.max_features {
+        features.shuffle(rng);
+        features.truncate(m.clamp(1, d));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for &feat in &features {
+        // Sort sample indices by this feature; candidate thresholds are
+        // midpoints between consecutive distinct values.
+        let mut order = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            data.features().row(a)[feat]
+                .partial_cmp(&data.features().row(b)[feat])
+                .expect("finite features")
+        });
+        // Prefix sums over sorted order for O(1) split evaluation.
+        let ys: Vec<f64> = order.iter().map(|&i| data.targets()[i]).collect();
+        let mut prefix_sum = vec![0.0; ys.len() + 1];
+        let mut prefix_sq = vec![0.0; ys.len() + 1];
+        for (i, &y) in ys.iter().enumerate() {
+            prefix_sum[i + 1] = prefix_sum[i] + y;
+            prefix_sq[i + 1] = prefix_sq[i] + y * y;
+        }
+        for cut in 1..order.len() {
+            let lo = data.features().row(order[cut - 1])[feat];
+            let hi = data.features().row(order[cut])[feat];
+            if hi - lo < 1e-12 {
+                continue;
+            }
+            let nl = cut as f64;
+            let nr = (order.len() - cut) as f64;
+            let sum_l = prefix_sum[cut];
+            let sum_r = prefix_sum[order.len()] - sum_l;
+            let sq_l = prefix_sq[cut];
+            let sq_r = prefix_sq[order.len()] - sq_l;
+            let sse = (sq_l - sum_l * sum_l / nl) + (sq_r - sum_r * sum_r / nr);
+            if best.is_none_or(|(_, _, b)| sse < b) {
+                best = Some((feat, (lo + hi) / 2.0, sse));
+            }
+        }
+    }
+
+    let Some((feature, threshold, best_sse)) = best else {
+        return Node::Leaf { value };
+    };
+    // No improvement over leaving the node intact: stop.
+    if best_sse >= sse_of(data, idx) - 1e-12 {
+        return Node::Leaf { value };
+    }
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| data.features().row(i)[feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Node::Leaf { value };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(grow(data, &left_idx, config, depth + 1, rng, node_count)),
+        right: Box::new(grow(data, &right_idx, config, depth + 1, rng, node_count)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    fn step_data() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0], vec![12.0]],
+            vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let ds = step_data();
+        let tree = RegressionTree::fit(&ds, TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.predict(&[1.5]).unwrap(), 1.0);
+        assert_eq!(tree.predict(&[11.0]).unwrap(), -1.0);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn depth_zero_is_constant_mean() {
+        let ds = step_data();
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&ds, cfg, &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[5.0]).unwrap(), 0.0); // mean of ±1 targets
+    }
+
+    #[test]
+    fn perfectly_fits_distinct_points_at_high_depth() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![5.0, -2.0, 7.0, 0.5],
+        )
+        .unwrap();
+        let cfg = TreeConfig { max_depth: 10, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&ds, cfg, &mut rng()).unwrap();
+        for i in 0..ds.len() {
+            let (x, y) = ds.sample(i);
+            assert_eq!(tree.predict(x).unwrap(), y);
+        }
+    }
+
+    #[test]
+    fn two_dimensional_split_uses_informative_feature() {
+        // Feature 0 is noise; feature 1 carries the signal.
+        let ds = Dataset::from_rows(
+            vec![
+                vec![0.3, 0.0],
+                vec![0.9, 1.0],
+                vec![0.1, 10.0],
+                vec![0.7, 11.0],
+            ],
+            vec![1.0, 1.0, -1.0, -1.0],
+        )
+        .unwrap();
+        let tree = RegressionTree::fit(&ds, TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.predict(&[0.5, 0.5]).unwrap(), 1.0);
+        assert_eq!(tree.predict(&[0.5, 10.5]).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let ds =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![3.0, 3.0, 3.0]).unwrap();
+        let tree = RegressionTree::fit(&ds, TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let ds =
+            Dataset::from_rows(vec![vec![1.0], vec![1.0]], vec![0.0, 10.0]).unwrap();
+        let tree = RegressionTree::fit(&ds, TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[1.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn errors() {
+        let empty = step_data().subset(&[]);
+        assert!(matches!(
+            RegressionTree::fit(&empty, TreeConfig::default(), &mut rng()),
+            Err(TreeError::EmptyDataset)
+        ));
+        let tree = RegressionTree::fit(&step_data(), TreeConfig::default(), &mut rng()).unwrap();
+        assert!(matches!(
+            tree.predict(&[1.0, 2.0]),
+            Err(TreeError::ArityMismatch { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn max_features_one_still_learns_single_feature_signal() {
+        let ds = step_data();
+        let cfg = TreeConfig { max_features: Some(1), ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&ds, cfg, &mut rng()).unwrap();
+        assert_eq!(tree.predict(&[0.0]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! k-fold cross-validation utilities.
+//!
+//! Model selection in §IV-B ("we compare several state-of-the-art models …
+//! We select SVM because of its highest accuracy") needs an evaluation
+//! protocol; k-fold CV is the standard one when data is scarce, which is
+//! exactly the local process's regime.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// Error returned by cross-validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Fewer than 2 folds requested, or more folds than samples.
+    BadFolds {
+        /// Requested folds.
+        folds: usize,
+        /// Samples available.
+        samples: usize,
+    },
+    /// A fold score could not be computed.
+    Score(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadFolds { folds, samples } => {
+                write!(f, "{folds} folds invalid for {samples} samples")
+            }
+            ValidationError::Score(msg) => write!(f, "fold scoring failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Shuffled index partition into `k` near-equal folds.
+///
+/// # Errors
+///
+/// [`ValidationError::BadFolds`] when `k < 2` or `k > n`.
+pub fn kfold_indices(
+    n: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<Vec<usize>>, ValidationError> {
+    if k < 2 || k > n {
+        return Err(ValidationError::BadFolds { folds: k, samples: n });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds = vec![Vec::new(); k];
+    for (i, j) in idx.into_iter().enumerate() {
+        folds[i % k].push(j);
+    }
+    Ok(folds)
+}
+
+/// Runs k-fold cross-validation: `score(train, test)` is called once per
+/// fold and must return a higher-is-better score. Returns the per-fold
+/// scores.
+///
+/// # Errors
+///
+/// [`ValidationError::BadFolds`] on an invalid `k`;
+/// [`ValidationError::Score`] when the callback fails.
+pub fn cross_validate<E: fmt::Display>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut impl Rng,
+    mut score: impl FnMut(&Dataset, &Dataset) -> Result<f64, E>,
+) -> Result<Vec<f64>, ValidationError> {
+    let folds = kfold_indices(data.len(), k, rng)?;
+    let mut scores = Vec::with_capacity(k);
+    for held in 0..k {
+        let test = data.subset(&folds[held]);
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != held)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        let train = data.subset(&train_idx);
+        scores.push(score(&train, &test).map_err(|e| ValidationError::Score(e.to_string()))?);
+    }
+    Ok(scores)
+}
+
+/// Mean of per-fold scores (convenience).
+pub fn mean_score(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::RidgeRegression;
+    use crate::metrics::rmse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + 1.0).collect();
+        Dataset::from_rows(rows, ys).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold_indices(17, 5, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+        // Near-equal sizes.
+        for f in &folds {
+            assert!((3..=4).contains(&f.len()));
+        }
+    }
+
+    #[test]
+    fn bad_folds_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(kfold_indices(5, 1, &mut rng), Err(ValidationError::BadFolds { .. })));
+        assert!(matches!(kfold_indices(3, 5, &mut rng), Err(ValidationError::BadFolds { .. })));
+    }
+
+    #[test]
+    fn cv_scores_linear_model_well_on_linear_data() {
+        let ds = line(30);
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = cross_validate(&ds, 5, &mut rng, |train, test| {
+            let model = RidgeRegression::default().fit(train)?;
+            let preds = model.predict_dataset(test)?;
+            // Higher-is-better: negated RMSE.
+            Ok::<f64, Box<dyn std::error::Error>>(-rmse(&preds, test.targets()).unwrap())
+        })
+        .unwrap();
+        assert_eq!(scores.len(), 5);
+        assert!(mean_score(&scores) > -1e-3, "scores {scores:?}");
+    }
+
+    #[test]
+    fn score_errors_are_propagated() {
+        let ds = line(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let res = cross_validate(&ds, 2, &mut rng, |_, _| Err::<f64, _>("boom"));
+        assert!(matches!(res, Err(ValidationError::Score(msg)) if msg == "boom"));
+    }
+
+    #[test]
+    fn mean_score_handles_empty() {
+        assert_eq!(mean_score(&[]), 0.0);
+        assert_eq!(mean_score(&[1.0, 3.0]), 2.0);
+    }
+}

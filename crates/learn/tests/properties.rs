@@ -1,0 +1,146 @@
+//! Property-based tests of the ML substrate's core invariants.
+
+use learn::dataset::{Dataset, Standardizer};
+use learn::linalg::{dot, euclidean_distance, Matrix};
+use learn::linear::RidgeRegression;
+use learn::metrics::{mae, prediction_accuracy, rmse};
+use learn::transfer::fit_biased_ridge;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("length matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(m in small_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(m in small_matrix()) {
+        let left = Matrix::identity(m.rows()).matmul(&m).expect("shapes");
+        let right = m.matmul(&Matrix::identity(m.cols())).expect("shapes");
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    #[test]
+    fn solve_recovers_solution(x in finite_vec(3), rows in prop::collection::vec(finite_vec(3), 3)) {
+        let a = Matrix::from_rows(&rows).expect("3x3");
+        // Build b = A x; a solvable system must return (approximately) x
+        // whenever A is well-conditioned.
+        let b = a.matvec(&x).expect("shapes");
+        if let Ok(sol) = a.solve(&b) {
+            let back = a.matvec(&sol).expect("shapes");
+            let err = euclidean_distance(&back, &b);
+            let scale = 1.0 + b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            prop_assert!(err / scale < 1e-6, "residual {err}");
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear(a in finite_vec(4), b in finite_vec(4), k in -5.0f64..5.0) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+        let scaled: Vec<f64> = a.iter().map(|x| k * x).collect();
+        prop_assert!((dot(&scaled, &b) - k * dot(&a, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standardizer_is_idempotent_on_standardised_data(
+        rows in prop::collection::vec(finite_vec(3), 4..12)
+    ) {
+        let n = rows.len();
+        let ds = Dataset::from_rows(rows, vec![0.0; n]).expect("consistent");
+        let st = Standardizer::fit(&ds);
+        let tds = st.transform_dataset(&ds);
+        let st2 = Standardizer::fit(&tds);
+        let ttds = st2.transform_dataset(&tds);
+        for i in 0..tds.len() {
+            let d = euclidean_distance(tds.features().row(i), ttds.features().row(i));
+            prop_assert!(d < 1e-9, "row {i} moved by {d}");
+        }
+    }
+
+    #[test]
+    fn ridge_residual_never_beats_ols_on_train(
+        xs in prop::collection::vec(-5.0f64..5.0, 8..20),
+        w in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| w * x + b).collect();
+        let ds = Dataset::from_rows(rows, ys).expect("consistent");
+        // Distinct x values needed for a well-posed OLS.
+        let distinct = {
+            let mut v = xs.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            v.len()
+        };
+        prop_assume!(distinct >= 2);
+        let ols = RidgeRegression::new(0.0).fit(&ds);
+        prop_assume!(ols.is_ok());
+        let ols = ols.expect("checked");
+        let ridge = RidgeRegression::new(10.0).fit(&ds).expect("regularised is solvable");
+        let res = |m: &learn::linear::LinearModel| -> f64 {
+            let preds = m.predict_dataset(&ds).expect("arity");
+            rmse(&preds, ds.targets()).expect("non-empty")
+        };
+        prop_assert!(res(&ols) <= res(&ridge) + 1e-6);
+    }
+
+    #[test]
+    fn biased_ridge_with_zero_lambda_matches_data(
+        xs in prop::collection::vec(-5.0f64..5.0, 6..15),
+        w in -3.0f64..3.0,
+    ) {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| w * x).collect();
+        let ds = Dataset::from_rows(rows, ys).expect("consistent");
+        let distinct = {
+            let mut v = xs.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+            v.len()
+        };
+        prop_assume!(distinct >= 2);
+        if let Ok(m) = fit_biased_ridge(&ds, 0.0, None) {
+            let preds = m.predict_dataset(&ds).expect("arity");
+            prop_assert!(mae(&preds, ds.targets()).expect("non-empty") < 1e-6);
+        }
+    }
+
+    #[test]
+    fn prediction_accuracy_bounded(p in -100.0f64..100.0, t in -100.0f64..100.0) {
+        let a = prediction_accuracy(p, t);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Exact predictions always score 1.
+        prop_assert!((prediction_accuracy(t, t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_split_partitions(rows in prop::collection::vec(finite_vec(2), 2..20),
+                                frac in 0.0f64..1.0, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let n = rows.len();
+        let ds = Dataset::from_rows(rows, (0..n).map(|i| i as f64).collect()).expect("ok");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (tr, te) = ds.split(frac, &mut rng);
+        prop_assert_eq!(tr.len() + te.len(), n);
+        // Targets form a permutation of 0..n.
+        let mut all: Vec<f64> = tr.targets().iter().chain(te.targets()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(all, expect);
+    }
+}

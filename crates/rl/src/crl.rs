@@ -1,0 +1,606 @@
+//! Clustered Reinforcement Learning (CRL, Algorithm 1).
+//!
+//! CRL handles the *environment-dynamic knapsack*: task importances change
+//! with context, so a single fixed RL environment mis-trains. The remedy
+//! (§III-C) is an **environment store** of historical `(sensing signature Z,
+//! importance vector)` pairs; at decision time the current signature selects
+//! the nearest historical environment via kNN (`e = kNN(E, Z)`), a DQN is
+//! trained on that environment (cached — "the training phase merely needs to
+//! be conducted once"), and its greedy policy emits the allocation.
+
+use crate::alloc_env::{AllocEnv, AllocSpec, SpecError};
+use crate::dqn::{DqnAgent, DqnConfig, DqnError};
+use crate::mdp::Environment;
+use learn::kmeans::{KMeans, KMeansError};
+use learn::knn::{KnnError, KnnIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One historical environment: the day's sensing signature and the task
+/// importances observed for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentRecord {
+    /// Sensing vector `Z` (weather, demand, configuration…).
+    pub signature: Vec<f64>,
+    /// Task importance vector `I` for that context.
+    pub importances: Vec<f64>,
+}
+
+/// The historical environment set `E`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnvironmentStore {
+    records: Vec<EnvironmentRecord>,
+}
+
+impl EnvironmentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored environments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The stored records.
+    pub fn records(&self) -> &[EnvironmentRecord] {
+        &self.records
+    }
+
+    /// Adds a historical environment.
+    ///
+    /// # Errors
+    ///
+    /// [`CrlError::Shape`] when the record's arity disagrees with existing
+    /// records.
+    pub fn push(&mut self, record: EnvironmentRecord) -> Result<(), CrlError> {
+        if let Some(first) = self.records.first() {
+            if first.signature.len() != record.signature.len()
+                || first.importances.len() != record.importances.len()
+            {
+                return Err(CrlError::Shape);
+            }
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// The `k`-NN blend of importance vectors nearest to `signature`
+    /// (inverse-distance weighted), plus the index of the single nearest
+    /// record. This is the `EnvironmentDefinition(E, Z)` step of Alg. 1.
+    ///
+    /// # Errors
+    ///
+    /// [`CrlError::EmptyStore`] / [`CrlError::Knn`] on lookup failure.
+    pub fn nearest_blend(
+        &self,
+        signature: &[f64],
+        k: usize,
+    ) -> Result<(usize, Vec<f64>), CrlError> {
+        if self.records.is_empty() {
+            return Err(CrlError::EmptyStore);
+        }
+        let index =
+            KnnIndex::new(self.records.iter().map(|r| r.signature.clone()).collect())?;
+        let hits = index.nearest(signature, k.max(1))?;
+        let n = self.records[0].importances.len();
+        let mut blend = vec![0.0; n];
+        let mut total = 0.0;
+        for h in &hits {
+            let w = 1.0 / (h.distance + 1e-9);
+            for (b, &i) in blend.iter_mut().zip(&self.records[h.index].importances) {
+                *b += w * i;
+            }
+            total += w;
+        }
+        for b in &mut blend {
+            *b /= total;
+        }
+        Ok((hits[0].index, blend))
+    }
+}
+
+/// Error returned by CRL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrlError {
+    /// The environment store is empty — nothing to cluster against.
+    EmptyStore,
+    /// Record arity mismatch within the store, or spec/task-count mismatch.
+    Shape,
+    /// kNN lookup failure.
+    Knn(KnnError),
+    /// k-means clustering failure (offline mode).
+    KMeans(KMeansError),
+    /// Spec validation failure.
+    Spec(SpecError),
+    /// DQN failure.
+    Dqn(DqnError),
+}
+
+impl fmt::Display for CrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrlError::EmptyStore => write!(f, "environment store is empty"),
+            CrlError::Shape => write!(f, "record/spec shapes are inconsistent"),
+            CrlError::Knn(e) => write!(f, "environment lookup failed: {e}"),
+            CrlError::KMeans(e) => write!(f, "environment clustering failed: {e}"),
+            CrlError::Spec(e) => write!(f, "invalid allocation spec: {e}"),
+            CrlError::Dqn(e) => write!(f, "agent failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrlError::Knn(e) => Some(e),
+            CrlError::KMeans(e) => Some(e),
+            CrlError::Spec(e) => Some(e),
+            CrlError::Dqn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KnnError> for CrlError {
+    fn from(e: KnnError) -> Self {
+        CrlError::Knn(e)
+    }
+}
+
+impl From<KMeansError> for CrlError {
+    fn from(e: KMeansError) -> Self {
+        CrlError::KMeans(e)
+    }
+}
+
+impl From<SpecError> for CrlError {
+    fn from(e: SpecError) -> Self {
+        CrlError::Spec(e)
+    }
+}
+
+impl From<DqnError> for CrlError {
+    fn from(e: DqnError) -> Self {
+        CrlError::Dqn(e)
+    }
+}
+
+/// How the current environment is defined from the historical store
+/// (Discussion §VII: the online kNN mode is accurate but pays a lookup at
+/// run time; the offline k-means mode pre-clusters and is cheaper but can
+/// be coarser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupMode {
+    /// Online: inverse-distance blend of the `k` nearest historical days.
+    OnlineKnn,
+    /// Offline: signatures are pre-clustered into `clusters` groups; the
+    /// assigned cluster's mean importance vector is the environment.
+    OfflineKMeans {
+        /// Number of clusters.
+        clusters: usize,
+    },
+}
+
+/// CRL hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrlConfig {
+    /// Neighbours blended during environment definition (online mode).
+    pub k: usize,
+    /// Environment-definition mode.
+    pub lookup: LookupMode,
+    /// Training episodes when a new environment's agent is first needed.
+    pub episodes: usize,
+    /// DQN settings.
+    pub dqn: DqnConfig,
+    /// Seed for agent initialisation and exploration.
+    pub seed: u64,
+}
+
+impl Default for CrlConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            lookup: LookupMode::OnlineKnn,
+            episodes: 100,
+            dqn: DqnConfig {
+                hidden: vec![64, 32],
+                target_sync_interval: 100,
+                epsilon_decay: 0.97,
+                ..DqnConfig::default()
+            },
+            seed: 17,
+        }
+    }
+}
+
+/// Result of one CRL allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrlAllocation {
+    /// Task → processor assignment.
+    pub assignment: Vec<Option<usize>>,
+    /// The blended importance estimate used (the clustered environment).
+    pub estimated_importances: Vec<f64>,
+    /// Estimated total importance captured, under the blend.
+    pub estimated_value: f64,
+    /// Whether a cached agent was reused (true) or trained fresh (false).
+    pub cache_hit: bool,
+}
+
+/// Offline clustering state (lazy; invalidated when the store grows).
+#[derive(Debug, Clone)]
+struct Clustering {
+    model: KMeans,
+    /// Mean importance vector per cluster.
+    centroid_importances: Vec<Vec<f64>>,
+    /// Store length the clustering was built from.
+    store_len: usize,
+}
+
+/// The CRL allocator: environment store + per-environment agent cache.
+#[derive(Debug)]
+pub struct Crl {
+    store: EnvironmentStore,
+    config: CrlConfig,
+    agents: HashMap<usize, DqnAgent>,
+    clustering: Option<Clustering>,
+    rng: StdRng,
+}
+
+impl Crl {
+    /// Creates a CRL allocator over `store`.
+    pub fn new(store: EnvironmentStore, config: CrlConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { store, config, agents: HashMap::new(), clustering: None, rng }
+    }
+
+    /// Read access to the environment store.
+    pub fn store(&self) -> &EnvironmentStore {
+        &self.store
+    }
+
+    /// Adds a freshly-observed environment (stores accumulate daily).
+    ///
+    /// # Errors
+    ///
+    /// [`CrlError::Shape`] on arity mismatch.
+    pub fn observe(&mut self, record: EnvironmentRecord) -> Result<(), CrlError> {
+        self.store.push(record)
+    }
+
+    /// Number of trained agents currently cached.
+    pub fn cached_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Environment definition in the configured [`LookupMode`]: returns the
+    /// agent-cache key plus the blended importance estimate.
+    fn define_environment(&mut self, signature: &[f64]) -> Result<(usize, Vec<f64>), CrlError> {
+        match self.config.lookup {
+            LookupMode::OnlineKnn => self.store.nearest_blend(signature, self.config.k),
+            LookupMode::OfflineKMeans { clusters } => {
+                if self.store.is_empty() {
+                    return Err(CrlError::EmptyStore);
+                }
+                // (Re)cluster lazily; a grown store invalidates clusters and
+                // the agents trained on them.
+                let stale = self
+                    .clustering
+                    .as_ref()
+                    .is_none_or(|c| c.store_len != self.store.len());
+                if stale {
+                    let signatures: Vec<Vec<f64>> =
+                        self.store.records().iter().map(|r| r.signature.clone()).collect();
+                    let k = clusters.clamp(1, signatures.len());
+                    let model = KMeans::fit(&signatures, k, 100, &mut self.rng)?;
+                    let n = self.store.records()[0].importances.len();
+                    let mut sums = vec![vec![0.0; n]; k];
+                    let mut counts = vec![0usize; k];
+                    for (i, &c) in model.assignments().iter().enumerate() {
+                        counts[c] += 1;
+                        for (s, &v) in
+                            sums[c].iter_mut().zip(&self.store.records()[i].importances)
+                        {
+                            *s += v;
+                        }
+                    }
+                    for (c, sum) in sums.iter_mut().enumerate() {
+                        for v in sum.iter_mut() {
+                            *v /= counts[c].max(1) as f64;
+                        }
+                    }
+                    self.agents.clear();
+                    self.clustering = Some(Clustering {
+                        model,
+                        centroid_importances: sums,
+                        store_len: self.store.len(),
+                    });
+                }
+                let clustering = self.clustering.as_ref().expect("built above");
+                let cluster = clustering.model.predict(signature);
+                Ok((cluster, clustering.centroid_importances[cluster].clone()))
+            }
+        }
+    }
+
+    /// Allocates the live instance: environment definition (kNN or k-means
+    /// per the configured mode), then the (possibly cached) DQN's greedy
+    /// rollout. `spec.importances` is *ignored and replaced* by the
+    /// clustered estimate — CRL's whole point is that live importances are
+    /// unknown.
+    ///
+    /// # Errors
+    ///
+    /// See [`CrlError`] variants.
+    pub fn allocate(
+        &mut self,
+        signature: &[f64],
+        spec: &AllocSpec,
+    ) -> Result<CrlAllocation, CrlError> {
+        spec.validate()?;
+        let (nearest, blend) = self.define_environment(signature)?;
+        if blend.len() != spec.num_tasks() {
+            return Err(CrlError::Shape);
+        }
+        let clustered_spec = AllocSpec { importances: blend.clone(), ..spec.clone() };
+        let mut env = AllocEnv::new(clustered_spec)?;
+
+        let cache_hit = self.agents.contains_key(&nearest);
+        if !cache_hit {
+            let mut agent = DqnAgent::new(
+                env.state_dim(),
+                env.num_actions(),
+                self.config.dqn.clone(),
+                &mut self.rng,
+            )?;
+            for _ in 0..self.config.episodes {
+                agent.train_episode(&mut env, &mut self.rng)?;
+            }
+            self.agents.insert(nearest, agent);
+        }
+        let agent = self.agents.get(&nearest).expect("inserted above");
+        let (_, _actions) = agent.evaluate_episode(&mut env)?;
+        let assignment = env.assignment().to_vec();
+        let estimated_value = env.assigned_value();
+        Ok(CrlAllocation {
+            assignment,
+            estimated_importances: blend,
+            estimated_value,
+            cache_hit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize) -> AllocSpec {
+        AllocSpec {
+            importances: vec![0.0; n], // unknown at decision time
+            times: vec![1.0; n],
+            resources: vec![1.0; n],
+            time_limit: 1.0, // each processor fits exactly one task
+            time_limits: None,
+            capacities: vec![1.0, 1.0],
+        }
+    }
+
+    fn store_two_contexts(n: usize) -> EnvironmentStore {
+        // Context A (signature ~ [0]): task 0 is the important one.
+        // Context B (signature ~ [10]): task n-1 is the important one.
+        let mut store = EnvironmentStore::new();
+        let mut imp_a = vec![0.05; n];
+        imp_a[0] = 0.95;
+        let mut imp_b = vec![0.05; n];
+        imp_b[n - 1] = 0.95;
+        for d in 0..4 {
+            let jitter = d as f64 * 0.1;
+            store
+                .push(EnvironmentRecord { signature: vec![jitter], importances: imp_a.clone() })
+                .unwrap();
+            store
+                .push(EnvironmentRecord {
+                    signature: vec![10.0 + jitter],
+                    importances: imp_b.clone(),
+                })
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn store_validates_shapes() {
+        let mut store = EnvironmentStore::new();
+        store
+            .push(EnvironmentRecord { signature: vec![1.0], importances: vec![0.5, 0.5] })
+            .unwrap();
+        assert!(matches!(
+            store.push(EnvironmentRecord { signature: vec![1.0, 2.0], importances: vec![0.5, 0.5] }),
+            Err(CrlError::Shape)
+        ));
+        assert!(matches!(
+            store.push(EnvironmentRecord { signature: vec![1.0], importances: vec![0.5] }),
+            Err(CrlError::Shape)
+        ));
+    }
+
+    #[test]
+    fn nearest_blend_picks_matching_context() {
+        let store = store_two_contexts(4);
+        let (_, blend_a) = store.nearest_blend(&[0.1], 3).unwrap();
+        assert!(blend_a[0] > 0.8, "blend {blend_a:?}");
+        let (_, blend_b) = store.nearest_blend(&[9.9], 3).unwrap();
+        assert!(blend_b[3] > 0.8, "blend {blend_b:?}");
+    }
+
+    #[test]
+    fn empty_store_errors() {
+        let store = EnvironmentStore::new();
+        assert!(matches!(store.nearest_blend(&[0.0], 1), Err(CrlError::EmptyStore)));
+    }
+
+    #[test]
+    fn crl_allocates_context_appropriate_tasks() {
+        let n = 4;
+        let mut crl = Crl::new(
+            store_two_contexts(n),
+            CrlConfig { episodes: 80, ..CrlConfig::default() },
+        );
+        // Context A: the agent should place task 0 (importance 0.95).
+        let alloc = crl.allocate(&[0.0], &spec(n)).unwrap();
+        assert!(alloc.assignment[0].is_some(), "assignment {:?}", alloc.assignment);
+        assert!(alloc.estimated_value > 0.9);
+        // Context B: task 3 should be placed.
+        let alloc_b = crl.allocate(&[10.0], &spec(n)).unwrap();
+        assert!(alloc_b.assignment[3].is_some(), "assignment {:?}", alloc_b.assignment);
+    }
+
+    #[test]
+    fn agent_cache_is_reused_per_environment() {
+        let n = 3;
+        let mut crl = Crl::new(
+            store_two_contexts(n),
+            CrlConfig { episodes: 10, ..CrlConfig::default() },
+        );
+        let first = crl.allocate(&[0.0], &spec(n)).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(crl.cached_agents(), 1);
+        let second = crl.allocate(&[0.05], &spec(n)).unwrap();
+        assert!(second.cache_hit, "same nearest environment should reuse the agent");
+        assert_eq!(crl.cached_agents(), 1);
+        let third = crl.allocate(&[10.0], &spec(n)).unwrap();
+        assert!(!third.cache_hit);
+        assert_eq!(crl.cached_agents(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_between_store_and_spec() {
+        let mut crl =
+            Crl::new(store_two_contexts(4), CrlConfig { episodes: 1, ..CrlConfig::default() });
+        assert!(matches!(crl.allocate(&[0.0], &spec(3)), Err(CrlError::Shape)));
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut crl =
+            Crl::new(EnvironmentStore::new(), CrlConfig { episodes: 1, ..CrlConfig::default() });
+        crl.observe(EnvironmentRecord { signature: vec![1.0], importances: vec![1.0, 0.0] })
+            .unwrap();
+        assert_eq!(crl.store().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod offline_tests {
+    use super::*;
+
+    fn spec(n: usize) -> AllocSpec {
+        AllocSpec {
+            importances: vec![0.0; n],
+            times: vec![1.0; n],
+            resources: vec![1.0; n],
+            time_limit: 1.0,
+            time_limits: None,
+            capacities: vec![1.0, 1.0],
+        }
+    }
+
+    fn two_context_store(n: usize) -> EnvironmentStore {
+        let mut store = EnvironmentStore::new();
+        let mut imp_a = vec![0.05; n];
+        imp_a[0] = 0.95;
+        let mut imp_b = vec![0.05; n];
+        imp_b[n - 1] = 0.95;
+        for d in 0..4 {
+            let jitter = d as f64 * 0.1;
+            store
+                .push(EnvironmentRecord { signature: vec![jitter], importances: imp_a.clone() })
+                .unwrap();
+            store
+                .push(EnvironmentRecord {
+                    signature: vec![10.0 + jitter],
+                    importances: imp_b.clone(),
+                })
+                .unwrap();
+        }
+        store
+    }
+
+    fn offline_config(clusters: usize) -> CrlConfig {
+        CrlConfig {
+            lookup: LookupMode::OfflineKMeans { clusters },
+            episodes: 80,
+            ..CrlConfig::default()
+        }
+    }
+
+    #[test]
+    fn offline_mode_routes_to_matching_cluster() {
+        let n = 4;
+        let mut crl = Crl::new(two_context_store(n), offline_config(2));
+        let a = crl.allocate(&[0.1], &spec(n)).unwrap();
+        assert!(a.estimated_importances[0] > 0.8, "blend {:?}", a.estimated_importances);
+        let b = crl.allocate(&[10.1], &spec(n)).unwrap();
+        assert!(b.estimated_importances[3] > 0.8, "blend {:?}", b.estimated_importances);
+        assert!(a.assignment[0].is_some());
+        assert!(b.assignment[3].is_some());
+    }
+
+    #[test]
+    fn offline_mode_caches_per_cluster() {
+        let n = 3;
+        let mut crl = Crl::new(
+            two_context_store(n),
+            CrlConfig { episodes: 5, ..offline_config(2) },
+        );
+        let first = crl.allocate(&[0.0], &spec(n)).unwrap();
+        assert!(!first.cache_hit);
+        // A different signature in the SAME cluster reuses the agent.
+        let second = crl.allocate(&[0.3], &spec(n)).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(crl.cached_agents(), 1);
+    }
+
+    #[test]
+    fn growing_the_store_invalidates_clusters() {
+        let n = 3;
+        let mut crl = Crl::new(
+            two_context_store(n),
+            CrlConfig { episodes: 3, ..offline_config(2) },
+        );
+        crl.allocate(&[0.0], &spec(n)).unwrap();
+        assert_eq!(crl.cached_agents(), 1);
+        crl.observe(EnvironmentRecord { signature: vec![5.0], importances: vec![0.5; n] })
+            .unwrap();
+        // Next allocation re-clusters and rebuilds agents.
+        let out = crl.allocate(&[0.0], &spec(n)).unwrap();
+        assert!(!out.cache_hit);
+    }
+
+    #[test]
+    fn offline_empty_store_errors() {
+        let mut crl = Crl::new(EnvironmentStore::new(), offline_config(2));
+        assert!(matches!(crl.allocate(&[0.0], &spec(2)), Err(CrlError::EmptyStore)));
+    }
+
+    #[test]
+    fn more_clusters_than_records_is_clamped() {
+        let n = 2;
+        let mut store = EnvironmentStore::new();
+        store
+            .push(EnvironmentRecord { signature: vec![0.0], importances: vec![0.9, 0.1] })
+            .unwrap();
+        let mut crl = Crl::new(store, CrlConfig { episodes: 3, ..offline_config(10) });
+        let out = crl.allocate(&[0.0], &spec(n)).unwrap();
+        assert!(out.estimated_importances[0] > 0.8);
+    }
+}

@@ -1,0 +1,158 @@
+//! Experience replay buffer for the DQN.
+//!
+//! A bounded ring buffer of transitions sampled uniformly at random —
+//! the standard decorrelation device of deep Q-learning (the paper cites
+//! the DQN line of work for its optimiser, §III-D).
+
+use rand::Rng;
+
+/// One stored transition. `next_valid` carries the successor state's action
+/// mask so the TD target can respect masked actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experience {
+    /// Encoded state.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Encoded successor state.
+    pub next_state: Vec<f64>,
+    /// Valid actions in the successor state (empty when terminal).
+    pub next_valid: Vec<usize>,
+    /// Whether the episode ended.
+    pub done: bool,
+}
+
+/// A bounded uniform-sampling replay buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rl::replay::{Experience, ReplayBuffer};
+/// use rand::SeedableRng;
+///
+/// let mut buf = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buf.push(Experience {
+///         state: vec![i as f64],
+///         action: 0,
+///         reward: 0.0,
+///         next_state: vec![],
+///         next_valid: vec![],
+///         done: true,
+///     });
+/// }
+/// assert_eq!(buf.len(), 2); // oldest evicted
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(buf.sample(5, &mut rng).len(), 5); // sampling with replacement
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayBuffer {
+    items: Vec<Experience>,
+    capacity: usize,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding up to `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { items: Vec::with_capacity(capacity.min(1 << 16)), capacity, head: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a transition, evicting the oldest when full.
+    pub fn push(&mut self, exp: Experience) {
+        if self.items.len() < self.capacity {
+            self.items.push(exp);
+        } else {
+            self.items[self.head] = exp;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement. Returns an empty
+    /// vector when the buffer is empty.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<&Experience> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exp(tag: f64) -> Experience {
+        Experience {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag],
+            next_valid: vec![0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(exp(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        // 0 and 1 evicted; remaining rewards are {2, 3, 4}.
+        let rewards: Vec<f64> = buf.items.iter().map(|e| e.reward).collect();
+        let mut sorted = rewards.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_empty_is_empty() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_covers_buffer_eventually() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(exp(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let seen: std::collections::HashSet<u64> =
+            buf.sample(500, &mut rng).iter().map(|e| e.reward as u64).collect();
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Tabular Q-learning (Watkins & Dayan), the convergence reference.
+//!
+//! The paper's convergence argument (§III-D) leans on the classical result
+//! that Q-learning converges to the optimal policy under a stationary MDP
+//! and sufficiently small learning rate — which holds exactly in the
+//! tabular setting. This implementation doubles as a sanity oracle for the
+//! DQN on small instances.
+
+use crate::mdp::{DiscreteEnvironment, StepError};
+use rand::Rng;
+use std::fmt;
+
+/// Hyper-parameters for [`QTable::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QLearningConfig {
+    /// Learning rate α.
+    pub learning_rate: f64,
+    /// Discount factor λ (the paper's notation) in `[0, 1]`.
+    pub discount: f64,
+    /// Initial exploration rate ε.
+    pub epsilon: f64,
+    /// Multiplicative ε decay per episode.
+    pub epsilon_decay: f64,
+    /// Floor for ε.
+    pub epsilon_min: f64,
+    /// Safety cap on steps per episode.
+    pub max_steps_per_episode: usize,
+}
+
+impl Default for QLearningConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            discount: 0.95,
+            epsilon: 1.0,
+            epsilon_decay: 0.99,
+            epsilon_min: 0.05,
+            max_steps_per_episode: 1_000,
+        }
+    }
+}
+
+/// Error returned by tabular training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// Environment reported zero states or actions.
+    DegenerateEnvironment,
+    /// A step failed.
+    Step(StepError),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::DegenerateEnvironment => {
+                write!(f, "environment has no states or no actions")
+            }
+            TabularError::Step(e) => write!(f, "environment step failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TabularError::Step(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StepError> for TabularError {
+    fn from(e: StepError) -> Self {
+        TabularError::Step(e)
+    }
+}
+
+/// A dense Q-table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTable {
+    q: Vec<f64>,
+    num_states: usize,
+    num_actions: usize,
+    config: QLearningConfig,
+}
+
+impl QTable {
+    /// Creates a zero-initialised table for the environment's dimensions.
+    ///
+    /// # Errors
+    ///
+    /// [`TabularError::DegenerateEnvironment`] for empty state/action
+    /// spaces.
+    pub fn new(
+        env: &impl DiscreteEnvironment,
+        config: QLearningConfig,
+    ) -> Result<Self, TabularError> {
+        let (s, a) = (env.num_states(), env.num_actions());
+        if s == 0 || a == 0 {
+            return Err(TabularError::DegenerateEnvironment);
+        }
+        Ok(Self { q: vec![0.0; s * a], num_states: s, num_actions: a, config })
+    }
+
+    /// Q-value of `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of range.
+    pub fn value(&self, state: usize, action: usize) -> f64 {
+        assert!(state < self.num_states && action < self.num_actions, "index out of range");
+        self.q[state * self.num_actions + action]
+    }
+
+    /// Greedy action at `state` (ties break toward lower indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is out of range.
+    pub fn greedy_action(&self, state: usize) -> usize {
+        assert!(state < self.num_states, "state out of range");
+        let row = &self.q[state * self.num_actions..(state + 1) * self.num_actions];
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q").then(b.0.cmp(&a.0)))
+            .expect("non-empty action space")
+            .0
+    }
+
+    /// Runs `episodes` of ε-greedy Q-learning, returning the per-episode
+    /// cumulative rewards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment step errors.
+    pub fn train(
+        &mut self,
+        env: &mut impl DiscreteEnvironment,
+        episodes: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<f64>, TabularError> {
+        let mut rewards = Vec::with_capacity(episodes);
+        let mut epsilon = self.config.epsilon;
+        for _ in 0..episodes {
+            let mut state = env.reset();
+            let mut total = 0.0;
+            for _ in 0..self.config.max_steps_per_episode {
+                let action = if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..self.num_actions)
+                } else {
+                    self.greedy_action(state)
+                };
+                let (next, reward, done) = env.step(action)?;
+                total += reward;
+                let best_next = if done {
+                    0.0
+                } else {
+                    (0..self.num_actions)
+                        .map(|a| self.value(next, a))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                };
+                let idx = state * self.num_actions + action;
+                // The Alg. 1 TD update: Q += α (r + λ max Q' − Q).
+                self.q[idx] += self.config.learning_rate
+                    * (reward + self.config.discount * best_next - self.q[idx]);
+                state = next;
+                if done {
+                    break;
+                }
+            }
+            rewards.push(total);
+            epsilon = (epsilon * self.config.epsilon_decay).max(self.config.epsilon_min);
+        }
+        Ok(rewards)
+    }
+
+    /// Rolls out the greedy policy once, returning the cumulative reward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment step errors.
+    pub fn evaluate(&self, env: &mut impl DiscreteEnvironment) -> Result<f64, TabularError> {
+        let mut state = env.reset();
+        let mut total = 0.0;
+        for _ in 0..self.config.max_steps_per_episode {
+            let (next, reward, done) = env.step(self.greedy_action(state))?;
+            total += reward;
+            state = next;
+            if done {
+                break;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 1-D corridor: states 0..n, start in the middle, +1 for reaching the
+    /// right end, -1 for the left; actions {0: left, 1: right}.
+    struct Corridor {
+        n: usize,
+        pos: usize,
+        done: bool,
+    }
+
+    impl Corridor {
+        fn new(n: usize) -> Self {
+            Self { n, pos: n / 2, done: false }
+        }
+    }
+
+    impl DiscreteEnvironment for Corridor {
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> usize {
+            self.pos = self.n / 2;
+            self.done = false;
+            self.pos
+        }
+        fn step(&mut self, action: usize) -> Result<(usize, f64, bool), StepError> {
+            if self.done {
+                return Err(StepError::EpisodeOver);
+            }
+            if action > 1 {
+                return Err(StepError::UnknownAction { action, num_actions: 2 });
+            }
+            self.pos = if action == 0 { self.pos.saturating_sub(1) } else { self.pos + 1 };
+            if self.pos == 0 {
+                self.done = true;
+                return Ok((0, -1.0, true));
+            }
+            if self.pos == self.n - 1 {
+                self.done = true;
+                return Ok((self.n - 1, 1.0, true));
+            }
+            Ok((self.pos, 0.0, false))
+        }
+    }
+
+    #[test]
+    fn learns_to_walk_right() {
+        let mut env = Corridor::new(9);
+        let mut q = QTable::new(&env, QLearningConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        q.train(&mut env, 300, &mut rng).unwrap();
+        assert_eq!(q.evaluate(&mut env).unwrap(), 1.0);
+        // Every interior state prefers "right".
+        for s in 1..8 {
+            assert_eq!(q.greedy_action(s), 1, "state {s}");
+        }
+    }
+
+    #[test]
+    fn q_values_reflect_discounting() {
+        let mut env = Corridor::new(7);
+        let mut q = QTable::new(&env, QLearningConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        q.train(&mut env, 2_000, &mut rng).unwrap();
+        // Closer to the goal = higher value of the optimal action.
+        assert!(q.value(5, 1) > q.value(2, 1));
+    }
+
+    #[test]
+    fn training_rewards_improve() {
+        let mut env = Corridor::new(11);
+        let mut q = QTable::new(&env, QLearningConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rewards = q.train(&mut env, 400, &mut rng).unwrap();
+        let early: f64 = rewards[..50].iter().sum::<f64>() / 50.0;
+        let late: f64 = rewards[rewards.len() - 50..].iter().sum::<f64>() / 50.0;
+        assert!(late > early, "late {late} <= early {early}");
+    }
+
+    #[test]
+    fn degenerate_environment_rejected() {
+        struct Empty;
+        impl DiscreteEnvironment for Empty {
+            fn num_states(&self) -> usize {
+                0
+            }
+            fn num_actions(&self) -> usize {
+                2
+            }
+            fn reset(&mut self) -> usize {
+                0
+            }
+            fn step(&mut self, _: usize) -> Result<(usize, f64, bool), StepError> {
+                Err(StepError::EpisodeOver)
+            }
+        }
+        assert!(matches!(
+            QTable::new(&Empty, QLearningConfig::default()),
+            Err(TabularError::DegenerateEnvironment)
+        ));
+    }
+
+    #[test]
+    fn stepping_finished_episode_errors() {
+        let mut env = Corridor::new(3); // one step ends it
+        env.reset();
+        env.step(1).unwrap();
+        assert!(matches!(env.step(1), Err(StepError::EpisodeOver)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Failure-injection integration: degraded nodes and broken links must
+//! surface in processing time exactly where the allocation touches them,
+//! and nowhere else.
+
+use tatim::edgesim::cluster::Cluster;
+use tatim::edgesim::network::Link;
+use tatim::edgesim::node::NodeId;
+use tatim::edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+
+fn tasks(n: usize) -> Vec<SimTask> {
+    (0..n).map(|_| SimTask::new(5e7, 1e4, 1.0).expect("valid")).collect()
+}
+
+fn round_robin(n: usize, workers: &[usize]) -> NodeAssignment {
+    let mut a = NodeAssignment::empty(n);
+    for i in 0..n {
+        a.assign(i, Some(NodeId(workers[i % workers.len()])));
+    }
+    a
+}
+
+#[test]
+fn slow_node_inflates_pt_only_when_used() {
+    let healthy = Cluster::paper_testbed().expect("testbed");
+    let mut degraded = Cluster::paper_testbed().expect("testbed");
+    let node = degraded.node_mut(NodeId(1)).expect("node 1").clone().with_slowdown(10.0);
+    *degraded.node_mut(NodeId(1)).expect("node 1") = node;
+
+    let ts = tasks(8);
+    // Assignment that uses node 1.
+    let uses = round_robin(8, &[1, 2, 3, 4]);
+    let pt_healthy = simulate(&healthy, &ts, &uses, SimConfig::default())
+        .expect("healthy run")
+        .processing_time;
+    let pt_degraded = simulate(&degraded, &ts, &uses, SimConfig::default())
+        .expect("degraded run")
+        .processing_time;
+    assert!(
+        pt_degraded > pt_healthy * 1.5,
+        "slowdown invisible: {pt_degraded} vs {pt_healthy}"
+    );
+
+    // Assignment that avoids node 1: the degradation must be invisible.
+    let avoids = round_robin(8, &[2, 3, 4, 5]);
+    let pt_avoid_h =
+        simulate(&healthy, &ts, &avoids, SimConfig::default()).expect("run").processing_time;
+    let pt_avoid_d =
+        simulate(&degraded, &ts, &avoids, SimConfig::default()).expect("run").processing_time;
+    assert!((pt_avoid_h - pt_avoid_d).abs() < 1e-9, "degradation leaked to other nodes");
+}
+
+#[test]
+fn congested_link_inflates_transfer_bound_workloads() {
+    let mut congested = Cluster::paper_testbed().expect("testbed");
+    congested
+        .network_mut()
+        .set_link(NodeId(2), Link::new(1e5, 0.5).expect("valid link"));
+
+    let ts = tasks(4);
+    let on_congested = round_robin(4, &[2]);
+    let on_clean = round_robin(4, &[3]);
+    let pt_congested = simulate(&congested, &ts, &on_congested, SimConfig::default())
+        .expect("run")
+        .processing_time;
+    let pt_clean = simulate(&congested, &ts, &on_clean, SimConfig::default())
+        .expect("run")
+        .processing_time;
+    assert!(
+        pt_congested > pt_clean * 3.0,
+        "congestion invisible: {pt_congested} vs {pt_clean}"
+    );
+}
+
+#[test]
+fn timelines_remain_causally_ordered_under_failures() {
+    let mut cluster = Cluster::paper_testbed().expect("testbed");
+    let node = cluster.node_mut(NodeId(4)).expect("node 4").clone().with_slowdown(5.0);
+    *cluster.node_mut(NodeId(4)).expect("node 4") = node;
+    cluster.network_mut().set_link(NodeId(5), Link::new(2e5, 0.2).expect("valid"));
+
+    let ts = tasks(12);
+    let a = round_robin(12, &[4, 5, 6]);
+    let report = simulate(&cluster, &ts, &a, SimConfig::default()).expect("run");
+    for tl in report.timelines.iter().flatten() {
+        assert!(tl.transfer_start <= tl.compute_start);
+        assert!(tl.compute_start <= tl.compute_end);
+        assert!(tl.compute_end <= tl.result_at);
+    }
+    assert!(report.processing_time >= report.makespan());
+}
