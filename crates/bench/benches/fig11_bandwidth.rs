@@ -25,8 +25,7 @@ fn bench_bandwidth(c: &mut Criterion) {
             |b, cl| {
                 b.iter(|| {
                     black_box(
-                        simulate(cl, &tasks, &assignment, SimConfig::default())
-                            .expect("simulate"),
+                        simulate(cl, &tasks, &assignment, SimConfig::default()).expect("simulate"),
                     )
                 })
             },

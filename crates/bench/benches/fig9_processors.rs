@@ -18,12 +18,9 @@ use rl::dqn::DqnConfig;
 use std::hint::black_box;
 
 fn instance(workers: usize) -> TatimInstance {
-    let scenario = Scenario::generate(ScenarioConfig {
-        history_days: 60,
-        eval_days: 4,
-        ..Default::default()
-    })
-    .expect("scenario");
+    let scenario =
+        Scenario::generate(ScenarioConfig { history_days: 60, eval_days: 4, ..Default::default() })
+            .expect("scenario");
     let n = scenario.num_tasks();
     let mean_bits = (0..n).map(|t| scenario.input_bits(t)).sum::<f64>() / n as f64;
     let tasks: Vec<EdgeTask> = (0..n)

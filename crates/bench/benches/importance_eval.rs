@@ -18,11 +18,9 @@ fn setup(num_tasks: usize) -> (Scenario, CopModels) {
         ..Default::default()
     })
     .expect("scenario");
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )
-    .expect("models");
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })
+            .expect("models");
     (scenario, models)
 }
 
@@ -36,9 +34,7 @@ fn bench_importance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decision_performance", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    evaluator
-                        .decision_performance(scenario.day(0), &mask)
-                        .expect("performance"),
+                    evaluator.decision_performance(scenario.day(0), &mask).expect("performance"),
                 )
             })
         });
@@ -50,12 +46,9 @@ fn bench_importance(c: &mut Criterion) {
 }
 
 fn bench_model_training(c: &mut Criterion) {
-    let scenario = Scenario::generate(ScenarioConfig {
-        history_days: 60,
-        eval_days: 3,
-        ..Default::default()
-    })
-    .expect("scenario");
+    let scenario =
+        Scenario::generate(ScenarioConfig { history_days: 60, eval_days: 3, ..Default::default() })
+            .expect("scenario");
     let mut group = c.benchmark_group("cop_model_training");
     group.sample_size(10);
     group.bench_function("mtl_train_50_tasks", |b| {

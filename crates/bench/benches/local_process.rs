@@ -40,9 +40,7 @@ fn bench_training(c: &mut Criterion) {
     group.sample_size(10);
     for kind in [LocalModelKind::Svm, LocalModelKind::AdaBoost, LocalModelKind::RandomForest] {
         group.bench_with_input(BenchmarkId::new("train_300", kind.to_string()), &kind, |b, &k| {
-            b.iter(|| {
-                black_box(LocalProcess::train(xs.clone(), ys.clone(), k, 0).expect("train"))
-            })
+            b.iter(|| black_box(LocalProcess::train(xs.clone(), ys.clone(), k, 0).expect("train")))
         });
     }
     group.finish();
@@ -60,10 +58,7 @@ fn bench_inference(c: &mut Criterion) {
             &lp,
             |b, lp| {
                 b.iter(|| {
-                    let total: f64 = qs
-                        .iter()
-                        .map(|q| lp.selection_score(q).expect("score"))
-                        .sum();
+                    let total: f64 = qs.iter().map(|q| lp.selection_score(q).expect("score")).sum();
                     black_box(total)
                 })
             },

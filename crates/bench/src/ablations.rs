@@ -90,17 +90,14 @@ pub fn env_lookup(opts: &RunOpts) -> Result<EnvLookup, Box<dyn Error>> {
     use learn::transfer::MtlConfig;
 
     let scenario = paper_scenario(opts, opts.pick(24, 10))?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let matrix = evaluator.importance_matrix()?;
     let split = matrix.len() * 2 / 3;
 
     // Historical store.
-    let signatures: Vec<Vec<f64>> =
-        (0..split).map(|d| scenario.day(d).sensing.clone()).collect();
+    let signatures: Vec<Vec<f64>> = (0..split).map(|d| scenario.day(d).sensing.clone()).collect();
     let knn = learn::knn::KnnIndex::new(signatures.clone())?;
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xE7);
     let k_clusters = opts.pick(4, 2).min(split);

@@ -28,10 +28,8 @@ use serde::Serialize;
 use std::error::Error;
 
 fn importance_matrix(scenario: &Scenario) -> Result<Vec<Vec<f64>>, Box<dyn Error>> {
-    let models = CopModels::train(
-        scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(scenario, &models);
     Ok(evaluator.importance_matrix()?)
 }
@@ -58,9 +56,7 @@ pub fn fig2(opts: &RunOpts) -> Result<Fig2, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(45, 10))?;
     let matrix = importance_matrix(&scenario)?;
     let n = scenario.num_tasks();
-    let mut mass: Vec<f64> = (0..n)
-        .map(|t| matrix.iter().map(|row| row[t]).sum::<f64>())
-        .collect();
+    let mut mass: Vec<f64> = (0..n).map(|t| matrix.iter().map(|row| row[t]).sum::<f64>()).collect();
     mass.sort_by(|a, b| b.partial_cmp(a).expect("finite importance"));
     let total: f64 = mass.iter().sum::<f64>().max(1e-12);
     let sorted_shares: Vec<f64> = mass.iter().map(|m| m / total).collect();
@@ -116,17 +112,14 @@ pub struct Fig3 {
 /// Propagates scenario/training failures.
 pub fn fig3(opts: &RunOpts) -> Result<Fig3, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(25, 8))?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let n = scenario.num_tasks();
 
     // Budgeted selection: the paper's edge devices cannot run everything.
     let cluster = Cluster::paper_testbed()?;
-    let mean_bits =
-        (0..n).map(|t| scenario.input_bits(t)).sum::<f64>() / n as f64;
+    let mean_bits = (0..n).map(|t| scenario.input_bits(t)).sum::<f64>() / n as f64;
     let tasks: Vec<EdgeTask> = (0..n)
         .map(|t| {
             EdgeTask::new(
@@ -190,10 +183,8 @@ pub fn fig3(opts: &RunOpts) -> Result<Fig3, Box<dyn Error>> {
         per_day.push((saving_accurate, saving_random));
     }
 
-    let improvements: Vec<f64> = per_day
-        .iter()
-        .map(|(a, r)| if *r > 1e-9 { (a - r) / r } else { 0.0 })
-        .collect();
+    let improvements: Vec<f64> =
+        per_day.iter().map(|(a, r)| if *r > 1e-9 { (a - r) / r } else { 0.0 }).collect();
     let mean_improvement = mean(&improvements);
 
     let mut table = Table::new(
@@ -256,13 +247,12 @@ pub fn fig45(opts: &RunOpts) -> Result<Fig45, Box<dyn Error>> {
         }
     }
 
-    let band_headers: Vec<String> =
-        std::iter::once("machine".to_string()).chain((0..bands).map(|b| format!("op{b}"))).collect();
+    let band_headers: Vec<String> = std::iter::once("machine".to_string())
+        .chain((0..bands).map(|b| format!("op{b}")))
+        .collect();
     let hdr: Vec<&str> = band_headers.iter().map(String::as_str).collect();
-    let mut t_mean =
-        Table::new("Fig. 4 — mean task importance per machine × operation", &hdr);
-    let mut t_var =
-        Table::new("Fig. 5 — task importance variance per machine × operation", &hdr);
+    let mut t_mean = Table::new("Fig. 4 — mean task importance per machine × operation", &hdr);
+    let mut t_var = Table::new("Fig. 5 — task importance variance per machine × operation", &hdr);
     for (i, m) in machines.iter().enumerate() {
         let mut row = vec![m.clone()];
         row.extend(mean_by_operation[i].iter().map(|&x| format!("{x:.4}")));
@@ -313,8 +303,10 @@ pub fn tab1(opts: &RunOpts) -> Result<Tab1, Box<dyn Error>> {
     .collect();
     assert_eq!(feature_names.len(), NUM_LOCAL_FEATURES);
 
-    let mut table =
-        Table::new("Table I — local-process feature set (live sample, task 0, day 0)", &["feature", "value"]);
+    let mut table = Table::new(
+        "Table I — local-process feature set (live sample, task 0, day 0)",
+        &["feature", "value"],
+    );
     for (name, value) in feature_names.iter().zip(&sample) {
         table.push_row(vec![name.clone(), f3(*value)]);
     }
@@ -355,8 +347,7 @@ mod tests {
         assert_eq!(r.machines.len(), 9);
         assert_eq!(r.mean_by_operation.len(), 9);
         // Obs. 3: at least one operation shows non-zero variance.
-        let any_var =
-            r.var_by_operation.iter().flatten().any(|&v| v > 0.0);
+        let any_var = r.var_by_operation.iter().flatten().any(|&v| v > 0.0);
         assert!(any_var, "importance shows no variance at all");
         assert_eq!(r.tables.len(), 2);
     }

@@ -43,10 +43,8 @@ pub struct ShapleyStudy {
 /// Propagates scenario/training failures.
 pub fn shapley(opts: &RunOpts) -> Result<ShapleyStudy, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(10, 5))?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5A);
     let samples = opts.pick(16, 6);
@@ -169,10 +167,8 @@ pub struct HeteroBudget {
 /// Propagates scenario/training failures.
 pub fn hetero_budget(opts: &RunOpts) -> Result<HeteroBudget, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(10, 5))?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let n = scenario.num_tasks();
     let cluster = Cluster::paper_testbed()?;
@@ -213,8 +209,7 @@ pub fn hetero_budget(opts: &RunOpts) -> Result<HeteroBudget, Box<dyn Error>> {
         let imp = evaluator.importances(day)?;
         let uniform =
             TatimInstance::new(tasks.clone(), uniform_fleet.clone()).with_importances(&imp);
-        let hetero =
-            TatimInstance::new(tasks.clone(), hetero_fleet.clone()).with_importances(&imp);
+        let hetero = TatimInstance::new(tasks.clone(), hetero_fleet.clone()).with_importances(&imp);
         let (ua, uv) = uniform.solve_greedy()?;
         let (ha, hv) = hetero.solve_greedy()?;
         u_cap.push(uv);

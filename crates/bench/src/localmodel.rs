@@ -36,10 +36,8 @@ pub struct LocalModel {
 /// Propagates scenario/training failures.
 pub fn run(opts: &RunOpts) -> Result<LocalModel, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(16, 8))?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let n = scenario.num_tasks();
 
@@ -72,8 +70,7 @@ pub fn run(opts: &RunOpts) -> Result<LocalModel, Box<dyn Error>> {
         let selected: Vec<bool> = (0..n).map(|j| opt.processor_of(j).is_some()).collect();
         let rows: Vec<Vec<f64>> =
             (0..n).map(|j| local_features(&scenario, &models, &history, day, j)).collect();
-        let labels: Vec<f64> =
-            selected.iter().map(|&s| if s { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = selected.iter().map(|&s| if s { 1.0 } else { -1.0 }).collect();
         history.record_selection(&selected);
         rows_by_day.push(rows);
         labels_by_day.push(labels);
@@ -92,12 +89,15 @@ pub fn run(opts: &RunOpts) -> Result<LocalModel, Box<dyn Error>> {
         let acc = lp.accuracy(&test_rows, &test_labels)?;
         accuracies.push((kind.to_string(), acc));
     }
-    let best = accuracies
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite accuracy"))
-        .expect("three models")
-        .0
-        .clone();
+    // Strictly-greater comparison: on an exact accuracy tie the earlier
+    // entry wins, so SVM (listed first, the paper's choice) is preferred.
+    let mut winner = &accuracies[0];
+    for cand in &accuracies[1..] {
+        if cand.1 > winner.1 {
+            winner = cand;
+        }
+    }
+    let best = winner.0.clone();
 
     let mut table = Table::new(
         "SIV-B — local-process model selection (held-out day accuracy)",

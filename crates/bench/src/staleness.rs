@@ -70,10 +70,8 @@ fn value_under_belief(
 /// Propagates scenario and training failures.
 pub fn run(opts: &RunOpts) -> Result<Staleness, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(16, 8))?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let importances = evaluator.importance_matrix()?;
 
@@ -109,10 +107,8 @@ pub fn run(opts: &RunOpts) -> Result<Staleness, Box<dyn Error>> {
         let day_a = (0..importances.len())
             .filter(|&d| d != day_b)
             .max_by(|&a, &b| {
-                let da: f64 =
-                    importances[a].iter().zip(truth_b).map(|(x, y)| (x - y).abs()).sum();
-                let db: f64 =
-                    importances[b].iter().zip(truth_b).map(|(x, y)| (x - y).abs()).sum();
+                let da: f64 = importances[a].iter().zip(truth_b).map(|(x, y)| (x - y).abs()).sum();
+                let db: f64 = importances[b].iter().zip(truth_b).map(|(x, y)| (x - y).abs()).sum();
                 da.partial_cmp(&db).expect("finite")
             })
             .expect("at least two days");
@@ -186,11 +182,7 @@ pub fn run(opts: &RunOpts) -> Result<Staleness, Box<dyn Error>> {
         pct(plain_rl_drop),
         pct(0.4628),
     ]);
-    table.push_row(vec![
-        "clustered environment (CRL, SIV-A)".into(),
-        pct(crl_drop),
-        pct(0.2884),
-    ]);
+    table.push_row(vec!["clustered environment (CRL, SIV-A)".into(), pct(crl_drop), pct(0.2884)]);
     Ok(Staleness {
         plain_rl_drop,
         crl_drop,
@@ -211,12 +203,7 @@ mod tests {
         assert!((0.0..=1.0).contains(&r.crl_drop));
         // The qualitative ordering the paper relies on: a stale fixed
         // environment costs more than a mismatched clustered one.
-        assert!(
-            r.plain_rl_drop >= r.crl_drop,
-            "plain {} vs crl {}",
-            r.plain_rl_drop,
-            r.crl_drop
-        );
+        assert!(r.plain_rl_drop >= r.crl_drop, "plain {} vs crl {}", r.plain_rl_drop, r.crl_drop);
         assert!(r.plain_rl_drop > 0.05, "staleness should visibly hurt");
         assert!(r.table.render().contains("plain RL"));
     }

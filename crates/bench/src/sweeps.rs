@@ -41,10 +41,7 @@ pub struct Sweep {
     pub table: Table,
 }
 
-fn mean_pts(
-    scenario: &Scenario,
-    config: PipelineConfig,
-) -> Result<Vec<f64>, Box<dyn Error>> {
+fn mean_pts(scenario: &Scenario, config: PipelineConfig) -> Result<Vec<f64>, Box<dyn Error>> {
     let mut prepared = Pipeline::new(config).prepare(scenario)?;
     let days: Vec<usize> = prepared.test_days().collect();
     let mut out = Vec::with_capacity(METHODS.len());
@@ -58,7 +55,12 @@ fn mean_pts(
     Ok(out)
 }
 
-fn finish(figure: &str, points: Vec<SweepPoint>, paper_mean_ratios: Vec<f64>, x_label: &str) -> Sweep {
+fn finish(
+    figure: &str,
+    points: Vec<SweepPoint>,
+    paper_mean_ratios: Vec<f64>,
+    x_label: &str,
+) -> Sweep {
     let mut mean_ratios = vec![0.0; 3];
     let mut max_ratios = vec![0.0f64; 3];
     for p in &points {
@@ -96,14 +98,7 @@ fn finish(figure: &str, points: Vec<SweepPoint>, paper_mean_ratios: Vec<f64>, x_
         format!("{:.2}x (paper {:.2}x)", mean_ratios[1], paper_mean_ratios[1]),
         format!("{:.2}x (paper {:.2}x)", mean_ratios[2], paper_mean_ratios[2]),
     ]);
-    Sweep {
-        figure: figure.to_string(),
-        points,
-        mean_ratios,
-        max_ratios,
-        paper_mean_ratios,
-        table,
-    }
+    Sweep { figure: figure.to_string(), points, mean_ratios, max_ratios, paper_mean_ratios, table }
 }
 
 /// Fig. 9: PT as a function of the number of processors.
@@ -168,7 +163,8 @@ pub fn fig11(opts: &RunOpts) -> Result<Sweep, Box<dyn Error>> {
     }
 
     let base_bps = edgesim::cluster::DEFAULT_WIFI_BPS;
-    let factors: Vec<f64> = opts.pick(vec![1.0 / 3.0, 2.0 / 3.0, 1.0, 4.0 / 3.0, 5.0 / 3.0], vec![0.5, 1.5]);
+    let factors: Vec<f64> =
+        opts.pick(vec![1.0 / 3.0, 2.0 / 3.0, 1.0, 4.0 / 3.0, 5.0 / 3.0], vec![0.5, 1.5]);
     let mut points = Vec::new();
     let mut current = 1.0;
     for factor in factors {

@@ -1,0 +1,205 @@
+//! CSV interchange for datasets and day contexts.
+//!
+//! The substrate is synthetic, but downstream tooling (notebooks, external
+//! baselines, the bench harness's artifact dumps) wants the same
+//! interchange a real plant historian would offer: flat CSV. Floats are
+//! written with Rust's shortest round-trip formatting, so
+//! `from_csv(to_csv(x)) == x` bit-for-bit — the property tests rely on it.
+
+use crate::scenario::{DayContext, DecisionSlot};
+use crate::weather::{WeatherCondition, WeatherSample};
+use learn::dataset::Dataset;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error parsing a CSV interchange document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ExportError {
+    ExportError { line, reason: reason.into() }
+}
+
+fn parse_f64(line: usize, field: &str) -> Result<f64, ExportError> {
+    field.trim().parse::<f64>().map_err(|e| err(line, format!("bad float {field:?}: {e}")))
+}
+
+/// Serialises a task dataset: a `feature0..featureN,target` header followed
+/// by one row per sample.
+pub fn dataset_to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let n = data.num_features();
+    for i in 0..n {
+        let _ = write!(out, "feature{i},");
+    }
+    out.push_str("target\n");
+    for i in 0..data.len() {
+        for v in data.features().row(i) {
+            let _ = write!(out, "{v},");
+        }
+        let _ = writeln!(out, "{}", data.targets()[i]);
+    }
+    out
+}
+
+/// Parses a document written by [`dataset_to_csv`].
+///
+/// # Errors
+///
+/// [`ExportError`] on malformed headers, ragged rows or bad floats.
+pub fn dataset_from_csv(csv: &str) -> Result<Dataset, ExportError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
+    let cols = header.split(',').count();
+    if cols < 2 || header.split(',').next_back() != Some("target") {
+        return Err(err(1, "header must be feature columns followed by `target`"));
+    }
+    let mut rows = Vec::new();
+    let mut targets = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != cols {
+            return Err(err(i + 1, format!("expected {cols} fields, got {}", fields.len())));
+        }
+        let mut row = Vec::with_capacity(cols - 1);
+        for f in &fields[..cols - 1] {
+            row.push(parse_f64(i + 1, f)?);
+        }
+        targets.push(parse_f64(i + 1, fields[cols - 1])?);
+        rows.push(row);
+    }
+    Dataset::from_rows(rows, targets).map_err(|e| err(1, format!("invalid dataset: {e}")))
+}
+
+/// Serialises a day context: a `weather` line, a `sensing` line, then one
+/// `slot` line per decision slot carrying its weather and per-building
+/// demands.
+pub fn day_to_csv(day: &DayContext) -> String {
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "weather,{},{}", day.weather.condition.name(), day.weather.outdoor_temp_c);
+    out.push_str("sensing");
+    for v in &day.sensing {
+        let _ = write!(out, ",{v}");
+    }
+    out.push('\n');
+    for slot in &day.hours {
+        let _ =
+            write!(out, "slot,{},{}", slot.weather.condition.name(), slot.weather.outdoor_temp_c);
+        for d in &slot.demand_kw {
+            let _ = write!(out, ",{d}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a document written by [`day_to_csv`].
+///
+/// # Errors
+///
+/// [`ExportError`] on unknown record kinds, bad condition names or floats.
+pub fn day_from_csv(csv: &str) -> Result<DayContext, ExportError> {
+    let mut weather = None;
+    let mut sensing = None;
+    let mut hours = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let kind = fields.next().unwrap_or_default();
+        match kind {
+            "weather" => weather = Some(parse_weather(i + 1, &mut fields)?),
+            "sensing" => {
+                sensing =
+                    Some(fields.map(|f| parse_f64(i + 1, f)).collect::<Result<Vec<f64>, _>>()?);
+            }
+            "slot" => {
+                let w = parse_weather(i + 1, &mut fields)?;
+                let demand_kw =
+                    fields.map(|f| parse_f64(i + 1, f)).collect::<Result<Vec<f64>, _>>()?;
+                hours.push(DecisionSlot { weather: w, demand_kw });
+            }
+            other => return Err(err(i + 1, format!("unknown record kind {other:?}"))),
+        }
+    }
+    Ok(DayContext {
+        weather: weather.ok_or_else(|| err(1, "missing weather line"))?,
+        sensing: sensing.ok_or_else(|| err(1, "missing sensing line"))?,
+        hours,
+    })
+}
+
+fn parse_weather<'a>(
+    line: usize,
+    fields: &mut impl Iterator<Item = &'a str>,
+) -> Result<WeatherSample, ExportError> {
+    let name = fields.next().ok_or_else(|| err(line, "missing weather condition"))?;
+    let condition = WeatherCondition::from_name(name.trim())
+        .ok_or_else(|| err(line, format!("unknown weather condition {name:?}")))?;
+    let temp = fields.next().ok_or_else(|| err(line, "missing outdoor temperature"))?;
+    Ok(WeatherSample { condition, outdoor_temp_c: parse_f64(line, temp)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+
+    fn scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig {
+            history_days: 35,
+            eval_days: 2,
+            num_tasks: 8,
+            ..ScenarioConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_round_trips_exactly() {
+        let s = scenario();
+        for t in 0..s.num_tasks() {
+            let csv = dataset_to_csv(s.dataset(t));
+            let back = dataset_from_csv(&csv).unwrap();
+            assert_eq!(&back, s.dataset(t), "task {t} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn day_round_trips_exactly() {
+        let s = scenario();
+        for day in s.days() {
+            let csv = day_to_csv(day);
+            assert_eq!(&day_from_csv(&csv).unwrap(), day);
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(dataset_from_csv("").is_err());
+        assert!(dataset_from_csv("feature0,nottarget\n1,2\n").is_err());
+        assert!(dataset_from_csv("feature0,target\n1\n").is_err());
+        assert!(dataset_from_csv("feature0,target\nx,2\n").is_err());
+        assert!(day_from_csv("weather,hail,30\n").is_err());
+        assert!(day_from_csv("party,clear,30\n").is_err());
+        assert!(day_from_csv("sensing,1,2\n").is_err(), "missing weather line");
+    }
+}

@@ -1,0 +1,353 @@
+//! Multi-chiller plants and the sequencing decision.
+//!
+//! The paper's driving decision (§V) is *chiller sequencing*: given a
+//! building's cooling demand, choose which chillers to run so total
+//! electrical power is minimal. A plant enumerates every feasible subset of
+//! its machines (capacity must cover demand), splits the demand across a
+//! subset in proportion to capacity — the equal-part-load-ratio rule real
+//! plants use — and ranks the candidates by predicted or true power.
+//!
+//! Candidate order is deterministic: fewest machines first, then lowest
+//! machine-index bitmask, so tie-breaking never depends on float noise.
+
+use crate::chiller::Chiller;
+use std::fmt;
+
+/// Most chillers a single plant may hold (the candidate set is the power
+/// set of the machines, so this bounds enumeration at 65 535 subsets).
+pub const MAX_CHILLERS: usize = 16;
+
+/// One sequencing candidate: which chillers run and at what load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequencing {
+    loads: Vec<Option<f64>>,
+}
+
+impl Sequencing {
+    /// Per-chiller assignment: `Some(load_kw)` for running machines, `None`
+    /// for machines kept off.
+    pub fn loads(&self) -> &[Option<f64>] {
+        &self.loads
+    }
+
+    /// Load assigned to chiller `c`, if it runs.
+    pub fn load_kw(&self, c: usize) -> Option<f64> {
+        self.loads.get(c).copied().flatten()
+    }
+
+    /// Iterator over the indices of running chillers.
+    pub fn running(&self) -> impl Iterator<Item = usize> + '_ {
+        self.loads.iter().enumerate().filter(|(_, l)| l.is_some()).map(|(c, _)| c)
+    }
+
+    /// Total cooling delivered, kW.
+    pub fn total_load_kw(&self) -> f64 {
+        self.loads.iter().flatten().sum()
+    }
+}
+
+/// Error raised by sequencing operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlantError {
+    /// The plant holds no chillers.
+    NoChillers,
+    /// Demand was zero, negative or non-finite — there is nothing to decide.
+    BadDemand {
+        /// The offending demand, kW.
+        demand_kw: f64,
+    },
+    /// Demand exceeds the combined capacity of every chiller.
+    InsufficientCapacity {
+        /// Requested cooling, kW.
+        demand_kw: f64,
+        /// Total plant capacity, kW.
+        capacity_kw: f64,
+    },
+}
+
+impl fmt::Display for PlantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlantError::NoChillers => write!(f, "plant has no chillers"),
+            PlantError::BadDemand { demand_kw } => {
+                write!(f, "demand {demand_kw} kW is not a positive finite load")
+            }
+            PlantError::InsufficientCapacity { demand_kw, capacity_kw } => {
+                write!(f, "demand {demand_kw} kW exceeds plant capacity {capacity_kw} kW")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlantError {}
+
+/// A building's chiller plant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plant {
+    chillers: Vec<Chiller>,
+}
+
+impl Plant {
+    /// Builds a plant from its machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_CHILLERS`] machines are supplied.
+    pub fn new(chillers: Vec<Chiller>) -> Self {
+        assert!(chillers.len() <= MAX_CHILLERS, "too many chillers for subset enumeration");
+        Self { chillers }
+    }
+
+    /// The plant's machines, in fixed index order.
+    pub fn chillers(&self) -> &[Chiller] {
+        &self.chillers
+    }
+
+    /// Combined rated capacity, kW.
+    pub fn total_capacity_kw(&self) -> f64 {
+        self.chillers.iter().map(Chiller::capacity_kw).sum()
+    }
+
+    /// The load band (discretised part-load-ratio bucket) chiller `c` would
+    /// occupy at `load_kw`, out of `bands` equal-width buckets. `None` when
+    /// the chiller or band grid doesn't exist, or the load is non-positive
+    /// or beyond capacity — such loads are outside every task's remit.
+    pub fn load_band(&self, c: usize, load_kw: f64, bands: usize) -> Option<usize> {
+        let chiller = self.chillers.get(c)?;
+        if bands == 0 || !load_kw.is_finite() || load_kw <= 0.0 {
+            return None;
+        }
+        let cap = chiller.capacity_kw();
+        if load_kw > cap {
+            return None;
+        }
+        let band = (load_kw / cap * bands as f64).floor() as usize;
+        Some(band.min(bands - 1))
+    }
+
+    /// Midpoint load (kW) of band `band` of chiller `c` on a `bands`-bucket
+    /// grid — the canonical operating point a task's model is asked about.
+    pub fn band_midpoint_kw(&self, c: usize, band: usize, bands: usize) -> Option<f64> {
+        let chiller = self.chillers.get(c)?;
+        if bands == 0 || band >= bands {
+            return None;
+        }
+        Some((band as f64 + 0.5) * chiller.capacity_kw() / bands as f64)
+    }
+
+    /// Every feasible sequencing for `demand_kw`: each non-empty chiller
+    /// subset whose combined capacity covers the demand, loaded
+    /// capacity-proportionally (equal part-load ratio). Ordered by running
+    /// count then machine bitmask, so the last candidate is always the
+    /// all-chillers-on baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`PlantError`] when the plant is empty, the demand is non-positive,
+    /// or no subset can cover it.
+    pub fn sequencing_candidates(&self, demand_kw: f64) -> Result<Vec<Sequencing>, PlantError> {
+        let n = self.chillers.len();
+        if n == 0 {
+            return Err(PlantError::NoChillers);
+        }
+        if !demand_kw.is_finite() || demand_kw <= 0.0 {
+            return Err(PlantError::BadDemand { demand_kw });
+        }
+        let total = self.total_capacity_kw();
+        if demand_kw > total {
+            return Err(PlantError::InsufficientCapacity { demand_kw, capacity_kw: total });
+        }
+        let mut masks: Vec<u32> = (1u32..(1u32 << n))
+            .filter(|mask| {
+                let cap: f64 = (0..n)
+                    .filter(|c| mask & (1 << c) != 0)
+                    .map(|c| self.chillers[c].capacity_kw())
+                    .sum();
+                cap >= demand_kw
+            })
+            .collect();
+        masks.sort_by_key(|mask| (mask.count_ones(), *mask));
+        Ok(masks
+            .into_iter()
+            .map(|mask| {
+                let cap: f64 = (0..n)
+                    .filter(|c| mask & (1 << c) != 0)
+                    .map(|c| self.chillers[c].capacity_kw())
+                    .sum();
+                let loads = (0..n)
+                    .map(|c| {
+                        (mask & (1 << c) != 0)
+                            .then(|| demand_kw * self.chillers[c].capacity_kw() / cap)
+                    })
+                    .collect();
+                Sequencing { loads }
+            })
+            .collect())
+    }
+
+    /// Picks the candidate minimising `Σ load / cop_fn(chiller, load)` — the
+    /// data-driven decision when `cop_fn` is a learned predictor. Strict
+    /// comparison keeps the first (fewest-machines, lowest-index) candidate
+    /// on ties, so the choice is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlantError`] from candidate enumeration.
+    pub fn best_sequencing_by(
+        &self,
+        demand_kw: f64,
+        cop_fn: impl Fn(usize, f64) -> f64,
+    ) -> Result<(Sequencing, f64), PlantError> {
+        let candidates = self.sequencing_candidates(demand_kw)?;
+        let mut best: Option<(Sequencing, f64)> = None;
+        for seq in candidates {
+            let power: f64 = seq
+                .loads
+                .iter()
+                .enumerate()
+                .filter_map(|(c, l)| l.map(|load| (c, load)))
+                .map(|(c, load)| {
+                    let cop = cop_fn(c, load).max(crate::chiller::MIN_COP);
+                    load / cop
+                })
+                .sum();
+            if power.is_finite() && best.as_ref().is_none_or(|(_, p)| power < *p) {
+                best = Some((seq, power));
+            }
+        }
+        // Candidates are non-empty whenever enumeration succeeds, and the
+        // MIN_COP floor keeps every power sum finite.
+        best.ok_or(PlantError::BadDemand { demand_kw })
+    }
+
+    /// The true-optimal sequencing under the ground-truth COP curves at
+    /// `outdoor_temp_c`, with its electrical power (the paper's `D`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlantError`] from candidate enumeration.
+    pub fn best_sequencing_true(
+        &self,
+        demand_kw: f64,
+        outdoor_temp_c: f64,
+    ) -> Result<(Sequencing, f64), PlantError> {
+        self.best_sequencing_by(demand_kw, |c, load| self.chillers[c].cop(load, outdoor_temp_c))
+    }
+
+    /// Actual electrical power (kW) the plant draws under `seq` at
+    /// `outdoor_temp_c`, evaluated on the ground-truth curves.
+    pub fn true_power(&self, seq: &Sequencing, outdoor_temp_c: f64) -> f64 {
+        seq.loads
+            .iter()
+            .enumerate()
+            .filter_map(|(c, l)| l.map(|load| (c, load)))
+            .map(|(c, load)| self.chillers[c].power_kw(load, outdoor_temp_c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chiller::ChillerModel;
+
+    fn plant() -> Plant {
+        Plant::new(vec![
+            Chiller::new(ChillerModel::Centrifugal, 600.0, 5.6, 0.9, 0.008),
+            Chiller::new(ChillerModel::Screw, 500.0, 5.2, 0.9, 0.008),
+            Chiller::new(ChillerModel::Scroll, 400.0, 4.9, 0.9, 0.008),
+        ])
+    }
+
+    #[test]
+    fn candidates_cover_demand_and_split_proportionally() {
+        let p = plant();
+        let cands = p.sequencing_candidates(700.0).unwrap();
+        assert!(!cands.is_empty());
+        for seq in &cands {
+            assert!((seq.total_load_kw() - 700.0).abs() < 1e-9);
+            // Equal part-load ratio across running machines.
+            let plrs: Vec<f64> = seq
+                .running()
+                .map(|c| seq.load_kw(c).unwrap() / p.chillers()[c].capacity_kw())
+                .collect();
+            for w in plrs.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_order_ends_with_all_on() {
+        let p = plant();
+        let cands = p.sequencing_candidates(300.0).unwrap();
+        // 300 kW fits any single machine: all 7 subsets are feasible.
+        assert_eq!(cands.len(), 7);
+        assert_eq!(cands[0].running().count(), 1);
+        let last = cands.last().unwrap();
+        assert_eq!(last.running().count(), 3);
+    }
+
+    #[test]
+    fn infeasible_subsets_are_dropped() {
+        let p = plant();
+        let cands = p.sequencing_candidates(1200.0).unwrap();
+        for seq in &cands {
+            let cap: f64 = seq.running().map(|c| p.chillers()[c].capacity_kw()).sum();
+            assert!(cap >= 1200.0);
+        }
+        assert!(cands.iter().all(|s| s.running().count() >= 3));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let p = plant();
+        assert_eq!(p.sequencing_candidates(0.0), Err(PlantError::BadDemand { demand_kw: 0.0 }));
+        assert!(matches!(
+            p.sequencing_candidates(5000.0),
+            Err(PlantError::InsufficientCapacity { .. })
+        ));
+        assert_eq!(Plant::new(vec![]).sequencing_candidates(10.0), Err(PlantError::NoChillers));
+    }
+
+    #[test]
+    fn true_best_is_no_worse_than_any_candidate() {
+        let p = plant();
+        for demand in [250.0, 600.0, 1000.0, 1400.0] {
+            let (best, best_power) = p.best_sequencing_true(demand, 30.0).unwrap();
+            assert!((p.true_power(&best, 30.0) - best_power).abs() < 1e-9);
+            for seq in p.sequencing_candidates(demand).unwrap() {
+                assert!(p.true_power(&seq, 30.0) + 1e-9 >= best_power);
+            }
+        }
+    }
+
+    #[test]
+    fn misleading_cops_change_the_decision() {
+        let p = plant();
+        // At 400 kW the true optimum is machine 0 (best part-load COP)...
+        let (honest, _) = p.best_sequencing_true(400.0, 30.0).unwrap();
+        assert_eq!(honest.running().collect::<Vec<_>>(), vec![0]);
+        // ...but a predictor convinced machine 2 is magnificent picks it.
+        let (fooled, _) =
+            p.best_sequencing_by(400.0, |c, _| if c == 2 { 11.0 } else { 1.0 }).unwrap();
+        assert_eq!(fooled.running().collect::<Vec<_>>(), vec![2]);
+        assert_ne!(p.true_power(&fooled, 30.0), p.true_power(&honest, 30.0));
+    }
+
+    #[test]
+    fn load_band_partitions_capacity() {
+        let p = plant();
+        assert_eq!(p.load_band(0, 0.0, 6), None);
+        assert_eq!(p.load_band(0, 601.0, 6), None);
+        assert_eq!(p.load_band(0, 50.0, 6), Some(0));
+        assert_eq!(p.load_band(0, 600.0, 6), Some(5));
+        assert_eq!(p.load_band(9, 50.0, 6), None);
+        // Midpoints land back in their own band.
+        for band in 0..6 {
+            let mid = p.band_midpoint_kw(1, band, 6).unwrap();
+            assert_eq!(p.load_band(1, mid, 6), Some(band));
+        }
+        assert_eq!(p.band_midpoint_kw(1, 6, 6), None);
+    }
+}

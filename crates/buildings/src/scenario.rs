@@ -1,0 +1,602 @@
+//! The 50-task, four-year, three-building scenario generator.
+//!
+//! The paper evaluates on a proprietary 1 TB log of three buildings'
+//! chiller plants spanning four years (§V). The allocator never sees raw
+//! sensor streams — it consumes per-task datasets, day contexts and
+//! importance statistics — so this generator reproduces those
+//! *distributions* instead: seeded plants with hidden COP curves, a
+//! seasonal weather process, a daily operation log whose records land in
+//! per-`(building, chiller, load-band)` task datasets, and evaluation-day
+//! contexts for the decision function. One task = one COP-prediction model
+//! for one load band of one chiller, exactly the granularity of §V-B.
+//!
+//! Generation is fully deterministic: a [`ScenarioConfig`] (including its
+//! `seed`) maps to a bit-identical [`Scenario`].
+
+use crate::chiller::{Chiller, ChillerModel};
+use crate::plant::{Plant, MAX_CHILLERS};
+use crate::telemetry::TelemetryRecord;
+use crate::weather::{WeatherModel, WeatherSample};
+use learn::dataset::{Dataset, DatasetError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Sequencing decisions (and telemetry snapshots) per day. The paper's
+/// plants re-decide a few times a day as load shifts between the morning
+/// ramp, midday peak and evening shoulder.
+pub const DECISION_SLOTS_PER_DAY: usize = 3;
+
+/// Days between commissioning sweeps in the history log. On sweep days the
+/// operators exercise every chiller across its whole band grid (day 0
+/// included), so every task owns at least one sample — scarce tasks are
+/// scarce, not empty.
+pub const COMMISSIONING_INTERVAL_DAYS: u32 = 28;
+
+/// Scenario generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of buildings (each with its own plant).
+    pub num_buildings: usize,
+    /// Chillers per building's plant.
+    pub chillers_per_building: usize,
+    /// Load bands per chiller — the task granularity of §V-B.
+    pub bands_per_chiller: usize,
+    /// Tasks to keep, best-covered first (`0` = the full
+    /// `buildings × chillers × bands` grid).
+    pub num_tasks: usize,
+    /// History days of operation telemetry to synthesise (the paper logs
+    /// four years).
+    pub history_days: u32,
+    /// Evaluation days following the history.
+    pub eval_days: u32,
+    /// Mean per-task input size, Mbit (the edge-offloading payload).
+    pub mean_input_mbit: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            num_buildings: 3,
+            chillers_per_building: 3,
+            bands_per_chiller: 6,
+            num_tasks: 50,
+            history_days: 1460,
+            eval_days: 8,
+            mean_input_mbit: 500.0,
+            seed: 0xDC7A,
+        }
+    }
+}
+
+/// Error generating a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A grid dimension (buildings/chillers/bands) is zero, or the plant
+    /// exceeds the sequencing enumerator's machine bound.
+    BadGrid {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// `history_days` or `eval_days` is zero.
+    BadHorizon,
+    /// `mean_input_mbit` is not a positive finite size.
+    BadInputSize {
+        /// The offending value.
+        mean_input_mbit: f64,
+    },
+    /// More tasks requested than the task grid holds.
+    TooManyTasks {
+        /// Requested task count.
+        requested: usize,
+        /// Grid capacity (`buildings × chillers × bands`).
+        grid: usize,
+    },
+    /// A per-task dataset could not be assembled.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadGrid { reason } => write!(f, "bad scenario grid: {reason}"),
+            ScenarioError::BadHorizon => {
+                write!(f, "history_days and eval_days must both be at least 1")
+            }
+            ScenarioError::BadInputSize { mean_input_mbit } => {
+                write!(f, "mean input size {mean_input_mbit} Mbit is not positive and finite")
+            }
+            ScenarioError::TooManyTasks { requested, grid } => {
+                write!(f, "{requested} tasks requested but the grid only has {grid} cells")
+            }
+            ScenarioError::Dataset(e) => write!(f, "task dataset assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for ScenarioError {
+    fn from(e: DatasetError) -> Self {
+        ScenarioError::Dataset(e)
+    }
+}
+
+/// One COP-prediction task: a load band of one chiller (§V-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Human-readable task name (`b{building}c{chiller}band{band}`).
+    pub name: String,
+    /// Building index.
+    pub building: usize,
+    /// Chiller index within the building's plant.
+    pub chiller: usize,
+    /// Load-band index within the chiller.
+    pub band: usize,
+}
+
+/// One sequencing decision slot of an evaluation day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionSlot {
+    /// Weather at decision time (shared across buildings).
+    pub weather: WeatherSample,
+    /// Cooling demand of each building, kW.
+    pub demand_kw: Vec<f64>,
+}
+
+/// Everything the system observes about one evaluation day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayContext {
+    /// The day's decision slots, in chronological order.
+    pub hours: Vec<DecisionSlot>,
+    /// Representative (midday-peak) weather for feature building.
+    pub weather: WeatherSample,
+    /// Environment-sensing vector for the CRL stage: normalised mean
+    /// temperature, mean sky condition, then each building's demand
+    /// fraction — the low-rate "sensing data" of Fig. 1.
+    pub sensing: Vec<f64>,
+}
+
+/// A fully generated evaluation scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    config: ScenarioConfig,
+    plants: Vec<Plant>,
+    tasks: Vec<TaskSpec>,
+    task_index: Vec<Option<usize>>,
+    datasets: Vec<Dataset>,
+    days: Vec<DayContext>,
+    input_bits: Vec<f64>,
+}
+
+impl Scenario {
+    /// Generates the scenario `config` describes. Deterministic: equal
+    /// configs (including `seed`) produce bit-identical scenarios.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] on degenerate grids, horizons or input sizes, or
+    /// when `num_tasks` exceeds the task grid.
+    pub fn generate(config: ScenarioConfig) -> Result<Self, ScenarioError> {
+        let grid = validate(&config)?;
+        let num_tasks = if config.num_tasks == 0 { grid } else { config.num_tasks };
+
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let weather = WeatherModel::seeded(&mut rng);
+        let plants = gen_plants(&config, &mut rng);
+        // Per-building baseline demand fraction: how loaded the plant runs
+        // at the annual-mean temperature.
+        let base_frac: Vec<f64> =
+            (0..config.num_buildings).map(|_| 0.46 + 0.10 * rng.gen::<f64>()).collect();
+
+        // History log → per-grid-cell telemetry rows.
+        let bands = config.bands_per_chiller;
+        let cell =
+            |b: usize, c: usize, band: usize| (b * config.chillers_per_building + c) * bands + band;
+        let mut rows: Vec<Vec<Vec<f64>>> = vec![Vec::new(); grid];
+        let mut targets: Vec<Vec<f64>> = vec![Vec::new(); grid];
+        let mut log = |b: usize, c: usize, chiller: &Chiller, day, slot, w, load, cop| {
+            let rec = TelemetryRecord::from_operating_point(b, c, chiller, day, slot, w, load, cop);
+            if let Some(band) = plants[b].load_band(c, load, bands) {
+                rows[cell(b, c, band)].push(rec.domain_features(chiller).to_vec());
+                targets[cell(b, c, band)].push(rec.measured_cop);
+            }
+        };
+        for day in 0..config.history_days {
+            if day % COMMISSIONING_INTERVAL_DAYS == 0 {
+                // Commissioning sweep: every chiller is exercised at every
+                // band midpoint and its COP logged.
+                let w = weather.sample(day, 0, &mut rng);
+                for (b, plant) in plants.iter().enumerate() {
+                    for (c, chiller) in plant.chillers().iter().enumerate() {
+                        for band in 0..bands {
+                            let mid =
+                                plant.band_midpoint_kw(c, band, bands).expect("band within grid");
+                            let cop = measured_cop(chiller, mid, &w, &mut rng);
+                            log(b, c, chiller, day, 0, w, mid, cop);
+                        }
+                    }
+                }
+            }
+            for slot in 0..DECISION_SLOTS_PER_DAY {
+                let w = weather.sample(day, slot, &mut rng);
+                for (b, plant) in plants.iter().enumerate() {
+                    let demand = demand_kw(plant, base_frac[b], &w, &mut rng);
+                    let Ok((seq, _)) = plant.best_sequencing_true(demand, w.outdoor_temp_c) else {
+                        continue;
+                    };
+                    for c in seq.running().collect::<Vec<_>>() {
+                        let load = seq.load_kw(c).expect("running chiller has a load");
+                        let chiller = &plant.chillers()[c];
+                        let cop = measured_cop(chiller, load, &w, &mut rng);
+                        log(b, c, chiller, day, slot, w, load, cop);
+                    }
+                }
+            }
+        }
+        // Release the closure's borrow of rows/targets.
+        #[allow(clippy::drop_non_drop)]
+        drop(log);
+
+        // Task selection: best-covered cells first (ties by grid order),
+        // then re-sorted into grid order for stable task indices.
+        let mut order: Vec<usize> = (0..grid).collect();
+        order.sort_by_key(|&i| (usize::MAX - rows[i].len(), i));
+        if order.len() > num_tasks {
+            order.truncate(num_tasks);
+        }
+        order.sort_unstable();
+        let mut task_index = vec![None; grid];
+        let mut tasks = Vec::with_capacity(order.len());
+        let mut datasets = Vec::with_capacity(order.len());
+        let chillers = config.chillers_per_building;
+        for (t, &i) in order.iter().enumerate() {
+            let band = i % bands;
+            let c = (i / bands) % chillers;
+            let b = i / (bands * chillers);
+            task_index[i] = Some(t);
+            tasks.push(TaskSpec {
+                name: format!("b{b}c{c}band{band}"),
+                building: b,
+                chiller: c,
+                band,
+            });
+            datasets.push(Dataset::from_rows(
+                std::mem::take(&mut rows[i]),
+                std::mem::take(&mut targets[i]),
+            )?);
+        }
+
+        // Evaluation days continue the same seasonal/demand processes.
+        let days = (0..config.eval_days)
+            .map(|d| {
+                let day = config.history_days + d;
+                let hours: Vec<DecisionSlot> = (0..DECISION_SLOTS_PER_DAY)
+                    .map(|slot| {
+                        let w = weather.sample(day, slot, &mut rng);
+                        let demand_kw = plants
+                            .iter()
+                            .zip(&base_frac)
+                            .map(|(p, &f)| demand_kw(p, f, &w, &mut rng))
+                            .collect();
+                        DecisionSlot { weather: w, demand_kw }
+                    })
+                    .collect();
+                let mean_temp = hours.iter().map(|h| h.weather.outdoor_temp_c).sum::<f64>()
+                    / hours.len() as f64;
+                let mean_cond = hours.iter().map(|h| h.weather.condition.as_feature()).sum::<f64>()
+                    / hours.len() as f64;
+                let mut sensing = vec![mean_temp / 10.0, mean_cond];
+                for (b, plant) in plants.iter().enumerate() {
+                    let mean_demand =
+                        hours.iter().map(|h| h.demand_kw[b]).sum::<f64>() / hours.len() as f64;
+                    sensing.push(mean_demand / plant.total_capacity_kw());
+                }
+                // Slot 1 is the midday peak — the day's representative weather.
+                DayContext { weather: hours[1].weather, hours, sensing }
+            })
+            .collect();
+
+        // Per-task input sizes: drawn last so sweeping `mean_input_mbit`
+        // rescales payloads without disturbing any other draw.
+        let input_bits = (0..tasks.len())
+            .map(|_| config.mean_input_mbit * 1e6 * (0.45 + 1.1 * rng.gen::<f64>()))
+            .collect();
+
+        Ok(Self { config, plants, tasks, task_index, datasets, days, input_bits })
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The buildings' plants, indexed by building.
+    pub fn plants(&self) -> &[Plant] {
+        &self.plants
+    }
+
+    /// Building `b`'s plant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of bounds.
+    pub fn plant(&self, b: usize) -> &Plant {
+        &self.plants[b]
+    }
+
+    /// Number of tasks in the scenario.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// All task specs, in stable grid order.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// The task covering band `band` of chiller `c` in building `b`, if the
+    /// scenario kept one there.
+    pub fn task_for(&self, b: usize, c: usize, band: usize) -> Option<usize> {
+        let cfg = &self.config;
+        if b >= cfg.num_buildings || c >= cfg.chillers_per_building || band >= cfg.bands_per_chiller
+        {
+            return None;
+        }
+        self.task_index[(b * cfg.chillers_per_building + c) * cfg.bands_per_chiller + band]
+    }
+
+    /// Task `t`'s training dataset (Table-I domain features → measured COP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    pub fn dataset(&self, t: usize) -> &Dataset {
+        &self.datasets[t]
+    }
+
+    /// The evaluation days, in order.
+    pub fn days(&self) -> &[DayContext] {
+        &self.days
+    }
+
+    /// Evaluation day `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of bounds.
+    pub fn day(&self, d: usize) -> &DayContext {
+        &self.days[d]
+    }
+
+    /// Input payload of task `t` when offloaded to the edge, bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    pub fn input_bits(&self, t: usize) -> f64 {
+        self.input_bits[t]
+    }
+
+    /// Ground-truth COP of task `t`'s chiller at `load_kw` and
+    /// `outdoor_temp_c` — what a perfect model would predict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    pub fn true_cop(&self, t: usize, load_kw: f64, outdoor_temp_c: f64) -> f64 {
+        let spec = &self.tasks[t];
+        self.plants[spec.building].chillers()[spec.chiller].cop(load_kw, outdoor_temp_c)
+    }
+}
+
+fn validate(config: &ScenarioConfig) -> Result<usize, ScenarioError> {
+    if config.num_buildings == 0 {
+        return Err(ScenarioError::BadGrid { reason: "num_buildings is zero" });
+    }
+    if config.chillers_per_building == 0 {
+        return Err(ScenarioError::BadGrid { reason: "chillers_per_building is zero" });
+    }
+    if config.chillers_per_building > MAX_CHILLERS {
+        return Err(ScenarioError::BadGrid {
+            reason: "chillers_per_building exceeds MAX_CHILLERS",
+        });
+    }
+    if config.bands_per_chiller == 0 {
+        return Err(ScenarioError::BadGrid { reason: "bands_per_chiller is zero" });
+    }
+    if config.history_days == 0 || config.eval_days == 0 {
+        return Err(ScenarioError::BadHorizon);
+    }
+    if !config.mean_input_mbit.is_finite() || config.mean_input_mbit <= 0.0 {
+        return Err(ScenarioError::BadInputSize { mean_input_mbit: config.mean_input_mbit });
+    }
+    let grid = config.num_buildings * config.chillers_per_building * config.bands_per_chiller;
+    if config.num_tasks > grid {
+        return Err(ScenarioError::TooManyTasks { requested: config.num_tasks, grid });
+    }
+    Ok(grid)
+}
+
+/// Draws one building's plant fleet. Machines within a plant share a
+/// building-level baseline with modest per-machine spread, which keeps the
+/// all-chillers-on candidate the strict power maximum (the Fig. 3 naive
+/// baseline) while still giving the learned models real ranking work.
+fn gen_plants(config: &ScenarioConfig, rng: &mut SmallRng) -> Vec<Plant> {
+    (0..config.num_buildings)
+        .map(|_| {
+            let base_cap = 380.0 + 260.0 * rng.gen::<f64>();
+            let base_peak = 5.1 + 0.5 * rng.gen::<f64>();
+            let temp_coeff = 0.006 + 0.004 * rng.gen::<f64>();
+            let chillers = (0..config.chillers_per_building)
+                .map(|c| {
+                    let model = match c % 3 {
+                        0 => ChillerModel::Centrifugal,
+                        1 => ChillerModel::Screw,
+                        _ => ChillerModel::Scroll,
+                    };
+                    let capacity = base_cap * (0.95 + 0.10 * rng.gen::<f64>());
+                    let peak = base_peak * (0.95 + 0.10 * rng.gen::<f64>());
+                    let curvature = 0.90 + 0.04 * rng.gen::<f64>();
+                    Chiller::new(model, capacity, peak, curvature, temp_coeff)
+                })
+                .collect();
+            Plant::new(chillers)
+        })
+        .collect()
+}
+
+/// A building's cooling demand at one decision slot: baseline occupancy
+/// load plus a weather-tracking component and operational noise, clamped so
+/// the plant can always (just barely to comfortably) serve it.
+fn demand_kw(plant: &Plant, base_frac: f64, w: &WeatherSample, rng: &mut SmallRng) -> f64 {
+    let weather_pull = 0.12 * (w.outdoor_temp_c - 24.0) / 10.0;
+    let noise = 0.025 * (2.0 * rng.gen::<f64>() - 1.0);
+    let frac = (base_frac + weather_pull + noise).clamp(0.18, 0.92);
+    frac * plant.total_capacity_kw()
+}
+
+/// The sensed COP at an operating point: ground truth plus ±3 % sensor
+/// noise. Band-crossing noise in these measurements is what makes task
+/// importance fluctuate day to day (Obs. 3).
+fn measured_cop(chiller: &Chiller, load_kw: f64, w: &WeatherSample, rng: &mut SmallRng) -> f64 {
+    let noise = 1.0 + 0.03 * (2.0 * rng.gen::<f64>() - 1.0);
+    (chiller.cop(load_kw, w.outdoor_temp_c) * noise).max(0.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ScenarioConfig {
+        ScenarioConfig {
+            history_days: 40,
+            eval_days: 3,
+            num_tasks: 12,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_grid_holds_fifty_tasks() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.num_buildings * cfg.chillers_per_building * cfg.bands_per_chiller, 54);
+        assert_eq!(cfg.num_tasks, 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(quick()).unwrap();
+        let b = Scenario::generate(quick()).unwrap();
+        assert_eq!(a, b);
+        let c = Scenario::generate(ScenarioConfig { seed: 7, ..quick() }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn task_grid_is_consistent() {
+        let s = Scenario::generate(quick()).unwrap();
+        assert_eq!(s.num_tasks(), 12);
+        for (t, spec) in s.tasks().iter().enumerate() {
+            assert_eq!(s.task_for(spec.building, spec.chiller, spec.band), Some(t));
+            assert!(!s.dataset(t).is_empty(), "task {t} has no data");
+            assert_eq!(spec.name, format!("b{}c{}band{}", spec.building, spec.chiller, spec.band));
+        }
+        assert_eq!(s.task_for(99, 0, 0), None);
+    }
+
+    #[test]
+    fn zero_num_tasks_means_full_grid() {
+        let s = Scenario::generate(ScenarioConfig { num_tasks: 0, ..quick() }).unwrap();
+        assert_eq!(s.num_tasks(), 54);
+        for b in 0..3 {
+            for c in 0..3 {
+                for band in 0..6 {
+                    assert!(s.task_for(b, c, band).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kept_tasks_are_the_best_covered() {
+        let full = Scenario::generate(ScenarioConfig { num_tasks: 0, ..quick() }).unwrap();
+        let trimmed = Scenario::generate(quick()).unwrap();
+        let mut lens: Vec<usize> = (0..full.num_tasks()).map(|t| full.dataset(t).len()).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let floor = lens[trimmed.num_tasks() - 1];
+        for t in 0..trimmed.num_tasks() {
+            assert!(trimmed.dataset(t).len() >= floor.min(1));
+        }
+    }
+
+    #[test]
+    fn days_have_slots_and_sensing() {
+        let s = Scenario::generate(quick()).unwrap();
+        assert_eq!(s.days().len(), 3);
+        for day in s.days() {
+            assert_eq!(day.hours.len(), DECISION_SLOTS_PER_DAY);
+            assert_eq!(day.weather, day.hours[1].weather);
+            assert_eq!(day.sensing.len(), 2 + s.plants().len());
+            for slot in &day.hours {
+                assert_eq!(slot.demand_kw.len(), s.plants().len());
+                for (b, plant) in s.plants().iter().enumerate() {
+                    assert!(slot.demand_kw[b] > 0.0);
+                    assert!(slot.demand_kw[b] <= plant.total_capacity_kw());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_sizes_scale_with_mean() {
+        let a = Scenario::generate(quick()).unwrap();
+        let b = Scenario::generate(ScenarioConfig { mean_input_mbit: 1000.0, ..quick() }).unwrap();
+        for t in 0..a.num_tasks() {
+            assert!((b.input_bits(t) / a.input_bits(t) - 2.0).abs() < 1e-9);
+            assert!(a.input_bits(t) > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let ok = quick();
+        assert!(matches!(
+            Scenario::generate(ScenarioConfig { num_buildings: 0, ..ok }),
+            Err(ScenarioError::BadGrid { .. })
+        ));
+        assert!(matches!(
+            Scenario::generate(ScenarioConfig { history_days: 0, ..ok }),
+            Err(ScenarioError::BadHorizon)
+        ));
+        assert!(matches!(
+            Scenario::generate(ScenarioConfig { eval_days: 0, ..ok }),
+            Err(ScenarioError::BadHorizon)
+        ));
+        assert!(matches!(
+            Scenario::generate(ScenarioConfig { mean_input_mbit: 0.0, ..ok }),
+            Err(ScenarioError::BadInputSize { .. })
+        ));
+        assert!(matches!(
+            Scenario::generate(ScenarioConfig { num_tasks: 55, ..ok }),
+            Err(ScenarioError::TooManyTasks { requested: 55, grid: 54 })
+        ));
+    }
+
+    #[test]
+    fn true_cop_matches_the_plant() {
+        let s = Scenario::generate(quick()).unwrap();
+        let spec = &s.tasks()[0];
+        let chiller = &s.plant(spec.building).chillers()[spec.chiller];
+        assert_eq!(s.true_cop(0, 200.0, 30.0), chiller.cop(200.0, 30.0));
+    }
+}

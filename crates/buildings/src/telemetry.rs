@@ -1,0 +1,138 @@
+//! Sensing records carrying the Table-I domain fields.
+//!
+//! Every decision slot in the history log yields one telemetry record per
+//! running chiller: the eight domain features of the paper's Table I
+//! (building, chiller model, operating power, weather condition, outdoor
+//! temperature, cooling load, chilled-water mass flow, water ΔT) plus the
+//! measured COP the learned models regress onto. The water-loop figures
+//! are derived from the load through the heat-balance relation
+//! `Q = ṁ · c_p · ΔT` with the plant's nominal ΔT schedule, then observed
+//! with sensor noise upstream (in the scenario generator) — a record itself
+//! is already "what the sensors said".
+
+use crate::chiller::Chiller;
+use crate::weather::WeatherSample;
+
+/// Specific heat capacity of water, kJ/(kg·K) — converts between cooling
+/// load, mass flow and water temperature difference.
+pub const WATER_CP: f64 = 4.186;
+
+/// One sensed operating point of one chiller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryRecord {
+    /// Building index the chiller belongs to.
+    pub building: usize,
+    /// Chiller index within the building's plant.
+    pub chiller: usize,
+    /// Day the record was logged.
+    pub day: u32,
+    /// Decision slot within the day.
+    pub slot: usize,
+    /// Weather at logging time.
+    pub weather: WeatherSample,
+    /// Cooling load served, kW.
+    pub load_kw: f64,
+    /// Electrical power drawn, kW (sensed; leaks the COP target).
+    pub power_kw: f64,
+    /// Chilled-water mass flow, kg/s.
+    pub flow_kg_s: f64,
+    /// Chilled-water temperature difference, °C.
+    pub delta_t_c: f64,
+    /// Measured COP — the regression target.
+    pub measured_cop: f64,
+}
+
+impl TelemetryRecord {
+    /// Number of domain features a record exposes (Table I's eight).
+    pub const NUM_DOMAIN_FEATURES: usize = 8;
+
+    /// Derives a record from an operating point. `measured_cop` is the
+    /// *sensed* COP (true COP plus whatever noise the caller injected);
+    /// power and the water loop are made consistent with it.
+    #[allow(clippy::too_many_arguments)] // mirrors the Table-I field list
+    pub fn from_operating_point(
+        building: usize,
+        chiller_index: usize,
+        chiller: &Chiller,
+        day: u32,
+        slot: usize,
+        weather: WeatherSample,
+        load_kw: f64,
+        measured_cop: f64,
+    ) -> Self {
+        let plr = chiller.plr(load_kw);
+        let delta_t_c = 4.0 + 2.0 * plr;
+        let flow_kg_s = load_kw / (WATER_CP * delta_t_c);
+        let power_kw = if measured_cop > 0.0 { load_kw / measured_cop } else { 0.0 };
+        Self {
+            building,
+            chiller: chiller_index,
+            day,
+            slot,
+            weather,
+            load_kw,
+            power_kw,
+            flow_kg_s,
+            delta_t_c,
+            measured_cop,
+        }
+    }
+
+    /// The Table-I domain feature vector, in the fixed order the rest of
+    /// the system assumes (operating power at index 2).
+    pub fn domain_features(&self, chiller: &Chiller) -> [f64; Self::NUM_DOMAIN_FEATURES] {
+        [
+            self.building as f64,
+            chiller.model().as_feature(),
+            self.power_kw,
+            self.weather.condition.as_feature(),
+            self.weather.outdoor_temp_c,
+            self.load_kw,
+            self.flow_kg_s,
+            self.delta_t_c,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chiller::ChillerModel;
+    use crate::weather::{WeatherCondition, WeatherSample};
+
+    fn record() -> (TelemetryRecord, Chiller) {
+        let c = Chiller::new(ChillerModel::Screw, 500.0, 5.4, 0.9, 0.008);
+        let w = WeatherSample { condition: WeatherCondition::Cloudy, outdoor_temp_c: 26.5 };
+        let r = TelemetryRecord::from_operating_point(1, 0, &c, 12, 2, w, 250.0, 5.0);
+        (r, c)
+    }
+
+    #[test]
+    fn water_loop_respects_heat_balance() {
+        let (r, _) = record();
+        // ΔT at plr 0.5 is 5 °C; Q = ṁ · c_p · ΔT must recover the load.
+        assert!((r.delta_t_c - 5.0).abs() < 1e-12);
+        assert!((r.flow_kg_s * WATER_CP * r.delta_t_c - r.load_kw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_matches_measured_cop() {
+        let (r, _) = record();
+        assert!((r.power_kw - 250.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_features_have_the_pinned_layout() {
+        let (r, c) = record();
+        let f = r.domain_features(&c);
+        assert_eq!(f.len(), TelemetryRecord::NUM_DOMAIN_FEATURES);
+        assert_eq!(f[0], 1.0); // building
+        assert_eq!(f[1], ChillerModel::Screw.as_feature());
+        assert_eq!(f[2], r.power_kw); // power at index 2 (stripped for training)
+        assert_eq!(f[3], WeatherCondition::Cloudy.as_feature());
+        assert_eq!(f[4], 26.5);
+        assert_eq!(f[5], 250.0);
+        assert_eq!(f[6], r.flow_kg_s);
+        assert_eq!(f[7], r.delta_t_c);
+    }
+}

@@ -64,7 +64,10 @@ impl fmt::Display for Violation {
                 write!(f, "processor {processor} time {total:.4}s exceeds limit {limit:.4}s")
             }
             Violation::ResourceExceeded { processor, total, capacity } => {
-                write!(f, "processor {processor} resource {total:.4} exceeds capacity {capacity:.4}")
+                write!(
+                    f,
+                    "processor {processor} resource {total:.4} exceeds capacity {capacity:.4}"
+                )
             }
         }
     }
@@ -126,11 +129,7 @@ impl Allocation {
     /// Panics if `tasks` has a different length than the allocation.
     pub fn total_importance(&self, tasks: &[EdgeTask]) -> f64 {
         assert_eq!(tasks.len(), self.placement.len(), "task/allocation length mismatch");
-        self.placement
-            .iter()
-            .zip(tasks)
-            .filter_map(|(p, t)| p.map(|_| t.importance()))
-            .sum()
+        self.placement.iter().zip(tasks).filter_map(|(p, t)| p.map(|_| t.importance())).sum()
     }
 
     /// Checks Eqs. (2)-(4) against tasks and fleet; returns every violation

@@ -65,8 +65,7 @@ mod tests {
     fn instance(n: usize, m: usize) -> TatimInstance {
         let tasks = (0..n)
             .map(|i| {
-                EdgeTask::new(TaskId(i), format!("t{i}"), (i as f64 + 1.0) * 1e6, 1.0, 0.5)
-                    .unwrap()
+                EdgeTask::new(TaskId(i), format!("t{i}"), (i as f64 + 1.0) * 1e6, 1.0, 0.5).unwrap()
             })
             .collect();
         let fleet = ProcessorFleet::new(

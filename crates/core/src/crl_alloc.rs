@@ -104,11 +104,7 @@ mod tests {
     fn config() -> CrlConfig {
         CrlConfig {
             episodes: 150,
-            dqn: DqnConfig {
-                hidden: vec![32],
-                epsilon_decay: 0.98,
-                ..DqnConfig::default()
-            },
+            dqn: DqnConfig { hidden: vec![32], epsilon_decay: 0.98, ..DqnConfig::default() },
             ..CrlConfig::default()
         }
     }
@@ -154,9 +150,6 @@ mod tests {
     #[test]
     fn empty_store_errors() {
         let mut alloc = CrlAllocator::new(config());
-        assert!(matches!(
-            alloc.allocate(&instance(3), &[0.0]),
-            Err(CrlError::EmptyStore)
-        ));
+        assert!(matches!(alloc.allocate(&instance(3), &[0.0]), Err(CrlError::EmptyStore)));
     }
 }

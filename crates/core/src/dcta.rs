@@ -270,8 +270,7 @@ mod tests {
     /// Local process trained so tasks with feature-0 > 0.5 are selected.
     fn local() -> LocalProcess {
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64 / 10.0]).collect();
-        let labels: Vec<f64> =
-            rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { -1.0 }).collect();
         LocalProcess::train(rows, labels, LocalModelKind::Svm, 0).unwrap()
     }
 
@@ -308,8 +307,7 @@ mod tests {
         let inst = instance(n, 1.0);
         let mut dcta = DctaAllocator::new(crl(n, 1), local(), 0.5, 0.5).unwrap();
         // Local features favour task 3 (feature 0.9), CRL favours task 1.
-        let rows: Vec<Vec<f64>> =
-            vec![vec![0.1], vec![0.2], vec![0.3], vec![0.9]];
+        let rows: Vec<Vec<f64>> = vec![vec![0.1], vec![0.2], vec![0.3], vec![0.9]];
         let out = dcta.allocate(&inst, &[0.0], &rows).unwrap();
         assert_eq!(out.combined_scores.len(), n);
         // Task 3 gets local support; task 1 general support — both should
@@ -359,11 +357,7 @@ mod tests {
         let mut dcta = DctaAllocator::new(crl(n, 0), local(), 0.0, 1.0).unwrap();
         let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![0.95], vec![0.1], vec![0.2]];
         let out = dcta.allocate(&inst, &[0.0], &rows).unwrap();
-        let max = out
-            .combined_scores
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = out.combined_scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(out.combined_scores[1], max);
         assert!(out.allocation.processor_of(1).is_some());
     }

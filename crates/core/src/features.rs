@@ -121,7 +121,13 @@ pub fn local_features(
         .expect("task band within configured range");
     let cop_hat = models.predict(
         t,
-        &prediction_features(spec.building, chiller.model(), chiller.capacity_kw(), &day.weather, load),
+        &prediction_features(
+            spec.building,
+            chiller.model(),
+            chiller.capacity_kw(),
+            &day.weather,
+            load,
+        ),
     );
     let plr = load / chiller.capacity_kw();
     let delta_t = 4.0 + 2.0 * plr;

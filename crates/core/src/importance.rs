@@ -357,9 +357,7 @@ impl<'a> ImportanceEvaluator<'a> {
                 let Ok(candidates) = plant.sequencing_candidates(demand) else {
                     continue;
                 };
-                let Some(all_on) = candidates
-                    .into_iter()
-                    .max_by_key(|s| s.running().count())
+                let Some(all_on) = candidates.into_iter().max_by_key(|s| s.running().count())
                 else {
                     continue;
                 };
@@ -516,10 +514,7 @@ mod tests {
         }
         // …and must beat it in aggregate: on days where rankings are
         // fragile, COP knowledge is what rescues the decision.
-        assert!(
-            sum_all > sum_none + 0.1,
-            "aggregate H(all) {sum_all} vs H(none) {sum_none}"
-        );
+        assert!(sum_all > sum_none + 0.1, "aggregate H(all) {sum_all} vs H(none) {sum_none}");
     }
 
     #[test]
@@ -557,9 +552,7 @@ mod tests {
         // Obs. 3: the important set is not constant.
         let sets: Vec<Vec<usize>> = matrix
             .iter()
-            .map(|row| {
-                row.iter().enumerate().filter(|(_, &v)| v > 1e-9).map(|(t, _)| t).collect()
-            })
+            .map(|row| row.iter().enumerate().filter(|(_, &v)| v > 1e-9).map(|(t, _)| t).collect())
             .collect();
         assert!(sets.windows(2).any(|w| w[0] != w[1]), "importance sets identical every day");
     }

@@ -303,8 +303,7 @@ mod tests {
         for r in &mut rows {
             r[2] *= 1000.0;
         }
-        let lp = LocalProcess::train(rows.clone(), labels.clone(), LocalModelKind::Svm, 0)
-            .unwrap();
+        let lp = LocalProcess::train(rows.clone(), labels.clone(), LocalModelKind::Svm, 0).unwrap();
         assert!(lp.accuracy(&rows, &labels).unwrap() > 0.85);
     }
 }

@@ -243,7 +243,10 @@ impl Pipeline {
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
-    pub fn prepare<'a>(&self, scenario: &'a Scenario) -> Result<PreparedPipeline<'a>, PipelineError> {
+    pub fn prepare<'a>(
+        &self,
+        scenario: &'a Scenario,
+    ) -> Result<PreparedPipeline<'a>, PipelineError> {
         let cfg = &self.config;
         if scenario.days().len() <= cfg.env_history_days {
             return Err(PipelineError::TooFewDays {
@@ -294,8 +297,7 @@ impl Pipeline {
             crl.observe(day.sensing.clone(), imp.clone())?;
             // Optimal selection labels from the greedy oracle.
             let (opt, _) = base.with_importances(imp).solve_greedy()?;
-            let selected: Vec<bool> =
-                (0..n).map(|j| opt.processor_of(j).is_some()).collect();
+            let selected: Vec<bool> = (0..n).map(|j| opt.processor_of(j).is_some()).collect();
             for j in 0..n {
                 local_rows.push(local_features(scenario, &models, &history, day, j));
                 local_labels.push(if selected[j] { 1.0 } else { -1.0 });
@@ -337,8 +339,7 @@ impl Pipeline {
         // DCTA's internal CRL shares the same history.
         let mut dcta = dcta;
         for d in 0..cfg.env_history_days {
-            dcta.crl_mut()
-                .observe(scenario.day(d).sensing.clone(), true_importances[d].clone())?;
+            dcta.crl_mut().observe(scenario.day(d).sensing.clone(), true_importances[d].clone())?;
         }
 
         Ok(PreparedPipeline {
@@ -474,16 +475,13 @@ impl<'a> PreparedPipeline<'a> {
             Method::ExactOracle => {
                 let instance = blind.with_importances(&self.true_importances[day]);
                 let problem = instance.to_knapsack()?;
-                let sol = knapsack::exact::BranchAndBound::with_node_limit(200_000)
-                    .solve(&problem);
+                let sol = knapsack::exact::BranchAndBound::with_node_limit(200_000).solve(&problem);
                 instance.allocation_from_packing(&sol.packing)
             }
             Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
             Method::Dcta => {
                 let rows: Vec<Vec<f64>> = (0..self.tasks.len())
-                    .map(|j| {
-                        local_features(self.scenario, &self.models, &self.history, ctx, j)
-                    })
+                    .map(|j| local_features(self.scenario, &self.models, &self.history, ctx, j))
                     .collect();
                 self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
             }
@@ -679,14 +677,8 @@ mod tests {
     fn bad_day_rejected() {
         let s = small_scenario();
         let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
-        assert!(matches!(
-            prepared.run_day(Method::Dml, 0),
-            Err(PipelineError::BadDay { .. })
-        ));
-        assert!(matches!(
-            prepared.run_day(Method::Dml, 999),
-            Err(PipelineError::BadDay { .. })
-        ));
+        assert!(matches!(prepared.run_day(Method::Dml, 0), Err(PipelineError::BadDay { .. })));
+        assert!(matches!(prepared.run_day(Method::Dml, 999), Err(PipelineError::BadDay { .. })));
     }
 
     #[test]
@@ -703,7 +695,8 @@ mod tests {
         let mut oracle_total = 0.0;
         let mut dcta_total = 0.0;
         for day in prepared.test_days() {
-            oracle_total += prepared.run_day(Method::GreedyOracle, day).unwrap().captured_importance;
+            oracle_total +=
+                prepared.run_day(Method::GreedyOracle, day).unwrap().captured_importance;
             dcta_total += prepared.run_day(Method::Dcta, day).unwrap().captured_importance;
         }
         assert!(oracle_total + 1e-9 >= dcta_total * 0.8, "oracle {oracle_total} dcta {dcta_total}");

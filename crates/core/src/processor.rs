@@ -97,9 +97,7 @@ impl ProcessorFleet {
                 limits: time_limits_s.len(),
             });
         }
-        if let Some(&bad) =
-            time_limits_s.iter().find(|&&t| !(t.is_finite() && t > 0.0))
-        {
+        if let Some(&bad) = time_limits_s.iter().find(|&&t| !(t.is_finite() && t > 0.0)) {
             return Err(FleetError::BadTimeLimit { time_limit_s: bad });
         }
         Ok(Self { processors, time_limits_s })
@@ -212,10 +210,7 @@ mod tests {
     fn validation() {
         assert!(matches!(ProcessorFleet::new(vec![], 1.0), Err(FleetError::Empty)));
         let p = Processor { node: NodeId(1), capacity: 1.0, seconds_per_bit: 1e-7 };
-        assert!(matches!(
-            ProcessorFleet::new(vec![p], 0.0),
-            Err(FleetError::BadTimeLimit { .. })
-        ));
+        assert!(matches!(ProcessorFleet::new(vec![p], 0.0), Err(FleetError::BadTimeLimit { .. })));
         assert!(matches!(
             ProcessorFleet::new(vec![p], f64::INFINITY),
             Err(FleetError::BadTimeLimit { .. })

@@ -97,11 +97,8 @@ mod tests {
     #[test]
     fn shapley_bounded_and_shaped() {
         let s = scenario();
-        let m = CopModels::train(
-            &s,
-            MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-        )
-        .unwrap();
+        let m = CopModels::train(&s, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })
+            .unwrap();
         let ev = ImportanceEvaluator::new(&s, &m);
         let mut rng = StdRng::seed_from_u64(3);
         let phi = shapley_importances(&ev, s.day(0), 8, &mut rng).unwrap();
@@ -114,11 +111,8 @@ mod tests {
         // Substitutability means the leave-one-out total is a lower bound
         // (up to sampling noise) on the Shapley total.
         let s = scenario();
-        let m = CopModels::train(
-            &s,
-            MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-        )
-        .unwrap();
+        let m = CopModels::train(&s, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })
+            .unwrap();
         let ev = ImportanceEvaluator::new(&s, &m);
         let mut rng = StdRng::seed_from_u64(4);
         let mut total_loo = 0.0;
@@ -128,29 +122,20 @@ mod tests {
             total_shapley +=
                 shapley_importances(&ev, day, 10, &mut rng).unwrap().iter().sum::<f64>();
         }
-        assert!(
-            total_shapley >= total_loo * 0.8,
-            "shapley {total_shapley} vs loo {total_loo}"
-        );
+        assert!(total_shapley >= total_loo * 0.8, "shapley {total_shapley} vs loo {total_loo}");
     }
 
     #[test]
     fn efficiency_approximately_holds() {
         let s = scenario();
-        let m = CopModels::train(
-            &s,
-            MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-        )
-        .unwrap();
+        let m = CopModels::train(&s, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })
+            .unwrap();
         let ev = ImportanceEvaluator::new(&s, &m);
         let mut rng = StdRng::seed_from_u64(5);
         let phi = shapley_importances(&ev, s.day(1), 20, &mut rng).unwrap();
         let (sum, target) = efficiency_gap(&ev, s.day(1), &phi).unwrap();
         // Clamping at zero can only push the sum above the signed target.
-        assert!(
-            sum + 1e-9 >= target - 0.05,
-            "efficiency violated: sum {sum} target {target}"
-        );
+        assert!(sum + 1e-9 >= target - 0.05, "efficiency violated: sum {sum} target {target}");
     }
 
     #[test]

@@ -62,9 +62,11 @@ impl EdgeTask {
         resource_demand: f64,
         importance: f64,
     ) -> Result<Self, TaskError> {
-        for (field, value) in
-            [("input_bits", input_bits), ("resource_demand", resource_demand), ("importance", importance)]
-        {
+        for (field, value) in [
+            ("input_bits", input_bits),
+            ("resource_demand", resource_demand),
+            ("importance", importance),
+        ] {
             if !(value.is_finite() && value >= 0.0) {
                 return Err(TaskError { field, value });
             }

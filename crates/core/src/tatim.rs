@@ -149,9 +149,7 @@ impl TatimInstance {
             times: self.tasks.iter().map(EdgeTask::reference_time_s).collect(),
             resources: self.tasks.iter().map(EdgeTask::resource_demand).collect(),
             time_limit: self.fleet.time_limit_s(),
-            time_limits: Some(
-                (0..self.fleet.len()).map(|p| self.fleet.time_limit_of(p)).collect(),
-            ),
+            time_limits: Some((0..self.fleet.len()).map(|p| self.fleet.time_limit_of(p)).collect()),
             capacities: self.fleet.capacities(),
         }
     }
@@ -272,8 +270,7 @@ mod heterogeneous_tests {
         // processor 1 (the SVII "powerful node") for two.
         let tasks: Vec<EdgeTask> = (0..3)
             .map(|i| {
-                EdgeTask::new(TaskId(i), format!("t{i}"), 1e6, 1.0, 0.5 + 0.1 * i as f64)
-                    .unwrap()
+                EdgeTask::new(TaskId(i), format!("t{i}"), 1e6, 1.0, 0.5 + 0.1 * i as f64).unwrap()
             })
             .collect();
         let procs = vec![

@@ -76,7 +76,11 @@ impl Cluster {
     ///
     /// [`ClusterError::TooFewNodes`] for fewer than 2 nodes,
     /// [`ClusterError::DuplicateNode`] for repeated ids.
-    pub fn new(nodes: Vec<Node>, network: StarNetwork, controller: NodeId) -> Result<Self, ClusterError> {
+    pub fn new(
+        nodes: Vec<Node>,
+        network: StarNetwork,
+        controller: NodeId,
+    ) -> Result<Self, ClusterError> {
         if nodes.len() < 2 {
             return Err(ClusterError::TooFewNodes { got: nodes.len() });
         }

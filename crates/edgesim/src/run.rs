@@ -208,11 +208,7 @@ impl SimReport {
     /// Completion time of the latest task, before decision overhead; equals
     /// partition overhead when nothing was scheduled.
     pub fn makespan(&self) -> f64 {
-        self.timelines
-            .iter()
-            .flatten()
-            .map(|t| t.result_at)
-            .fold(0.0, f64::max)
+        self.timelines.iter().flatten().map(|t| t.result_at).fold(0.0, f64::max)
     }
 }
 
@@ -398,10 +394,8 @@ mod tests {
     #[test]
     fn same_node_tasks_serialize_different_nodes_parallelize() {
         let c = Cluster::paper_testbed().unwrap();
-        let tasks = vec![
-            SimTask::new(1e6, 0.0, 1.0).unwrap(),
-            SimTask::new(1e6, 0.0, 1.0).unwrap(),
-        ];
+        let tasks =
+            vec![SimTask::new(1e6, 0.0, 1.0).unwrap(), SimTask::new(1e6, 0.0, 1.0).unwrap()];
         // Both on node 1.
         let mut serial = NodeAssignment::empty(2);
         serial.assign(0, Some(NodeId(1)));
@@ -424,7 +418,11 @@ mod tests {
             &c,
             &tasks,
             &a,
-            SimConfig { partition_overhead_s: 0.5, decision_overhead_s: 0.25, enforce_capacity: true },
+            SimConfig {
+                partition_overhead_s: 0.5,
+                decision_overhead_s: 0.25,
+                enforce_capacity: true,
+            },
         )
         .unwrap();
         assert!((r.processing_time - 0.75).abs() < 1e-12);
@@ -438,10 +436,7 @@ mod tests {
         let tasks = vec![SimTask::new(1.0, 0.0, cap + 1.0).unwrap()];
         let mut a = NodeAssignment::empty(1);
         a.assign(0, Some(NodeId(1)));
-        assert!(matches!(
-            simulate(&c, &tasks, &a, cfg()),
-            Err(SimError::OverCapacity { .. })
-        ));
+        assert!(matches!(simulate(&c, &tasks, &a, cfg()), Err(SimError::OverCapacity { .. })));
         // Disabled enforcement lets it through.
         let relaxed = SimConfig { enforce_capacity: false, ..cfg() };
         assert!(simulate(&c, &tasks, &a, relaxed).is_ok());
@@ -495,10 +490,8 @@ mod tests {
     #[test]
     fn busy_accounting_sums_durations() {
         let c = Cluster::paper_testbed().unwrap();
-        let tasks = vec![
-            SimTask::new(1e6, 1e4, 1.0).unwrap(),
-            SimTask::new(2e6, 1e4, 1.0).unwrap(),
-        ];
+        let tasks =
+            vec![SimTask::new(1e6, 1e4, 1.0).unwrap(), SimTask::new(2e6, 1e4, 1.0).unwrap()];
         let mut a = NodeAssignment::empty(2);
         a.assign(0, Some(NodeId(2)));
         a.assign(1, Some(NodeId(2)));
@@ -552,9 +545,7 @@ mod medium_tests {
                 )
             })
             .collect();
-        let net = StarNetwork::uniform(1e6, 0.0)
-            .unwrap()
-            .with_medium(MediumMode::SharedMedium);
+        let net = StarNetwork::uniform(1e6, 0.0).unwrap().with_medium(MediumMode::SharedMedium);
         Cluster::new(nodes, net, NodeId(0)).unwrap()
     }
 
@@ -563,22 +554,21 @@ mod medium_tests {
         let per_link = Cluster::paper_testbed().unwrap();
         let shared = shared_cluster();
         // Three transfer-heavy tasks on three different nodes.
-        let tasks: Vec<SimTask> =
-            (0..3).map(|_| SimTask::new(1e6, 0.0, 1.0).unwrap()).collect();
+        let tasks: Vec<SimTask> = (0..3).map(|_| SimTask::new(1e6, 0.0, 1.0).unwrap()).collect();
         let mut a = NodeAssignment::empty(3);
         for i in 0..3 {
             a.assign(i, Some(NodeId(i + 1)));
         }
-        let cfg = SimConfig { partition_overhead_s: 0.0, decision_overhead_s: 0.0, enforce_capacity: false };
+        let cfg = SimConfig {
+            partition_overhead_s: 0.0,
+            decision_overhead_s: 0.0,
+            enforce_capacity: false,
+        };
         let r_shared = simulate(&shared, &tasks, &a, cfg).unwrap();
         // Under the shared medium, input transfers cannot overlap: the last
         // task's compute cannot start before 3 transfer times have elapsed.
-        let third_start = r_shared
-            .timelines
-            .iter()
-            .flatten()
-            .map(|t| t.compute_start)
-            .fold(0.0f64, f64::max);
+        let third_start =
+            r_shared.timelines.iter().flatten().map(|t| t.compute_start).fold(0.0f64, f64::max);
         let one_transfer = shared.network().transfer_time(NodeId(1), 1e6);
         assert!(
             third_start >= 3.0 * one_transfer - 1e-9,
@@ -587,12 +577,8 @@ mod medium_tests {
         );
         // Per-node links let them overlap.
         let r_par = simulate(&per_link, &tasks, &a, cfg).unwrap();
-        let par_third = r_par
-            .timelines
-            .iter()
-            .flatten()
-            .map(|t| t.compute_start)
-            .fold(0.0f64, f64::max);
+        let par_third =
+            r_par.timelines.iter().flatten().map(|t| t.compute_start).fold(0.0f64, f64::max);
         let par_one = per_link.network().transfer_time(NodeId(1), 1e6);
         assert!(par_third < 2.0 * par_one, "per-link transfers did not overlap");
     }
@@ -604,8 +590,7 @@ mod medium_tests {
         let mut per_link_cluster = shared_cluster();
         *per_link_cluster.network_mut() =
             StarNetwork::uniform(1e6, 0.0).unwrap().with_medium(MediumMode::PerNodeLink);
-        let tasks: Vec<SimTask> =
-            (0..3).map(|_| SimTask::new(1e6, 1e4, 1.0).unwrap()).collect();
+        let tasks: Vec<SimTask> = (0..3).map(|_| SimTask::new(1e6, 1e4, 1.0).unwrap()).collect();
         let mut a = NodeAssignment::empty(3);
         for i in 0..3 {
             a.assign(i, Some(NodeId(1)));

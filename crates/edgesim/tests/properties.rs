@@ -7,20 +7,19 @@ use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
 use proptest::prelude::*;
 
 fn workload() -> impl Strategy<Value = (Vec<SimTask>, NodeAssignment)> {
-    prop::collection::vec((1e4f64..1e8, 0.0f64..1e5, prop::option::of(1usize..10)), 1..20)
-        .prop_map(|specs| {
+    prop::collection::vec((1e4f64..1e8, 0.0f64..1e5, prop::option::of(1usize..10)), 1..20).prop_map(
+        |specs| {
             let tasks: Vec<SimTask> = specs
                 .iter()
-                .map(|&(bits, result, _)| {
-                    SimTask::new(bits, result, 0.0).expect("valid ranges")
-                })
+                .map(|&(bits, result, _)| SimTask::new(bits, result, 0.0).expect("valid ranges"))
                 .collect();
             let mut assignment = NodeAssignment::empty(tasks.len());
             for (i, &(_, _, node)) in specs.iter().enumerate() {
                 assignment.assign(i, node.map(NodeId));
             }
             (tasks, assignment)
-        })
+        },
+    )
 }
 
 fn config() -> SimConfig {

@@ -52,14 +52,10 @@ pub fn upper_bound_subset(
     aggregate_weight: f64,
     aggregate_volume: f64,
 ) -> f64 {
-    let w_items: Vec<(f64, f64)> = indices
-        .iter()
-        .map(|&i| (problem.items()[i].weight, problem.items()[i].profit))
-        .collect();
-    let v_items: Vec<(f64, f64)> = indices
-        .iter()
-        .map(|&i| (problem.items()[i].volume, problem.items()[i].profit))
-        .collect();
+    let w_items: Vec<(f64, f64)> =
+        indices.iter().map(|&i| (problem.items()[i].weight, problem.items()[i].profit)).collect();
+    let v_items: Vec<(f64, f64)> =
+        indices.iter().map(|&i| (problem.items()[i].volume, problem.items()[i].profit)).collect();
     let wb = fractional_bound(&w_items, aggregate_weight.max(0.0));
     let vb = fractional_bound(&v_items, aggregate_volume.max(0.0));
     wb.min(vb)
@@ -94,10 +90,7 @@ mod tests {
     #[test]
     fn tight_on_single_constraint_fit() {
         // Weight binds: capacity 3 of weight, items of weight 2 each.
-        let p = problem(
-            vec![(2.0, 0.0, 6.0), (2.0, 0.0, 6.0)],
-            vec![(3.0, 10.0)],
-        );
+        let p = problem(vec![(2.0, 0.0, 6.0), (2.0, 0.0, 6.0)], vec![(3.0, 10.0)]);
         // Fractional: 6 + 6 * (1/2) = 9.
         assert!((upper_bound(&p) - 9.0).abs() < 1e-12);
     }

@@ -260,11 +260,9 @@ mod tests {
 
     #[test]
     fn dp_errors() {
-        let p = Problem::new(
-            vec![],
-            vec![Sack::new(1.0, 1.0).unwrap(), Sack::new(1.0, 1.0).unwrap()],
-        )
-        .unwrap();
+        let p =
+            Problem::new(vec![], vec![Sack::new(1.0, 1.0).unwrap(), Sack::new(1.0, 1.0).unwrap()])
+                .unwrap();
         assert!(matches!(
             single_sack_weight_dp(&p, 1.0, 1 << 20),
             Err(DpError::MultipleSacks { got: 2 })
@@ -274,10 +272,7 @@ mod tests {
             single_sack_weight_dp(&p1, 0.0, 1 << 20),
             Err(DpError::BadResolution { .. })
         ));
-        assert!(matches!(
-            single_sack_2d_dp(&p1, 0.001, 10),
-            Err(DpError::GridTooLarge { .. })
-        ));
+        assert!(matches!(single_sack_2d_dp(&p1, 0.001, 10), Err(DpError::GridTooLarge { .. })));
     }
 
     #[test]

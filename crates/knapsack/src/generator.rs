@@ -96,8 +96,10 @@ mod tests {
     #[test]
     fn respects_requested_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let p = generate(GeneratorConfig { num_items: 30, num_sacks: 4, ..Default::default() },
-            &mut rng);
+        let p = generate(
+            GeneratorConfig { num_items: 30, num_sacks: 4, ..Default::default() },
+            &mut rng,
+        );
         assert_eq!(p.num_items(), 30);
         assert_eq!(p.num_sacks(), 4);
     }

@@ -38,9 +38,9 @@ pub fn greedy(problem: &Problem) -> Solution {
     order.sort_by(|&a, &b| {
         let da = problem.items()[a].density(total_w, total_v);
         let db = problem.items()[b].density(total_w, total_v);
-        db.partial_cmp(&da)
-            .expect("densities comparable")
-            .then(problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"))
+        db.partial_cmp(&da).expect("densities comparable").then(
+            problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"),
+        )
     });
 
     let mut packing = Packing::empty(n);
@@ -166,7 +166,9 @@ mod tests {
             let n = rng.gen_range(0..30);
             let m = rng.gen_range(1..6);
             let items: Vec<(f64, f64, f64)> = (0..n)
-                .map(|_| (rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0), rng.gen_range(0.0..1.0)))
+                .map(|_| {
+                    (rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0), rng.gen_range(0.0..1.0))
+                })
                 .collect();
             let sacks: Vec<(f64, f64)> =
                 (0..m).map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect();
@@ -235,10 +237,7 @@ mod tests {
         // Best-fit puts the small item in the small sack so the large item
         // still fits in the large sack. (First-fit into the large sack
         // would lose profit 10.)
-        let p = problem(
-            vec![(1.0, 0.0, 10.0), (4.0, 0.0, 10.0)],
-            vec![(4.0, 0.0), (1.0, 0.0)],
-        );
+        let p = problem(vec![(1.0, 0.0, 10.0), (4.0, 0.0, 10.0)], vec![(4.0, 0.0), (1.0, 0.0)]);
         let s = greedy(&p);
         assert_eq!(s.profit, 20.0);
     }

@@ -267,11 +267,8 @@ impl Packing {
     /// Panics if the packing length disagrees with the problem.
     pub fn residual_capacities(&self, problem: &Problem) -> Vec<(f64, f64)> {
         assert_eq!(self.placement.len(), problem.num_items(), "packing/problem size mismatch");
-        let mut residual: Vec<(f64, f64)> = problem
-            .sacks()
-            .iter()
-            .map(|s| (s.weight_capacity, s.volume_capacity))
-            .collect();
+        let mut residual: Vec<(f64, f64)> =
+            problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect();
         for (i, p) in self.placement.iter().enumerate() {
             if let Some(s) = *p {
                 residual[s].0 -= problem.items()[i].weight;

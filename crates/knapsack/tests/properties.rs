@@ -11,8 +11,8 @@ use proptest::prelude::*;
 fn small_problem() -> impl Strategy<Value = Problem> {
     let item = (0.0f64..5.0, 0.0f64..5.0, 0.0f64..1.0)
         .prop_map(|(w, v, p)| Item::new(w, v, p).expect("valid ranges"));
-    let sack = (0.0f64..10.0, 0.0f64..10.0)
-        .prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
+    let sack =
+        (0.0f64..10.0, 0.0f64..10.0).prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
     (prop::collection::vec(item, 0..8), prop::collection::vec(sack, 1..4))
         .prop_map(|(items, sacks)| Problem::new(items, sacks).expect("sacks non-empty"))
 }
@@ -20,8 +20,8 @@ fn small_problem() -> impl Strategy<Value = Problem> {
 fn medium_problem() -> impl Strategy<Value = Problem> {
     let item = (0.0f64..5.0, 0.0f64..5.0, 0.0f64..1.0)
         .prop_map(|(w, v, p)| Item::new(w, v, p).expect("valid ranges"));
-    let sack = (0.0f64..12.0, 0.0f64..12.0)
-        .prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
+    let sack =
+        (0.0f64..12.0, 0.0f64..12.0).prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
     (prop::collection::vec(item, 0..25), prop::collection::vec(sack, 1..6))
         .prop_map(|(items, sacks)| Problem::new(items, sacks).expect("sacks non-empty"))
 }

@@ -178,8 +178,7 @@ impl AdaBoost {
 fn best_stump(data: &Dataset, w: &[f64]) -> (Stump, f64) {
     let d = data.num_features();
     let n = data.len();
-    let mut best =
-        (Stump { feature: 0, threshold: 0.0, polarity: 1.0, alpha: 0.0 }, f64::INFINITY);
+    let mut best = (Stump { feature: 0, threshold: 0.0, polarity: 1.0, alpha: 0.0 }, f64::INFINITY);
     for feat in 0..d {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {

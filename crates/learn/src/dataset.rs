@@ -123,8 +123,7 @@ impl Dataset {
     ///
     /// Panics if any index is out of bounds.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let rows: Vec<Vec<f64>> =
-            indices.iter().map(|&i| self.features.row(i).to_vec()).collect();
+        let rows: Vec<Vec<f64>> = indices.iter().map(|&i| self.features.row(i).to_vec()).collect();
         let targets: Vec<f64> = indices.iter().map(|&i| self.targets[i]).collect();
         if rows.is_empty() {
             // An empty subset keeps the feature arity so learners can
@@ -352,8 +351,7 @@ mod tests {
 
     #[test]
     fn standardizer_constant_feature_no_nan() {
-        let ds =
-            Dataset::from_rows(vec![vec![5.0, 1.0], vec![5.0, 2.0]], vec![0.0, 1.0]).unwrap();
+        let ds = Dataset::from_rows(vec![vec![5.0, 1.0], vec![5.0, 2.0]], vec![0.0, 1.0]).unwrap();
         let st = Standardizer::fit(&ds);
         let t = st.transform(&[5.0, 1.5]);
         assert!(t.iter().all(|v| v.is_finite()));

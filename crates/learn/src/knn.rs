@@ -144,7 +144,10 @@ impl KnnIndex {
             .map(|(index, p)| Neighbor { index, distance: euclidean_distance(query, p) })
             .collect();
         hits.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).expect("finite distances").then(a.index.cmp(&b.index))
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.index.cmp(&b.index))
         });
         hits.truncate(k);
         Ok(hits)
@@ -210,13 +213,7 @@ mod tests {
     use super::*;
 
     fn grid() -> KnnIndex {
-        KnnIndex::new(vec![
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![5.0, 5.0],
-        ])
-        .unwrap()
+        KnnIndex::new(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0]]).unwrap()
     }
 
     #[test]

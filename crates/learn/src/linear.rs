@@ -224,11 +224,8 @@ mod tests {
     #[test]
     fn ridge_handles_underdetermined() {
         // 2 samples, 3 features: OLS is singular; ridge is not.
-        let ds = Dataset::from_rows(
-            vec![vec![1.0, 0.0, 2.0], vec![0.0, 1.0, 1.0]],
-            vec![1.0, 2.0],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0, 0.0, 2.0], vec![0.0, 1.0, 1.0]], vec![1.0, 2.0])
+            .unwrap();
         assert!(matches!(RidgeRegression::new(0.0).fit(&ds), Err(FitError::Singular)));
         assert!(RidgeRegression::new(0.1).fit(&ds).is_ok());
     }
@@ -242,10 +239,7 @@ mod tests {
     #[test]
     fn predict_checks_arity() {
         let m = LinearModel::from_parts(vec![1.0, 2.0], 0.0);
-        assert!(matches!(
-            m.predict(&[1.0]),
-            Err(FitError::ArityMismatch { expected: 2, got: 1 })
-        ));
+        assert!(matches!(m.predict(&[1.0]), Err(FitError::ArityMismatch { expected: 2, got: 1 })));
     }
 
     #[test]

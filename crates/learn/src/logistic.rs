@@ -224,16 +224,12 @@ mod tests {
     #[test]
     fn l2_shrinks_weights() {
         let ds = blobs(100, 3);
-        let free = LogisticRegression::fit(
-            &ds,
-            LogisticConfig { l2: 0.0, ..LogisticConfig::default() },
-        )
-        .unwrap();
-        let shrunk = LogisticRegression::fit(
-            &ds,
-            LogisticConfig { l2: 10.0, ..LogisticConfig::default() },
-        )
-        .unwrap();
+        let free =
+            LogisticRegression::fit(&ds, LogisticConfig { l2: 0.0, ..LogisticConfig::default() })
+                .unwrap();
+        let shrunk =
+            LogisticRegression::fit(&ds, LogisticConfig { l2: 10.0, ..LogisticConfig::default() })
+                .unwrap();
         assert!(shrunk.weights()[0].abs() < free.weights()[0].abs());
     }
 

@@ -69,7 +69,9 @@ pub enum NetworkError {
 impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetworkError::TooFewLayers => write!(f, "network needs at least input and output sizes"),
+            NetworkError::TooFewLayers => {
+                write!(f, "network needs at least input and output sizes")
+            }
             NetworkError::ZeroWidth => write!(f, "layer width must be at least 1"),
             NetworkError::ArityMismatch { expected, got } => {
                 write!(f, "expected a vector of length {expected}, got {got}")
@@ -184,10 +186,7 @@ impl Mlp {
 
     /// Total number of trainable parameters.
     pub fn num_parameters(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.weights.rows() * l.weights.cols() + l.bias.len())
-            .sum()
+        self.layers.iter().map(|l| l.weights.rows() * l.weights.cols() + l.bias.len()).sum()
     }
 
     /// Forward pass.
@@ -205,11 +204,8 @@ impl Mlp {
         let mut act = input.to_vec();
         for layer in &self.layers {
             let z = layer.weights.matvec(&act).expect("sizes consistent by construction");
-            act = z
-                .iter()
-                .zip(&layer.bias)
-                .map(|(&zi, &b)| layer.activation.apply(zi + b))
-                .collect();
+            act =
+                z.iter().zip(&layer.bias).map(|(&zi, &b)| layer.activation.apply(zi + b)).collect();
         }
         Ok(act)
     }
@@ -308,8 +304,7 @@ impl Mlp {
             }
             let (pres, acts) = self.forward_trace(x);
             let out = acts.last().expect("non-empty");
-            total_loss +=
-                out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / 2.0;
+            total_loss += out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / 2.0;
 
             // delta at output: (out - y) ⊙ σ'(z)
             let mut delta: Vec<f64> = out
@@ -587,8 +582,7 @@ mod tests {
     #[test]
     fn adam_fits_xor() {
         let mut net = Mlp::new(&[2, 12, 1], Activation::Tanh, &mut rng(4)).unwrap();
-        let inputs =
-            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let inputs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let targets = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
         let mut opt = AdamOptimizer::new(0.01);
         for _ in 0..2000 {
@@ -617,10 +611,7 @@ mod tests {
     fn empty_batch_rejected() {
         let mut net = Mlp::new(&[1, 1], Activation::Relu, &mut rng(8)).unwrap();
         let mut opt = SgdOptimizer::new(0.1, 0.0);
-        assert!(matches!(
-            net.train_batch(&[], &[], &mut opt),
-            Err(NetworkError::EmptyBatch)
-        ));
+        assert!(matches!(net.train_batch(&[], &[], &mut opt), Err(NetworkError::EmptyBatch)));
         assert!(net.loss(&[], &[]).is_err());
     }
 

@@ -221,10 +221,7 @@ mod tests {
         for _ in 0..n {
             let y: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             // Clusters at (±2, ±2) with small jitter.
-            rows.push(vec![
-                2.0 * y + rng.gen_range(-0.5..0.5),
-                2.0 * y + rng.gen_range(-0.5..0.5),
-            ]);
+            rows.push(vec![2.0 * y + rng.gen_range(-0.5..0.5), 2.0 * y + rng.gen_range(-0.5..0.5)]);
             ys.push(y);
         }
         Dataset::from_rows(rows, ys).unwrap()

@@ -209,23 +209,22 @@ impl MtlSystem {
             }
         };
 
-        let models = if config.transfer_strength <= 0.0
-            || matches!(config.mode, MtlMode::Independent)
-        {
-            base
-        } else {
-            let mut refined = Vec::with_capacity(tasks.len());
-            for (i, t) in tasks.iter().enumerate() {
-                let prior = blended_prior(i, &base, &similarity, &groups);
-                let model = match prior {
-                    Some(p) => fit_biased_ridge(&t.data, config.transfer_strength, Some(&p))
-                        .map_err(|source| MtlError::TaskFit { task: i, source })?,
-                    None => base[i].clone(),
-                };
-                refined.push(model);
-            }
-            refined
-        };
+        let models =
+            if config.transfer_strength <= 0.0 || matches!(config.mode, MtlMode::Independent) {
+                base
+            } else {
+                let mut refined = Vec::with_capacity(tasks.len());
+                for (i, t) in tasks.iter().enumerate() {
+                    let prior = blended_prior(i, &base, &similarity, &groups);
+                    let model = match prior {
+                        Some(p) => fit_biased_ridge(&t.data, config.transfer_strength, Some(&p))
+                            .map_err(|source| MtlError::TaskFit { task: i, source })?,
+                        None => base[i].clone(),
+                    };
+                    refined.push(model);
+                }
+                refined
+            };
 
         Ok(Self {
             models,
@@ -566,14 +565,9 @@ mod tests {
 
     #[test]
     fn errors_on_bad_task_sets() {
-        assert!(matches!(
-            MtlSystem::fit(&[], MtlConfig::default()),
-            Err(MtlError::NoTasks)
-        ));
-        let a = TransferTask::new(
-            "a",
-            Dataset::from_rows(vec![vec![1.0, 2.0]], vec![0.0]).unwrap(),
-        );
+        assert!(matches!(MtlSystem::fit(&[], MtlConfig::default()), Err(MtlError::NoTasks)));
+        let a =
+            TransferTask::new("a", Dataset::from_rows(vec![vec![1.0, 2.0]], vec![0.0]).unwrap());
         let b = TransferTask::new("b", Dataset::from_rows(vec![vec![1.0]], vec![0.0]).unwrap());
         assert!(matches!(
             MtlSystem::fit(&[a, b], MtlConfig::default()),

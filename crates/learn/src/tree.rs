@@ -57,15 +57,8 @@ impl Default for TreeConfig {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A fitted regression tree.
@@ -103,11 +96,7 @@ impl RegressionTree {
     /// # Errors
     ///
     /// [`TreeError::EmptyDataset`] when `data` has no samples.
-    pub fn fit(
-        data: &Dataset,
-        config: TreeConfig,
-        rng: &mut impl Rng,
-    ) -> Result<Self, TreeError> {
+    pub fn fit(data: &Dataset, config: TreeConfig, rng: &mut impl Rng) -> Result<Self, TreeError> {
         if data.is_empty() {
             return Err(TreeError::EmptyDataset);
         }
@@ -300,12 +289,7 @@ mod tests {
     fn two_dimensional_split_uses_informative_feature() {
         // Feature 0 is noise; feature 1 carries the signal.
         let ds = Dataset::from_rows(
-            vec![
-                vec![0.3, 0.0],
-                vec![0.9, 1.0],
-                vec![0.1, 10.0],
-                vec![0.7, 11.0],
-            ],
+            vec![vec![0.3, 0.0], vec![0.9, 1.0], vec![0.1, 10.0], vec![0.7, 11.0]],
             vec![1.0, 1.0, -1.0, -1.0],
         )
         .unwrap();
@@ -325,8 +309,7 @@ mod tests {
 
     #[test]
     fn identical_features_cannot_split() {
-        let ds =
-            Dataset::from_rows(vec![vec![1.0], vec![1.0]], vec![0.0, 10.0]).unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![1.0]], vec![0.0, 10.0]).unwrap();
         let tree = RegressionTree::fit(&ds, TreeConfig::default(), &mut rng()).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict(&[1.0]).unwrap(), 5.0);

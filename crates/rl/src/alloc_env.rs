@@ -79,7 +79,11 @@ impl AllocSpec {
             return Err(SpecError::NoProcessors);
         }
         let ok = |v: f64| v.is_finite() && v >= 0.0;
-        let all_ok = self.importances.iter().chain(&self.times).chain(&self.resources)
+        let all_ok = self
+            .importances
+            .iter()
+            .chain(&self.times)
+            .chain(&self.resources)
             .chain(&self.capacities)
             .all(|&v| ok(v))
             && ok(self.time_limit);
@@ -155,8 +159,7 @@ impl AllocEnv {
     pub fn new(spec: AllocSpec) -> Result<Self, SpecError> {
         spec.validate()?;
         let m = spec.num_processors();
-        let max_capacity =
-            spec.capacities.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        let max_capacity = spec.capacities.iter().copied().fold(0.0f64, f64::max).max(1e-12);
         Ok(Self {
             assignment: vec![None; spec.num_tasks()],
             residual_time: (0..m).map(|p| spec.time_limit_of(p)).collect(),
@@ -238,8 +241,7 @@ impl AllocEnv {
 
     fn advance_cursor(&mut self) {
         self.cursor += 1;
-        if self.cursor >= self.spec.num_processors()
-            || self.assignment.iter().all(Option::is_some)
+        if self.cursor >= self.spec.num_processors() || self.assignment.iter().all(Option::is_some)
         {
             self.done = true;
         }
@@ -371,7 +373,7 @@ mod tests {
         assert_eq!(env.valid_actions(), vec![3]);
         env.step(3).unwrap();
         let t2 = env.step(1).unwrap(); // task 1 -> proc 1
-        // Advancing past the last processor terminates.
+                                       // Advancing past the last processor terminates.
         assert_eq!(env.valid_actions(), vec![3]);
         let t3 = env.step(3).unwrap();
         assert!(t3.done);
@@ -449,10 +451,7 @@ mod tests {
     fn unknown_action_rejected() {
         let mut env = AllocEnv::new(spec()).unwrap();
         env.reset();
-        assert!(matches!(
-            env.step(9),
-            Err(StepError::UnknownAction { action: 9, num_actions: 4 })
-        ));
+        assert!(matches!(env.step(9), Err(StepError::UnknownAction { action: 9, num_actions: 4 })));
     }
 
     #[test]

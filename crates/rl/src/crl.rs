@@ -88,8 +88,7 @@ impl EnvironmentStore {
         if self.records.is_empty() {
             return Err(CrlError::EmptyStore);
         }
-        let index =
-            KnnIndex::new(self.records.iter().map(|r| r.signature.clone()).collect())?;
+        let index = KnnIndex::new(self.records.iter().map(|r| r.signature.clone()).collect())?;
         let hits = index.nearest(signature, k.max(1))?;
         let n = self.records[0].importances.len();
         let mut blend = vec![0.0; n];
@@ -292,10 +291,8 @@ impl Crl {
                 }
                 // (Re)cluster lazily; a grown store invalidates clusters and
                 // the agents trained on them.
-                let stale = self
-                    .clustering
-                    .as_ref()
-                    .is_none_or(|c| c.store_len != self.store.len());
+                let stale =
+                    self.clustering.as_ref().is_none_or(|c| c.store_len != self.store.len());
                 if stale {
                     let signatures: Vec<Vec<f64>> =
                         self.store.records().iter().map(|r| r.signature.clone()).collect();
@@ -306,8 +303,7 @@ impl Crl {
                     let mut counts = vec![0usize; k];
                     for (i, &c) in model.assignments().iter().enumerate() {
                         counts[c] += 1;
-                        for (s, &v) in
-                            sums[c].iter_mut().zip(&self.store.records()[i].importances)
+                        for (s, &v) in sums[c].iter_mut().zip(&self.store.records()[i].importances)
                         {
                             *s += v;
                         }
@@ -370,12 +366,7 @@ impl Crl {
         let (_, _actions) = agent.evaluate_episode(&mut env)?;
         let assignment = env.assignment().to_vec();
         let estimated_value = env.assigned_value();
-        Ok(CrlAllocation {
-            assignment,
-            estimated_importances: blend,
-            estimated_value,
-            cache_hit,
-        })
+        Ok(CrlAllocation { assignment, estimated_importances: blend, estimated_value, cache_hit })
     }
 }
 
@@ -424,7 +415,8 @@ mod tests {
             .push(EnvironmentRecord { signature: vec![1.0], importances: vec![0.5, 0.5] })
             .unwrap();
         assert!(matches!(
-            store.push(EnvironmentRecord { signature: vec![1.0, 2.0], importances: vec![0.5, 0.5] }),
+            store
+                .push(EnvironmentRecord { signature: vec![1.0, 2.0], importances: vec![0.5, 0.5] }),
             Err(CrlError::Shape)
         ));
         assert!(matches!(
@@ -451,10 +443,8 @@ mod tests {
     #[test]
     fn crl_allocates_context_appropriate_tasks() {
         let n = 4;
-        let mut crl = Crl::new(
-            store_two_contexts(n),
-            CrlConfig { episodes: 80, ..CrlConfig::default() },
-        );
+        let mut crl =
+            Crl::new(store_two_contexts(n), CrlConfig { episodes: 80, ..CrlConfig::default() });
         // Context A: the agent should place task 0 (importance 0.95).
         let alloc = crl.allocate(&[0.0], &spec(n)).unwrap();
         assert!(alloc.assignment[0].is_some(), "assignment {:?}", alloc.assignment);
@@ -467,10 +457,8 @@ mod tests {
     #[test]
     fn agent_cache_is_reused_per_environment() {
         let n = 3;
-        let mut crl = Crl::new(
-            store_two_contexts(n),
-            CrlConfig { episodes: 10, ..CrlConfig::default() },
-        );
+        let mut crl =
+            Crl::new(store_two_contexts(n), CrlConfig { episodes: 10, ..CrlConfig::default() });
         let first = crl.allocate(&[0.0], &spec(n)).unwrap();
         assert!(!first.cache_hit);
         assert_eq!(crl.cached_agents(), 1);
@@ -558,10 +546,8 @@ mod offline_tests {
     #[test]
     fn offline_mode_caches_per_cluster() {
         let n = 3;
-        let mut crl = Crl::new(
-            two_context_store(n),
-            CrlConfig { episodes: 5, ..offline_config(2) },
-        );
+        let mut crl =
+            Crl::new(two_context_store(n), CrlConfig { episodes: 5, ..offline_config(2) });
         let first = crl.allocate(&[0.0], &spec(n)).unwrap();
         assert!(!first.cache_hit);
         // A different signature in the SAME cluster reuses the agent.
@@ -573,14 +559,11 @@ mod offline_tests {
     #[test]
     fn growing_the_store_invalidates_clusters() {
         let n = 3;
-        let mut crl = Crl::new(
-            two_context_store(n),
-            CrlConfig { episodes: 3, ..offline_config(2) },
-        );
+        let mut crl =
+            Crl::new(two_context_store(n), CrlConfig { episodes: 3, ..offline_config(2) });
         crl.allocate(&[0.0], &spec(n)).unwrap();
         assert_eq!(crl.cached_agents(), 1);
-        crl.observe(EnvironmentRecord { signature: vec![5.0], importances: vec![0.5; n] })
-            .unwrap();
+        crl.observe(EnvironmentRecord { signature: vec![5.0], importances: vec![0.5; n] }).unwrap();
         // Next allocation re-clusters and rebuilds agents.
         let out = crl.allocate(&[0.0], &spec(n)).unwrap();
         assert!(!out.cache_hit);

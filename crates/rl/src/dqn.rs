@@ -307,8 +307,7 @@ impl DqnAgent {
                 exp.reward + self.config.discount * q_target[chosen]
             } else {
                 let qn = self.target.forward(&exp.next_state)?;
-                let best =
-                    exp.next_valid.iter().map(|&a| qn[a]).fold(f64::NEG_INFINITY, f64::max);
+                let best = exp.next_valid.iter().map(|&a| qn[a]).fold(f64::NEG_INFINITY, f64::max);
                 exp.reward + self.config.discount * best
             };
             t[exp.action] = bootstrap;
@@ -462,13 +461,9 @@ mod tests {
     fn double_dqn_also_learns_delayed_reward() {
         let mut rng = StdRng::seed_from_u64(21);
         let mut env = Chain::new();
-        let mut agent = DqnAgent::new(
-            2,
-            2,
-            DqnConfig { double_dqn: true, ..quick_config() },
-            &mut rng,
-        )
-        .unwrap();
+        let mut agent =
+            DqnAgent::new(2, 2, DqnConfig { double_dqn: true, ..quick_config() }, &mut rng)
+                .unwrap();
         for _ in 0..300 {
             agent.train_episode(&mut env, &mut rng).unwrap();
         }

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ScenarioConfig::default()
     })?;
     println!("== 1. data ==");
-    println!("{} COP-prediction tasks across {} buildings", scenario.num_tasks(), scenario.plants().len());
+    println!(
+        "{} COP-prediction tasks across {} buildings",
+        scenario.num_tasks(),
+        scenario.plants().len()
+    );
     let lens: Vec<usize> = (0..scenario.num_tasks()).map(|t| scenario.dataset(t).len()).collect();
     println!(
         "per-task samples: min {}, max {} (data scarcity is real: transfer learning matters)",
@@ -34,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Multi-task transfer learning: per-task COP models with parameter
     //    transfer between related tasks.
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     println!("\n== 2. MTL COP models ==");
     let day = scenario.day(0);
     for t in (0..scenario.num_tasks()).step_by(17) {
@@ -67,8 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let importances = evaluator.importances(day)?;
     println!("\n== 3. task importance (today) ==");
-    let mut ranked: Vec<(usize, f64)> =
-        importances.iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f64)> = importances.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for (t, imp) in ranked.iter().take(5) {
         println!("  {}: importance {:.4}", scenario.tasks()[*t].name, imp);
@@ -113,7 +114,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let node_assignment = allocation.to_node_assignment(instance.fleet());
     let report = simulate(&cluster, &sim_tasks, &node_assignment, SimConfig::default())?;
     println!("\n== 5. execution on the Fig. 8 testbed ==");
-    println!("  processing time PT = {:.1}s (makespan {:.1}s)", report.processing_time, report.makespan());
+    println!(
+        "  processing time PT = {:.1}s (makespan {:.1}s)",
+        report.processing_time,
+        report.makespan()
+    );
     let mask: Vec<bool> =
         (0..instance.num_tasks()).map(|j| allocation.processor_of(j).is_some()).collect();
     println!(

@@ -15,10 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval_days: 20,
         ..ScenarioConfig::default()
     })?;
-    let models = CopModels::train(
-        &scenario,
-        MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
-    )?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let matrix = evaluator.importance_matrix()?;
     let n = scenario.num_tasks();
@@ -53,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(_, &v)| v > 1e-6)
             .map(|(t, v)| format!("{}({:.3})", scenario.tasks()[t].name, v))
             .collect();
-        println!("day {d:>2}: {}", if important.is_empty() { "-".into() } else { important.join(" ") });
+        println!(
+            "day {d:>2}: {}",
+            if important.is_empty() { "-".into() } else { important.join(" ") }
+        );
     }
     Ok(())
 }

@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rm = prepared.run_day(Method::RandomMapping, day)?;
         println!(
             "{day:>4}  {:>9.1}s  {:>9.1}s  {:>9.3}  {:>9.3}",
-            dcta.processing_time_s, rm.processing_time_s, dcta.decision_performance,
+            dcta.processing_time_s,
+            rm.processing_time_s,
+            dcta.decision_performance,
             rm.decision_performance
         );
     }

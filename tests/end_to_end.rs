@@ -80,14 +80,12 @@ fn decision_performance_survives_task_selection() {
     let mut selected = 0.0;
     for &day in &days {
         full += prepared.run_day(Method::Dml, day).expect("dml").decision_performance;
-        selected += prepared.run_day(Method::GreedyOracle, day).expect("oracle").decision_performance;
+        selected +=
+            prepared.run_day(Method::GreedyOracle, day).expect("oracle").decision_performance;
     }
     // Dropping the unimportant tasks must cost almost nothing: the
     // "without performance degradation" claim.
-    assert!(
-        selected >= full - 0.1 * days.len() as f64,
-        "selected {selected} vs full {full}"
-    );
+    assert!(selected >= full - 0.1 * days.len() as f64, "selected {selected} vs full {full}");
 }
 
 #[test]
@@ -137,9 +135,7 @@ fn bandwidth_scaling_cuts_processing_time_end_to_end() {
         .expect("slow run")
         .processing_time_s;
     prepared.cluster_mut().network_mut().scale_bandwidth(4.0);
-    let fast = prepared
-        .execute(Method::Dml, day, alloc, overhead)
-        .expect("fast run")
-        .processing_time_s;
+    let fast =
+        prepared.execute(Method::Dml, day, alloc, overhead).expect("fast run").processing_time_s;
     assert!(fast < slow, "bandwidth x4 should cut PT: {fast} !< {slow}");
 }

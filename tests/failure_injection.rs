@@ -29,16 +29,12 @@ fn slow_node_inflates_pt_only_when_used() {
     let ts = tasks(8);
     // Assignment that uses node 1.
     let uses = round_robin(8, &[1, 2, 3, 4]);
-    let pt_healthy = simulate(&healthy, &ts, &uses, SimConfig::default())
-        .expect("healthy run")
-        .processing_time;
+    let pt_healthy =
+        simulate(&healthy, &ts, &uses, SimConfig::default()).expect("healthy run").processing_time;
     let pt_degraded = simulate(&degraded, &ts, &uses, SimConfig::default())
         .expect("degraded run")
         .processing_time;
-    assert!(
-        pt_degraded > pt_healthy * 1.5,
-        "slowdown invisible: {pt_degraded} vs {pt_healthy}"
-    );
+    assert!(pt_degraded > pt_healthy * 1.5, "slowdown invisible: {pt_degraded} vs {pt_healthy}");
 
     // Assignment that avoids node 1: the degradation must be invisible.
     let avoids = round_robin(8, &[2, 3, 4, 5]);
@@ -52,9 +48,7 @@ fn slow_node_inflates_pt_only_when_used() {
 #[test]
 fn congested_link_inflates_transfer_bound_workloads() {
     let mut congested = Cluster::paper_testbed().expect("testbed");
-    congested
-        .network_mut()
-        .set_link(NodeId(2), Link::new(1e5, 0.5).expect("valid link"));
+    congested.network_mut().set_link(NodeId(2), Link::new(1e5, 0.5).expect("valid link"));
 
     let ts = tasks(4);
     let on_congested = round_robin(4, &[2]);
@@ -62,13 +56,9 @@ fn congested_link_inflates_transfer_bound_workloads() {
     let pt_congested = simulate(&congested, &ts, &on_congested, SimConfig::default())
         .expect("run")
         .processing_time;
-    let pt_clean = simulate(&congested, &ts, &on_clean, SimConfig::default())
-        .expect("run")
-        .processing_time;
-    assert!(
-        pt_congested > pt_clean * 3.0,
-        "congestion invisible: {pt_congested} vs {pt_clean}"
-    );
+    let pt_clean =
+        simulate(&congested, &ts, &on_clean, SimConfig::default()).expect("run").processing_time;
+    assert!(pt_congested > pt_clean * 3.0, "congestion invisible: {pt_congested} vs {pt_clean}");
 }
 
 #[test]

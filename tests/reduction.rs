@@ -11,12 +11,8 @@ use tatim::knapsack::exact::BranchAndBound;
 fn instance_strategy() -> impl Strategy<Value = TatimInstance> {
     let task = (0.0f64..5e6, 0.0f64..4.0, 0.0f64..1.0);
     let proc = 1.0f64..10.0;
-    (
-        prop::collection::vec(task, 1..10),
-        prop::collection::vec(proc, 1..4),
-        0.1f64..2.0,
-    )
-        .prop_map(|(tasks, capacities, limit_scale)| {
+    (prop::collection::vec(task, 1..10), prop::collection::vec(proc, 1..4), 0.1f64..2.0).prop_map(
+        |(tasks, capacities, limit_scale)| {
             let tasks: Vec<EdgeTask> = tasks
                 .into_iter()
                 .enumerate()
@@ -40,7 +36,8 @@ fn instance_strategy() -> impl Strategy<Value = TatimInstance> {
             )
             .expect("non-empty fleet");
             TatimInstance::new(tasks, fleet)
-        })
+        },
+    )
 }
 
 proptest! {

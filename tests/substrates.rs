@@ -87,11 +87,7 @@ fn mtl_transfer_beats_independent_on_scarce_scenario_tasks() {
                 let plant = scenario.plant(spec.building);
                 let ch = &plant.chillers()[spec.chiller];
                 let mid = plant
-                    .band_midpoint_kw(
-                        spec.chiller,
-                        spec.band,
-                        scenario.config().bands_per_chiller,
-                    )
+                    .band_midpoint_kw(spec.chiller, spec.band, scenario.config().bands_per_chiller)
                     .expect("valid band");
                 let f = tatim::core::importance::prediction_features(
                     spec.building,
@@ -124,10 +120,7 @@ fn stripped_datasets_feed_models_with_consistent_arity() {
     .expect("scenario");
     for t in 0..scenario.num_tasks() {
         let stripped = strip_power_feature(scenario.dataset(t));
-        assert_eq!(
-            stripped.num_features(),
-            tatim::core::importance::NUM_PREDICTION_FEATURES
-        );
+        assert_eq!(stripped.num_features(), tatim::core::importance::NUM_PREDICTION_FEATURES);
     }
 }
 

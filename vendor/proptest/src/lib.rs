@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro, `prop_assert*`/`prop_assume!`, range/tuple/
+//! collection/option strategies with `prop_map`/`prop_flat_map`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with its
+//! case number, and the generator stream is deterministic per test name,
+//! so failures reproduce exactly on re-run.
+
+pub mod strategy;
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Outcome of one property case, produced by the `prop_*` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Groups property tests: each `#[test] fn name(args in strategies) {..}`
+/// expands to a zero-argument test running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng =
+                    $crate::strategy::new_test_rng($crate::seed_for(stringify!($name), __case));
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        ::core::panic!(
+                            "property {} failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `if cond {} else` rather than `if !cond` so float comparisons do
+        // not trip clippy's neg_cmp_op_on_partial_ord in expansions.
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!("{:?} != {:?}", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Strategy combinator namespace (`prop::collection`, `prop::option`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// The glob-imported surface: strategies, config and the macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, usize)> {
+        (0.0f64..1.0, 1usize..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..3.0, n in 0usize..5, s in 10u64..20) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!(n < 5, "n was {}", n);
+            prop_assert!((10..20).contains(&s));
+        }
+
+        #[test]
+        fn tuple_patterns_and_combinators((x, n) in pair(),
+                                          v in prop::collection::vec(0.0f64..1.0, 2..6),
+                                          o in prop::option::of(1usize..3)) {
+            prop_assert!(x < 1.0 && n >= 1);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|t| (0.0..1.0).contains(t)));
+            if let Some(k) = o {
+                prop_assert_eq!(k.min(2), k);
+            }
+        }
+
+        #[test]
+        fn flat_map_links_sizes(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0.0f64..1.0, n).prop_map(move |xs| (n, xs))
+        })) {
+            prop_assert_eq!(v.0, v.1.len());
+            prop_assume!(v.0 > 1);
+            prop_assert!(!v.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        assert_eq!(crate::seed_for("a", 3), crate::seed_for("a", 3));
+        assert_ne!(crate::seed_for("a", 3), crate::seed_for("b", 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,174 @@
+//! Value-generation strategies: ranges, tuples, collections, `Option`,
+//! and the `prop_map`/`prop_flat_map` combinators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Generator driving all strategies (the vendored rand's `SmallRng`).
+pub type TestRng = SmallRng;
+
+/// Builds the deterministic generator for one test case.
+#[doc(hidden)]
+pub fn new_test_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every produced value with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from every produced value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Vector lengths accepted by [`vec`]: a fixed size or a range of sizes.
+pub trait IntoSizeRange {
+    /// Draws the length for one sample.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec`: vectors of `element` values with length drawn
+/// from `len`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+/// Strategy producing `Option`s of values from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.8) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `prop::option::of`: `Some` most of the time, `None` occasionally.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `Rng` (`gen`, `gen_range`, `gen_bool`), `SeedableRng`
+//! (`seed_from_u64`), `rngs::{SmallRng, StdRng}` and
+//! `seq::SliceRandom` (`shuffle`, `choose`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation instead. Both RNGs are
+//! xoshiro256++ generators seeded through SplitMix64 — deterministic per
+//! seed, which is all the reproduction requires (no code in this
+//! workspace depends on upstream rand's exact streams).
+
+pub mod rngs;
+pub mod seq;
+
+/// Core of every generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a primitive type uniformly over its standard
+    /// distribution (`[0, 1)` for floats, the full domain for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty ranges, like upstream rand.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+
+    /// Draws uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Element types uniform ranges know how to sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`hi` included when `inclusive`).
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128) - (lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        // Clamp guards the open upper bound against rounding.
+        (lo + u * (hi - lo)).clamp(lo, f64::max(lo, hi - hi.abs() * f64::EPSILON))
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        let u = f32::sample_standard(rng);
+        (lo + u * (hi - lo)).min(f32::max(lo, hi - hi.abs() * f32::EPSILON))
+    }
+}
+
+impl<T: SampleUniform> SampleRange for core::ops::Range<T> {
+    type Output = T;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange for core::ops::RangeInclusive<T> {
+    type Output = T;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::{SmallRng, StdRng};
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3..9);
+            assert!((3..9).contains(&i));
+            let j = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&j));
+            let x = rng.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let n = rng.gen_range(0usize..4);
+            assert!(n < 4);
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((300..700).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_selects() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5);
+    }
+}

@@ -1,0 +1,74 @@
+//! Concrete generators: [`SmallRng`] and [`StdRng`].
+//!
+//! Both are the same xoshiro256++ core; upstream rand distinguishes them
+//! by security margin, which is irrelevant for this workspace's synthetic
+//! data generation.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via SplitMix64 so any u64 (including 0)
+/// yields a well-mixed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! wrapper_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                Self(Xoshiro256::from_u64(state))
+            }
+        }
+    };
+}
+
+wrapper_rng! {
+    /// Small, fast generator (upstream: also xoshiro256++).
+    SmallRng
+}
+
+wrapper_rng! {
+    /// "Standard" generator (upstream: ChaCha12; here the same xoshiro
+    /// core — only determinism per seed matters in this workspace).
+    StdRng
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `serde` this workspace uses:
+//! `#[derive(Serialize)]` on plain named-field structs, consumed by the
+//! vendored `serde_json::to_string_pretty`.
+//!
+//! Instead of upstream's visitor architecture, [`Serialize`] here writes
+//! pretty-printed JSON directly — that is the only output format any
+//! caller in this workspace requests.
+
+pub use serde_derive::Serialize;
+
+/// A value that can render itself as pretty-printed JSON.
+///
+/// Implemented for the primitives, strings, tuples (arity 2–5), `Vec`,
+/// slices and `Option` — plus anything with `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Appends the JSON rendering of `self` to `out`. `indent` is the
+    /// current nesting depth (two spaces per level).
+    fn serialize_json(&self, out: &mut String, indent: usize);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        (**self).serialize_json(out, indent);
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; null keeps the document valid.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        ser::write_escaped(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_str().serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.serialize_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser::newline(out, indent + 1);
+            v.serialize_json(out, indent + 1);
+        }
+        ser::newline(out, indent);
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().serialize_json(out, indent);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String, indent: usize) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    ser::newline(out, indent + 1);
+                    self.$idx.serialize_json(out, indent + 1);
+                )+
+                let _ = first;
+                ser::newline(out, indent);
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Helpers the derive macro's generated code calls into.
+pub mod ser {
+    use super::Serialize;
+
+    pub(crate) fn newline(out: &mut String, indent: usize) {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+
+    /// Appends `text` as a JSON string literal.
+    pub fn write_escaped(out: &mut String, text: &str) {
+        out.push('"');
+        for c in text.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Renders a struct as a JSON object from `(name, value)` pairs; the
+    /// derive macro emits one call to this per struct.
+    pub fn serialize_struct(out: &mut String, indent: usize, fields: &[(&str, &dyn Serialize)]) {
+        if fields.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push('{');
+        for (i, (name, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            newline(out, indent + 1);
+            write_escaped(out, name);
+            out.push_str(": ");
+            value.serialize_json(out, indent + 1);
+        }
+        newline(out, indent);
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(v: T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out, 0);
+        out
+    }
+
+    #[test]
+    fn primitives_render_as_json() {
+        assert_eq!(render(3usize), "3");
+        assert_eq!(render(-2i64), "-2");
+        assert_eq!(render(1.5f64), "1.5");
+        assert_eq!(render(f64::NAN), "null");
+        assert_eq!(render(true), "true");
+        assert_eq!(render("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(render(Option::<f64>::None), "null");
+    }
+
+    #[test]
+    fn containers_nest_with_indentation() {
+        assert_eq!(render(Vec::<f64>::new()), "[]");
+        assert_eq!(render(vec![1.0, 2.0]), "[\n  1,\n  2\n]");
+        assert_eq!(render((1usize, "x")), "[\n  1,\n  \"x\"\n]");
+    }
+
+    #[test]
+    fn structs_render_via_helper() {
+        let mut out = String::new();
+        ser::serialize_struct(&mut out, 0, &[("a", &1.5f64), ("b", &"s")]);
+        assert_eq!(out, "{\n  \"a\": 1.5,\n  \"b\": \"s\"\n}");
+    }
+}

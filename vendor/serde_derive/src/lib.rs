@@ -1,0 +1,102 @@
+//! Hand-rolled `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! The build environment has no crates.io access, so this parses the
+//! derive input with `proc_macro` alone (no `syn`/`quote`). It supports
+//! exactly what this workspace derives on: non-generic structs with named
+//! fields. Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored trait) for a named-field
+/// struct by emitting one `serde::ser::serialize_struct` call listing
+/// every field in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut name = None;
+    let mut fields_group = None;
+    let mut saw_struct = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) if !saw_struct && id.to_string() == "struct" => {
+                saw_struct = true;
+            }
+            TokenTree::Ident(id) if saw_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Group(g)
+                if name.is_some()
+                    && g.delimiter() == Delimiter::Brace
+                    && fields_group.is_none() =>
+            {
+                fields_group = Some(g);
+            }
+            _ => {}
+        }
+    }
+    let (name, fields_group) = match (name, fields_group) {
+        (Some(n), Some(g)) => (n, g),
+        _ => {
+            return "compile_error!(\"derive(Serialize) stand-in supports only named-field structs\");"
+                .parse()
+                .unwrap()
+        }
+    };
+
+    let mut pairs = String::new();
+    for field in field_names(&fields_group) {
+        pairs.push_str(&format!("(\"{field}\", &self.{field} as &dyn serde::Serialize), "));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String, indent: usize) {{\n\
+         serde::ser::serialize_struct(out, indent, &[{pairs}]);\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Extracts field names from the struct body: the identifier directly
+/// before each top-level `:`, skipping attributes and visibility.
+fn field_names(body: &Group) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting = true; // at start of a field declaration
+    let mut pending: Option<String> = None;
+    let mut stream = body.stream().into_iter().peekable();
+    while let Some(tt) = stream.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    expecting = true;
+                    pending = None;
+                }
+                ':' if angle_depth == 0 && expecting => {
+                    if let Some(n) = pending.take() {
+                        names.push(n);
+                        expecting = false;
+                    }
+                }
+                '#' => {
+                    // Attribute: swallow the bracket group that follows.
+                    if matches!(stream.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        stream.next();
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if expecting && s != "pub" {
+                    pending = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the one `serde_json` entry point this workspace
+//! uses: [`to_string_pretty`]. Rendering is delegated to the vendored
+//! `serde::Serialize`, which writes pretty JSON directly.
+
+use std::fmt;
+
+/// JSON serialisation error.
+///
+/// The direct-to-string renderer cannot actually fail, but callers
+/// propagate `Result<_, serde_json::Error>` into `Box<dyn Error>`, so the
+/// type and its impls must exist.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialisation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors upstream's
+/// signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        score: f64,
+        tags: Vec<String>,
+        extra: Option<f64>,
+    }
+
+    #[test]
+    fn derived_struct_pretty_prints() {
+        let row = Row { name: "alpha".into(), score: 0.5, tags: vec!["x".into()], extra: None };
+        let json = super::to_string_pretty(&row).unwrap();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"alpha\",\n  \"score\": 0.5,\n  \"tags\": [\n    \"x\"\n  ],\n  \"extra\": null\n}"
+        );
+    }
+
+    #[test]
+    fn nested_derive_composes() {
+        #[derive(Serialize)]
+        struct Outer {
+            inner: Vec<(String, f64)>,
+        }
+        let json = super::to_string_pretty(&Outer { inner: vec![("a".into(), 1.0)] }).unwrap();
+        assert!(json.contains("\"inner\""), "{json}");
+        assert!(json.contains("\"a\""), "{json}");
+    }
+}
