@@ -1,0 +1,273 @@
+//! Tracked performance harness for the deterministic parallel layer.
+//!
+//! ```text
+//! perfbench [--quick] [--seed N] [--threads N] [--out PATH]
+//! ```
+//!
+//! Times the three hot paths the `parallel` crate feeds — the importance
+//! matrix, CRL pretraining, and the end-to-end pipeline — once on the exact
+//! serial path (`threads = 1`) and once at `--threads` (default: all
+//! cores), plus a warm pass over the importance cache. Every timed
+//! computation returns bit-identical results at both settings; only the
+//! wall clock may differ. Results print as a table and land as JSON rows
+//! `{bench, threads, wall_ms, speedup}` (default `BENCH_PR2.json`).
+
+use buildings::scenario::Scenario;
+use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
+use dcta_core::cache::ImportanceCache;
+use dcta_core::crl_alloc::CrlAllocator;
+use dcta_core::importance::{CopModels, ImportanceEvaluator};
+use dcta_core::pipeline::{Method, Pipeline};
+use dcta_core::processor::{Processor, ProcessorFleet};
+use dcta_core::task::{EdgeTask, TaskId};
+use dcta_core::tatim::TatimInstance;
+use edgesim::node::NodeId;
+use learn::transfer::MtlConfig;
+use rl::crl::{CrlConfig, EnvironmentStore};
+use rl::dqn::DqnConfig;
+use serde::Serialize;
+use std::error::Error;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    bench: String,
+    threads: usize,
+    wall_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    generated_by: String,
+    quick: bool,
+    seed: u64,
+    host_threads: usize,
+    cache_hit_rate: f64,
+    rows: Vec<Row>,
+}
+
+struct Args {
+    opts: RunOpts,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut opts = RunOpts::default();
+    let mut threads = parallel::max_threads();
+    let mut out = PathBuf::from("BENCH_PR2.json");
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--out" => {
+                out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                println!("perfbench [--quick] [--seed N] [--threads N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { opts, threads, out })
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Times `f` on the serial path and at `threads`, returning the two rows.
+fn versus(bench: &str, threads: usize, reps: usize, mut f: impl FnMut()) -> Vec<Row> {
+    parallel::set_max_threads(1);
+    let serial_ms = time_ms(reps, &mut f);
+    let mut rows =
+        vec![Row { bench: bench.to_string(), threads: 1, wall_ms: serial_ms, speedup: 1.0 }];
+    if threads > 1 {
+        parallel::set_max_threads(threads);
+        let par_ms = time_ms(reps, &mut f);
+        rows.push(Row {
+            bench: bench.to_string(),
+            threads,
+            wall_ms: par_ms,
+            speedup: serial_ms / par_ms.max(1e-9),
+        });
+    }
+    parallel::set_max_threads(0);
+    rows
+}
+
+/// A small edge instance over the scenario's tasks (same shape the
+/// pipeline builds) for the CRL pretraining bench.
+fn crl_instance(scenario: &Scenario) -> TatimInstance {
+    let n = scenario.num_tasks();
+    let mean_bits = (0..n).map(|t| scenario.input_bits(t)).sum::<f64>() / n.max(1) as f64;
+    let tasks: Vec<EdgeTask> = (0..n)
+        .map(|t| {
+            EdgeTask::new(
+                TaskId(t),
+                scenario.tasks()[t].name.clone(),
+                scenario.input_bits(t),
+                scenario.input_bits(t) / mean_bits.max(1e-12),
+                0.0,
+            )
+            .expect("scenario sizes are valid")
+        })
+        .collect();
+    let total_ref: f64 = tasks.iter().map(EdgeTask::reference_time_s).sum();
+    let fleet = ProcessorFleet::new(
+        (0..4)
+            .map(|i| Processor { node: NodeId(i + 1), capacity: 1.0, seconds_per_bit: 4.75e-7 })
+            .collect(),
+        (0.5 * total_ref / 4.0).max(1e-6),
+    )
+    .expect("fleet is valid");
+    TatimInstance::new(tasks, fleet)
+}
+
+fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
+    let opts = &args.opts;
+    let reps = opts.pick(3, 1);
+    let scenario = paper_scenario(opts, opts.pick(10, 6))?;
+    let models =
+        CopModels::train(&scenario, MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() })?;
+    let evaluator = ImportanceEvaluator::new(&scenario, &models);
+    let mut rows = Vec::new();
+
+    println!(
+        "[importance matrix: {} days x {} tasks]",
+        scenario.days().len(),
+        scenario.num_tasks()
+    );
+    rows.extend(versus("importance_matrix", args.threads, reps, || {
+        evaluator.importance_matrix().expect("importance matrix");
+    }));
+
+    // Warm-cache pass: the same matrix served from the memoised store.
+    parallel::set_max_threads(1);
+    let cache = ImportanceCache::new();
+    let cached = ImportanceEvaluator::new(&scenario, &models).with_cache(&cache);
+    cached.importance_matrix()?;
+    let warm_ms = time_ms(reps, || {
+        cached.importance_matrix().expect("warm importance matrix");
+    });
+    parallel::set_max_threads(0);
+    let cold_ms = rows[0].wall_ms;
+    rows.push(Row {
+        bench: "importance_matrix_warm_cache".to_string(),
+        threads: 1,
+        wall_ms: warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-9),
+    });
+    let cache_stats = cache.stats();
+    println!("[importance cache: {cache_stats}]");
+
+    println!("[CRL pretraining]");
+    let matrix = evaluator.importance_matrix()?;
+    let mut store = EnvironmentStore::new();
+    for (day, importances) in scenario.days().iter().zip(&matrix) {
+        store.push(rl::crl::EnvironmentRecord {
+            signature: day.sensing.clone(),
+            importances: importances.clone(),
+        })?;
+    }
+    let crl_config = CrlConfig {
+        episodes: opts.pick(60, 12),
+        dqn: DqnConfig { hidden: vec![32], ..DqnConfig::default() },
+        seed: opts.seed ^ 0x17,
+        ..CrlConfig::default()
+    };
+    let instance = crl_instance(&scenario);
+    rows.extend(versus("crl_pretrain", args.threads, reps, || {
+        let mut crl = CrlAllocator::with_store(store.clone(), crl_config.clone());
+        crl.pretrain(&instance).expect("pretrain");
+    }));
+
+    println!("[end-to-end pipeline]");
+    let mut pipeline_config = paper_pipeline(opts);
+    // PT here is measured by *us*, not by the experiment: exclude the
+    // allocator's self-timed overhead so the bench stays a pure function.
+    pipeline_config.include_allocation_overhead = false;
+    let mut last_stats = None;
+    rows.extend(versus("pipeline_end_to_end", args.threads, reps, || {
+        let mut prepared =
+            Pipeline::new(pipeline_config.clone()).prepare(&scenario).expect("prepare");
+        let day = prepared.test_days().start;
+        prepared.run_day(Method::Dcta, day).expect("run day");
+        last_stats = Some(prepared.cache_stats());
+    }));
+    if let Some(stats) = last_stats {
+        println!("[pipeline cache: {stats}]");
+    }
+
+    Ok(Report {
+        generated_by: "perfbench".to_string(),
+        quick: opts.quick,
+        seed: opts.seed,
+        host_threads: parallel::max_threads(),
+        cache_hit_rate: cache_stats.hit_rate(),
+        rows,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut table = Table::new("perfbench", &["bench", "threads", "wall_ms", "speedup"]);
+    for row in &report.rows {
+        table.push_row(vec![
+            row.bench.clone(),
+            row.threads.to_string(),
+            f3(row.wall_ms),
+            f3(row.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&args.out, json + "\n") {
+                eprintln!("error writing {}: {e}", args.out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("[saved {}]", args.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error serialising report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

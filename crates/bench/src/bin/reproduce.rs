@@ -1,8 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--quick] [--seed N] [--out DIR] [--exp ID]...
+//! reproduce [--quick] [--seed N] [--out DIR] [--threads N] [--exp ID]...
 //! ```
+//!
+//! `--threads` caps the deterministic parallel layer (default: all cores;
+//! `1` forces the exact serial path). Results are bit-identical at any
+//! setting — see the `parallel` crate's determinism contract.
 //!
 //! With no `--exp`, every experiment runs. Available ids: `fig2`, `fig3`,
 //! `fig45`, `tab1`, `rl-stale` (covers both staleness ablations),
@@ -59,6 +63,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
             }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                let threads: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                parallel::set_max_threads(threads);
+            }
             "--exp" => {
                 let v = iter.next().ok_or("--exp needs a value")?;
                 if !ALL.contains(&v.as_str()) {
@@ -67,7 +79,7 @@ fn parse_args() -> Result<Args, String> {
                 experiments.push(v);
             }
             "--help" | "-h" => {
-                println!("reproduce [--quick] [--seed N] [--out DIR] [--exp ID]...");
+                println!("reproduce [--quick] [--seed N] [--out DIR] [--threads N] [--exp ID]...");
                 println!("experiments: {ALL:?}");
                 std::process::exit(0);
             }

@@ -1,0 +1,292 @@
+//! Memoisation of decision-performance evaluations.
+//!
+//! The importance pipeline is dominated by repeated calls to
+//! `H(J'; θ)` — the decision function evaluated on the *same* day under
+//! the *same* availability mask. Leave-one-out importance, Shapley
+//! sampling, the DCTA combiner and the per-day reports all re-derive
+//! overlapping subsets (e.g. the full mask is evaluated once per task per
+//! day by the naive loop). Since `H` is a pure function of
+//! `(scenario, models, fallback COP, day, mask)`, its results can be
+//! memoised without changing a single bit of any output.
+//!
+//! The cache key is built from
+//! * the scenario's master seed (scenarios are bit-identical functions of
+//!   their config, and the seed is the discriminating field in practice),
+//! * an FNV-1a fingerprint of the day's content (`f64::to_bits` of every
+//!   weather/demand/sensing figure — [`DayContext`] carries no index, so
+//!   content is the identity),
+//! * a fingerprint of the model weights and the fallback COP (computed
+//!   once when the cache is attached, see
+//!   [`ImportanceEvaluator::with_cache`]), and
+//! * the availability mask packed into a `u64` bitset.
+//!
+//! Lookups and inserts go through a [`Mutex`]; hit/miss tallies are
+//! lock-free [`AtomicU64`]s so the parallel leave-one-out loops can count
+//! without contending. Two threads that race on the same missing key both
+//! compute it — the values are identical by determinism, so the second
+//! insert is a no-op overwrite, never a wrong answer.
+//!
+//! [`ImportanceEvaluator::with_cache`]: crate::importance::ImportanceEvaluator::with_cache
+
+use buildings::scenario::DayContext;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Running FNV-1a accumulator over 64-bit words.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Starts a fresh accumulator.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn push_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs an `f64` by its exact bit pattern (distinguishes `-0.0`
+    /// from `0.0` and every NaN payload — exactness is the point).
+    pub fn push_f64(&mut self, value: f64) {
+        self.push_u64(value.to_bits());
+    }
+
+    /// The accumulated digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content fingerprint of a day: every weather figure, per-slot demand and
+/// sensing component, via `f64::to_bits`.
+pub fn day_fingerprint(day: &DayContext) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.push_u64(day.hours.len() as u64);
+    for slot in &day.hours {
+        fp.push_f64(slot.weather.condition.as_feature());
+        fp.push_f64(slot.weather.outdoor_temp_c);
+        fp.push_u64(slot.demand_kw.len() as u64);
+        for &d in &slot.demand_kw {
+            fp.push_f64(d);
+        }
+    }
+    fp.push_f64(day.weather.condition.as_feature());
+    fp.push_f64(day.weather.outdoor_temp_c);
+    fp.push_u64(day.sensing.len() as u64);
+    for &s in &day.sensing {
+        fp.push_f64(s);
+    }
+    fp.finish()
+}
+
+/// Packs an availability mask into a little-endian `u64` bitset.
+fn pack_mask(available: &[bool]) -> Vec<u64> {
+    let mut packed = vec![0u64; available.len().div_ceil(64)];
+    for (i, &bit) in available.iter().enumerate() {
+        if bit {
+            packed[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    packed
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Scenario master seed.
+    seed: u64,
+    /// Evaluator fingerprint: model weights + fallback COP.
+    evaluator: u64,
+    /// Day content fingerprint.
+    day: u64,
+    /// Packed availability mask.
+    mask: Vec<u64>,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh evaluation.
+    pub misses: u64,
+    /// Distinct `(day, mask)` results currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
+/// Memoised decision-performance results, shared across the whole pipeline
+/// run (importance matrices, Shapley sampling, per-day reports).
+///
+/// A cache is only valid for one `(scenario, models, fallback)` triple; the
+/// evaluator fingerprint inside the key enforces this even if a cache is
+/// accidentally shared across ablations.
+#[derive(Debug, Default)]
+pub struct ImportanceCache {
+    entries: Mutex<HashMap<CacheKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ImportanceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoised value for the keyed evaluation or computes,
+    /// stores and returns it. Errors are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error.
+    pub fn lookup_or_compute<E>(
+        &self,
+        seed: u64,
+        evaluator: u64,
+        day: u64,
+        available: &[bool],
+        compute: impl FnOnce() -> Result<f64, E>,
+    ) -> Result<f64, E> {
+        let key = CacheKey { seed, evaluator, day, mask: pack_mask(available) };
+        if let Some(&value) = self.entries.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
+        // Deliberately computed outside the lock: evaluations are orders of
+        // magnitude slower than the map, and parallel leave-one-out workers
+        // must not serialise on each other's misses.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute()?;
+        self.entries.lock().expect("cache poisoned").insert(key, value);
+        Ok(value)
+    }
+
+    /// Counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache poisoned").len(),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = ImportanceCache::new();
+        let mask = [true, false, true];
+        let v1: Result<f64, ()> = cache.lookup_or_compute(1, 2, 3, &mask, || Ok(0.5));
+        let v2: Result<f64, ()> =
+            cache.lookup_or_compute(1, 2, 3, &mask, || panic!("must be served from cache"));
+        assert_eq!(v1, Ok(0.5));
+        assert_eq!(v2, Ok(0.5));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = ImportanceCache::new();
+        let a: Result<f64, ()> = cache.lookup_or_compute(1, 2, 3, &[true], || Ok(1.0));
+        let b: Result<f64, ()> = cache.lookup_or_compute(1, 2, 3, &[false], || Ok(2.0));
+        let c: Result<f64, ()> = cache.lookup_or_compute(1, 2, 4, &[true], || Ok(3.0));
+        let d: Result<f64, ()> = cache.lookup_or_compute(9, 2, 3, &[true], || Ok(4.0));
+        let e: Result<f64, ()> = cache.lookup_or_compute(1, 7, 3, &[true], || Ok(5.0));
+        assert_eq!(
+            (a.unwrap(), b.unwrap(), c.unwrap(), d.unwrap(), e.unwrap()),
+            (1.0, 2.0, 3.0, 4.0, 5.0)
+        );
+        assert_eq!(cache.stats().entries, 5);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ImportanceCache::new();
+        let first: Result<f64, &str> = cache.lookup_or_compute(0, 0, 0, &[], || Err("boom"));
+        assert!(first.is_err());
+        let second: Result<f64, &str> = cache.lookup_or_compute(0, 0, 0, &[], || Ok(9.0));
+        assert_eq!(second, Ok(9.0));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = ImportanceCache::new();
+        let _: Result<f64, ()> = cache.lookup_or_compute(1, 1, 1, &[true], || Ok(1.0));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn mask_packing_is_positional() {
+        // Bit 64 must land in the second word, not alias bit 0.
+        let mut long_a = vec![false; 65];
+        long_a[64] = true;
+        let mut long_b = vec![false; 65];
+        long_b[0] = true;
+        assert_ne!(pack_mask(&long_a), pack_mask(&long_b));
+        assert_eq!(pack_mask(&long_a).len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_zero_signs() {
+        let mut a = Fingerprint::new();
+        a.push_f64(0.0);
+        let mut b = Fingerprint::new();
+        b.push_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

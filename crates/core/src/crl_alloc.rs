@@ -55,6 +55,18 @@ impl CrlAllocator {
         self.crl.cached_agents()
     }
 
+    /// Trains an agent for every environment the store can produce, in
+    /// parallel, so later [`Self::allocate`] calls are pure cache hits.
+    /// Returns the number of agents trained; see [`rl::crl::Crl::pretrain`]
+    /// for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrlError`].
+    pub fn pretrain(&mut self, instance: &TatimInstance) -> Result<usize, CrlError> {
+        self.crl.pretrain(&instance.to_alloc_spec())
+    }
+
     /// Allocates `instance` for the context described by `signature`.
     /// The instance's own importances are ignored — CRL substitutes its
     /// clustered estimate, which is the whole point of the method.
@@ -151,5 +163,21 @@ mod tests {
     fn empty_store_errors() {
         let mut alloc = CrlAllocator::new(config());
         assert!(matches!(alloc.allocate(&instance(3), &[0.0]), Err(CrlError::EmptyStore)));
+    }
+
+    #[test]
+    fn pretrain_then_allocate_hits_cache() {
+        let n = 4;
+        let mut alloc = CrlAllocator::new(CrlConfig { episodes: 10, ..config() });
+        let mut imp = vec![0.05; n];
+        imp[1] = 0.9;
+        for d in 0..3 {
+            alloc.observe(vec![d as f64 * 0.1], imp.clone()).unwrap();
+        }
+        let inst = instance(n);
+        let trained = alloc.pretrain(&inst).unwrap();
+        assert!(trained >= 1);
+        assert_eq!(alloc.cached_agents(), trained);
+        assert!(alloc.allocate(&inst, &[0.0]).unwrap().cache_hit);
     }
 }

@@ -17,12 +17,14 @@
 //! the decision, so their importance is zero — which is precisely how the
 //! long-tail of Fig. 2 arises.
 
+use crate::cache::{self, Fingerprint, ImportanceCache};
 use buildings::chiller::ChillerModel;
 use buildings::plant::Plant;
 use buildings::scenario::{DayContext, Scenario};
 use buildings::telemetry::{TelemetryRecord, WATER_CP};
 use buildings::weather::WeatherSample;
 use learn::dataset::Dataset;
+use learn::linalg::Matrix;
 use learn::linear::LinearModel;
 use learn::transfer::{MtlConfig, MtlError, MtlSystem, TransferTask};
 use std::fmt;
@@ -62,22 +64,25 @@ pub fn prediction_features(
 }
 
 /// Returns a copy of `data` with the power feature removed.
+///
+/// Copies straight into one flat buffer (two `memcpy`s per row around the
+/// dropped column) instead of materialising a `Vec<Vec<f64>>` — this runs
+/// once per task per retrain, so the per-row allocations used to dominate
+/// the setup phase of every leave-one-out sweep.
 pub fn strip_power_feature(data: &Dataset) -> Dataset {
-    let rows: Vec<Vec<f64>> = (0..data.len())
-        .map(|i| {
-            data.features()
-                .row(i)
-                .iter()
-                .enumerate()
-                .filter(|&(c, _)| c != POWER_FEATURE)
-                .map(|(_, &v)| v)
-                .collect()
-        })
-        .collect();
-    if rows.is_empty() {
+    let rows = data.len();
+    let cols = data.num_features();
+    if rows == 0 || cols <= POWER_FEATURE {
         return data.clone();
     }
-    Dataset::from_rows(rows, data.targets().to_vec()).expect("stripped rows share arity")
+    let mut flat = Vec::with_capacity(rows * (cols - 1));
+    for i in 0..rows {
+        let row = data.features().row(i);
+        flat.extend_from_slice(&row[..POWER_FEATURE]);
+        flat.extend_from_slice(&row[POWER_FEATURE + 1..]);
+    }
+    let features = Matrix::from_vec(rows, cols - 1, flat).expect("stripped dims consistent");
+    Dataset::new(features, data.targets().to_vec()).expect("stripped rows share arity")
 }
 
 /// Error training or querying COP models.
@@ -135,14 +140,14 @@ impl CopModels {
     ///
     /// Propagates MTL failures.
     pub fn train(scenario: &Scenario, config: MtlConfig) -> Result<Self, ImportanceError> {
-        let tasks: Vec<TransferTask> = scenario
-            .tasks()
-            .iter()
-            .enumerate()
-            .map(|(t, spec)| {
-                TransferTask::new(spec.name.clone(), strip_power_feature(scenario.dataset(t)))
-            })
-            .collect();
+        // Stripping is pure per-task work; fan it out alongside the MTL fit
+        // (itself parallel over tasks inside `MtlSystem::fit`).
+        let tasks: Vec<TransferTask> = parallel::par_map_indexed(scenario.tasks().len(), |t| {
+            TransferTask::new(
+                scenario.tasks()[t].name.clone(),
+                strip_power_feature(scenario.dataset(t)),
+            )
+        });
         let sys = MtlSystem::fit(&tasks, config)?;
         Ok(Self { models: sys.models().to_vec() })
     }
@@ -208,7 +213,7 @@ impl EnergyReport {
 
 /// Evaluates decision performance and leave-one-out task importance over a
 /// scenario.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ImportanceEvaluator<'a> {
     scenario: &'a Scenario,
     models: &'a CopModels,
@@ -218,13 +223,19 @@ pub struct ImportanceEvaluator<'a> {
     /// fallback deliberately carries none — cross-chiller ranking is lost,
     /// which is exactly the degradation Definition 1 measures.
     fallback_cop: f64,
+    /// Optional memoisation of `decision_performance` results, keyed by
+    /// `(scenario seed, evaluator fingerprint, day content, mask)`.
+    cache: Option<&'a ImportanceCache>,
+    /// Fingerprint of `(model weights, fallback COP)`, computed once when
+    /// the cache is attached so per-call keying stays cheap.
+    evaluator_fp: u64,
 }
 
 impl<'a> ImportanceEvaluator<'a> {
     /// Creates an evaluator with the default rule-of-thumb fallback
     /// (COP 3.0, a generic plant-wide figure).
     pub fn new(scenario: &'a Scenario, models: &'a CopModels) -> Self {
-        Self { scenario, models, fallback_cop: 3.0 }
+        Self { scenario, models, fallback_cop: 3.0, cache: None, evaluator_fp: 0 }
     }
 
     /// The scenario under evaluation.
@@ -240,7 +251,34 @@ impl<'a> ImportanceEvaluator<'a> {
     pub fn with_fallback_cop(mut self, cop: f64) -> Self {
         assert!(cop > 0.0 && cop <= 12.0, "fallback COP out of range");
         self.fallback_cop = cop;
+        if self.cache.is_some() {
+            self.evaluator_fp = self.fingerprint();
+        }
         self
+    }
+
+    /// Attaches a memoisation cache. Results are pure functions of the
+    /// evaluator's inputs, so cached replies are bit-identical to fresh
+    /// evaluations; the key embeds a fingerprint of the model weights and
+    /// fallback COP so a cache shared across ablations cannot alias.
+    pub fn with_cache(mut self, cache: &'a ImportanceCache) -> Self {
+        self.evaluator_fp = self.fingerprint();
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Digest of everything (besides scenario seed and per-call inputs)
+    /// that determines a decision-performance value.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.push_f64(self.fallback_cop);
+        for model in &self.models.models {
+            fp.push_f64(model.bias());
+            for &w in model.weights() {
+                fp.push_f64(w);
+            }
+        }
+        fp.finish()
     }
 
     /// Predicted COP for chiller `c` of building `b` at `load_kw` under
@@ -296,6 +334,24 @@ impl<'a> ImportanceEvaluator<'a> {
                 got: available.len(),
             });
         }
+        match self.cache {
+            Some(cache) => cache.lookup_or_compute(
+                self.scenario.config().seed,
+                self.evaluator_fp,
+                cache::day_fingerprint(day),
+                available,
+                || self.decision_performance_uncached(day, available),
+            ),
+            None => self.decision_performance_uncached(day, available),
+        }
+    }
+
+    /// The raw evaluation behind [`Self::decision_performance`].
+    fn decision_performance_uncached(
+        &self,
+        day: &DayContext,
+        available: &[bool],
+    ) -> Result<f64, ImportanceError> {
         let mut total = 0.0;
         let mut counted = 0usize;
         for slot in &day.hours {
@@ -381,26 +437,49 @@ impl<'a> ImportanceEvaluator<'a> {
     /// Propagates [`ImportanceError`].
     pub fn importances(&self, day: &DayContext) -> Result<Vec<f64>, ImportanceError> {
         let n = self.scenario.num_tasks();
-        let mut mask = vec![true; n];
-        let full = self.decision_performance(day, &mask)?;
-        let mut out = Vec::with_capacity(n);
-        for j in 0..n {
+        let full = self.decision_performance(day, &vec![true; n])?;
+        // Each leave-one-out retrial is an independent pure evaluation, so
+        // the per-task loop fans out across threads; `I_j = full − without_j`
+        // touches no cross-task state and results come back in task order,
+        // making the parallel sweep bit-identical to the serial one.
+        parallel::try_par_map_indexed(n, |j| -> Result<f64, ImportanceError> {
+            let mut mask = vec![true; n];
             mask[j] = false;
             let without = self.decision_performance(day, &mask)?;
-            mask[j] = true;
-            out.push((full - without).clamp(0.0, 1.0));
-        }
-        Ok(out)
+            Ok((full - without).clamp(0.0, 1.0))
+        })
     }
 
     /// Importance matrix over all evaluation days (`days × tasks`), the raw
     /// material of Figs. 2, 4 and 5.
     ///
+    /// Parallelised in two flat phases — full-mask performance per day,
+    /// then the whole `days × tasks` leave-one-out grid — rather than
+    /// nesting [`Self::importances`] inside a per-day loop, which would
+    /// stack thread pools. Every cell's arithmetic is identical to the
+    /// serial nested loop, so the matrix is bit-identical at any thread
+    /// count.
+    ///
     /// # Errors
     ///
     /// Propagates [`ImportanceError`].
     pub fn importance_matrix(&self) -> Result<Vec<Vec<f64>>, ImportanceError> {
-        self.scenario.days().iter().map(|d| self.importances(d)).collect()
+        let days = self.scenario.days();
+        let n = self.scenario.num_tasks();
+        if n == 0 {
+            return Ok(vec![Vec::new(); days.len()]);
+        }
+        let full: Vec<f64> =
+            parallel::try_par_map(days, |d| self.decision_performance(d, &vec![true; n]))?;
+        let cells: Vec<f64> =
+            parallel::try_par_map_indexed(days.len() * n, |idx| -> Result<f64, ImportanceError> {
+                let (d, j) = (idx / n, idx % n);
+                let mut mask = vec![true; n];
+                mask[j] = false;
+                let without = self.decision_performance(&days[d], &mask)?;
+                Ok((full[d] - without).clamp(0.0, 1.0))
+            })?;
+        Ok(cells.chunks(n).map(<[f64]>::to_vec).collect())
     }
 }
 

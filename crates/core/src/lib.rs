@@ -9,6 +9,8 @@
 //! * [`task`], [`processor`] — TATIM's view of workloads and devices.
 //! * [`importance`] — leave-one-out task importance over the green-building
 //!   decision function.
+//! * [`cache`] — memoised decision-performance evaluations with hit/miss
+//!   accounting.
 //! * [`allocation`], [`tatim`] — the allocation matrix `u`, constraints
 //!   Eqs. 2-4, and the MCMK reduction.
 //! * [`baselines`] — Random Mapping and DML.
@@ -43,6 +45,7 @@
 
 pub mod allocation;
 pub mod baselines;
+pub mod cache;
 pub mod crl_alloc;
 pub mod dcta;
 pub mod features;

@@ -9,6 +9,7 @@
 
 use crate::allocation::Allocation;
 use crate::baselines::{dml_balanced, random_mapping};
+use crate::cache::{CacheStats, ImportanceCache};
 use crate::crl_alloc::CrlAllocator;
 use crate::dcta::{DctaAllocator, DctaError};
 use crate::features::{local_features, TaskHistory};
@@ -280,8 +281,12 @@ impl Pipeline {
         let fleet = ProcessorFleet::from_cluster(&cluster, time_limit)?;
 
         // True importance of every evaluation day (oracles + CRL history +
-        // metrics all need it).
-        let evaluator = ImportanceEvaluator::new(scenario, &models);
+        // metrics all need it). The cache memoises every decision-function
+        // evaluation from here on: the full-mask result is shared by all
+        // leave-one-out columns of a day, and `run_day`/`execute` re-query
+        // masks the offline phase already priced.
+        let cache = ImportanceCache::new();
+        let evaluator = ImportanceEvaluator::new(scenario, &models).with_cache(&cache);
         let true_importances = evaluator.importance_matrix()?;
 
         // Offline phase: walk the history days, feeding the CRL store and
@@ -353,6 +358,7 @@ impl Pipeline {
             crl,
             dcta,
             history,
+            cache,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x51AB),
         })
     }
@@ -389,6 +395,7 @@ pub struct PreparedPipeline<'a> {
     crl: CrlAllocator,
     dcta: DctaAllocator,
     history: TaskHistory,
+    cache: ImportanceCache,
     rng: StdRng,
 }
 
@@ -421,6 +428,17 @@ impl<'a> PreparedPipeline<'a> {
     /// The trained COP models.
     pub fn models(&self) -> &CopModels {
         &self.models
+    }
+
+    /// The pipeline's shared decision-performance cache.
+    pub fn importance_cache(&self) -> &ImportanceCache {
+        &self.cache
+    }
+
+    /// Hit/miss counters of the decision-performance cache — part of the
+    /// pipeline's run summary alongside PT and `H`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// True importances of evaluation day `day`.
@@ -542,7 +560,8 @@ impl<'a> PreparedPipeline<'a> {
 
         let available: Vec<bool> =
             (0..self.tasks.len()).map(|j| allocation.processor_of(j).is_some()).collect();
-        let evaluator = ImportanceEvaluator::new(self.scenario, &self.models);
+        let evaluator =
+            ImportanceEvaluator::new(self.scenario, &self.models).with_cache(&self.cache);
         let decision_performance =
             evaluator.decision_performance(self.scenario.day(day), &available)?;
         let captured_importance: f64 = available

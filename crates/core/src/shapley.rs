@@ -37,18 +37,37 @@ pub fn shapley_importances(
     rng: &mut impl Rng,
 ) -> Result<Vec<f64>, ImportanceError> {
     let n = evaluator.scenario().num_tasks();
-    let mut totals = vec![0.0; n];
+    // Permutations are drawn up front, serially, from the caller's RNG —
+    // the stream of `shuffle` calls is exactly what the sequential sampler
+    // consumed, so seeded runs reproduce the same sample set regardless of
+    // how the evaluations below are scheduled.
     let mut order: Vec<usize> = (0..n).collect();
-    let mut mask = vec![false; n];
-    for _ in 0..samples.max(1) {
-        order.shuffle(rng);
-        mask.iter_mut().for_each(|m| *m = false);
-        let mut previous = evaluator.decision_performance(day, &mask)?;
-        for &j in &order {
-            mask[j] = true;
-            let current = evaluator.decision_performance(day, &mask)?;
-            totals[j] += current - previous;
-            previous = current;
+    let permutations: Vec<Vec<usize>> = (0..samples.max(1))
+        .map(|_| {
+            order.shuffle(rng);
+            order.clone()
+        })
+        .collect();
+    // Each permutation's marginal-contribution chain is independent;
+    // evaluate them in parallel and reduce in sample order afterwards so
+    // the floating-point accumulation order matches the serial loop.
+    let deltas: Vec<Vec<f64>> =
+        parallel::try_par_map(&permutations, |perm| -> Result<Vec<f64>, ImportanceError> {
+            let mut mask = vec![false; n];
+            let mut previous = evaluator.decision_performance(day, &mask)?;
+            let mut delta = vec![0.0; n];
+            for &j in perm {
+                mask[j] = true;
+                let current = evaluator.decision_performance(day, &mask)?;
+                delta[j] = current - previous;
+                previous = current;
+            }
+            Ok(delta)
+        })?;
+    let mut totals = vec![0.0; n];
+    for delta in &deltas {
+        for (total, &d) in totals.iter_mut().zip(delta) {
+            *total += d;
         }
     }
     let scale = 1.0 / samples.max(1) as f64;

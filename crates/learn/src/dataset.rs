@@ -119,18 +119,23 @@ impl Dataset {
 
     /// Returns a new dataset containing only the samples at `indices`.
     ///
+    /// Copies straight into one preallocated flat buffer — this sits on the
+    /// retrain hot path (bootstrap resamples, CV folds), where a per-row
+    /// `Vec` each would churn the allocator.
+    ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let rows: Vec<Vec<f64>> = indices.iter().map(|&i| self.features.row(i).to_vec()).collect();
-        let targets: Vec<f64> = indices.iter().map(|&i| self.targets[i]).collect();
-        if rows.is_empty() {
-            // An empty subset keeps the feature arity so learners can
-            // validate against it.
-            return Dataset { features: Matrix::zeros(0, self.num_features()), targets };
+        let d = self.num_features();
+        let mut flat = Vec::with_capacity(indices.len() * d);
+        let mut targets = Vec::with_capacity(indices.len());
+        for &i in indices {
+            flat.extend_from_slice(self.features.row(i));
+            targets.push(self.targets[i]);
         }
-        Dataset::from_rows(rows, targets).expect("subset of valid dataset is valid")
+        let features = Matrix::from_vec(indices.len(), d, flat).expect("rows share arity");
+        Dataset { features, targets }
     }
 
     /// Splits into `(train, test)` with `train_fraction` of samples in train,
@@ -239,13 +244,14 @@ impl Standardizer {
     }
 
     /// Returns a dataset whose features are standardised (targets untouched).
+    /// Standardises a single flat copy in place rather than building a `Vec`
+    /// per row (this runs per retrain on the local-process path).
     pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
-        let rows: Vec<Vec<f64>> =
-            (0..data.len()).map(|i| self.transform(data.features.row(i))).collect();
-        if rows.is_empty() {
-            return data.clone();
+        let mut features = data.features.clone();
+        for i in 0..data.len() {
+            self.transform_in_place(features.row_mut(i));
         }
-        Dataset::from_rows(rows, data.targets.to_vec()).expect("same shape as input")
+        Dataset { features, targets: data.targets.clone() }
     }
 }
 

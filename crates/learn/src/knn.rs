@@ -9,6 +9,11 @@
 use crate::linalg::euclidean_distance;
 use std::fmt;
 
+/// Reference-set size beyond which the distance scan runs on the
+/// [`parallel`] crew. Below it, environment stores are a handful of daily
+/// signatures and thread spawn would dominate.
+pub const PARALLEL_SCAN_THRESHOLD: usize = 4096;
+
 /// Error returned by kNN queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KnnError {
@@ -127,6 +132,12 @@ impl KnnIndex {
     /// The `k` nearest reference points to `query`, closest first. When
     /// `k > len()`, every point is returned.
     ///
+    /// The brute-force distance scan fans out across threads once the
+    /// reference set is large enough to amortise the spawn cost (see
+    /// [`PARALLEL_SCAN_THRESHOLD`]); per-point distances are independent,
+    /// and the tie-breaking sort is total, so results are bit-identical to
+    /// the serial scan at any thread count.
+    ///
     /// # Errors
     ///
     /// [`KnnError::ZeroK`] or [`KnnError::ArityMismatch`] on invalid input.
@@ -137,12 +148,18 @@ impl KnnIndex {
         if query.len() != self.arity {
             return Err(KnnError::ArityMismatch { expected: self.arity, got: query.len() });
         }
-        let mut hits: Vec<Neighbor> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(index, p)| Neighbor { index, distance: euclidean_distance(query, p) })
-            .collect();
+        let mut hits: Vec<Neighbor> = if self.points.len() >= PARALLEL_SCAN_THRESHOLD {
+            parallel::par_map_indexed(self.points.len(), |index| Neighbor {
+                index,
+                distance: euclidean_distance(query, &self.points[index]),
+            })
+        } else {
+            self.points
+                .iter()
+                .enumerate()
+                .map(|(index, p)| Neighbor { index, distance: euclidean_distance(query, p) })
+                .collect()
+        };
         hits.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)

@@ -160,7 +160,12 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, computed in ikj order over the flat
+    /// row-major buffers: the innermost loop walks `rhs` and `out` rows
+    /// contiguously (cache-friendly, auto-vectorisable), while each output
+    /// element still accumulates its `k` terms in exactly the order of the
+    /// textbook ijk triple loop — so results are bit-identical to the naive
+    /// reference (see the `matmul_bits_match_naive_triple_loop` test).
     ///
     /// # Errors
     ///
@@ -170,14 +175,11 @@ impl Matrix {
             return Err(DimensionError { op: "matmul", left: self.shape(), right: rhs.shape() });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let lhs_rk = self[(r, k)];
-                if lhs_rk == 0.0 {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = out.row_mut(r);
+        let n = rhs.cols;
+        for (lhs_row, out_row) in
+            self.data.chunks_exact(self.cols).zip(out.data.chunks_exact_mut(n))
+        {
+            for (&lhs_rk, rhs_row) in lhs_row.iter().zip(rhs.data.chunks_exact(n)) {
                 for (o, &x) in out_row.iter_mut().zip(rhs_row) {
                     *o += lhs_rk * x;
                 }
@@ -493,6 +495,58 @@ mod tests {
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose().shape(), (3, 2));
         assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    /// The textbook ijk triple loop the ikj implementation must match
+    /// bit-for-bit: each output element accumulates its `k` terms in index
+    /// order.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Deterministic value mix: varied magnitudes, signs, and exact zeros
+    /// (zeros exercised deliberately — the previous implementation skipped
+    /// zero lhs entries, which is not order-preserving around signed zeros).
+    fn dense_test_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                match state % 7 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    k => ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 10f64.powi(k as i32),
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_bits_match_naive_triple_loop() {
+        for (m, k, n, salt) in
+            [(1, 1, 1, 1), (3, 5, 2, 2), (8, 8, 8, 3), (17, 31, 13, 4), (40, 7, 40, 5)]
+        {
+            let a = dense_test_matrix(m, k, salt);
+            let b = dense_test_matrix(k, n, salt ^ 0xFFFF);
+            let fast = a.matmul(&b).unwrap();
+            let slow = matmul_naive(&a, &b);
+            let fast_bits: Vec<u64> = fast.as_slice().iter().map(|x| x.to_bits()).collect();
+            let slow_bits: Vec<u64> = slow.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fast_bits, slow_bits, "shape {m}x{k}·{k}x{n} diverged from naive order");
+        }
     }
 
     #[test]

@@ -182,15 +182,14 @@ impl MtlSystem {
             }
         }
 
-        // Stage 1: independent base fits.
-        let base: Vec<LinearModel> = tasks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                fit_biased_ridge(&t.data, config.base_lambda, None)
-                    .map_err(|source| MtlError::TaskFit { task: i, source })
-            })
-            .collect::<Result<_, _>>()?;
+        // Stage 1: independent base fits. Per-task normal equations are
+        // independent, so they fan out across the deterministic crew; each
+        // task's fit is a pure function of its dataset, keeping results
+        // bit-identical to the serial loop at any thread count.
+        let base: Vec<LinearModel> = parallel::try_par_map_indexed(tasks.len(), |i| {
+            fit_biased_ridge(&tasks[i].data, config.base_lambda, None)
+                .map_err(|source| MtlError::TaskFit { task: i, source })
+        })?;
 
         let similarity = signature_similarity(tasks, config.similarity_bandwidth);
 
@@ -209,22 +208,22 @@ impl MtlSystem {
             }
         };
 
-        let models =
-            if config.transfer_strength <= 0.0 || matches!(config.mode, MtlMode::Independent) {
-                base
-            } else {
-                let mut refined = Vec::with_capacity(tasks.len());
-                for (i, t) in tasks.iter().enumerate() {
-                    let prior = blended_prior(i, &base, &similarity, &groups);
-                    let model = match prior {
-                        Some(p) => fit_biased_ridge(&t.data, config.transfer_strength, Some(&p))
-                            .map_err(|source| MtlError::TaskFit { task: i, source })?,
-                        None => base[i].clone(),
-                    };
-                    refined.push(model);
+        // Stage 2: transfer refits. Every target's prior reads only the
+        // (already final) stage-1 models, so refits are likewise
+        // independent across tasks.
+        let models = if config.transfer_strength <= 0.0
+            || matches!(config.mode, MtlMode::Independent)
+        {
+            base
+        } else {
+            parallel::try_par_map_indexed(tasks.len(), |i| {
+                match blended_prior(i, &base, &similarity, &groups) {
+                    Some(p) => fit_biased_ridge(&tasks[i].data, config.transfer_strength, Some(&p))
+                        .map_err(|source| MtlError::TaskFit { task: i, source }),
+                    None => Ok(base[i].clone()),
                 }
-                refined
-            };
+            })?
+        };
 
         Ok(Self {
             models,

@@ -1,0 +1,310 @@
+//! # dcta-parallel — deterministic scoped parallel maps
+//!
+//! A minimal, std-only execution layer for the workspace's hot loops
+//! (leave-one-out importance, Shapley permutation sampling, per-cluster DQN
+//! training, benchmark sweeps). The whole workspace promises bit-for-bit
+//! reproducibility (see `learn::linalg`), so the layer's contract is strict:
+//!
+//! **Determinism contract.** For a *pure* closure `f` (no interior
+//! mutability, output depends only on the input item/index),
+//! [`par_map`]/[`par_map_indexed`] return exactly the `Vec` the serial loop
+//! `(0..n).map(f).collect()` would return — same order, same `f64` bits —
+//! for every thread count. This holds by construction: items are never
+//! re-associated or reduced across threads; each output slot is computed by
+//! exactly one closure call and written to its final position, and any
+//! cross-item combining is left to the (serial) caller.
+//!
+//! Work is chunked: contiguous index ranges are claimed from an atomic
+//! counter by a scoped crew of worker threads (std threads, no external
+//! runtime), so uneven per-item cost load-balances without changing output
+//! order. With an effective thread count of 1 the implementation *is* the
+//! serial loop — no threads are spawned at all.
+//!
+//! ## Thread-count configuration
+//!
+//! The effective thread count is resolved, in order, from:
+//! 1. a process-wide override set with [`set_max_threads`] (used by
+//!    benchmarks to sweep 1 vs N within one process),
+//! 2. the `DCTA_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ## Errors
+//!
+//! [`try_par_map`]/[`try_par_map_indexed`] mirror `Iterator::collect::<
+//! Result<_, _>>` determinism: when several items fail, the error of the
+//! *lowest index* is returned — exactly the error a serial left-to-right
+//! loop would surface first. (Unlike the serial loop, later items may still
+//! have been evaluated; with pure closures this is unobservable.)
+//!
+//! ## Examples
+//!
+//! ```
+//! let squares = parallel::par_map_indexed(5, |i| (i * i) as f64);
+//! assert_eq!(squares, vec![0.0, 1.0, 4.0, 9.0, 16.0]);
+//!
+//! let doubled = parallel::par_map(&[1, 2, 3], |&x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override; 0 means "no override".
+static MAX_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable consulted when no override is set.
+pub const THREADS_ENV: &str = "DCTA_THREADS";
+
+/// Chunks handed out per worker thread: >1 so uneven per-item cost
+/// load-balances, small enough that chunk bookkeeping stays negligible.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// One chunk's outcome: its ordered outputs, or the first failing index.
+type ChunkSlot<U, E> = Mutex<Option<Result<Vec<U>, (usize, E)>>>;
+
+/// Sets a process-wide thread-count override (`0` clears it, falling back
+/// to `DCTA_THREADS` / detected parallelism). Benchmarks use this to time
+/// identical work at 1 vs N threads inside one process.
+pub fn set_max_threads(threads: usize) {
+    MAX_THREADS_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// The effective maximum thread count: the [`set_max_threads`] override if
+/// set, else `DCTA_THREADS` if parseable and non-zero, else
+/// [`std::thread::available_parallelism`] (1 when undetectable).
+pub fn max_threads() -> usize {
+    let over = MAX_THREADS_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Maps `f` over `items`, in parallel, returning outputs in input order.
+///
+/// See the crate docs for the determinism contract: with a pure `f` the
+/// result is bit-identical to `items.iter().map(f).collect()` at every
+/// thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over `0..n`, in parallel, returning outputs in index order.
+///
+/// See the crate docs for the determinism contract.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    match try_par_map_indexed(n, |i| Ok::<U, Infallible>(f(i))) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible [`par_map`]: returns the lowest-index error, like a serial
+/// left-to-right `collect::<Result<_, _>>`.
+///
+/// # Errors
+///
+/// The first (lowest-index) `Err` produced by `f`, if any.
+pub fn try_par_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    try_par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Fallible [`par_map_indexed`]: returns the lowest-index error, like a
+/// serial left-to-right `collect::<Result<_, _>>`.
+///
+/// # Errors
+///
+/// The first (lowest-index) `Err` produced by `f`, if any.
+pub fn try_par_map_indexed<U, E, F>(n: usize, f: F) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize) -> Result<U, E> + Sync,
+{
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        // Exact serial path: no threads, natural short-circuit on error.
+        return (0..n).map(f).collect();
+    }
+
+    // Static chunk boundaries (deterministic), dynamic chunk *claiming*
+    // (load-balancing). Each chunk's outputs land in a dedicated slot, so
+    // claiming order cannot perturb output order.
+    let num_chunks = (threads * CHUNKS_PER_THREAD).min(n);
+    let chunk_len = n.div_ceil(num_chunks);
+    let next_chunk = AtomicUsize::new(0);
+    let slots: Vec<ChunkSlot<U, E>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    return;
+                }
+                let start = (c * chunk_len).min(n);
+                let end = ((c + 1) * chunk_len).min(n);
+                let mut out = Vec::with_capacity(end - start);
+                let mut failure = None;
+                for i in start..end {
+                    match f(i) {
+                        Ok(v) => out.push(v),
+                        Err(e) => {
+                            failure = Some((i, e));
+                            break;
+                        }
+                    }
+                }
+                *slots[c].lock().expect("chunk slot poisoned") = Some(match failure {
+                    None => Ok(out),
+                    Some(ie) => Err(ie),
+                });
+            });
+        }
+    });
+
+    // Serial, in-order assembly; the lowest-index error wins, matching what
+    // a serial loop would have returned first.
+    let mut results = Vec::with_capacity(n);
+    let mut first_err: Option<(usize, E)> = None;
+    for slot in slots {
+        let outcome = slot.into_inner().expect("chunk slot poisoned").expect("chunk completed");
+        match outcome {
+            Ok(mut v) => results.append(&mut v),
+            Err((i, e)) => {
+                if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Tests mutate the process-wide override; serialise them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard(threads: usize) -> MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_max_threads(threads);
+        g
+    }
+
+    #[test]
+    fn ordered_output_at_many_threads() {
+        let _g = guard(8);
+        let out = par_map_indexed(1000, |i| i * 3);
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn serial_path_taken_at_one_thread() {
+        let _g = guard(1);
+        let out = par_map_indexed(10, |i| i as f64 / 3.0);
+        assert_eq!(out, (0..10).map(|i| i as f64 / 3.0).collect::<Vec<_>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let _g = guard(0);
+        // A float-heavy closure: any re-association would change bits.
+        let f = |i: usize| {
+            let mut acc = 0.0f64;
+            for k in 1..=64 {
+                acc += ((i * k) as f64).sqrt() / (k as f64 + 0.1);
+            }
+            acc
+        };
+        set_max_threads(1);
+        let serial: Vec<u64> = par_map_indexed(257, f).into_iter().map(f64::to_bits).collect();
+        for threads in [2, 3, 8] {
+            set_max_threads(threads);
+            let par: Vec<u64> = par_map_indexed(257, f).into_iter().map(f64::to_bits).collect();
+            assert_eq!(par, serial, "thread count {threads} changed bits");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let _g = guard(4);
+        let items: Vec<i64> = (0..100).collect();
+        assert_eq!(par_map(&items, |&x| x - 7), (0..100).map(|x| x - 7).collect::<Vec<i64>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let _g = guard(8);
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 1), vec![1]);
+        assert_eq!(par_map::<i32, i32, _>(&[], |&x| x), Vec::<i32>::new());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let _g = guard(0);
+        let f = |i: usize| if i % 10 == 3 { Err(i) } else { Ok(i) };
+        for threads in [1, 2, 8] {
+            set_max_threads(threads);
+            assert_eq!(try_par_map_indexed(100, f), Err(3), "threads {threads}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn try_success_matches_serial() {
+        let _g = guard(8);
+        let ok = try_par_map_indexed(50, |i| Ok::<usize, ()>(i * i)).unwrap();
+        assert_eq!(ok, (0..50).map(|i| i * i).collect::<Vec<_>>());
+        let items = [1.0, 2.0, 3.0];
+        let mapped = try_par_map(&items, |&x| Ok::<f64, ()>(x / 7.0)).unwrap();
+        assert_eq!(mapped, items.iter().map(|&x| x / 7.0).collect::<Vec<_>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn override_beats_env_and_detection() {
+        let _g = guard(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests of the crate's determinism contract: for any input and
+//! any closure, the parallel maps return bit-identical results at every
+//! thread count — including the `1`-thread exact-serial path.
+
+use proptest::prelude::*;
+
+/// A numerically "interesting" pure function: non-linear, sign-sensitive,
+/// and built from operations whose results depend on evaluation order if
+/// anything were re-associated.
+fn knead(x: f64) -> f64 {
+    let a = x.mul_add(1.618, -0.577);
+    let b = (a * a + 1.0).sqrt() - a.abs();
+    (b / 3.0 + x * 0.25).tan().atan()
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_bit_identical_across_thread_counts(
+        items in prop::collection::vec(-1e6f64..1e6, 0..300),
+    ) {
+        let serial: Vec<f64> = items.iter().map(|&x| knead(x)).collect();
+        for threads in [1usize, 2, 8] {
+            parallel::set_max_threads(threads);
+            let par = parallel::par_map(&items, |&x| knead(x));
+            parallel::set_max_threads(0);
+            prop_assert_eq!(bits(&par), bits(&serial));
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_bit_identical_across_thread_counts(
+        n in 0usize..300,
+        scale in -100.0f64..100.0,
+    ) {
+        let serial: Vec<f64> = (0..n).map(|i| knead(i as f64 * scale)).collect();
+        for threads in [1usize, 2, 8] {
+            parallel::set_max_threads(threads);
+            let par = parallel::par_map_indexed(n, |i| knead(i as f64 * scale));
+            parallel::set_max_threads(0);
+            prop_assert_eq!(bits(&par), bits(&serial));
+        }
+    }
+
+    #[test]
+    fn try_par_map_error_selection_matches_serial(
+        items in prop::collection::vec(0u8..4, 1..200),
+    ) {
+        // The serial loop fails at the first odd element; the parallel map
+        // must surface the same (lowest-index) error at every thread count.
+        let f = |&v: &u8| -> Result<u8, usize> { if v % 2 == 1 { Err(v as usize) } else { Ok(v * 2) } };
+        let serial: Result<Vec<u8>, usize> = items.iter().map(f).collect();
+        for threads in [1usize, 2, 8] {
+            parallel::set_max_threads(threads);
+            let par = parallel::try_par_map(&items, f);
+            parallel::set_max_threads(0);
+            prop_assert_eq!(&par, &serial);
+        }
+    }
+}

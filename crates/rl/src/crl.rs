@@ -280,51 +280,126 @@ impl Crl {
         self.agents.len()
     }
 
+    /// (Re)builds the offline clustering when stale — a grown store
+    /// invalidates clusters and the agents trained on them.
+    fn ensure_clustering(&mut self, clusters: usize) -> Result<(), CrlError> {
+        if self.store.is_empty() {
+            return Err(CrlError::EmptyStore);
+        }
+        let stale = self.clustering.as_ref().is_none_or(|c| c.store_len != self.store.len());
+        if stale {
+            let signatures: Vec<Vec<f64>> =
+                self.store.records().iter().map(|r| r.signature.clone()).collect();
+            let k = clusters.clamp(1, signatures.len());
+            let model = KMeans::fit(&signatures, k, 100, &mut self.rng)?;
+            let n = self.store.records()[0].importances.len();
+            let mut sums = vec![vec![0.0; n]; k];
+            let mut counts = vec![0usize; k];
+            for (i, &c) in model.assignments().iter().enumerate() {
+                counts[c] += 1;
+                for (s, &v) in sums[c].iter_mut().zip(&self.store.records()[i].importances) {
+                    *s += v;
+                }
+            }
+            for (c, sum) in sums.iter_mut().enumerate() {
+                for v in sum.iter_mut() {
+                    *v /= counts[c].max(1) as f64;
+                }
+            }
+            self.agents.clear();
+            self.clustering =
+                Some(Clustering { model, centroid_importances: sums, store_len: self.store.len() });
+        }
+        Ok(())
+    }
+
     /// Environment definition in the configured [`LookupMode`]: returns the
     /// agent-cache key plus the blended importance estimate.
     fn define_environment(&mut self, signature: &[f64]) -> Result<(usize, Vec<f64>), CrlError> {
         match self.config.lookup {
             LookupMode::OnlineKnn => self.store.nearest_blend(signature, self.config.k),
             LookupMode::OfflineKMeans { clusters } => {
-                if self.store.is_empty() {
-                    return Err(CrlError::EmptyStore);
-                }
-                // (Re)cluster lazily; a grown store invalidates clusters and
-                // the agents trained on them.
-                let stale =
-                    self.clustering.as_ref().is_none_or(|c| c.store_len != self.store.len());
-                if stale {
-                    let signatures: Vec<Vec<f64>> =
-                        self.store.records().iter().map(|r| r.signature.clone()).collect();
-                    let k = clusters.clamp(1, signatures.len());
-                    let model = KMeans::fit(&signatures, k, 100, &mut self.rng)?;
-                    let n = self.store.records()[0].importances.len();
-                    let mut sums = vec![vec![0.0; n]; k];
-                    let mut counts = vec![0usize; k];
-                    for (i, &c) in model.assignments().iter().enumerate() {
-                        counts[c] += 1;
-                        for (s, &v) in sums[c].iter_mut().zip(&self.store.records()[i].importances)
-                        {
-                            *s += v;
-                        }
-                    }
-                    for (c, sum) in sums.iter_mut().enumerate() {
-                        for v in sum.iter_mut() {
-                            *v /= counts[c].max(1) as f64;
-                        }
-                    }
-                    self.agents.clear();
-                    self.clustering = Some(Clustering {
-                        model,
-                        centroid_importances: sums,
-                        store_len: self.store.len(),
-                    });
-                }
+                self.ensure_clustering(clusters)?;
                 let clustering = self.clustering.as_ref().expect("built above");
                 let cluster = clustering.model.predict(signature);
                 Ok((cluster, clustering.centroid_importances[cluster].clone()))
             }
         }
+    }
+
+    /// Trains every environment's agent up front, in parallel, instead of
+    /// lazily on first use. Returns the number of agents trained.
+    ///
+    /// The paper's claim that "the training phase merely needs to be
+    /// conducted once" makes this the natural offline step: per-cluster
+    /// (offline mode) or per-record-neighbourhood (online mode) trainings
+    /// are fully independent, so they fan out across threads. Unlike the
+    /// lazy path — which draws initialisation and exploration noise from
+    /// the allocator's single shared RNG, making each agent's weights
+    /// depend on the order environments are first encountered — pretraining
+    /// seeds each agent from `config.seed` mixed with its cache key, so the
+    /// resulting agents are bit-identical at any thread count and
+    /// independent of training order.
+    ///
+    /// Already-cached agents are left untouched; subsequent
+    /// [`Self::allocate`] calls for pretrained environments report
+    /// `cache_hit = true`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CrlError`] variants.
+    pub fn pretrain(&mut self, spec: &AllocSpec) -> Result<usize, CrlError> {
+        spec.validate()?;
+        if self.store.is_empty() {
+            return Err(CrlError::EmptyStore);
+        }
+        if self.store.records()[0].importances.len() != spec.num_tasks() {
+            return Err(CrlError::Shape);
+        }
+        // Enumerate the agent-cache keys the configured lookup mode can ever
+        // produce, with their environment blends, in deterministic order.
+        let mut jobs: Vec<(usize, Vec<f64>)> = Vec::new();
+        match self.config.lookup {
+            LookupMode::OfflineKMeans { clusters } => {
+                self.ensure_clustering(clusters)?;
+                let clustering = self.clustering.as_ref().expect("built above");
+                jobs.extend(clustering.centroid_importances.iter().cloned().enumerate());
+            }
+            LookupMode::OnlineKnn => {
+                for record in self.store.records() {
+                    let (key, blend) =
+                        self.store.nearest_blend(&record.signature, self.config.k)?;
+                    if !jobs.iter().any(|&(existing, _)| existing == key) {
+                        jobs.push((key, blend));
+                    }
+                }
+            }
+        }
+        jobs.retain(|(key, _)| !self.agents.contains_key(key));
+        let config = &self.config;
+        let trained: Vec<(usize, DqnAgent)> =
+            parallel::try_par_map(&jobs, |(key, blend)| -> Result<(usize, DqnAgent), CrlError> {
+                let clustered_spec = AllocSpec { importances: blend.clone(), ..spec.clone() };
+                let mut env = AllocEnv::new(clustered_spec)?;
+                // SplitMix-style key mixing keeps per-agent streams disjoint
+                // for any seed while staying reproducible.
+                let agent_seed =
+                    config.seed ^ (*key as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = StdRng::seed_from_u64(agent_seed);
+                let mut agent = DqnAgent::new(
+                    env.state_dim(),
+                    env.num_actions(),
+                    config.dqn.clone(),
+                    &mut rng,
+                )?;
+                for _ in 0..config.episodes {
+                    agent.train_episode(&mut env, &mut rng)?;
+                }
+                Ok((*key, agent))
+            })?;
+        let count = trained.len();
+        self.agents.extend(trained);
+        Ok(count)
     }
 
     /// Allocates the live instance: environment definition (kNN or k-means
@@ -485,6 +560,51 @@ mod tests {
             .unwrap();
         assert_eq!(crl.store().len(), 1);
     }
+
+    #[test]
+    fn pretrain_populates_online_agent_cache() {
+        let n = 4;
+        let mut crl =
+            Crl::new(store_two_contexts(n), CrlConfig { episodes: 10, ..CrlConfig::default() });
+        let trained = crl.pretrain(&spec(n)).unwrap();
+        assert!(trained >= 2, "both contexts should get agents, trained {trained}");
+        assert_eq!(crl.cached_agents(), trained);
+        // Every allocation now reuses a pretrained agent.
+        assert!(crl.allocate(&[0.0], &spec(n)).unwrap().cache_hit);
+        assert!(crl.allocate(&[10.0], &spec(n)).unwrap().cache_hit);
+        // Pretraining again is a no-op.
+        assert_eq!(crl.pretrain(&spec(n)).unwrap(), 0);
+    }
+
+    #[test]
+    fn pretrain_validates_inputs() {
+        let mut empty =
+            Crl::new(EnvironmentStore::new(), CrlConfig { episodes: 1, ..CrlConfig::default() });
+        assert!(matches!(empty.pretrain(&spec(2)), Err(CrlError::EmptyStore)));
+        let mut crl =
+            Crl::new(store_two_contexts(4), CrlConfig { episodes: 1, ..CrlConfig::default() });
+        assert!(matches!(crl.pretrain(&spec(3)), Err(CrlError::Shape)));
+    }
+
+    #[test]
+    fn pretrained_agents_are_order_independent() {
+        // Unlike the lazy path, pretrained agents are seeded per cache key,
+        // so the allocation they emit cannot depend on which environment was
+        // pretrained (or queried) first.
+        let n = 4;
+        let run = |probe_order: &[f64]| {
+            let mut crl =
+                Crl::new(store_two_contexts(n), CrlConfig { episodes: 15, ..CrlConfig::default() });
+            crl.pretrain(&spec(n)).unwrap();
+            let mut out = Vec::new();
+            for &sig in probe_order {
+                out.push((sig.to_bits(), crl.allocate(&[sig], &spec(n)).unwrap().assignment));
+            }
+            out.sort();
+            out
+        };
+        assert_eq!(run(&[0.0, 10.0]), run(&[10.0, 0.0]));
+    }
 }
 
 #[cfg(test)]
@@ -573,6 +693,17 @@ mod offline_tests {
     fn offline_empty_store_errors() {
         let mut crl = Crl::new(EnvironmentStore::new(), offline_config(2));
         assert!(matches!(crl.allocate(&[0.0], &spec(2)), Err(CrlError::EmptyStore)));
+    }
+
+    #[test]
+    fn pretrain_covers_every_cluster() {
+        let n = 3;
+        let mut crl =
+            Crl::new(two_context_store(n), CrlConfig { episodes: 5, ..offline_config(2) });
+        assert_eq!(crl.pretrain(&spec(n)).unwrap(), 2);
+        assert_eq!(crl.cached_agents(), 2);
+        assert!(crl.allocate(&[0.0], &spec(n)).unwrap().cache_hit);
+        assert!(crl.allocate(&[10.0], &spec(n)).unwrap().cache_hit);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! CRL pretraining is seeded per cache key, so the trained agents — and the
+//! allocations they emit — must be bit-identical at any thread count.
+
+use rl::alloc_env::AllocSpec;
+use rl::crl::{Crl, CrlConfig, EnvironmentRecord, EnvironmentStore, LookupMode};
+use rl::dqn::DqnConfig;
+
+fn spec(n: usize) -> AllocSpec {
+    AllocSpec {
+        importances: vec![0.0; n],
+        times: vec![1.0; n],
+        resources: vec![1.0; n],
+        time_limit: 1.0,
+        time_limits: None,
+        capacities: vec![1.0, 1.0],
+    }
+}
+
+fn store(n: usize) -> EnvironmentStore {
+    let mut store = EnvironmentStore::new();
+    let mut imp_a = vec![0.05; n];
+    imp_a[0] = 0.95;
+    let mut imp_b = vec![0.05; n];
+    imp_b[n - 1] = 0.95;
+    for d in 0..4 {
+        let jitter = d as f64 * 0.1;
+        store
+            .push(EnvironmentRecord { signature: vec![jitter], importances: imp_a.clone() })
+            .unwrap();
+        store
+            .push(EnvironmentRecord { signature: vec![10.0 + jitter], importances: imp_b.clone() })
+            .unwrap();
+    }
+    store
+}
+
+fn run_at(threads: usize, lookup: LookupMode) -> Vec<(Vec<Option<usize>>, Vec<u64>)> {
+    let n = 4;
+    parallel::set_max_threads(threads);
+    let mut crl = Crl::new(
+        store(n),
+        CrlConfig {
+            lookup,
+            episodes: 12,
+            dqn: DqnConfig { hidden: vec![16], ..DqnConfig::default() },
+            ..CrlConfig::default()
+        },
+    );
+    crl.pretrain(&spec(n)).unwrap();
+    let out = [0.0, 10.0]
+        .iter()
+        .map(|&sig| {
+            let alloc = crl.allocate(&[sig], &spec(n)).unwrap();
+            let value_bits: Vec<u64> =
+                alloc.estimated_importances.iter().map(|v| v.to_bits()).collect();
+            (alloc.assignment, value_bits)
+        })
+        .collect();
+    parallel::set_max_threads(0);
+    out
+}
+
+#[test]
+fn pretrained_crl_is_thread_count_invariant() {
+    for lookup in [LookupMode::OnlineKnn, LookupMode::OfflineKMeans { clusters: 2 }] {
+        let at_1 = run_at(1, lookup);
+        let at_2 = run_at(2, lookup);
+        let at_8 = run_at(8, lookup);
+        assert_eq!(at_1, at_2, "{lookup:?}: threads 1 vs 2 diverged");
+        assert_eq!(at_1, at_8, "{lookup:?}: threads 1 vs 8 diverged");
+    }
+}
