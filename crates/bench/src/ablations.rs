@@ -7,8 +7,10 @@
 //! * **Allocation-quality gap**: captured true importance of every method
 //!   normalised by the exact-oracle optimum.
 
-use crate::common::{f3, mean, paper_pipeline, paper_scenario, pct, RunOpts, Table};
-use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
+use crate::common::{
+    f3, mean, paper_pipeline, paper_scenario, pct, prepare_cached, RunOpts, Table,
+};
+use dcta_core::pipeline::{Method, PipelineConfig};
 use learn::kmeans::KMeans;
 use learn::linalg::euclidean_distance;
 use rand::rngs::StdRng;
@@ -43,7 +45,7 @@ pub fn weights(opts: &RunOpts) -> Result<WeightSweep, Box<dyn Error>> {
     );
     for (w1, w2) in sweep {
         let config = PipelineConfig { weights: (w1, w2), ..paper_pipeline(opts) };
-        let mut prepared = Pipeline::new(config).prepare(&scenario)?;
+        let mut prepared = prepare_cached(config, &scenario)?;
         let days: Vec<usize> = prepared.test_days().collect();
         let mut captured = Vec::new();
         let mut perf = Vec::new();
@@ -170,7 +172,7 @@ pub struct QualityGap {
 /// Propagates pipeline failures.
 pub fn quality_gap(opts: &RunOpts) -> Result<QualityGap, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(10, 6))?;
-    let mut prepared = Pipeline::new(paper_pipeline(opts)).prepare(&scenario)?;
+    let mut prepared = prepare_cached(paper_pipeline(opts), &scenario)?;
     let days: Vec<usize> = prepared.test_days().collect();
     let methods = [
         Method::ExactOracle,

@@ -221,6 +221,24 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
         println!("[pipeline cache: {stats}]");
     }
 
+    // The persisted-cache path `reproduce` takes on a second run: every
+    // rep warm-starts from a snapshot, so the offline importance sweep is
+    // pure cache hits and only training + the day run cost wall-clock.
+    let snapshot = Pipeline::new(pipeline_config.clone())
+        .prepare(&scenario)
+        .expect("prepare")
+        .importance_cache()
+        .to_text();
+    rows.extend(versus("pipeline_end_to_end_warm_cache", args.threads, reps, || {
+        let cache = ImportanceCache::with_capacity(dcta_bench::common::CACHE_CAPACITY);
+        cache.load_text(&snapshot).expect("load snapshot");
+        let mut prepared = Pipeline::new(pipeline_config.clone())
+            .prepare_with_cache(&scenario, cache)
+            .expect("prepare warm");
+        let day = prepared.test_days().start;
+        prepared.run_day(Method::Dcta, day).expect("run day");
+    }));
+
     Ok(Report {
         generated_by: "perfbench".to_string(),
         quick: opts.quick,

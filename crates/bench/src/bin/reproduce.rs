@@ -11,11 +11,14 @@
 //! With no `--exp`, every experiment runs. Available ids: `fig2`, `fig3`,
 //! `fig45`, `tab1`, `rl-stale` (covers both staleness ablations),
 //! `local-model`, `fig9`, `fig10`, `fig11`, `knapsack`, `weights`,
-//! `env-lookup`, `quality-gap`, `shapley`, `medium`. Tables print to
-//! stdout; JSON snapshots land in `--out` (default `results/`).
+//! `env-lookup`, `quality-gap`, `shapley`, `medium`, `fault-sweep`.
+//! Tables print to stdout; JSON snapshots land in `--out` (default
+//! `results/`).
 
 use dcta_bench::common::RunOpts;
-use dcta_bench::{ablations, distribution, extensions, localmodel, solvers, staleness, sweeps};
+use dcta_bench::{
+    ablations, distribution, extensions, faultsweep, localmodel, solvers, staleness, sweeps,
+};
 use serde::Serialize;
 use std::error::Error;
 use std::fs;
@@ -40,6 +43,7 @@ const ALL: &[&str] = &[
     "shapley",
     "medium",
     "hetero-budget",
+    "fault-sweep",
 ];
 
 struct Args {
@@ -184,6 +188,11 @@ fn run_one(id: &str, opts: &RunOpts, out: &Path) -> Result<(), Box<dyn Error>> {
             print!("{}", r.table.render());
             save(out, "hetero_budget", &r)
         }
+        "fault-sweep" => {
+            let r = faultsweep::run(opts)?;
+            print!("{}", r.table.render());
+            save(out, "fault_sweep", &r)
+        }
         other => Err(format!("unknown experiment `{other}`").into()),
     }
 }
@@ -196,6 +205,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Persist the importance cache next to the JSON snapshots so repeated
+    // sweeps skip the offline importance sweep (results are bit-identical
+    // either way; the cache only affects wall-clock).
+    if fs::create_dir_all(&args.out).is_ok() {
+        dcta_bench::common::set_cache_dir(&args.out);
+    }
     let mut failures = 0;
     for id in &args.experiments {
         println!("\n#### {id} {}", if args.opts.quick { "(quick)" } else { "" });

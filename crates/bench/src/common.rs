@@ -2,11 +2,14 @@
 //! canonical configurations, text tables, and result snapshots.
 
 use buildings::scenario::{Scenario, ScenarioConfig, ScenarioError};
-use dcta_core::pipeline::PipelineConfig;
+use dcta_core::cache::ImportanceCache;
+use dcta_core::pipeline::{Pipeline, PipelineConfig, PipelineError, PreparedPipeline};
 use rl::crl::CrlConfig;
 use rl::dqn::DqnConfig;
 use serde::Serialize;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 /// Options shared by every experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +67,63 @@ pub fn paper_pipeline(opts: &RunOpts) -> PipelineConfig {
         seed: opts.seed,
         ..PipelineConfig::default()
     }
+}
+
+/// LRU capacity of the persisted importance cache. Entries are one
+/// `(day, mask) -> f64` evaluation each, so this caps the on-disk snapshot
+/// at a few megabytes while comfortably holding every sweep's working set.
+pub const CACHE_CAPACITY: usize = 1 << 16;
+
+/// Basename of the importance-cache snapshot stored next to `results/*.json`.
+pub const CACHE_BASENAME: &str = "importance_cache.txt";
+
+static CACHE_FILE: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+/// Points the persisted importance cache at `<dir>/importance_cache.txt`.
+///
+/// Driver binaries call this once with their `--out` directory before any
+/// experiment runs; experiments launched without a configured directory
+/// (unit tests, library callers) fall back to in-memory caches. Only the
+/// first call wins — the path is process-global, like the thread cap.
+pub fn set_cache_dir(dir: &Path) {
+    let _ = CACHE_FILE.set(Some(dir.join(CACHE_BASENAME)));
+}
+
+fn cache_file() -> Option<&'static Path> {
+    CACHE_FILE.get().and_then(|p| p.as_deref())
+}
+
+/// Prepares a pipeline through the persisted importance cache.
+///
+/// Warm-starts from the snapshot next to the results directory (when one
+/// is configured and present) so repeated `reproduce` sweeps skip the
+/// offline importance sweep, then persists the merged cache back after the
+/// prepare pass — the phase that performs the bulk of the evaluations.
+/// Snapshot I/O problems are reported but never fail the experiment: the
+/// cache is a pure accelerator and results are bit-identical either way.
+///
+/// # Errors
+///
+/// Propagates pipeline preparation failures.
+pub fn prepare_cached<'a>(
+    config: PipelineConfig,
+    scenario: &'a Scenario,
+) -> Result<PreparedPipeline<'a>, PipelineError> {
+    let cache = ImportanceCache::with_capacity(CACHE_CAPACITY);
+    if let Some(path) = cache_file() {
+        match cache.load_file(path) {
+            Ok(n) if n > 0 => println!("[importance cache: {n} entries from {}]", path.display()),
+            Ok(_) => {}
+            Err(e) => eprintln!("[importance cache: ignoring {}: {e}]", path.display()),
+        }
+    }
+    let prepared = Pipeline::new(config).prepare_with_cache(scenario, cache)?;
+    if let Some(path) = cache_file() {
+        if let Err(e) = prepared.importance_cache().save_file(path) {
+            eprintln!("[importance cache: could not persist {}: {e}]", path.display());
+        }
+    }
+    Ok(prepared)
 }
 
 /// A plain-text table renderer for experiment output.

@@ -6,10 +6,11 @@
 //! * **medium** — per-node-link vs shared-medium WiFi contention: how the
 //!   Fig. 9-11 ordering behaves under the pessimistic channel model.
 
-use crate::common::{f3, mean, paper_pipeline, paper_scenario, pct, RunOpts, Table};
+use crate::common::{
+    f3, mean, paper_pipeline, paper_scenario, pct, prepare_cached, RunOpts, Table,
+};
 use crate::sweeps::METHODS;
 use dcta_core::importance::{CopModels, ImportanceEvaluator};
-use dcta_core::pipeline::Pipeline;
 use dcta_core::processor::ProcessorFleet;
 use dcta_core::shapley::{efficiency_gap, shapley_importances};
 use dcta_core::task::{EdgeTask, TaskId};
@@ -100,7 +101,7 @@ pub struct MediumStudy {
 /// Propagates pipeline failures.
 pub fn medium(opts: &RunOpts) -> Result<MediumStudy, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(9, 6))?;
-    let mut prepared = Pipeline::new(paper_pipeline(opts)).prepare(&scenario)?;
+    let mut prepared = prepare_cached(paper_pipeline(opts), &scenario)?;
     let days: Vec<usize> = prepared.test_days().collect();
 
     let mut allocations = Vec::new();

@@ -1,0 +1,221 @@
+//! Mid-run fault sweep: a crash-rate × MTTR grid comparing how much task
+//! importance each recovery policy salvages.
+//!
+//! Every grid cell seeds a [`FaultSchedule`] over the worker nodes (each
+//! worker crashes with probability `crash_rate` at a uniform time inside
+//! the healthy round, recovering `mttr_fraction × PT` later) and replays
+//! the *same* faulted round under three controller reactions:
+//!
+//! * `resolve` — DCTA with recovery: re-solve TATIM over the survivors,
+//!   shedding ascending-importance tasks when capacity falls short;
+//! * `none` — no recovery: orphaned work is simply lost;
+//! * `random-shed` — re-dispatch as much as fits, chosen importance-blind.
+//!
+//! The headline metric is the retained-importance fraction (delivered true
+//! importance over the healthy run's), alongside degraded-mode decision
+//! performance and the re-allocation latency of the recovery solve.
+
+use crate::common::{f3, mean, paper_pipeline, paper_scenario, prepare_cached, RunOpts, Table};
+use dcta_core::pipeline::Method;
+use dcta_core::recovery::RecoveryMode;
+use edgesim::faults::FaultSchedule;
+use edgesim::node::NodeId;
+use serde::Serialize;
+use std::error::Error;
+
+/// The three controller reactions compared in every cell.
+const MODES: [RecoveryMode; 3] =
+    [RecoveryMode::Resolve, RecoveryMode::None, RecoveryMode::RandomShed];
+
+/// Per-policy aggregate over one grid cell (all evaluation days).
+#[derive(Debug, Clone, Serialize)]
+pub struct ArmStats {
+    /// Policy name (`resolve`, `none`, `random-shed`).
+    pub mode: String,
+    /// Mean retained-importance fraction across days.
+    pub mean_retained_fraction: f64,
+    /// Worst retained-importance fraction across days.
+    pub min_retained_fraction: f64,
+    /// Mean degraded-over-healthy decision-performance ratio.
+    pub mean_decision_fraction: f64,
+    /// Mean faulted-over-healthy processing-time ratio (simulated time
+    /// only — the measured re-solve latency is reported separately).
+    pub mean_slowdown: f64,
+    /// Mean recovery re-solve latency in milliseconds (0 without one).
+    pub mean_replan_latency_ms: f64,
+    /// Tasks shed by the recovery plans, summed over days.
+    pub shed_tasks: usize,
+    /// Scheduled tasks that never delivered, summed over days.
+    pub lost_tasks: usize,
+}
+
+/// One crash-rate × MTTR grid cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCell {
+    /// Per-worker crash probability.
+    pub crash_rate: f64,
+    /// Mean time to recovery as a fraction of the healthy round's PT.
+    pub mttr_fraction: f64,
+    /// Days on which at least one assigned worker actually crashed.
+    pub faulted_days: usize,
+    /// Aggregates for `resolve`, `none`, `random-shed` (in that order).
+    pub arms: Vec<ArmStats>,
+}
+
+/// Snapshot of the full sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultSweep {
+    /// Quick mode flag.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Allocator whose plan the faults hit.
+    pub method: String,
+    /// Evaluation days per cell.
+    pub days: usize,
+    /// The grid.
+    pub cells: Vec<FaultCell>,
+    /// Grand mean retained fraction per policy, over faulted cells.
+    pub overall_retained: Vec<f64>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+struct Accumulator {
+    retained: Vec<f64>,
+    decision: Vec<f64>,
+    slowdown: Vec<f64>,
+    latency_ms: Vec<f64>,
+    shed: usize,
+    lost: usize,
+}
+
+impl Accumulator {
+    fn new() -> Self {
+        Self {
+            retained: Vec::new(),
+            decision: Vec::new(),
+            slowdown: Vec::new(),
+            latency_ms: Vec::new(),
+            shed: 0,
+            lost: 0,
+        }
+    }
+
+    fn finish(self, mode: RecoveryMode) -> ArmStats {
+        ArmStats {
+            mode: mode.to_string(),
+            mean_retained_fraction: mean(&self.retained),
+            min_retained_fraction: self.retained.iter().copied().fold(f64::INFINITY, f64::min),
+            mean_decision_fraction: mean(&self.decision),
+            mean_slowdown: mean(&self.slowdown),
+            mean_replan_latency_ms: mean(&self.latency_ms),
+            shed_tasks: self.shed,
+            lost_tasks: self.lost,
+        }
+    }
+}
+
+/// Runs the sweep: crash rates × MTTR fractions, three policies each.
+///
+/// # Errors
+///
+/// Propagates scenario, pipeline, and fault-schedule failures.
+pub fn run(opts: &RunOpts) -> Result<FaultSweep, Box<dyn Error>> {
+    let scenario = paper_scenario(opts, opts.pick(10, 6))?;
+    // PT must stay a pure function of the simulation so the seeded fault
+    // windows (fractions of the healthy PT) are reproducible bit for bit;
+    // wall-clock allocation overhead would jitter them.
+    let mut config = paper_pipeline(opts);
+    config.include_allocation_overhead = false;
+    let mut prepared = prepare_cached(config, &scenario)?;
+    let days: Vec<usize> = prepared.test_days().collect();
+
+    let workers: Vec<NodeId> =
+        prepared.fleet().processors().iter().map(|p| p.node).filter(|node| node.0 != 0).collect();
+
+    // The healthy round length per day anchors both the crash window and
+    // the MTTR scale.
+    let mut horizons = Vec::with_capacity(days.len());
+    for &day in &days {
+        horizons.push(prepared.run_day(Method::Dcta, day)?.processing_time_s);
+    }
+
+    let crash_rates: Vec<f64> = opts.pick(vec![0.2, 0.4, 0.6, 0.8], vec![0.4, 0.8]);
+    let mttr_fractions: Vec<f64> = opts.pick(vec![0.0, 0.25, 0.75], vec![0.0, 0.5]);
+
+    let mut table = Table::new(
+        "Fault sweep — retained importance fraction by recovery policy",
+        &["crash rate", "MTTR/PT", "faulted days", "resolve", "none", "random-shed", "replan ms"],
+    );
+    let mut cells = Vec::new();
+    let mut overall = [Vec::new(), Vec::new(), Vec::new()];
+    for (ci, &crash_rate) in crash_rates.iter().enumerate() {
+        for (mi, &mttr_fraction) in mttr_fractions.iter().enumerate() {
+            let mut accs: Vec<Accumulator> = MODES.iter().map(|_| Accumulator::new()).collect();
+            let mut faulted_days = 0usize;
+            for (di, &day) in days.iter().enumerate() {
+                let horizon = horizons[di].max(1e-6);
+                let seed = opts
+                    .seed
+                    .wrapping_add(0x9E37 * (ci as u64 + 1))
+                    .wrapping_add(0x79B9 * (mi as u64 + 1))
+                    .wrapping_add(day as u64);
+                let schedule = FaultSchedule::seeded(
+                    seed,
+                    &workers,
+                    crash_rate,
+                    mttr_fraction * horizon,
+                    horizon,
+                )?;
+                let mut any_fault = false;
+                for (ai, &mode) in MODES.iter().enumerate() {
+                    let r = prepared.run_day_with_faults(Method::Dcta, day, &schedule, mode)?;
+                    any_fault |= !r.failures.is_empty();
+                    let acc = &mut accs[ai];
+                    acc.retained.push(r.retained_fraction);
+                    acc.decision.push(if r.healthy_decision_performance.abs() > 1e-12 {
+                        r.decision_performance / r.healthy_decision_performance
+                    } else {
+                        1.0
+                    });
+                    // Simulated slowdown only: the measured re-solve
+                    // latency is reported separately (latency_ms) so this
+                    // column stays seed-deterministic.
+                    acc.slowdown.push(
+                        r.simulated_processing_time_s / r.healthy_processing_time_s.max(1e-12),
+                    );
+                    acc.latency_ms.push(r.reallocation_latency_s * 1e3);
+                    acc.shed += r.shed.len();
+                    acc.lost += r.lost.len();
+                }
+                faulted_days += usize::from(any_fault);
+            }
+            let arms: Vec<ArmStats> =
+                accs.into_iter().zip(MODES).map(|(acc, mode)| acc.finish(mode)).collect();
+            for (o, arm) in overall.iter_mut().zip(&arms) {
+                o.push(arm.mean_retained_fraction);
+            }
+            table.push_row(vec![
+                format!("{crash_rate:.2}"),
+                format!("{mttr_fraction:.2}"),
+                faulted_days.to_string(),
+                f3(arms[0].mean_retained_fraction),
+                f3(arms[1].mean_retained_fraction),
+                f3(arms[2].mean_retained_fraction),
+                f3(arms[0].mean_replan_latency_ms),
+            ]);
+            cells.push(FaultCell { crash_rate, mttr_fraction, faulted_days, arms });
+        }
+    }
+
+    Ok(FaultSweep {
+        quick: opts.quick,
+        seed: opts.seed,
+        method: "dcta".to_string(),
+        days: days.len(),
+        cells,
+        overall_retained: overall.iter().map(|o| mean(o)).collect(),
+        table,
+    })
+}

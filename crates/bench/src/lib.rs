@@ -14,6 +14,7 @@
 //! | [`solvers`] | Theorem 1 solver stack (gap + time) |
 //! | [`ablations`] | Eq. 6 weight sweep, §VII kNN-vs-k-means lookup, quality gap |
 //! | [`extensions`] | Shapley-vs-LOO importance, shared-medium contention |
+//! | [`faultsweep`] | Robustness extension: crash-rate × MTTR recovery grid |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +23,7 @@ pub mod ablations;
 pub mod common;
 pub mod distribution;
 pub mod extensions;
+pub mod faultsweep;
 pub mod localmodel;
 pub mod solvers;
 pub mod staleness;

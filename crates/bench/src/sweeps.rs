@@ -6,9 +6,9 @@
 //!   500 Mb).
 //! * **Fig. 11** — PT vs network bandwidth (2.68×/1.94×/1.71× on average).
 
-use crate::common::{f1, mean, paper_pipeline, paper_scenario, RunOpts, Table};
+use crate::common::{f1, mean, paper_pipeline, paper_scenario, prepare_cached, RunOpts, Table};
 use buildings::scenario::{Scenario, ScenarioConfig};
-use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
+use dcta_core::pipeline::{Method, PipelineConfig};
 use serde::Serialize;
 use std::error::Error;
 
@@ -42,7 +42,7 @@ pub struct Sweep {
 }
 
 fn mean_pts(scenario: &Scenario, config: PipelineConfig) -> Result<Vec<f64>, Box<dyn Error>> {
-    let mut prepared = Pipeline::new(config).prepare(scenario)?;
+    let mut prepared = prepare_cached(config, scenario)?;
     let days: Vec<usize> = prepared.test_days().collect();
     let mut out = Vec::with_capacity(METHODS.len());
     for method in METHODS {
@@ -149,7 +149,7 @@ pub fn fig10(opts: &RunOpts) -> Result<Sweep, Box<dyn Error>> {
 /// Propagates pipeline failures.
 pub fn fig11(opts: &RunOpts) -> Result<Sweep, Box<dyn Error>> {
     let scenario = paper_scenario(opts, opts.pick(10, 6))?;
-    let mut prepared = Pipeline::new(paper_pipeline(opts)).prepare(&scenario)?;
+    let mut prepared = prepare_cached(paper_pipeline(opts), &scenario)?;
     let days: Vec<usize> = prepared.test_days().collect();
 
     // Pre-compute allocations at the default bandwidth.

@@ -26,11 +26,22 @@
 //! compute it — the values are identical by determinism, so the second
 //! insert is a no-op overwrite, never a wrong answer.
 //!
+//! Caches can be **persisted** between runs ([`ImportanceCache::save_file`] /
+//! [`ImportanceCache::load_file`]) in a versioned plain-text format, so a
+//! repeated `reproduce` sweep skips the offline importance sweep entirely.
+//! Persistence is safe because every key carries the scenario seed and the
+//! evaluator fingerprint: entries from a different scenario or model build
+//! are simply never hit. A size cap ([`ImportanceCache::with_capacity`])
+//! bounds the on-disk and in-memory footprint with least-recently-used
+//! eviction.
+//!
 //! [`ImportanceEvaluator::with_cache`]: crate::importance::ImportanceEvaluator::with_cache
 
 use buildings::scenario::DayContext;
 use std::collections::HashMap;
 use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -127,6 +138,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct `(day, mask)` results currently held.
     pub entries: usize,
+    /// Entries dropped by the LRU cap since construction (or
+    /// [`ImportanceCache::clear`]).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -145,32 +159,135 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            "{} hits / {} misses ({:.1}% hit rate, {} entries, {} evicted)",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
-            self.entries
+            self.entries,
+            self.evictions
         )
     }
 }
+
+/// One cached value plus its recency stamp.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    value: f64,
+    last_used: u64,
+}
+
+/// The locked interior: the map plus a logical recency clock.
+#[derive(Debug, Default)]
+struct Store {
+    map: HashMap<CacheKey, Slot>,
+    clock: u64,
+}
+
+impl Store {
+    /// Inserts (stamping the entry most-recent) and evicts down to
+    /// `capacity` by least-recently-used. Returns the eviction count.
+    fn insert(&mut self, key: CacheKey, value: f64, capacity: Option<usize>) -> u64 {
+        self.clock += 1;
+        self.map.insert(key, Slot { value, last_used: self.clock });
+        let mut evicted = 0;
+        if let Some(cap) = capacity {
+            while self.map.len() > cap {
+                let oldest = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("map over capacity is non-empty");
+                self.map.remove(&oldest);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// Error persisting or restoring a cache.
+#[derive(Debug)]
+pub enum CachePersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The text is not a valid cache dump.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CachePersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CachePersistError::Io(e) => write!(f, "cache file I/O failed: {e}"),
+            CachePersistError::Parse { line, reason } => {
+                write!(f, "cache file line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CachePersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CachePersistError::Io(e) => Some(e),
+            CachePersistError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CachePersistError {
+    fn from(e: std::io::Error) -> Self {
+        CachePersistError::Io(e)
+    }
+}
+
+/// Magic first line of the on-disk format. Version-bump on any layout
+/// change; old dumps are then rejected instead of misread.
+const PERSIST_HEADER: &str = "dcta-importance-cache v1";
 
 /// Memoised decision-performance results, shared across the whole pipeline
 /// run (importance matrices, Shapley sampling, per-day reports).
 ///
 /// A cache is only valid for one `(scenario, models, fallback)` triple; the
 /// evaluator fingerprint inside the key enforces this even if a cache is
-/// accidentally shared across ablations.
+/// accidentally shared across ablations — or restored from another run's
+/// dump via [`ImportanceCache::load_file`].
 #[derive(Debug, Default)]
 pub struct ImportanceCache {
-    entries: Mutex<HashMap<CacheKey, f64>>,
+    store: Mutex<Store>,
+    /// Maximum resident entries (`None` = unbounded).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ImportanceCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache that holds at most `capacity` entries,
+    /// evicting least-recently-used beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cache that can hold nothing is a
+    /// configuration error, not a degenerate mode).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self { capacity: Some(capacity), ..Self::default() }
+    }
+
+    /// The configured entry cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Returns the memoised value for the keyed evaluation or computes,
@@ -188,16 +305,23 @@ impl ImportanceCache {
         compute: impl FnOnce() -> Result<f64, E>,
     ) -> Result<f64, E> {
         let key = CacheKey { seed, evaluator, day, mask: pack_mask(available) };
-        if let Some(&value) = self.entries.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(value);
+        {
+            let mut store = self.store.lock().expect("cache poisoned");
+            store.clock += 1;
+            let clock = store.clock;
+            if let Some(slot) = store.map.get_mut(&key) {
+                slot.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(slot.value);
+            }
         }
         // Deliberately computed outside the lock: evaluations are orders of
         // magnitude slower than the map, and parallel leave-one-out workers
         // must not serialise on each other's misses.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute()?;
-        self.entries.lock().expect("cache poisoned").insert(key, value);
+        let evicted = self.store.lock().expect("cache poisoned").insert(key, value, self.capacity);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(value)
     }
 
@@ -206,15 +330,130 @@ impl ImportanceCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache poisoned").len(),
+            entries: self.store.lock().expect("cache poisoned").map.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry and zeroes the counters.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache poisoned").clear();
+        let mut store = self.store.lock().expect("cache poisoned");
+        store.map.clear();
+        store.clock = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Serialises the cache, least-recently-used entries first, so a
+    /// round-trip through [`ImportanceCache::load_text`] reconstructs the
+    /// same eviction order. Values are written as exact `f64` bit patterns
+    /// — persistence must not perturb a single bit of any result.
+    pub fn to_text(&self) -> String {
+        let store = self.store.lock().expect("cache poisoned");
+        let mut entries: Vec<(&CacheKey, &Slot)> = store.map.iter().collect();
+        entries.sort_by_key(|(_, slot)| slot.last_used);
+        let mut out = String::from(PERSIST_HEADER);
+        out.push('\n');
+        for (key, slot) in entries {
+            let mut line = format!(
+                "{:016x} {:016x} {:016x} {:016x}",
+                key.seed,
+                key.evaluator,
+                key.day,
+                slot.value.to_bits()
+            );
+            for word in &key.mask {
+                line.push_str(&format!(" {word:016x}"));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merges a [`ImportanceCache::to_text`] dump into this cache (in dump
+    /// order, so recency carries over), applying the capacity cap. Returns
+    /// the number of entries read.
+    ///
+    /// # Errors
+    ///
+    /// [`CachePersistError::Parse`] on a malformed dump; nothing is merged
+    /// partially — the text is validated before any insert.
+    pub fn load_text(&self, text: &str) -> Result<usize, CachePersistError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header == PERSIST_HEADER => {}
+            Some((_, _)) => {
+                return Err(CachePersistError::Parse { line: 1, reason: "unknown header" })
+            }
+            None => return Err(CachePersistError::Parse { line: 1, reason: "empty file" }),
+        }
+        let mut parsed: Vec<(CacheKey, f64)> = Vec::new();
+        for (idx, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            if fields.len() < 4 {
+                return Err(CachePersistError::Parse { line: idx + 1, reason: "too few fields" });
+            }
+            let mut words = fields.iter().map(|f| u64::from_str_radix(f, 16));
+            let mut next = |reason| {
+                words
+                    .next()
+                    .expect("length checked")
+                    .map_err(|_| CachePersistError::Parse { line: idx + 1, reason })
+            };
+            let seed = next("bad seed field")?;
+            let evaluator = next("bad evaluator field")?;
+            let day = next("bad day field")?;
+            let value = f64::from_bits(next("bad value field")?);
+            let mask: Vec<u64> = fields[4..]
+                .iter()
+                .map(|f| {
+                    u64::from_str_radix(f, 16).map_err(|_| CachePersistError::Parse {
+                        line: idx + 1,
+                        reason: "bad mask word",
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            parsed.push((CacheKey { seed, evaluator, day, mask }, value));
+        }
+        let count = parsed.len();
+        let mut store = self.store.lock().expect("cache poisoned");
+        let mut evicted = 0;
+        for (key, value) in parsed {
+            evicted += store.insert(key, value, self.capacity);
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(count)
+    }
+
+    /// Writes the cache to `path` (see [`ImportanceCache::to_text`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CachePersistError::Io`] on filesystem failure.
+    pub fn save_file(&self, path: &Path) -> Result<(), CachePersistError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_text().as_bytes())?;
+        Ok(())
+    }
+
+    /// Merges the dump at `path` into this cache. A missing file is not an
+    /// error — it simply merges nothing (first run of a sweep).
+    ///
+    /// # Errors
+    ///
+    /// See [`CachePersistError`] variants.
+    pub fn load_file(&self, path: &Path) -> Result<usize, CachePersistError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        self.load_text(&text)
     }
 }
 
@@ -288,5 +527,144 @@ mod tests {
         let mut b = Fingerprint::new();
         b.push_f64(-0.0);
         assert_ne!(a.finish(), b.finish());
+    }
+}
+
+#[cfg(test)]
+mod lru_tests {
+    use super::*;
+
+    fn fill(cache: &ImportanceCache, days: std::ops::Range<u64>) {
+        for day in days {
+            let _: Result<f64, ()> = cache.lookup_or_compute(1, 2, day, &[true], || Ok(day as f64));
+        }
+    }
+
+    #[test]
+    fn capped_cache_evicts_least_recently_used() {
+        let cache = ImportanceCache::with_capacity(3);
+        assert_eq!(cache.capacity(), Some(3));
+        fill(&cache, 0..3);
+        // Touch day 0 so day 1 becomes the oldest.
+        let _: Result<f64, ()> = cache.lookup_or_compute(1, 2, 0, &[true], || unreachable!());
+        fill(&cache, 3..4); // evicts day 1
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        // Day 1 is gone (recomputes); day 0 survives (served).
+        let recomputed: Result<f64, ()> = cache.lookup_or_compute(1, 2, 1, &[true], || Ok(-1.0));
+        assert_eq!(recomputed, Ok(-1.0));
+        let kept: Result<f64, ()> = cache.lookup_or_compute(1, 2, 0, &[true], || unreachable!());
+        assert_eq!(kept, Ok(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ImportanceCache::with_capacity(0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ImportanceCache::new();
+        assert_eq!(cache.capacity(), None);
+        fill(&cache, 0..100);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 100);
+        assert_eq!(stats.evictions, 0);
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip_preserves_every_bit() {
+        let cache = ImportanceCache::new();
+        // Values chosen to stress the bit-exactness: subnormal, -0.0, huge.
+        let values = [5e-324, -0.0, 1.7976931348623157e308, 0.25];
+        for (i, &v) in values.iter().enumerate() {
+            let mask = vec![i % 2 == 0; i + 1];
+            let _: Result<f64, ()> = cache.lookup_or_compute(7, 9, i as u64, &mask, || Ok(v));
+        }
+        let text = cache.to_text();
+        assert!(text.starts_with(PERSIST_HEADER));
+
+        let restored = ImportanceCache::new();
+        assert_eq!(restored.load_text(&text).unwrap(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            let mask = vec![i % 2 == 0; i + 1];
+            let got: Result<f64, ()> =
+                restored.lookup_or_compute(7, 9, i as u64, &mask, || unreachable!());
+            assert_eq!(got.unwrap().to_bits(), v.to_bits(), "value {i} perturbed");
+        }
+        assert_eq!(restored.stats().hits, values.len() as u64);
+    }
+
+    #[test]
+    fn dump_order_carries_recency_into_a_capped_cache() {
+        let cache = ImportanceCache::new();
+        for day in 0..4u64 {
+            let _: Result<f64, ()> = cache.lookup_or_compute(1, 1, day, &[true], || Ok(day as f64));
+        }
+        // Re-touch day 0: it is now the most recent.
+        let _: Result<f64, ()> = cache.lookup_or_compute(1, 1, 0, &[true], || unreachable!());
+
+        let capped = ImportanceCache::with_capacity(2);
+        capped.load_text(&cache.to_text()).unwrap();
+        // Only the two most recent survive: days 3 and 0.
+        let s = capped.stats();
+        assert_eq!((s.entries, s.evictions), (2, 2));
+        let day3: Result<f64, ()> = capped.lookup_or_compute(1, 1, 3, &[true], || unreachable!());
+        assert_eq!(day3, Ok(3.0));
+        let day0: Result<f64, ()> = capped.lookup_or_compute(1, 1, 0, &[true], || unreachable!());
+        assert_eq!(day0, Ok(0.0));
+    }
+
+    #[test]
+    fn malformed_dumps_are_rejected() {
+        let cache = ImportanceCache::new();
+        assert!(matches!(
+            cache.load_text(""),
+            Err(CachePersistError::Parse { line: 1, reason: "empty file" })
+        ));
+        assert!(matches!(
+            cache.load_text("some other format\n"),
+            Err(CachePersistError::Parse { line: 1, .. })
+        ));
+        let bad_fields = format!("{PERSIST_HEADER}\n0011 2233\n");
+        assert!(matches!(
+            cache.load_text(&bad_fields),
+            Err(CachePersistError::Parse { line: 2, reason: "too few fields" })
+        ));
+        let bad_hex = format!("{PERSIST_HEADER}\nzz 00 00 00\n");
+        assert!(matches!(
+            cache.load_text(&bad_hex),
+            Err(CachePersistError::Parse { line: 2, reason: "bad seed field" })
+        ));
+        // Nothing was merged by the failed loads.
+        assert_eq!(cache.stats().entries, 0);
+        assert!(CachePersistError::Parse { line: 2, reason: "x" }.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("dcta-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("importance_cache.txt");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = ImportanceCache::new();
+        assert_eq!(cache.load_file(&path).unwrap(), 0, "missing file must merge nothing");
+        let _: Result<f64, ()> = cache.lookup_or_compute(3, 4, 5, &[true, false], || Ok(0.5));
+        cache.save_file(&path).unwrap();
+
+        let restored = ImportanceCache::new();
+        assert_eq!(restored.load_file(&path).unwrap(), 1);
+        let got: Result<f64, ()> =
+            restored.lookup_or_compute(3, 4, 5, &[true, false], || unreachable!());
+        assert_eq!(got, Ok(0.5));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -20,6 +20,8 @@
 //!   combiner.
 //! * [`pipeline`] — offline preparation + per-day evaluation producing the
 //!   paper's PT / decision-performance metrics.
+//! * [`recovery`] — importance-aware re-planning after mid-run processor
+//!   loss (re-solve over survivors, shed least-important first).
 //! * [`shapley`] — permutation-sampling group importance (an extension
 //!   beyond the paper's leave-one-out metric).
 //!
@@ -53,6 +55,7 @@ pub mod importance;
 pub mod local;
 pub mod pipeline;
 pub mod processor;
+pub mod recovery;
 pub mod shapley;
 pub mod task;
 pub mod tatim;

@@ -16,11 +16,15 @@ use crate::features::{local_features, TaskHistory};
 use crate::importance::{prediction_features, CopModels, ImportanceError, ImportanceEvaluator};
 use crate::local::{LocalError, LocalModelKind, LocalProcess};
 use crate::processor::{FleetError, ProcessorFleet};
+use crate::recovery::{self, RecoveryError, RecoveryMode};
 use crate::task::{EdgeTask, TaskId};
 use crate::tatim::{TatimError, TatimInstance};
 use buildings::scenario::Scenario;
 use edgesim::cluster::{Cluster, ClusterError};
-use edgesim::run::{simulate, SimConfig, SimError, SimTask};
+use edgesim::faults::FaultSchedule;
+use edgesim::node::NodeId;
+use edgesim::run::{simulate, simulate_with_faults, RetryPolicy, SimConfig, SimError, SimTask};
+use edgesim::trace::FailureRecord;
 use learn::transfer::MtlConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +94,13 @@ pub struct PipelineConfig {
     /// default so unit tests stay deterministic; the bench harness turns it
     /// on.
     pub include_allocation_overhead: bool,
+    /// Fraction of each processor's Eq.-3 time budget granted to the
+    /// recovery round after a mid-run fault. `1.0` (the default) treats
+    /// recovery as a fresh round on the survivors; lower it to model a
+    /// recovery that must finish inside the original round's remaining
+    /// window (tasks longer than the scaled budget become unplaceable).
+    /// Only [`PreparedPipeline::run_day_with_faults`] reads it.
+    pub recovery_budget_fraction: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -107,6 +118,7 @@ impl Default for PipelineConfig {
             sim: SimConfig { enforce_capacity: false, ..SimConfig::default() },
             result_bits: 1e4,
             include_allocation_overhead: false,
+            recovery_budget_fraction: 1.0,
             seed: 99,
         }
     }
@@ -131,6 +143,8 @@ pub enum PipelineError {
     Dcta(DctaError),
     /// Simulator failure.
     Sim(SimError),
+    /// Post-fault re-planning failure.
+    Recovery(RecoveryError),
     /// A day index outside the evaluation range.
     BadDay {
         /// Requested day.
@@ -158,6 +172,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Local(e) => write!(f, "local process failed: {e}"),
             PipelineError::Dcta(e) => write!(f, "DCTA failed: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::Recovery(e) => write!(f, "recovery failed: {e}"),
             PipelineError::BadDay { day, range } => {
                 write!(f, "day {day} outside evaluation range {range:?}")
             }
@@ -179,6 +194,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Local(e) => Some(e),
             PipelineError::Dcta(e) => Some(e),
             PipelineError::Sim(e) => Some(e),
+            PipelineError::Recovery(e) => Some(e),
             _ => None,
         }
     }
@@ -202,6 +218,7 @@ from_err!(Crl, CrlError);
 from_err!(Local, LocalError);
 from_err!(Dcta, DctaError);
 from_err!(Sim, SimError);
+from_err!(Recovery, RecoveryError);
 
 /// One day's evaluation outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,6 +237,64 @@ pub struct DayReport {
     pub scheduled: usize,
     /// True importance captured by the executed set.
     pub captured_importance: f64,
+}
+
+/// Outcome of a fault-injected day: the healthy reference run, the faulted
+/// round, and (mode permitting) the recovery round, merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRunReport {
+    /// Method that produced the original allocation.
+    pub method: Method,
+    /// Evaluation-day index.
+    pub day: usize,
+    /// How the controller reacted to processor loss.
+    pub mode: RecoveryMode,
+    /// The allocation the day started with.
+    pub allocation: Allocation,
+    /// PT of the same allocation on a fault-free testbed (the baseline the
+    /// degradation is measured against).
+    pub healthy_processing_time_s: f64,
+    /// True importance delivered by the healthy run (every scheduled task).
+    pub healthy_importance: f64,
+    /// Decision performance `H` of the healthy run.
+    pub healthy_decision_performance: f64,
+    /// End-to-end PT under faults: faulted round, plus re-allocation
+    /// latency and the recovery round when one ran.
+    pub processing_time_s: f64,
+    /// The simulated share of [`Self::processing_time_s`]: faulted round
+    /// plus recovery round, *excluding* the measured re-solve latency —
+    /// a pure function of the seed, bit-reproducible across runs.
+    pub simulated_processing_time_s: f64,
+    /// Tasks whose results reached the controller (either round).
+    pub delivered: usize,
+    /// True importance of the delivered set.
+    pub delivered_importance: f64,
+    /// `delivered_importance / healthy_importance` (`1.0` when the healthy
+    /// run captured nothing).
+    pub retained_fraction: f64,
+    /// Degraded-mode decision performance `H` over the delivered set.
+    pub decision_performance: f64,
+    /// Tasks the recovery plan dropped, ascending importance.
+    pub shed: Vec<usize>,
+    /// Scheduled tasks that never produced a result in either round.
+    pub lost: Vec<usize>,
+    /// Wall-clock seconds of the recovery re-solve (0 without one).
+    pub reallocation_latency_s: f64,
+    /// Typed failure log of the faulted round.
+    pub failures: Vec<FailureRecord>,
+    /// Nodes still down when the faulted round ended.
+    pub down_at_end: Vec<NodeId>,
+}
+
+impl FaultRunReport {
+    /// PT degradation relative to the healthy run (`≥ 1.0` in practice).
+    pub fn slowdown(&self) -> f64 {
+        if self.healthy_processing_time_s <= 0.0 {
+            1.0
+        } else {
+            self.processing_time_s / self.healthy_processing_time_s
+        }
+    }
 }
 
 /// The pipeline factory.
@@ -247,6 +322,24 @@ impl Pipeline {
     pub fn prepare<'a>(
         &self,
         scenario: &'a Scenario,
+    ) -> Result<PreparedPipeline<'a>, PipelineError> {
+        self.prepare_with_cache(scenario, ImportanceCache::new())
+    }
+
+    /// Runs the offline phase seeded with an existing decision-performance
+    /// cache — typically one restored from a previous run's dump
+    /// ([`ImportanceCache::load_file`]), which lets a repeated sweep skip
+    /// the offline importance sweep entirely. Keys carry the scenario seed
+    /// and evaluator fingerprint, so a mismatched cache is merely useless,
+    /// never wrong.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn prepare_with_cache<'a>(
+        &self,
+        scenario: &'a Scenario,
+        cache: ImportanceCache,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
         let cfg = &self.config;
         if scenario.days().len() <= cfg.env_history_days {
@@ -285,7 +378,6 @@ impl Pipeline {
         // evaluation from here on: the full-mask result is shared by all
         // leave-one-out columns of a day, and `run_day`/`execute` re-query
         // masks the offline phase already priced.
-        let cache = ImportanceCache::new();
         let evaluator = ImportanceEvaluator::new(scenario, &models).with_cache(&cache);
         let true_importances = evaluator.importance_matrix()?;
 
@@ -585,6 +677,132 @@ impl<'a> PreparedPipeline<'a> {
             captured_importance,
         })
     }
+
+    /// Allocates with `method`, executes under the fault `schedule`, and —
+    /// depending on `mode` — re-plans the orphaned tasks over the surviving
+    /// processors and runs the recovery round (DESIGN.md §9).
+    ///
+    /// The faulted round always runs with [`RetryPolicy::no_retry`]: at the
+    /// pipeline level the supervision loop owns loss handling, and giving
+    /// every [`RecoveryMode`] the *same* faulted round makes the three
+    /// reactions directly comparable (identical losses, different
+    /// responses). In-round timeout/redispatch retries remain an
+    /// `edgesim`-level facility configured via [`SimConfig::retry`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn run_day_with_faults(
+        &mut self,
+        method: Method,
+        day: usize,
+        schedule: &FaultSchedule,
+        mode: RecoveryMode,
+    ) -> Result<FaultRunReport, PipelineError> {
+        self.check_day(day)?;
+        let (allocation, _) = self.allocate(method, day)?;
+        let sim_tasks: Vec<SimTask> = self
+            .tasks
+            .iter()
+            .map(|t| SimTask::new(t.input_bits(), self.config.result_bits, t.resource_demand()))
+            .collect::<Result<_, _>>()?;
+        let node_assignment = allocation.to_node_assignment(&self.fleet);
+
+        // The fault-free reference: what this allocation delivers on a
+        // healthy testbed.
+        let healthy = simulate(&self.cluster, &sim_tasks, &node_assignment, self.config.sim)?;
+
+        let mut sim_cfg = self.config.sim;
+        sim_cfg.retry = RetryPolicy::no_retry();
+        let faulted =
+            simulate_with_faults(&self.cluster, &sim_tasks, &node_assignment, sim_cfg, schedule)?;
+
+        let n = self.tasks.len();
+        let mut delivered_mask = faulted.completed.clone();
+        let mut simulated_processing_time_s = faulted.processing_time;
+        let mut shed = Vec::new();
+        let mut reallocation_latency_s = 0.0;
+
+        let orphans = faulted.failed_tasks();
+        let survivors: Vec<NodeId> = self
+            .fleet
+            .processors()
+            .iter()
+            .map(|p| p.node)
+            .filter(|node| !faulted.down_at_end.contains(node))
+            .collect();
+        if mode != RecoveryMode::None && !orphans.is_empty() && !survivors.is_empty() {
+            // Finished = delivered, or never scheduled in the first place.
+            let finished: Vec<bool> =
+                (0..n).map(|j| allocation.processor_of(j).is_none() || delivered_mask[j]).collect();
+            let instance = self.instance_for_day(day)?;
+            let budget = self.config.recovery_budget_fraction;
+            let plan = match mode {
+                RecoveryMode::Resolve => {
+                    recovery::replan(&instance, &finished, &survivors, budget)?
+                }
+                RecoveryMode::RandomShed => recovery::replan_random_shed(
+                    &instance,
+                    &finished,
+                    &survivors,
+                    budget,
+                    self.config.seed ^ day as u64,
+                )?,
+                RecoveryMode::None => unreachable!("guarded above"),
+            };
+            reallocation_latency_s = plan.replan_latency_s;
+            shed = plan.shed;
+            if plan.allocation.scheduled_count() > 0 {
+                let retry_assignment = plan.allocation.to_node_assignment(&self.fleet);
+                let retry_round =
+                    simulate(&self.cluster, &sim_tasks, &retry_assignment, self.config.sim)?;
+                simulated_processing_time_s += retry_round.processing_time;
+                for (j, timeline) in retry_round.timelines.iter().enumerate() {
+                    if timeline.is_some() {
+                        delivered_mask[j] = true;
+                    }
+                }
+            }
+        }
+
+        let evaluator =
+            ImportanceEvaluator::new(self.scenario, &self.models).with_cache(&self.cache);
+        let scheduled_mask: Vec<bool> =
+            (0..n).map(|j| allocation.processor_of(j).is_some()).collect();
+        let healthy_decision_performance =
+            evaluator.decision_performance(self.scenario.day(day), &scheduled_mask)?;
+        let decision_performance =
+            evaluator.decision_performance(self.scenario.day(day), &delivered_mask)?;
+        let importance_of = |mask: &[bool]| -> f64 {
+            mask.iter().zip(&self.true_importances[day]).filter(|(&m, _)| m).map(|(_, &i)| i).sum()
+        };
+        let healthy_importance = importance_of(&scheduled_mask);
+        let delivered_importance = importance_of(&delivered_mask);
+        let retained_fraction =
+            if healthy_importance <= 0.0 { 1.0 } else { delivered_importance / healthy_importance };
+        let lost: Vec<usize> =
+            (0..n).filter(|&j| scheduled_mask[j] && !delivered_mask[j]).collect();
+        Ok(FaultRunReport {
+            method,
+            day,
+            mode,
+            allocation,
+            healthy_processing_time_s: healthy.processing_time,
+            healthy_importance,
+            healthy_decision_performance,
+            processing_time_s: simulated_processing_time_s + reallocation_latency_s,
+            simulated_processing_time_s,
+            delivered: delivered_mask.iter().filter(|d| **d).count(),
+            delivered_importance,
+            retained_fraction,
+            decision_performance,
+            shed,
+            lost,
+            reallocation_latency_s,
+            failures: faulted.failures,
+            down_at_end: faulted.down_at_end,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -719,6 +937,155 @@ mod tests {
             dcta_total += prepared.run_day(Method::Dcta, day).unwrap().captured_importance;
         }
         assert!(oracle_total + 1e-9 >= dcta_total * 0.8, "oracle {oracle_total} dcta {dcta_total}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use buildings::scenario::ScenarioConfig;
+    use rl::dqn::DqnConfig;
+
+    fn small_scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig {
+            num_buildings: 2,
+            chillers_per_building: 2,
+            bands_per_chiller: 4,
+            num_tasks: 12,
+            history_days: 50,
+            eval_days: 8,
+            mean_input_mbit: 40.0,
+            ..ScenarioConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            workers: 4,
+            env_history_days: 5,
+            crl: CrlConfig {
+                episodes: 12,
+                dqn: DqnConfig { hidden: vec![24], ..DqnConfig::default() },
+                ..CrlConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// The worker hosting the most scheduled tasks — guaranteed to orphan
+    /// work when crashed early in the round.
+    fn busiest_node(prepared: &PreparedPipeline<'_>, allocation: &Allocation) -> NodeId {
+        let mut counts = vec![0usize; prepared.fleet().len()];
+        for p in allocation.placement().iter().flatten() {
+            counts[*p] += 1;
+        }
+        let col = (0..counts.len()).max_by_key(|&p| counts[p]).unwrap();
+        prepared.fleet().node_of(col)
+    }
+
+    #[test]
+    fn recovery_retains_most_importance_and_beats_no_recovery() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        let healthy = prepared.run_day(Method::GreedyOracle, day).unwrap();
+        let (alloc, _) = prepared.allocate(Method::GreedyOracle, day).unwrap();
+        let victim = busiest_node(&prepared, &alloc);
+        let schedule =
+            FaultSchedule::new().with_crash(victim, healthy.processing_time_s * 0.1).unwrap();
+
+        let resolve = prepared
+            .run_day_with_faults(Method::GreedyOracle, day, &schedule, RecoveryMode::Resolve)
+            .unwrap();
+        let none = prepared
+            .run_day_with_faults(Method::GreedyOracle, day, &schedule, RecoveryMode::None)
+            .unwrap();
+
+        assert!(!resolve.failures.is_empty(), "crash left no trace");
+        assert_eq!(resolve.down_at_end, vec![victim]);
+        assert!(
+            resolve.retained_fraction >= 0.8,
+            "recovery retained only {:.3}",
+            resolve.retained_fraction
+        );
+        assert!(
+            none.delivered_importance < resolve.delivered_importance,
+            "no-recovery must retain strictly less: {} vs {}",
+            none.delivered_importance,
+            resolve.delivered_importance
+        );
+        assert!(none.retained_fraction < 1.0, "the crash orphaned nothing");
+        // The healthy reference matches the plain run of the same method.
+        assert!((resolve.healthy_processing_time_s - healthy.processing_time_s).abs() < 1e-9);
+        assert!((resolve.healthy_importance - healthy.captured_importance).abs() < 1e-9);
+        assert!(resolve.slowdown() >= 1.0, "faults cannot speed the round up");
+        // No-recovery skips the re-solve entirely.
+        assert_eq!(none.reallocation_latency_s, 0.0);
+        assert!(none.shed.is_empty());
+        assert!(!none.lost.is_empty());
+    }
+
+    #[test]
+    fn importance_aware_shedding_beats_random_shedding() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        // Crash every worker but one very early: the single survivor's
+        // halved budget cannot host all orphans, forcing real shedding.
+        let mut schedule = FaultSchedule::new();
+        for col in 1..prepared.fleet().len() {
+            let node = prepared.fleet().node_of(col);
+            schedule = schedule.with_crash(node, 0.2).unwrap();
+        }
+        let resolve = prepared
+            .run_day_with_faults(Method::Dml, day, &schedule, RecoveryMode::Resolve)
+            .unwrap();
+        let random = prepared
+            .run_day_with_faults(Method::Dml, day, &schedule, RecoveryMode::RandomShed)
+            .unwrap();
+        let none =
+            prepared.run_day_with_faults(Method::Dml, day, &schedule, RecoveryMode::None).unwrap();
+
+        assert!(!resolve.shed.is_empty(), "survivor hosted everything; no shedding exercised");
+        // Shed list is reported least-important first.
+        let imps = prepared.true_importances(day).to_vec();
+        for w in resolve.shed.windows(2) {
+            assert!(imps[w[0]] <= imps[w[1]] + 1e-12, "shed order: {:?}", resolve.shed);
+        }
+        assert!(
+            resolve.delivered_importance >= random.delivered_importance - 1e-9,
+            "random shedding out-performed the importance-aware re-solve"
+        );
+        assert!(random.delivered_importance >= none.delivered_importance - 1e-9);
+        assert!(resolve.delivered >= random.delivered.min(none.delivered));
+    }
+
+    #[test]
+    fn fault_runs_check_the_day_range() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let schedule = FaultSchedule::new();
+        assert!(matches!(
+            prepared.run_day_with_faults(Method::Dml, 0, &schedule, RecoveryMode::Resolve),
+            Err(PipelineError::BadDay { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_degrades_nothing() {
+        let s = small_scenario();
+        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        let day = prepared.test_days().start;
+        let r = prepared
+            .run_day_with_faults(Method::Dml, day, &FaultSchedule::new(), RecoveryMode::Resolve)
+            .unwrap();
+        assert_eq!(r.retained_fraction, 1.0);
+        assert!(r.failures.is_empty());
+        assert!(r.lost.is_empty());
+        assert!(r.shed.is_empty());
+        assert_eq!(r.processing_time_s.to_bits(), r.healthy_processing_time_s.to_bits());
+        assert_eq!(r.decision_performance.to_bits(), r.healthy_decision_performance.to_bits());
     }
 }
 

@@ -79,3 +79,34 @@ fn pipeline_surfaces_cache_hits_in_summary() {
     assert!(after_run.hits > after_prepare.hits, "run summary should show cache hits: {after_run}");
     assert!(after_run.hit_rate() > 0.0);
 }
+
+#[test]
+fn persisted_cache_skips_the_offline_importance_sweep() {
+    let s = small_scenario();
+    let pipeline = Pipeline::new(quick_config());
+    let mut cold = pipeline.prepare(&s).unwrap();
+    let cold_stats = cold.cache_stats();
+    assert!(cold_stats.misses > 0);
+
+    // Persist next to where a sweep would write its results, then restore
+    // into a size-capped cache for the warm run.
+    let dir = std::env::temp_dir().join(format!("dcta-cache-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("importance_cache.txt");
+    cold.importance_cache().save_file(&path).unwrap();
+
+    let warm_cache = ImportanceCache::with_capacity(1 << 16);
+    assert_eq!(warm_cache.load_file(&path).unwrap() as u64, cold_stats.misses);
+    let mut warm = pipeline.prepare_with_cache(&s, warm_cache).unwrap();
+    let warm_stats = warm.cache_stats();
+    assert_eq!(warm_stats.misses, 0, "warm prepare must recompute nothing: {warm_stats}");
+
+    // And the warm pipeline reproduces the cold one bit for bit.
+    let day = cold.test_days().start;
+    let a = cold.run_day(Method::GreedyOracle, day).unwrap();
+    let b = warm.run_day(Method::GreedyOracle, day).unwrap();
+    assert_eq!(a.processing_time_s.to_bits(), b.processing_time_s.to_bits());
+    assert_eq!(a.decision_performance.to_bits(), b.decision_performance.to_bits());
+    assert_eq!(a.allocation, b.allocation);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

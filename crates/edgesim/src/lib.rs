@@ -13,8 +13,10 @@
 //! * [`network`] — star WiFi links, bandwidth sweeps.
 //! * [`event`] — deterministic discrete-event queue.
 //! * [`cluster`] — Fig. 8 testbed assembly and variants.
-//! * [`run`] — executing a task→node assignment, producing a [`run::SimReport`].
-//! * [`trace`] — CSV execution traces and per-node utilisation.
+//! * [`run`] — executing a task→node assignment, producing a [`run::SimReport`];
+//!   fault-aware execution with retries via [`run::simulate_with_faults`].
+//! * [`faults`] — seeded deterministic crash/link/straggler schedules.
+//! * [`trace`] — CSV execution traces, failure logs, per-node utilisation.
 //!
 //! ## Example
 //!
@@ -39,6 +41,7 @@
 
 pub mod cluster;
 pub mod event;
+pub mod faults;
 pub mod network;
 pub mod node;
 pub mod run;

@@ -16,9 +16,11 @@
 
 use crate::cluster::Cluster;
 use crate::event::EventQueue;
+use crate::faults::{FaultKind, FaultSchedule};
 use crate::network::MediumMode;
 use crate::node::NodeId;
-use std::collections::HashMap;
+use crate::trace::{FailureKind, FailureRecord};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// A task as the simulator sees it: pure demands, no learning semantics.
@@ -98,6 +100,63 @@ impl NodeAssignment {
     }
 }
 
+/// Controller-side retry policy for fault-aware runs
+/// ([`simulate_with_faults`]); plain [`simulate`] ignores it.
+///
+/// The controller cannot observe a crash directly — it learns of lost work
+/// when a per-attempt heartbeat timeout fires. Each dispatched attempt arms
+/// a timer of `timeout_factor ×` the attempt's nominal processing time
+/// (input transfer + compute + result return at advertised rates, floored
+/// by `min_timeout_s`); a timer firing on a healthy in-flight attempt
+/// simply re-arms, so fault-free runs are untouched. A timer firing on a
+/// dead attempt triggers re-dispatch after an exponential backoff
+/// (`backoff_base_s × 2^(attempt−1)`), up to `max_retries` retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Heartbeat timeout as a multiple of the attempt's nominal PT.
+    pub timeout_factor: f64,
+    /// Re-dispatches allowed after the first attempt (0 = fail on first
+    /// loss).
+    pub max_retries: usize,
+    /// Backoff before the first re-dispatch; doubles on each further retry.
+    pub backoff_base_s: f64,
+    /// Floor on the heartbeat timeout (guards zero-cost tasks; must be
+    /// positive).
+    pub min_timeout_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { timeout_factor: 3.0, max_retries: 2, backoff_base_s: 0.05, min_timeout_s: 0.05 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never re-dispatches: first loss fails the task. Used
+    /// as the no-recovery baseline in the fault sweep.
+    pub fn no_retry() -> Self {
+        Self { max_retries: 0, ..Self::default() }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        let ok = self.timeout_factor.is_finite()
+            && self.timeout_factor >= 0.0
+            && self.backoff_base_s.is_finite()
+            && self.backoff_base_s >= 0.0
+            && self.min_timeout_s.is_finite()
+            && self.min_timeout_s > 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(SimError::BadRetryPolicy {
+                timeout_factor: self.timeout_factor,
+                backoff_base_s: self.backoff_base_s,
+                min_timeout_s: self.min_timeout_s,
+            })
+        }
+    }
+}
+
 /// Fixed overheads of one allocation round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -109,11 +168,18 @@ pub struct SimConfig {
     /// remaining capacity is an error; when `false` it is silently allowed
     /// (useful for what-if sweeps).
     pub enforce_capacity: bool,
+    /// Timeout/retry policy for fault-aware runs; ignored by [`simulate`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { partition_overhead_s: 0.05, decision_overhead_s: 0.02, enforce_capacity: true }
+        Self {
+            partition_overhead_s: 0.05,
+            decision_overhead_s: 0.02,
+            enforce_capacity: true,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -152,6 +218,26 @@ pub enum SimError {
         /// Its capacity.
         capacity: f64,
     },
+    /// A fault schedule targets a node that is not in the cluster.
+    UnknownFaultNode {
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A fault schedule targets the controller, which cannot fail (it hosts
+    /// the retry/recovery logic itself).
+    ControllerFault {
+        /// The controller node.
+        node: NodeId,
+    },
+    /// Invalid [`RetryPolicy`] parameters.
+    BadRetryPolicy {
+        /// Offending timeout factor.
+        timeout_factor: f64,
+        /// Offending backoff base.
+        backoff_base_s: f64,
+        /// Offending timeout floor.
+        min_timeout_s: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -170,6 +256,16 @@ impl fmt::Display for SimError {
             SimError::OverCapacity { node, demand, capacity } => {
                 write!(f, "{node} overloaded: demand {demand} > capacity {capacity}")
             }
+            SimError::UnknownFaultNode { node } => {
+                write!(f, "fault schedule targets unknown {node}")
+            }
+            SimError::ControllerFault { node } => {
+                write!(f, "fault schedule targets the controller {node}")
+            }
+            SimError::BadRetryPolicy { timeout_factor, backoff_base_s, min_timeout_s } => write!(
+                f,
+                "invalid retry policy (timeout_factor {timeout_factor}, backoff {backoff_base_s}, min timeout {min_timeout_s})"
+            ),
         }
     }
 }
@@ -222,21 +318,25 @@ enum Ev {
     ResultArrived(usize),
 }
 
-/// Simulates one allocation round.
+/// Validates an assignment against the cluster: matching length, every
+/// target node present, and (when `config.enforce_capacity`) aggregate
+/// resource demand within each node's capacity. Shared by [`simulate`] and
+/// [`simulate_with_faults`] so both reject bad input with the same typed
+/// errors instead of trusting the caller.
 ///
 /// # Errors
 ///
-/// See [`SimError`] variants.
-pub fn simulate(
+/// [`SimError::LengthMismatch`], [`SimError::UnknownNode`] or
+/// [`SimError::OverCapacity`].
+pub fn validate_assignment(
     cluster: &Cluster,
     tasks: &[SimTask],
     assignment: &NodeAssignment,
     config: SimConfig,
-) -> Result<SimReport, SimError> {
+) -> Result<(), SimError> {
     if tasks.len() != assignment.len() {
         return Err(SimError::LengthMismatch { tasks: tasks.len(), assignments: assignment.len() });
     }
-    // Validate node references and capacities.
     let mut demand: HashMap<NodeId, f64> = HashMap::new();
     for i in 0..tasks.len() {
         if let Some(node) = assignment.node_of(i) {
@@ -254,6 +354,21 @@ pub fn simulate(
             }
         }
     }
+    Ok(())
+}
+
+/// Simulates one allocation round.
+///
+/// # Errors
+///
+/// See [`SimError`] variants.
+pub fn simulate(
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    assignment: &NodeAssignment,
+    config: SimConfig,
+) -> Result<SimReport, SimError> {
+    validate_assignment(cluster, tasks, assignment, config)?;
 
     let controller = cluster.controller();
     // In shared-medium mode every transfer serialises through one channel,
@@ -342,6 +457,602 @@ pub fn simulate(
     })
 }
 
+/// Result of a fault-injected allocation round ([`simulate_with_faults`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// PT to the controller's decision: the instant every scheduled task
+    /// was either delivered or declared failed, plus decision overhead.
+    pub processing_time: f64,
+    /// Timeline of each task's *successful* attempt; `None` for
+    /// unscheduled or failed tasks.
+    pub timelines: Vec<Option<TaskTimeline>>,
+    /// Whether each task's result reached the controller.
+    pub completed: Vec<bool>,
+    /// Attempts consumed per task (0 = never scheduled).
+    pub attempts: Vec<usize>,
+    /// Typed failure log, in event order.
+    pub failures: Vec<FailureRecord>,
+    /// Committed busy compute seconds per node. Compute reservations lost
+    /// to a crash are refunded (the node reboots with an empty queue).
+    pub node_busy: HashMap<NodeId, f64>,
+    /// Committed busy link seconds per node. Per-node link reservations
+    /// lost to a crash or link dropout are refunded; on a shared medium the
+    /// channel time stays burned (the radio was transmitting).
+    pub link_busy: HashMap<NodeId, f64>,
+    /// Nodes still down when the round ended, ascending id.
+    pub down_at_end: Vec<NodeId>,
+}
+
+impl FaultReport {
+    /// Number of tasks whose result reached the controller.
+    pub fn completed_count(&self) -> usize {
+        self.completed.iter().filter(|c| **c).count()
+    }
+
+    /// Scheduled tasks that exhausted their retries (or had no surviving
+    /// host), ascending index.
+    pub fn failed_tasks(&self) -> Vec<usize> {
+        (0..self.completed.len()).filter(|&i| self.attempts[i] > 0 && !self.completed[i]).collect()
+    }
+
+    /// Completion time of the latest delivered task, before decision
+    /// overhead.
+    pub fn makespan(&self) -> f64 {
+        self.timelines.iter().flatten().map(|t| t.result_at).fold(0.0, f64::max)
+    }
+
+    /// Projects onto a [`SimReport`] (successful timelines only) so the
+    /// [`crate::trace`] exporters apply unchanged.
+    pub fn to_sim_report(&self) -> SimReport {
+        SimReport {
+            processing_time: self.processing_time,
+            timelines: self.timelines.clone(),
+            node_busy: self.node_busy.clone(),
+            link_busy: self.link_busy.clone(),
+        }
+    }
+}
+
+/// Events of the fault-aware engine. Each task-scoped event carries its
+/// attempt number so events of an aborted attempt become inert the moment
+/// the controller re-dispatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FEv {
+    /// Index into the fault schedule fires.
+    Fault(usize),
+    /// Input transfer finished for (task, attempt).
+    InputArrived {
+        task: usize,
+        attempt: usize,
+    },
+    ComputeDone {
+        task: usize,
+        attempt: usize,
+    },
+    ResultArrived {
+        task: usize,
+        attempt: usize,
+    },
+    /// Controller-side heartbeat timer for (task, attempt).
+    Heartbeat {
+        task: usize,
+        attempt: usize,
+    },
+    /// Backoff elapsed; pick a surviving node and re-dispatch.
+    Redispatch {
+        task: usize,
+    },
+}
+
+/// Pipeline stage of a live attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    InputTransfer,
+    Computing,
+    /// Result computed but the node's link is down; parked until LinkUp.
+    AwaitingLink,
+    ResultTransfer,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AbortCause {
+    Crash,
+    LinkLoss,
+    /// Heartbeat gave up on a result stranded behind a dead link.
+    Strand,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    /// 1-based attempt number currently in flight (or last attempted).
+    attempt: usize,
+    node: NodeId,
+    leg: Leg,
+    /// Reserved interval of the current leg (start, end).
+    interval: (f64, f64),
+    aborted: bool,
+    resolved: bool,
+    completed: bool,
+    timeline: TaskTimeline,
+}
+
+struct FaultSim<'a> {
+    cluster: &'a Cluster,
+    tasks: &'a [SimTask],
+    config: SimConfig,
+    controller: NodeId,
+    queue: EventQueue<FEv>,
+    link_free: HashMap<NodeId, f64>,
+    cpu_free: HashMap<NodeId, f64>,
+    link_busy: HashMap<NodeId, f64>,
+    node_busy: HashMap<NodeId, f64>,
+    state: Vec<Option<TaskState>>,
+    final_timelines: Vec<Option<TaskTimeline>>,
+    attempts_used: Vec<usize>,
+    failures: Vec<FailureRecord>,
+    down: BTreeSet<NodeId>,
+    link_down: HashSet<NodeId>,
+    straggle: HashMap<NodeId, f64>,
+    /// Per-node FIFO of (task, attempt) results parked behind a dead link.
+    waiting: HashMap<NodeId, Vec<(usize, usize)>>,
+    /// Cumulative nominal compute seconds dispatched per node — the
+    /// controller's load ledger for re-dispatch target selection.
+    dispatched_load: HashMap<NodeId, f64>,
+    /// Resource demand currently resident per node (capacity bookkeeping
+    /// for retries; aborts release it, completions keep it for the round).
+    resident: HashMap<NodeId, f64>,
+    pending: usize,
+    last_resolution: f64,
+}
+
+impl FaultSim<'_> {
+    fn per_node_links(&self) -> bool {
+        matches!(self.cluster.network().medium(), MediumMode::PerNodeLink)
+    }
+
+    fn link_key(&self, node: NodeId) -> NodeId {
+        match self.cluster.network().medium() {
+            MediumMode::PerNodeLink => node,
+            MediumMode::SharedMedium => NodeId(usize::MAX),
+        }
+    }
+
+    /// Heartbeat duration for `task` on `node`: retry-factor × the
+    /// attempt's nominal PT at advertised rates (no queueing, no
+    /// stragglers), floored by the policy minimum.
+    fn timeout_of(&self, task: usize, node: NodeId) -> f64 {
+        let spec = self.tasks[task];
+        let compute =
+            self.cluster.node(node).expect("validated node").compute_time(spec.input_bits);
+        let nominal = if node == self.controller {
+            compute
+        } else {
+            self.cluster.network().transfer_time(node, spec.input_bits)
+                + compute
+                + self.cluster.network().transfer_time(node, spec.result_bits)
+        };
+        (self.config.retry.timeout_factor * nominal).max(self.config.retry.min_timeout_s)
+    }
+
+    fn dispatch(&mut self, task: usize, node: NodeId, t: f64, attempt: usize) {
+        let spec = self.tasks[task];
+        let nominal =
+            self.cluster.node(node).expect("validated node").compute_time(spec.input_bits);
+        *self.dispatched_load.entry(node).or_insert(0.0) += nominal;
+        *self.resident.entry(node).or_insert(0.0) += spec.resource_demand;
+        let (transfer_start, arrive) = if node == self.controller {
+            (t, t)
+        } else {
+            let free = self.link_free.entry(self.link_key(node)).or_insert(t);
+            let start = free.max(t);
+            let dur = self.cluster.network().transfer_time(node, spec.input_bits);
+            *free = start + dur;
+            *self.link_busy.entry(node).or_insert(0.0) += dur;
+            (start, start + dur)
+        };
+        self.state[task] = Some(TaskState {
+            attempt,
+            node,
+            leg: Leg::InputTransfer,
+            interval: (transfer_start, arrive),
+            aborted: false,
+            resolved: false,
+            completed: false,
+            timeline: TaskTimeline {
+                node,
+                transfer_start,
+                compute_start: 0.0,
+                compute_end: 0.0,
+                result_at: 0.0,
+            },
+        });
+        self.attempts_used[task] = attempt;
+        self.queue.schedule(arrive, FEv::InputArrived { task, attempt });
+        self.queue.schedule(t + self.timeout_of(task, node), FEv::Heartbeat { task, attempt });
+    }
+
+    /// Kills the current attempt: refunds un-elapsed reservations where the
+    /// resource collapses with the fault (crashed CPU, dead per-node link),
+    /// releases residency, and leaves the attempt for the heartbeat to
+    /// detect.
+    fn abort_attempt(&mut self, task: usize, now: f64, cause: AbortCause) {
+        let st = self.state[task].expect("abort of unscheduled task");
+        match st.leg {
+            Leg::InputTransfer | Leg::ResultTransfer => {
+                if st.node != self.controller && self.per_node_links() {
+                    let lost = st.interval.1 - st.interval.0.max(now);
+                    if lost > 0.0 {
+                        *self.link_busy.entry(st.node).or_insert(0.0) -= lost;
+                    }
+                }
+            }
+            Leg::Computing => {
+                if matches!(cause, AbortCause::Crash) {
+                    let lost = st.interval.1 - st.interval.0.max(now);
+                    if lost > 0.0 {
+                        *self.node_busy.entry(st.node).or_insert(0.0) -= lost;
+                    }
+                }
+            }
+            Leg::AwaitingLink => {
+                if let Some(w) = self.waiting.get_mut(&st.node) {
+                    w.retain(|&(t, _)| t != task);
+                }
+            }
+        }
+        *self.resident.entry(st.node).or_insert(0.0) -= self.tasks[task].resource_demand;
+        let s = self.state[task].as_mut().expect("present");
+        s.aborted = true;
+        self.failures.push(FailureRecord {
+            time: now,
+            kind: FailureKind::AttemptAborted { task, node: st.node, attempt: st.attempt },
+        });
+    }
+
+    fn on_fault(&mut self, now: f64, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash(n) => {
+                self.failures.push(FailureRecord { time: now, kind: FailureKind::NodeCrashed(n) });
+                if self.down.insert(n) {
+                    for task in 0..self.tasks.len() {
+                        let Some(st) = self.state[task] else { continue };
+                        if st.node == n && !st.resolved && !st.aborted {
+                            self.abort_attempt(task, now, AbortCause::Crash);
+                        }
+                    }
+                    self.cpu_free.insert(n, now);
+                    if self.per_node_links() {
+                        self.link_free.insert(n, now);
+                    }
+                    self.straggle.remove(&n);
+                    self.waiting.remove(&n);
+                }
+            }
+            FaultKind::Recover(n) => {
+                self.failures
+                    .push(FailureRecord { time: now, kind: FailureKind::NodeRecovered(n) });
+                if self.down.remove(&n) {
+                    self.cpu_free.insert(n, now);
+                    if self.per_node_links() {
+                        self.link_free.insert(n, now);
+                    }
+                }
+            }
+            FaultKind::LinkDown(n) => {
+                self.failures.push(FailureRecord { time: now, kind: FailureKind::LinkWentDown(n) });
+                if self.link_down.insert(n) {
+                    for task in 0..self.tasks.len() {
+                        let Some(st) = self.state[task] else { continue };
+                        if st.node == n
+                            && !st.resolved
+                            && !st.aborted
+                            && matches!(st.leg, Leg::InputTransfer | Leg::ResultTransfer)
+                        {
+                            self.abort_attempt(task, now, AbortCause::LinkLoss);
+                        }
+                    }
+                    if self.per_node_links() {
+                        self.link_free.insert(n, now);
+                    }
+                }
+            }
+            FaultKind::LinkUp(n) => {
+                self.failures.push(FailureRecord { time: now, kind: FailureKind::LinkRestored(n) });
+                if self.link_down.remove(&n) {
+                    // Drain results parked behind the dead link, FIFO.
+                    for (task, attempt) in self.waiting.remove(&n).unwrap_or_default() {
+                        let Some(st) = self.state[task] else { continue };
+                        if st.resolved || st.aborted || st.attempt != attempt {
+                            continue;
+                        }
+                        let free = self.link_free.entry(self.link_key(n)).or_insert(now);
+                        let start = free.max(now);
+                        let dur =
+                            self.cluster.network().transfer_time(n, self.tasks[task].result_bits);
+                        *free = start + dur;
+                        *self.link_busy.entry(n).or_insert(0.0) += dur;
+                        let s = self.state[task].as_mut().expect("present");
+                        s.leg = Leg::ResultTransfer;
+                        s.interval = (start, start + dur);
+                        self.queue.schedule(start + dur, FEv::ResultArrived { task, attempt });
+                    }
+                }
+            }
+            FaultKind::StragglerStart(n, factor) => {
+                self.straggle.insert(n, factor);
+            }
+            FaultKind::StragglerEnd(n) => {
+                self.straggle.remove(&n);
+            }
+        }
+    }
+
+    fn live(&self, task: usize, attempt: usize) -> bool {
+        match self.state[task] {
+            Some(st) => !st.resolved && !st.aborted && st.attempt == attempt,
+            None => false,
+        }
+    }
+
+    fn on_input_arrived(&mut self, now: f64, task: usize, attempt: usize) {
+        if !self.live(task, attempt) {
+            return;
+        }
+        let node = self.state[task].expect("live").node;
+        let free = self.cpu_free.entry(node).or_insert(now);
+        let start = free.max(now);
+        let base =
+            self.cluster.node(node).expect("validated").compute_time(self.tasks[task].input_bits);
+        // Straggler factor of the window the compute leg *starts* in; 1.0×
+        // multiplies bit-exactly, preserving fault-free parity.
+        let dur = base * self.straggle.get(&node).copied().unwrap_or(1.0);
+        *free = start + dur;
+        *self.node_busy.entry(node).or_insert(0.0) += dur;
+        let s = self.state[task].as_mut().expect("live");
+        s.leg = Leg::Computing;
+        s.interval = (start, start + dur);
+        s.timeline.compute_start = start;
+        s.timeline.compute_end = start + dur;
+        self.queue.schedule(start + dur, FEv::ComputeDone { task, attempt });
+    }
+
+    fn on_compute_done(&mut self, now: f64, task: usize, attempt: usize) {
+        if !self.live(task, attempt) {
+            return;
+        }
+        let node = self.state[task].expect("live").node;
+        if node == self.controller {
+            let s = self.state[task].as_mut().expect("live");
+            s.leg = Leg::ResultTransfer;
+            s.interval = (now, now);
+            self.queue.schedule(now, FEv::ResultArrived { task, attempt });
+        } else if self.link_down.contains(&node) {
+            let s = self.state[task].as_mut().expect("live");
+            s.leg = Leg::AwaitingLink;
+            s.interval = (now, now);
+            self.waiting.entry(node).or_default().push((task, attempt));
+        } else {
+            let free = self.link_free.entry(self.link_key(node)).or_insert(now);
+            let start = free.max(now);
+            let dur = self.cluster.network().transfer_time(node, self.tasks[task].result_bits);
+            *free = start + dur;
+            *self.link_busy.entry(node).or_insert(0.0) += dur;
+            let s = self.state[task].as_mut().expect("live");
+            s.leg = Leg::ResultTransfer;
+            s.interval = (start, start + dur);
+            self.queue.schedule(start + dur, FEv::ResultArrived { task, attempt });
+        }
+    }
+
+    fn on_result_arrived(&mut self, now: f64, task: usize, attempt: usize) {
+        if !self.live(task, attempt) {
+            return;
+        }
+        let s = self.state[task].as_mut().expect("live");
+        s.timeline.result_at = now;
+        s.resolved = true;
+        s.completed = true;
+        self.final_timelines[task] = Some(s.timeline);
+        self.last_resolution = self.last_resolution.max(now);
+        self.pending -= 1;
+    }
+
+    fn on_heartbeat(&mut self, now: f64, task: usize, attempt: usize) {
+        let Some(st) = self.state[task] else { return };
+        if st.resolved || st.attempt != attempt {
+            return;
+        }
+        if st.aborted {
+            self.failures.push(FailureRecord {
+                time: now,
+                kind: FailureKind::TimeoutDetected { task, node: st.node, attempt },
+            });
+            self.retry_or_fail(task, now);
+        } else if matches!(st.leg, Leg::AwaitingLink) && self.link_down.contains(&st.node) {
+            // Result stranded behind a link that is still down at timeout:
+            // give up on this attempt and recompute elsewhere.
+            self.abort_attempt(task, now, AbortCause::Strand);
+            self.failures.push(FailureRecord {
+                time: now,
+                kind: FailureKind::TimeoutDetected { task, node: st.node, attempt },
+            });
+            self.retry_or_fail(task, now);
+        } else {
+            // Healthy in-flight work is never preempted: re-arm. Every leg
+            // completes in finite time, so re-arming terminates.
+            self.queue
+                .schedule(now + self.timeout_of(task, st.node), FEv::Heartbeat { task, attempt });
+        }
+    }
+
+    fn retry_or_fail(&mut self, task: usize, now: f64) {
+        let used = self.state[task].expect("scheduled").attempt;
+        if used > self.config.retry.max_retries {
+            self.fail_task(task, now);
+        } else {
+            let delay = self.config.retry.backoff_base_s * 2f64.powi(used as i32 - 1);
+            self.queue.schedule(now + delay, FEv::Redispatch { task });
+        }
+    }
+
+    fn fail_task(&mut self, task: usize, now: f64) {
+        let used = self.state[task].expect("scheduled").attempt;
+        let s = self.state[task].as_mut().expect("scheduled");
+        s.resolved = true;
+        self.failures.push(FailureRecord {
+            time: now,
+            kind: FailureKind::TaskFailed { task, attempts: used },
+        });
+        self.last_resolution = self.last_resolution.max(now);
+        self.pending -= 1;
+    }
+
+    fn on_redispatch(&mut self, now: f64, task: usize) {
+        let st = self.state[task].expect("scheduled");
+        if st.resolved || !st.aborted {
+            return;
+        }
+        let next = st.attempt + 1;
+        let demand = self.tasks[task].resource_demand;
+        // Deterministic target selection: least cumulative dispatched
+        // nominal compute seconds among up nodes with a live link, ties
+        // broken by ascending node id. The controller is always a
+        // candidate (it cannot fault), so selection only fails on capacity.
+        let mut best: Option<(f64, NodeId)> = None;
+        for n in self.cluster.nodes() {
+            let id = n.id();
+            if self.down.contains(&id) || self.link_down.contains(&id) {
+                continue;
+            }
+            if self.config.enforce_capacity {
+                let used = self.resident.get(&id).copied().unwrap_or(0.0);
+                if used + demand > n.capacity() + 1e-9 {
+                    continue;
+                }
+            }
+            let load = self.dispatched_load.get(&id).copied().unwrap_or(0.0);
+            let better = match best {
+                None => true,
+                Some((bl, bid)) => load < bl || (load == bl && id < bid),
+            };
+            if better {
+                best = Some((load, id));
+            }
+        }
+        match best {
+            Some((_, node)) => {
+                self.failures.push(FailureRecord {
+                    time: now,
+                    kind: FailureKind::Redispatched { task, node, attempt: next },
+                });
+                self.dispatch(task, node, now, next);
+            }
+            None => self.fail_task(task, now),
+        }
+    }
+}
+
+/// Simulates one allocation round under an injected [`FaultSchedule`], with
+/// controller-side timeout detection, bounded retries and re-dispatch to
+/// surviving nodes ([`RetryPolicy`]).
+///
+/// Fault semantics (DESIGN.md §9): a crash aborts every unfinished attempt
+/// resident on the node (in-flight transfers, queued and executing
+/// compute, parked results) and the node rejoins empty on recovery; a link
+/// dropout aborts in-flight transfer legs and parks finished results until
+/// restore; a straggler window multiplies compute legs starting inside it.
+/// The controller detects lost attempts via per-attempt heartbeat timeouts
+/// and re-dispatches after exponential backoff to the surviving node with
+/// the least dispatched load (ties to the lowest id); exhausted retries
+/// fail the task, which the round's decision then proceeds without.
+///
+/// The engine is single-threaded discrete-event simulation: results are
+/// bit-identical at any `dcta-parallel` thread count, and with an empty
+/// schedule the report matches [`simulate`] bitwise (heartbeat timers fire
+/// only on lost attempts or after completion).
+///
+/// # Errors
+///
+/// See [`SimError`] variants: assignment validation as [`simulate`], plus
+/// [`SimError::UnknownFaultNode`] / [`SimError::ControllerFault`] for bad
+/// schedules and [`SimError::BadRetryPolicy`] for invalid policies.
+pub fn simulate_with_faults(
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    assignment: &NodeAssignment,
+    config: SimConfig,
+    schedule: &FaultSchedule,
+) -> Result<FaultReport, SimError> {
+    validate_assignment(cluster, tasks, assignment, config)?;
+    config.retry.validate()?;
+    for ev in schedule.events() {
+        let node = ev.kind.node();
+        if cluster.node(node).is_none() {
+            return Err(SimError::UnknownFaultNode { node });
+        }
+        if node == cluster.controller() {
+            return Err(SimError::ControllerFault { node });
+        }
+    }
+
+    let mut sim = FaultSim {
+        cluster,
+        tasks,
+        config,
+        controller: cluster.controller(),
+        queue: EventQueue::new(),
+        link_free: HashMap::new(),
+        cpu_free: HashMap::new(),
+        link_busy: HashMap::new(),
+        node_busy: HashMap::new(),
+        state: vec![None; tasks.len()],
+        final_timelines: vec![None; tasks.len()],
+        attempts_used: vec![0; tasks.len()],
+        failures: Vec::new(),
+        down: BTreeSet::new(),
+        link_down: HashSet::new(),
+        straggle: HashMap::new(),
+        waiting: HashMap::new(),
+        dispatched_load: HashMap::new(),
+        resident: HashMap::new(),
+        pending: 0,
+        last_resolution: config.partition_overhead_s,
+    };
+    // Faults enter the queue first so that, at equal timestamps, a fault
+    // takes effect before task events of the same instant (FIFO tie-break).
+    for (idx, ev) in schedule.events().iter().enumerate() {
+        sim.queue.schedule(ev.time, FEv::Fault(idx));
+    }
+    let t0 = config.partition_overhead_s;
+    for i in 0..tasks.len() {
+        if let Some(node) = assignment.node_of(i) {
+            sim.dispatch(i, node, t0, 1);
+            sim.pending += 1;
+        }
+    }
+    while sim.pending > 0 {
+        let Some((now, ev)) = sim.queue.pop_next() else { break };
+        match ev {
+            FEv::Fault(idx) => sim.on_fault(now, schedule.events()[idx].kind),
+            FEv::InputArrived { task, attempt } => sim.on_input_arrived(now, task, attempt),
+            FEv::ComputeDone { task, attempt } => sim.on_compute_done(now, task, attempt),
+            FEv::ResultArrived { task, attempt } => sim.on_result_arrived(now, task, attempt),
+            FEv::Heartbeat { task, attempt } => sim.on_heartbeat(now, task, attempt),
+            FEv::Redispatch { task } => sim.on_redispatch(now, task),
+        }
+    }
+    Ok(FaultReport {
+        processing_time: sim.last_resolution + config.decision_overhead_s,
+        timelines: sim.final_timelines,
+        completed: sim.state.iter().map(|s| s.map(|st| st.completed).unwrap_or(false)).collect(),
+        attempts: sim.attempts_used,
+        failures: sim.failures,
+        node_busy: sim.node_busy,
+        link_busy: sim.link_busy,
+        down_at_end: sim.down.into_iter().collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,7 +1060,7 @@ mod tests {
     use crate::node::DeviceModel;
 
     fn cfg() -> SimConfig {
-        SimConfig { partition_overhead_s: 0.0, decision_overhead_s: 0.0, enforce_capacity: true }
+        SimConfig { partition_overhead_s: 0.0, decision_overhead_s: 0.0, ..SimConfig::default() }
     }
 
     fn one_task(bits: f64) -> Vec<SimTask> {
@@ -421,7 +1132,7 @@ mod tests {
             SimConfig {
                 partition_overhead_s: 0.5,
                 decision_overhead_s: 0.25,
-                enforce_capacity: true,
+                ..SimConfig::default()
             },
         )
         .unwrap();
@@ -530,6 +1241,228 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::faults::FaultSchedule;
+
+    fn cfg() -> SimConfig {
+        SimConfig { partition_overhead_s: 0.0, decision_overhead_s: 0.0, ..SimConfig::default() }
+    }
+
+    fn has_kind(report: &FaultReport, pred: impl Fn(&FailureKind) -> bool) -> bool {
+        report.failures.iter().any(|r| pred(&r.kind))
+    }
+
+    #[test]
+    fn empty_schedule_is_bitwise_identical_to_simulate() {
+        let c = Cluster::paper_testbed().unwrap();
+        let tasks: Vec<SimTask> =
+            (1..=6).map(|i| SimTask::new(i as f64 * 5e5, 1e4, 1.0).unwrap()).collect();
+        let mut a = NodeAssignment::empty(6);
+        for i in 0..6 {
+            a.assign(i, Some(NodeId(1 + i % 3)));
+        }
+        let plain = simulate(&c, &tasks, &a, SimConfig::default()).unwrap();
+        let faulty =
+            simulate_with_faults(&c, &tasks, &a, SimConfig::default(), &FaultSchedule::new())
+                .unwrap();
+        assert_eq!(plain.processing_time.to_bits(), faulty.processing_time.to_bits());
+        assert_eq!(plain.timelines, faulty.timelines);
+        assert_eq!(plain.node_busy, faulty.node_busy);
+        assert_eq!(plain.link_busy, faulty.link_busy);
+        assert!(faulty.failures.is_empty());
+        assert_eq!(faulty.attempts, vec![1; 6]);
+    }
+
+    #[test]
+    fn mid_compute_crash_is_detected_and_redispatched() {
+        let c = Cluster::paper_testbed().unwrap();
+        // Input transfer lands ≈0.168s, compute on the A+ spans ≈[0.168, 0.643].
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_crash(NodeId(1), 0.3).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![2], "one retry after the crash");
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::NodeCrashed(n) if *n == NodeId(1))));
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::AttemptAborted { task: 0, .. })));
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::TimeoutDetected { task: 0, .. })));
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::Redispatched { task: 0, .. })));
+        assert_eq!(r.down_at_end, vec![NodeId(1)]);
+        // The survivor attempt ran on a different node.
+        assert_ne!(r.timelines[0].unwrap().node, NodeId(1));
+        let healthy = simulate(&c, &tasks, &a, cfg()).unwrap();
+        assert!(r.processing_time > healthy.processing_time, "recovery is not free");
+    }
+
+    #[test]
+    fn no_retry_policy_fails_the_task_on_first_loss() {
+        let c = Cluster::paper_testbed().unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_crash(NodeId(1), 0.3).unwrap();
+        let mut config = cfg();
+        config.retry = RetryPolicy::no_retry();
+        let r = simulate_with_faults(&c, &tasks, &a, config, &schedule).unwrap();
+        assert_eq!(r.completed_count(), 0);
+        assert_eq!(r.failed_tasks(), vec![0]);
+        assert!(r.timelines[0].is_none());
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::TaskFailed { task: 0, attempts: 1 })));
+    }
+
+    #[test]
+    fn recovered_node_accepts_redispatch() {
+        let c = Cluster::testbed_with_workers(1).unwrap();
+        // Decoy keeps the controller's load ledger high so the retry
+        // prefers the recovered worker.
+        let tasks =
+            vec![SimTask::new(1e6, 1e4, 1.0).unwrap(), SimTask::new(1e8, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(0)));
+        let schedule = FaultSchedule::new()
+            .with_crash(NodeId(1), 0.3)
+            .unwrap()
+            .with_recovery(NodeId(1), 0.4)
+            .unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 2);
+        assert!(has_kind(
+            &r,
+            |k| matches!(k, FailureKind::Redispatched { task: 0, node, .. } if *node == NodeId(1))
+        ));
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::NodeRecovered(n) if *n == NodeId(1))));
+        assert!(r.down_at_end.is_empty());
+        assert_eq!(r.timelines[0].unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn short_link_outage_parks_the_result_until_restore() {
+        let c = Cluster::paper_testbed().unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        // Down across the compute-done instant (≈0.643); restored well
+        // before the heartbeat (≈1.94).
+        let schedule = FaultSchedule::new().with_link_outage(NodeId(1), 0.5, 1.0).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![1], "no retry needed: the result waited out the outage");
+        assert!(r.timelines[0].unwrap().result_at >= 1.0);
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::LinkWentDown(_))));
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::LinkRestored(_))));
+        assert!(!has_kind(&r, |k| matches!(k, FailureKind::AttemptAborted { .. })));
+    }
+
+    #[test]
+    fn long_link_outage_strands_the_result_and_triggers_retry() {
+        let c = Cluster::paper_testbed().unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_link_outage(NodeId(1), 0.5, 100.0).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![2]);
+        assert_ne!(r.timelines[0].unwrap().node, NodeId(1));
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::AttemptAborted { task: 0, .. })));
+        assert!(r.processing_time < 100.0, "retry beat waiting for the link");
+    }
+
+    #[test]
+    fn straggler_window_multiplies_compute() {
+        let c = Cluster::paper_testbed().unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_straggler(NodeId(1), 0.0, 10.0, 3.0).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        let tl = r.timelines[0].unwrap();
+        let nominal = c.node(NodeId(1)).unwrap().compute_time(1e6);
+        assert!((tl.compute_end - tl.compute_start - 3.0 * nominal).abs() < 1e-9);
+        assert_eq!(r.attempts, vec![1], "a straggler is slow, not lost");
+    }
+
+    #[test]
+    fn retries_exhaust_when_every_host_keeps_crashing() {
+        let c = Cluster::testbed_with_workers(2).unwrap();
+        let tasks =
+            vec![SimTask::new(1e6, 1e4, 1.0).unwrap(), SimTask::new(1e8, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(0))); // decoy load keeps the controller unattractive
+        let mut config = cfg();
+        config.retry.max_retries = 1;
+        // First host dies mid-compute; the retry lands on node 2 (least
+        // load), which dies mid-compute too.
+        let schedule = FaultSchedule::new()
+            .with_crash(NodeId(1), 0.3)
+            .unwrap()
+            .with_crash(NodeId(2), 2.2)
+            .unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, config, &schedule).unwrap();
+        assert_eq!(r.failed_tasks(), vec![0]);
+        assert_eq!(r.attempts[0], 2);
+        assert!(r.completed[1], "the decoy task is unaffected");
+        assert!(has_kind(&r, |k| matches!(k, FailureKind::TaskFailed { task: 0, attempts: 2 })));
+        assert_eq!(r.down_at_end, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn fault_schedule_validation() {
+        let c = Cluster::paper_testbed().unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let ghost = FaultSchedule::new().with_crash(NodeId(77), 1.0).unwrap();
+        assert!(matches!(
+            simulate_with_faults(&c, &tasks, &a, cfg(), &ghost),
+            Err(SimError::UnknownFaultNode { node: NodeId(77) })
+        ));
+        let coup = FaultSchedule::new().with_crash(NodeId(0), 1.0).unwrap();
+        assert!(matches!(
+            simulate_with_faults(&c, &tasks, &a, cfg(), &coup),
+            Err(SimError::ControllerFault { node: NodeId(0) })
+        ));
+        let mut config = cfg();
+        config.retry.min_timeout_s = 0.0;
+        assert!(matches!(
+            simulate_with_faults(&c, &tasks, &a, config, &FaultSchedule::new()),
+            Err(SimError::BadRetryPolicy { .. })
+        ));
+        // Bad assignments fail through the shared validator.
+        let mut ghost_assignment = NodeAssignment::empty(1);
+        ghost_assignment.assign(0, Some(NodeId(42)));
+        assert!(matches!(
+            simulate_with_faults(&c, &tasks, &ghost_assignment, cfg(), &FaultSchedule::new()),
+            Err(SimError::UnknownNode { task: 0, node: NodeId(42) })
+        ));
+    }
+
+    #[test]
+    fn crash_refunds_lost_compute_reservations() {
+        let c = Cluster::paper_testbed().unwrap();
+        // Two tasks queued on node 1; crash kills both (one executing, one
+        // queued) and both re-run elsewhere.
+        let tasks =
+            vec![SimTask::new(1e6, 1e4, 1.0).unwrap(), SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_crash(NodeId(1), 0.3).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 2);
+        // Node 1's committed compute is only what elapsed before the crash:
+        // compute started ≈0.168 and died at 0.3.
+        let burned = r.node_busy.get(&NodeId(1)).copied().unwrap_or(0.0);
+        assert!((0.0..0.2).contains(&burned), "refund missing: {burned}");
+    }
+}
+
+#[cfg(test)]
 mod medium_tests {
     use super::*;
     use crate::cluster::Cluster;
@@ -563,6 +1496,7 @@ mod medium_tests {
             partition_overhead_s: 0.0,
             decision_overhead_s: 0.0,
             enforce_capacity: false,
+            ..SimConfig::default()
         };
         let r_shared = simulate(&shared, &tasks, &a, cfg).unwrap();
         // Under the shared medium, input transfers cannot overlap: the last

@@ -2,11 +2,131 @@
 //!
 //! Turns a [`crate::run::SimReport`] into a per-task CSV trace and a
 //! per-node utilisation summary — the artefacts an operator would pull off
-//! a real testbed to debug an allocation round.
+//! a real testbed to debug an allocation round. Fault-injected runs
+//! additionally produce a typed failure log ([`FailureRecord`]) exportable
+//! via [`failures_to_csv`].
 
 use crate::cluster::Cluster;
+use crate::node::NodeId;
 use crate::run::SimReport;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// What went wrong (or was handled) at one instant of a fault-injected run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureKind {
+    /// A node halted; everything resident on it was lost.
+    NodeCrashed(NodeId),
+    /// A previously crashed node rejoined with an empty queue.
+    NodeRecovered(NodeId),
+    /// A node's star link dropped.
+    LinkWentDown(NodeId),
+    /// A node's star link was restored.
+    LinkRestored(NodeId),
+    /// An in-flight attempt (transfer or compute leg) was killed by a fault.
+    AttemptAborted {
+        /// Task index.
+        task: usize,
+        /// Node the attempt was running on.
+        node: NodeId,
+        /// 1-based attempt number.
+        attempt: usize,
+    },
+    /// The controller's heartbeat timeout fired on a dead attempt.
+    TimeoutDetected {
+        /// Task index.
+        task: usize,
+        /// Node the attempt was on.
+        node: NodeId,
+        /// 1-based attempt number.
+        attempt: usize,
+    },
+    /// The controller re-dispatched the task to a surviving node.
+    Redispatched {
+        /// Task index.
+        task: usize,
+        /// New target node.
+        node: NodeId,
+        /// 1-based attempt number of the new attempt.
+        attempt: usize,
+    },
+    /// Retries exhausted (or no surviving node could host the task).
+    TaskFailed {
+        /// Task index.
+        task: usize,
+        /// Attempts consumed.
+        attempts: usize,
+    },
+}
+
+impl FailureKind {
+    fn csv_fields(&self) -> (&'static str, Option<usize>, Option<NodeId>, Option<usize>) {
+        match *self {
+            FailureKind::NodeCrashed(n) => ("node_crashed", None, Some(n), None),
+            FailureKind::NodeRecovered(n) => ("node_recovered", None, Some(n), None),
+            FailureKind::LinkWentDown(n) => ("link_down", None, Some(n), None),
+            FailureKind::LinkRestored(n) => ("link_up", None, Some(n), None),
+            FailureKind::AttemptAborted { task, node, attempt } => {
+                ("attempt_aborted", Some(task), Some(node), Some(attempt))
+            }
+            FailureKind::TimeoutDetected { task, node, attempt } => {
+                ("timeout_detected", Some(task), Some(node), Some(attempt))
+            }
+            FailureKind::Redispatched { task, node, attempt } => {
+                ("redispatched", Some(task), Some(node), Some(attempt))
+            }
+            FailureKind::TaskFailed { task, attempts } => {
+                ("task_failed", Some(task), None, Some(attempts))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, task, node, attempt) = self.csv_fields();
+        write!(f, "{kind}")?;
+        if let Some(t) = task {
+            write!(f, " task {t}")?;
+        }
+        if let Some(n) = node {
+            write!(f, " on {n}")?;
+        }
+        if let Some(a) = attempt {
+            write!(f, " (attempt {a})")?;
+        }
+        Ok(())
+    }
+}
+
+/// One entry of the failure log a fault-injected run emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureRecord {
+    /// Simulation time of the event, seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: FailureKind,
+}
+
+/// Failure-log CSV: `time,kind,task,node,attempt`. Records appear in event
+/// order (which is time order, ties broken causally).
+pub fn failures_to_csv(failures: &[FailureRecord]) -> String {
+    let mut out = String::from("time,kind,task,node,attempt\n");
+    for rec in failures {
+        let (kind, task, node, attempt) = rec.kind.csv_fields();
+        let field = |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:.6},{},{},{},{}",
+            rec.time,
+            kind,
+            field(task),
+            field(node.map(|n| n.0)),
+            field(attempt),
+        );
+    }
+    out
+}
 
 /// Per-task timeline CSV:
 /// `task,node,transfer_start,compute_start,compute_end,result_at`.
@@ -96,6 +216,32 @@ mod tests {
         assert_eq!(line1, "1,,,,,");
         // Scheduled task 0 names node 1.
         assert!(csv.lines().nth(1).unwrap().starts_with("0,1,"));
+    }
+
+    #[test]
+    fn failure_csv_round_trips_fields() {
+        let log = vec![
+            FailureRecord { time: 0.5, kind: FailureKind::NodeCrashed(NodeId(3)) },
+            FailureRecord {
+                time: 0.5,
+                kind: FailureKind::AttemptAborted { task: 2, node: NodeId(3), attempt: 1 },
+            },
+            FailureRecord {
+                time: 1.25,
+                kind: FailureKind::Redispatched { task: 2, node: NodeId(5), attempt: 2 },
+            },
+            FailureRecord { time: 2.0, kind: FailureKind::TaskFailed { task: 2, attempts: 3 } },
+        ];
+        let csv = failures_to_csv(&log);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,kind,task,node,attempt");
+        assert_eq!(lines[1], "0.500000,node_crashed,,3,");
+        assert_eq!(lines[2], "0.500000,attempt_aborted,2,3,1");
+        assert_eq!(lines[3], "1.250000,redispatched,2,5,2");
+        assert_eq!(lines[4], "2.000000,task_failed,2,,3");
+        // Display form is readable.
+        assert!(log[1].kind.to_string().contains("task 2"));
+        assert!(log[0].kind.to_string().contains("node-3"));
     }
 
     #[test]

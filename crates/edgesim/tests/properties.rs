@@ -1,9 +1,10 @@
 //! Property-based tests of simulator invariants: causality, monotonicity,
-//! and conservation.
+//! conservation, and fault-injection determinism.
 
 use edgesim::cluster::Cluster;
+use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
-use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+use edgesim::run::{simulate, simulate_with_faults, NodeAssignment, SimConfig, SimTask};
 use proptest::prelude::*;
 
 fn workload() -> impl Strategy<Value = (Vec<SimTask>, NodeAssignment)> {
@@ -23,7 +24,12 @@ fn workload() -> impl Strategy<Value = (Vec<SimTask>, NodeAssignment)> {
 }
 
 fn config() -> SimConfig {
-    SimConfig { partition_overhead_s: 0.01, decision_overhead_s: 0.01, enforce_capacity: false }
+    SimConfig {
+        partition_overhead_s: 0.01,
+        decision_overhead_s: 0.01,
+        enforce_capacity: false,
+        ..SimConfig::default()
+    }
 }
 
 proptest! {
@@ -75,6 +81,52 @@ proptest! {
         let less =
             simulate(&cluster, &tasks, &reduced, config()).expect("run").processing_time;
         prop_assert!(less <= full + 1e-9, "dropping task {idx} raised PT: {less} > {full}");
+    }
+
+    #[test]
+    fn empty_fault_schedule_matches_plain_simulate((tasks, assignment) in workload()) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let plain = simulate(&cluster, &tasks, &assignment, config()).expect("simulate");
+        let faulty =
+            simulate_with_faults(&cluster, &tasks, &assignment, config(), &FaultSchedule::new())
+                .expect("fault run");
+        prop_assert_eq!(
+            plain.processing_time.to_bits(),
+            faulty.processing_time.to_bits(),
+            "PT diverged: {} vs {}", plain.processing_time, faulty.processing_time
+        );
+        prop_assert_eq!(&plain.timelines, &faulty.timelines);
+        prop_assert_eq!(&plain.node_busy, &faulty.node_busy);
+        prop_assert_eq!(&plain.link_busy, &faulty.link_busy);
+        prop_assert!(faulty.failures.is_empty());
+        prop_assert!(faulty.down_at_end.is_empty());
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_deterministic((tasks, assignment) in workload(),
+                                           seed in 0u64..1000,
+                                           crash_rate in 0.1f64..0.9,
+                                           mttr in 0.0f64..2.0) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let workers: Vec<NodeId> = (1..=9).map(NodeId).collect();
+        let schedule = FaultSchedule::seeded(seed, &workers, crash_rate, mttr, 5.0)
+            .expect("valid schedule");
+        prop_assume!(!schedule.is_empty());
+        let a = simulate_with_faults(&cluster, &tasks, &assignment, config(), &schedule)
+            .expect("fault run");
+        let b = simulate_with_faults(&cluster, &tasks, &assignment, config(), &schedule)
+            .expect("fault run");
+        prop_assert_eq!(&a, &b, "same schedule produced different reports");
+        // Every scheduled task is accounted for: delivered or failed.
+        let scheduled = assignment.scheduled_count();
+        prop_assert_eq!(a.completed_count() + a.failed_tasks().len(), scheduled);
+        // Causality holds for delivered tasks.
+        for tl in a.timelines.iter().flatten() {
+            prop_assert!(tl.transfer_start <= tl.compute_start);
+            prop_assert!(tl.compute_start <= tl.compute_end);
+            prop_assert!(tl.compute_end <= tl.result_at);
+        }
+        prop_assert!(a.processing_time >= a.makespan() - 1e-12);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`learn`] — regression/SVM/trees/boosting/kNN/k-means/MLP substrate.
 //! * [`rl`] — tabular Q-learning, DQN and Clustered RL.
 //! * [`edgesim`] — discrete-event simulator of the Raspberry-Pi testbed.
+//! * [`parallel`] — deterministic fork-join layer (bit-identical results at
+//!   any thread count).
 //! * [`buildings`] — synthetic green-building (chiller AIOps) workloads.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the per-experiment index.
@@ -38,6 +40,7 @@ pub use dcta_core as core;
 pub use edgesim;
 pub use knapsack;
 pub use learn;
+pub use parallel;
 pub use rl;
 
 /// One-import convenience: the types a typical consumer touches.

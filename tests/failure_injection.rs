@@ -1,11 +1,22 @@
 //! Failure-injection integration: degraded nodes and broken links must
 //! surface in processing time exactly where the allocation touches them,
-//! and nowhere else.
+//! and nowhere else. Mid-run faults go further: crashes orphan exactly the
+//! victim's tasks, retries win once the node recovers, and the recovery
+//! re-solve sheds ascending importance — all bit-identical at any thread
+//! count.
 
+use proptest::prelude::*;
+use tatim::core::processor::{Processor, ProcessorFleet};
+use tatim::core::recovery::replan;
+use tatim::core::task::{EdgeTask, TaskId};
+use tatim::core::tatim::TatimInstance;
 use tatim::edgesim::cluster::Cluster;
+use tatim::edgesim::faults::FaultSchedule;
 use tatim::edgesim::network::Link;
 use tatim::edgesim::node::NodeId;
-use tatim::edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+use tatim::edgesim::run::{
+    simulate, simulate_with_faults, NodeAssignment, RetryPolicy, SimConfig, SimTask,
+};
 
 fn tasks(n: usize) -> Vec<SimTask> {
     (0..n).map(|_| SimTask::new(5e7, 1e4, 1.0).expect("valid")).collect()
@@ -77,4 +88,118 @@ fn timelines_remain_causally_ordered_under_failures() {
         assert!(tl.compute_end <= tl.result_at);
     }
     assert!(report.processing_time >= report.makespan());
+}
+
+#[test]
+fn mid_run_crash_orphans_only_the_victims_tasks() {
+    let cluster = Cluster::paper_testbed().expect("testbed");
+    let ts = tasks(8);
+    let a = round_robin(8, &[1, 2, 3, 4]);
+    let schedule = FaultSchedule::new().with_crash(NodeId(1), 1e-3).expect("schedule");
+    let cfg = SimConfig { retry: RetryPolicy::no_retry(), ..SimConfig::default() };
+    let report = simulate_with_faults(&cluster, &ts, &a, cfg, &schedule).expect("fault run");
+
+    assert_eq!(report.down_at_end, vec![NodeId(1)], "the victim never recovers");
+    assert!(!report.failures.is_empty(), "the crash must be logged");
+    let failed = report.failed_tasks();
+    assert!(!failed.is_empty(), "the victim held tasks, some must orphan");
+    for &j in &failed {
+        assert_eq!(a.node_of(j), Some(NodeId(1)), "task {j} failed off the victim");
+    }
+    for j in 0..8 {
+        if a.node_of(j) != Some(NodeId(1)) {
+            assert!(report.completed[j], "bystander task {j} lost to a remote crash");
+        }
+    }
+}
+
+#[test]
+fn retry_wins_after_the_node_recovers() {
+    let cluster = Cluster::paper_testbed().expect("testbed");
+    let ts = tasks(8);
+    let a = round_robin(8, &[1, 2, 3, 4]);
+    let healthy = simulate(&cluster, &ts, &a, SimConfig::default()).expect("healthy run");
+
+    let schedule = FaultSchedule::new()
+        .with_crash(NodeId(1), 0.01)
+        .expect("crash")
+        .with_recovery(NodeId(1), 0.2)
+        .expect("recovery");
+    // Default policy: bounded retries with backoff.
+    let report = simulate_with_faults(&cluster, &ts, &a, SimConfig::default(), &schedule)
+        .expect("fault run");
+
+    assert!(report.failed_tasks().is_empty(), "every orphan must be re-dispatched");
+    assert_eq!(report.completed_count(), 8);
+    assert!(report.attempts.iter().any(|&n| n > 1), "the crash must cost somebody a retry");
+    assert!(!report.failures.is_empty(), "aborted legs must be logged");
+    assert!(report.down_at_end.is_empty(), "the node recovered");
+    assert!(
+        report.processing_time > healthy.processing_time,
+        "timeout + retry cannot be free: {} vs {}",
+        report.processing_time,
+        healthy.processing_time
+    );
+}
+
+#[test]
+fn recovery_sheds_ascending_importance_when_capacity_shrinks() {
+    // Six equal-size tasks, importances 0.2..0.7, three processors with
+    // room for two tasks each. Losing two of the three processors leaves
+    // room for two tasks: the re-solve must keep the top of the
+    // importance tail and shed from the bottom.
+    let tasks: Vec<EdgeTask> = (0..6)
+        .map(|i| {
+            EdgeTask::new(TaskId(i), format!("t{i}"), 1e6, 1.0, 0.2 + 0.1 * i as f64)
+                .expect("valid task")
+        })
+        .collect();
+    let fleet = ProcessorFleet::new(
+        (0..3)
+            .map(|i| Processor { node: NodeId(i + 1), capacity: 4.0, seconds_per_bit: 4.75e-7 })
+            .collect(),
+        1.0,
+    )
+    .expect("fleet");
+    let inst = TatimInstance::new(tasks, fleet);
+
+    let plan = replan(&inst, &[false; 6], &[NodeId(3)], 1.0).expect("replan");
+    assert_eq!(plan.shed, vec![0, 1, 2, 3], "shed must be ascending importance");
+    for j in 4..6 {
+        let col = plan.allocation.processor_of(j).expect("kept the important tail");
+        assert_eq!(inst.fleet().node_of(col), NodeId(3));
+    }
+    assert!((plan.recovered_importance - (0.6 + 0.7)).abs() < 1e-9);
+    let total = 0.2 + 0.3 + 0.4 + 0.5 + 0.6 + 0.7;
+    assert!((plan.recovered_fraction() - (0.6 + 0.7) / total).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// DESIGN §8.1 extended to faults: a non-empty seeded schedule must
+    /// produce bit-identical reports at 1, 2 and 8 threads.
+    #[test]
+    fn fault_runs_are_thread_count_invariant(seed in 0u64..500, crash_rate in 0.2f64..0.9) {
+        let cluster = Cluster::paper_testbed().expect("testbed");
+        let ts = tasks(10);
+        let a = round_robin(10, &[1, 2, 3, 4, 5]);
+        let workers: Vec<NodeId> = (1..=5).map(NodeId).collect();
+        let schedule = FaultSchedule::seeded(seed, &workers, crash_rate, 0.3, 2.0)
+            .expect("schedule");
+        prop_assume!(!schedule.is_empty());
+
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            tatim::parallel::set_max_threads(threads);
+            let r = simulate_with_faults(&cluster, &ts, &a, SimConfig::default(), &schedule)
+                .expect("fault run");
+            tatim::parallel::set_max_threads(0);
+            runs.push(r);
+        }
+        prop_assert_eq!(runs[0].processing_time.to_bits(), runs[1].processing_time.to_bits());
+        prop_assert_eq!(runs[0].processing_time.to_bits(), runs[2].processing_time.to_bits());
+        prop_assert_eq!(&runs[0], &runs[1], "threads 1 vs 2 diverged");
+        prop_assert_eq!(&runs[0], &runs[2], "threads 1 vs 8 diverged");
+    }
 }
