@@ -4,13 +4,16 @@
 //! perfbench [--quick] [--seed N] [--threads N] [--out PATH]
 //! ```
 //!
-//! Times the three hot paths the `parallel` crate feeds — the importance
-//! matrix, CRL pretraining, and the end-to-end pipeline — once on the exact
-//! serial path (`threads = 1`) and once at `--threads` (default: all
-//! cores), plus a warm pass over the importance cache. Every timed
-//! computation returns bit-identical results at both settings; only the
-//! wall clock may differ. Results print as a table and land as JSON rows
-//! `{bench, threads, wall_ms, speedup}` (default `BENCH_PR2.json`).
+//! Times the hot compute paths — the blocked matmul kernel against the
+//! old `ikj` loop, the batched DQN TD update against the per-sample
+//! reference, the importance matrix, CRL pretraining, and the end-to-end
+//! pipeline — once on the exact serial path (`threads = 1`) and once at
+//! `--threads` (default: all cores), plus a warm pass over the importance
+//! cache. Every timed computation returns bit-identical results at both
+//! settings; only the wall clock may differ. Results print as a table and
+//! land as JSON rows `{bench, threads, wall_ms, speedup}` (default
+//! `BENCH_PR4.json`). For the `*_scalar` baselines the paired batched
+//! row's `speedup` is measured against the scalar row, not against 1.
 
 use buildings::scenario::Scenario;
 use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
@@ -22,11 +25,17 @@ use dcta_core::processor::{Processor, ProcessorFleet};
 use dcta_core::task::{EdgeTask, TaskId};
 use dcta_core::tatim::TatimInstance;
 use edgesim::node::NodeId;
+use learn::linalg::Matrix;
 use learn::transfer::MtlConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::alloc_env::{AllocEnv, AllocSpec};
 use rl::crl::{CrlConfig, EnvironmentStore};
-use rl::dqn::DqnConfig;
+use rl::dqn::{DqnAgent, DqnConfig};
+use rl::mdp::Environment;
 use serde::Serialize;
 use std::error::Error;
+use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -58,7 +67,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut opts = RunOpts::default();
     let mut threads = parallel::max_threads();
-    let mut out = PathBuf::from("BENCH_PR2.json");
+    let mut out = PathBuf::from("BENCH_PR4.json");
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -118,6 +127,73 @@ fn versus(bench: &str, threads: usize, reps: usize, mut f: impl FnMut()) -> Vec<
     rows
 }
 
+/// The pre-PR4 `ikj` matmul loop, kept verbatim (slice iterators and all)
+/// as the baseline the register-blocked kernel is measured against.
+/// Accumulation order per output element is identical (`k` ascending), so
+/// both kernels return the same bits — only the wall clock differs.
+fn matmul_ikj(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = b.cols();
+    let k = a.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    for (lhs_row, out_row) in
+        a.as_slice().chunks_exact(k).zip(out.as_mut_slice().chunks_exact_mut(n))
+    {
+        for (&lhs_rk, rhs_row) in lhs_row.iter().zip(b.as_slice().chunks_exact(n)) {
+            for (o, &x) in out_row.iter_mut().zip(rhs_row) {
+                *o += lhs_rk * x;
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic dense test matrix (no RNG: the bench only times FLOPs).
+fn bench_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            (h % 2_000) as f64 / 100.0 - 10.0
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches")
+}
+
+/// A DQN agent over a small allocation MDP with a warm replay buffer, so
+/// `learn_step` runs its full minibatch update from the first timed call.
+fn warm_dqn_agent(
+    batch_size: usize,
+    batched: bool,
+    warm_episodes: usize,
+) -> Result<(DqnAgent, StdRng), Box<dyn Error>> {
+    let n = 8;
+    let spec = AllocSpec {
+        importances: (0..n).map(|i| 0.1 + 0.1 * i as f64).collect(),
+        times: vec![1.0; n],
+        resources: vec![1.0; n],
+        time_limit: 3.0,
+        time_limits: None,
+        capacities: vec![2.5, 2.5],
+    };
+    let mut env = AllocEnv::new(spec)?;
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    let mut agent = DqnAgent::new(
+        env.state_dim(),
+        env.num_actions(),
+        DqnConfig {
+            hidden: vec![32],
+            batch_size,
+            replay_capacity: 4096,
+            batched,
+            ..DqnConfig::default()
+        },
+        &mut rng,
+    )?;
+    for _ in 0..warm_episodes {
+        agent.train_episode(&mut env, &mut rng)?;
+    }
+    Ok((agent, rng))
+}
+
 /// A small edge instance over the scenario's tasks (same shape the
 /// pipeline builds) for the CRL pretraining bench.
 fn crl_instance(scenario: &Scenario) -> TatimInstance {
@@ -155,6 +231,78 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
     let evaluator = ImportanceEvaluator::new(&scenario, &models);
     let mut rows = Vec::new();
 
+    // -- matmul kernel: register-blocked vs the old ikj loop (serial, the
+    // kernel itself is single-threaded). Several multiplies per rep so the
+    // wall time is comfortably above timer resolution.
+    let dim = opts.pick(192, 96);
+    println!("[matmul kernels: {dim}x{dim}]");
+    let a = bench_matrix(dim, dim, 0x0A);
+    let b = bench_matrix(dim, dim, 0x0B);
+    let matmul_reps = reps.max(3);
+    parallel::set_max_threads(1);
+    let ikj_ms = time_ms(matmul_reps, || {
+        for _ in 0..4 {
+            black_box(matmul_ikj(black_box(&a), black_box(&b)));
+        }
+    });
+    let blocked_ms = time_ms(matmul_reps, || {
+        for _ in 0..4 {
+            black_box(black_box(&a).matmul(black_box(&b)).expect("shapes"));
+        }
+    });
+    parallel::set_max_threads(0);
+    rows.push(Row { bench: "matmul_ikj".to_string(), threads: 1, wall_ms: ikj_ms, speedup: 1.0 });
+    rows.push(Row {
+        bench: "matmul_blocked".to_string(),
+        threads: 1,
+        wall_ms: blocked_ms,
+        speedup: ikj_ms / blocked_ms.max(1e-9),
+    });
+
+    // -- DQN TD update: per-sample reference vs the batched path at the
+    // default batch size (serial; both paths return identical bits).
+    let learn_steps = opts.pick(300, 60);
+    println!("[dqn learn step: batch 32 x {learn_steps} steps]");
+    parallel::set_max_threads(1);
+    let (mut scalar_agent, mut scalar_rng) = warm_dqn_agent(32, false, 12)?;
+    let scalar_step_ms = time_ms(reps, || {
+        for _ in 0..learn_steps {
+            scalar_agent.learn_step(&mut scalar_rng).expect("learn step");
+        }
+    });
+    let (mut batched_agent, mut batched_rng) = warm_dqn_agent(32, true, 12)?;
+    let batched_step_ms = time_ms(reps, || {
+        for _ in 0..learn_steps {
+            batched_agent.learn_step(&mut batched_rng).expect("learn step");
+        }
+    });
+    parallel::set_max_threads(0);
+    rows.push(Row {
+        bench: "dqn_learn_step_scalar".to_string(),
+        threads: 1,
+        wall_ms: scalar_step_ms,
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        bench: "dqn_learn_step".to_string(),
+        threads: 1,
+        wall_ms: batched_step_ms,
+        speedup: scalar_step_ms / batched_step_ms.max(1e-9),
+    });
+
+    // -- Chunked gradient reduction: a batch above GRAD_CHUNK (64) exercises
+    // the fixed-order parallel reduction, thread-count invariant by
+    // construction. Episodes on this MDP run ~5 steps, so 60 warm episodes
+    // comfortably fill the replay past 160 (learn_step no-ops below that).
+    let chunk_steps = opts.pick(120, 24);
+    println!("[dqn learn step, chunked: batch 160 x {chunk_steps} steps]");
+    let (mut chunked_agent, mut chunked_rng) = warm_dqn_agent(160, true, 60)?;
+    rows.extend(versus("dqn_learn_step_chunked", args.threads, reps, || {
+        for _ in 0..chunk_steps {
+            chunked_agent.learn_step(&mut chunked_rng).expect("learn step");
+        }
+    }));
+
     println!(
         "[importance matrix: {} days x {} tasks]",
         scenario.days().len(),
@@ -173,7 +321,11 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
         cached.importance_matrix().expect("warm importance matrix");
     });
     parallel::set_max_threads(0);
-    let cold_ms = rows[0].wall_ms;
+    let cold_ms = rows
+        .iter()
+        .find(|r| r.bench == "importance_matrix")
+        .expect("importance_matrix row exists")
+        .wall_ms;
     rows.push(Row {
         bench: "importance_matrix_warm_cache".to_string(),
         threads: 1,
@@ -199,10 +351,34 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
         ..CrlConfig::default()
     };
     let instance = crl_instance(&scenario);
-    rows.extend(versus("crl_pretrain", args.threads, reps, || {
+
+    // Scalar (per-sample learn step) baseline: the exact pre-PR4 compute
+    // path, so the batched rows report a true batched-vs-scalar speedup.
+    let scalar_crl_config = CrlConfig {
+        dqn: DqnConfig { batched: false, ..crl_config.dqn.clone() },
+        ..crl_config.clone()
+    };
+    parallel::set_max_threads(1);
+    let scalar_crl_ms = time_ms(reps, || {
+        let mut crl = CrlAllocator::with_store(store.clone(), scalar_crl_config.clone());
+        crl.pretrain(&instance).expect("pretrain");
+    });
+    parallel::set_max_threads(0);
+    rows.push(Row {
+        bench: "crl_pretrain_scalar".to_string(),
+        threads: 1,
+        wall_ms: scalar_crl_ms,
+        speedup: 1.0,
+    });
+
+    let mut crl_rows = versus("crl_pretrain", args.threads, reps, || {
         let mut crl = CrlAllocator::with_store(store.clone(), crl_config.clone());
         crl.pretrain(&instance).expect("pretrain");
-    }));
+    });
+    // The serial batched row is measured against the scalar baseline, not
+    // against itself.
+    crl_rows[0].speedup = scalar_crl_ms / crl_rows[0].wall_ms.max(1e-9);
+    rows.extend(crl_rows);
 
     println!("[end-to-end pipeline]");
     let mut pipeline_config = paper_pipeline(opts);

@@ -47,6 +47,14 @@ impl fmt::Display for DimensionError {
 
 impl std::error::Error for DimensionError {}
 
+/// Register-block height of the tiled kernels: how many output rows (or
+/// accumulators) each pass keeps live. Four doubles fit comfortably in
+/// registers on every supported target while quartering the passes over the
+/// shared operand; the value only affects speed, never results — every
+/// kernel accumulates each output element's `k` terms in index order
+/// regardless of blocking.
+const MR: usize = 4;
+
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -152,40 +160,303 @@ impl Matrix {
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
-            }
-        }
+        self.transpose_into(&mut t).expect("shape matches by construction");
         t
     }
 
-    /// Matrix product `self · rhs`, computed in ikj order over the flat
-    /// row-major buffers: the innermost loop walks `rhs` and `out` rows
-    /// contiguously (cache-friendly, auto-vectorisable), while each output
-    /// element still accumulates its `k` terms in exactly the order of the
-    /// textbook ijk triple loop — so results are bit-identical to the naive
-    /// reference (see the `matmul_bits_match_naive_triple_loop` test).
+    /// Transpose written into `out` (fully overwritten), allocating nothing.
+    /// Every element is a bitwise copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `out` is not `self.cols() ×
+    /// self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<(), DimensionError> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(DimensionError {
+                op: "transpose_into(out)",
+                left: out.shape(),
+                right: (self.cols, self.rows),
+            });
+        }
+        for (r, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix product `self · rhs`, computed by the register-blocked
+    /// [`Matrix::matmul_into`] kernel. Each output element still accumulates
+    /// its `k` terms in exactly the order of the textbook ijk triple loop —
+    /// so results are bit-identical to the naive reference (see the
+    /// `matmul_bits_match_naive_triple_loop` test).
     ///
     /// # Errors
     ///
     /// Returns [`DimensionError`] when `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, DimensionError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhs` written into `out` (which is fully
+    /// overwritten), allocating nothing.
+    ///
+    /// The kernel computes `MR×NR` register tiles of `out`: the accumulators
+    /// for a 4-row × 8-column block live in registers across the entire `k`
+    /// loop, so each output element is loaded/stored once instead of once
+    /// per `k` term (the store-bound pattern that capped the old k-outer
+    /// sweep). Because each accumulator still sums its `k` terms in index
+    /// order, every element accumulates exactly as the textbook ijk triple
+    /// loop does — bit-identical to the naive reference at any tile size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != rhs.rows()` or when
+    /// `out` is not `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), DimensionError> {
         if self.cols != rhs.rows {
             return Err(DimensionError { op: "matmul", left: self.shape(), right: rhs.shape() });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(DimensionError {
+                op: "matmul_into(out)",
+                left: out.shape(),
+                right: (self.rows, rhs.cols),
+            });
+        }
         let n = rhs.cols;
-        for (lhs_row, out_row) in
-            self.data.chunks_exact(self.cols).zip(out.data.chunks_exact_mut(n))
+        let k = self.cols;
+        if n == 0 || k == 0 {
+            out.data.fill(0.0);
+            return Ok(());
+        }
+        const NR: usize = 8;
+        let mut lhs_blocks = self.data.chunks_exact(MR * k);
+        let mut out_blocks = out.data.chunks_exact_mut(MR * n);
+        for (lhs_block, out_block) in lhs_blocks.by_ref().zip(out_blocks.by_ref()) {
+            let (l0, lr) = lhs_block.split_at(k);
+            let (l1, lr) = lr.split_at(k);
+            let (l2, l3) = lr.split_at(k);
+            let (o0, or) = out_block.split_at_mut(n);
+            let (o1, or) = or.split_at_mut(n);
+            let (o2, o3) = or.split_at_mut(n);
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                let mut a0 = [0.0f64; NR];
+                let mut a1 = [0.0f64; NR];
+                let mut a2 = [0.0f64; NR];
+                let mut a3 = [0.0f64; NR];
+                for ((((&c0, &c1), &c2), &c3), rhs_row) in
+                    l0.iter().zip(l1).zip(l2).zip(l3).zip(rhs.data.chunks_exact(n))
+                {
+                    let rv: &[f64; NR] = rhs_row[j0..j0 + NR].try_into().expect("tile width");
+                    for c in 0..NR {
+                        a0[c] += c0 * rv[c];
+                        a1[c] += c1 * rv[c];
+                        a2[c] += c2 * rv[c];
+                        a3[c] += c3 * rv[c];
+                    }
+                }
+                o0[j0..j0 + NR].copy_from_slice(&a0);
+                o1[j0..j0 + NR].copy_from_slice(&a1);
+                o2[j0..j0 + NR].copy_from_slice(&a2);
+                o3[j0..j0 + NR].copy_from_slice(&a3);
+                j0 += NR;
+            }
+            if j0 < n {
+                // Ragged column tail (< NR wide), once per row block: same
+                // tile, rhs copied into a zero-padded array. A `+0.0`
+                // accumulator only ever adds `±0.0` terms in the pad lanes,
+                // stays `+0.0`, and is never stored — the live lanes
+                // accumulate exactly as in the full tile.
+                let nt = n - j0;
+                let mut acc = [[0.0f64; NR]; MR];
+                for ((((&c0, &c1), &c2), &c3), rhs_row) in
+                    l0.iter().zip(l1).zip(l2).zip(l3).zip(rhs.data.chunks_exact(n))
+                {
+                    let mut rv = [0.0f64; NR];
+                    rv[..nt].copy_from_slice(&rhs_row[j0..]);
+                    for (c, &x) in rv.iter().enumerate() {
+                        acc[0][c] += c0 * x;
+                        acc[1][c] += c1 * x;
+                        acc[2][c] += c2 * x;
+                        acc[3][c] += c3 * x;
+                    }
+                }
+                o0[j0..].copy_from_slice(&acc[0][..nt]);
+                o1[j0..].copy_from_slice(&acc[1][..nt]);
+                o2[j0..].copy_from_slice(&acc[2][..nt]);
+                o3[j0..].copy_from_slice(&acc[3][..nt]);
+            }
+        }
+        // Tail rows (fewer than MR left): plain ikj, same accumulation order.
+        for (lhs_row, out_row) in lhs_blocks
+            .remainder()
+            .chunks_exact(k)
+            .zip(out_blocks.into_remainder().chunks_exact_mut(n))
         {
+            out_row.fill(0.0);
             for (&lhs_rk, rhs_row) in lhs_row.iter().zip(rhs.data.chunks_exact(n)) {
                 for (o, &x) in out_row.iter_mut().zip(rhs_row) {
                     *o += lhs_rk * x;
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Matrix product `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Result<Matrix, DimensionError> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_b_into(rhs, &mut out)?;
         Ok(out)
+    }
+
+    /// Matrix product `self · rhsᵀ` written into `out` (fully overwritten),
+    /// allocating nothing and never materialising the transpose.
+    ///
+    /// `out[i][j] = Σ_k self[i][k] · rhs[j][k]`, with `k` ascending — the
+    /// same accumulation order (and therefore the same bits) as a dot
+    /// product of the two rows. The kernel keeps [`MR`] accumulators live so
+    /// one pass over a `self` row feeds `MR` output columns.
+    ///
+    /// This is the batched-forward kernel: with `self` a `B×d` batch of
+    /// activation rows and `rhs` an `out×d` weight matrix, `out` holds the
+    /// `B×out` pre-activations, each bit-identical to the per-sample
+    /// [`Matrix::matvec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != rhs.cols()` or when
+    /// `out` is not `self.rows() × rhs.rows()`.
+    pub fn matmul_transpose_b_into(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), DimensionError> {
+        if self.cols != rhs.cols {
+            return Err(DimensionError {
+                op: "matmul_transpose_b",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.rows) {
+            return Err(DimensionError {
+                op: "matmul_transpose_b_into(out)",
+                left: out.shape(),
+                right: (self.rows, rhs.rows),
+            });
+        }
+        let k = self.cols;
+        if k == 0 || rhs.rows == 0 {
+            out.data.fill(0.0);
+            return Ok(());
+        }
+        for (lhs_row, out_row) in self.data.chunks_exact(k).zip(out.data.chunks_exact_mut(rhs.rows))
+        {
+            let mut rhs_blocks = rhs.data.chunks_exact(MR * k);
+            let mut out_cells = out_row.chunks_exact_mut(MR);
+            for (rhs_block, cells) in rhs_blocks.by_ref().zip(out_cells.by_ref()) {
+                let (r0, rr) = rhs_block.split_at(k);
+                let (r1, rr) = rr.split_at(k);
+                let (r2, r3) = rr.split_at(k);
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                for (kk, &x) in lhs_row.iter().enumerate() {
+                    a0 += x * r0[kk];
+                    a1 += x * r1[kk];
+                    a2 += x * r2[kk];
+                    a3 += x * r3[kk];
+                }
+                cells[0] = a0;
+                cells[1] = a1;
+                cells[2] = a2;
+                cells[3] = a3;
+            }
+            for (rhs_row, cell) in
+                rhs_blocks.remainder().chunks_exact(k).zip(out_cells.into_remainder())
+            {
+                let mut acc = 0.0;
+                for (&x, &w) in lhs_row.iter().zip(rhs_row) {
+                    acc += x * w;
+                }
+                *cell = acc;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scaled Gram-style product `out = (α·selfᵀ) · rhs`, written into `out`
+    /// (fully overwritten), allocating nothing and never materialising the
+    /// transpose: `out[r][c] = Σ_b (α·self[b][r]) · rhs[b][c]`, with `b`
+    /// ascending.
+    ///
+    /// This is the batched-backprop kernel: with `self` a `B×out` batch of
+    /// layer deltas, `rhs` the `B×in` input activations and `α` the
+    /// `1/batch` loss scale, `out` receives the layer's weight gradient with
+    /// exactly the bits of the per-sample loop `grad[r][c] += (α·δ_b[r]) ·
+    /// a_b[c]` accumulated over samples in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.rows() != rhs.rows()` or when
+    /// `out` is not `self.cols() × rhs.cols()`.
+    pub fn matmul_transpose_a_scaled_into(
+        &self,
+        rhs: &Matrix,
+        alpha: f64,
+        out: &mut Matrix,
+    ) -> Result<(), DimensionError> {
+        if self.rows != rhs.rows {
+            return Err(DimensionError {
+                op: "matmul_transpose_a",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.cols, rhs.cols) {
+            return Err(DimensionError {
+                op: "matmul_transpose_a_scaled_into(out)",
+                left: out.shape(),
+                right: (self.cols, rhs.cols),
+            });
+        }
+        let n = rhs.cols;
+        out.data.fill(0.0);
+        if n == 0 || self.cols == 0 {
+            return Ok(());
+        }
+        // Column tiles keep the in-progress gradient block cache-resident:
+        // `out` (out_dim × in_dim) can exceed L1, and the untiled loop would
+        // re-stream all of it once per sample. Tiling reorders work only
+        // across *independent* output columns — each element still
+        // accumulates its samples in ascending order, so bits are unchanged.
+        const NC: usize = 64;
+        let mut c0 = 0;
+        while c0 < n {
+            let nc = NC.min(n - c0);
+            for (lhs_row, rhs_row) in
+                self.data.chunks_exact(self.cols).zip(rhs.data.chunks_exact(n))
+            {
+                let rhs_tile = &rhs_row[c0..c0 + nc];
+                for (&d, out_row) in lhs_row.iter().zip(out.data.chunks_exact_mut(n)) {
+                    let t = alpha * d;
+                    for (o, &x) in out_row[c0..c0 + nc].iter_mut().zip(rhs_tile) {
+                        *o += t * x;
+                    }
+                }
+            }
+            c0 += nc;
+        }
+        Ok(())
     }
 
     /// Matrix-vector product `self · v`.
@@ -194,10 +465,98 @@ impl Matrix {
     ///
     /// Returns [`DimensionError`] when `self.cols() != v.len()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, DimensionError> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · v` written into `out`, allocating
+    /// nothing. Each `out[r]` is the dot product of row `r` with `v`,
+    /// accumulated in index order — bit-identical to [`Matrix::matvec`]. The
+    /// kernel keeps [`MR`] row accumulators live so each element of `v` is
+    /// loaded once per `MR` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != v.len()` or
+    /// `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), DimensionError> {
         if self.cols != v.len() {
             return Err(DimensionError { op: "matvec", left: self.shape(), right: (v.len(), 1) });
         }
-        Ok((0..self.rows).map(|r| dot(self.row(r), v)).collect())
+        if out.len() != self.rows {
+            return Err(DimensionError {
+                op: "matvec_into(out)",
+                left: (out.len(), 1),
+                right: (self.rows, 1),
+            });
+        }
+        let k = self.cols;
+        if k == 0 {
+            out.fill(0.0);
+            return Ok(());
+        }
+        // Deliberately the plain per-row dot: this is the per-sample
+        // reference kernel the batched paths are measured against, so it is
+        // kept bit- and instruction-faithful to the original implementation.
+        for (row, cell) in self.data.chunks_exact(k).zip(out.iter_mut()) {
+            *cell = dot(row, v);
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product with four-row instruction-level parallelism:
+    /// rows are processed in blocks of [`MR`] independent accumulator
+    /// chains, hiding the FMA latency a single dot's serial chain exposes.
+    ///
+    /// Each output element is still its own ascending-`k` dot product over
+    /// exactly the same operand pairs, so results are bit-identical to
+    /// [`Matrix::matvec_into`]. This is the latency-sensitive inference
+    /// kernel (DQN action selection); `matvec_into` stays the frozen
+    /// per-sample reference kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] when `self.cols() != v.len()` or
+    /// `out.len() != self.rows()`.
+    pub fn matvec_ilp_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), DimensionError> {
+        if self.cols != v.len() {
+            return Err(DimensionError { op: "matvec", left: self.shape(), right: (v.len(), 1) });
+        }
+        if out.len() != self.rows {
+            return Err(DimensionError {
+                op: "matvec_ilp_into(out)",
+                left: (out.len(), 1),
+                right: (self.rows, 1),
+            });
+        }
+        let k = self.cols;
+        if k == 0 {
+            out.fill(0.0);
+            return Ok(());
+        }
+        let mut row_blocks = self.data.chunks_exact(MR * k);
+        let mut out_cells = out.chunks_exact_mut(MR);
+        for (block, cells) in row_blocks.by_ref().zip(out_cells.by_ref()) {
+            let (r0, rr) = block.split_at(k);
+            let (r1, rr) = rr.split_at(k);
+            let (r2, r3) = rr.split_at(k);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for (kk, &x) in v.iter().enumerate() {
+                a0 += r0[kk] * x;
+                a1 += r1[kk] * x;
+                a2 += r2[kk] * x;
+                a3 += r3[kk] * x;
+            }
+            cells[0] = a0;
+            cells[1] = a1;
+            cells[2] = a2;
+            cells[3] = a3;
+        }
+        for (row, cell) in row_blocks.remainder().chunks_exact(k).zip(out_cells.into_remainder()) {
+            *cell = dot(row, v);
+        }
+        Ok(())
     }
 
     /// Element-wise map, returning a new matrix.
@@ -536,9 +895,17 @@ mod tests {
 
     #[test]
     fn matmul_bits_match_naive_triple_loop() {
-        for (m, k, n, salt) in
-            [(1, 1, 1, 1), (3, 5, 2, 2), (8, 8, 8, 3), (17, 31, 13, 4), (40, 7, 40, 5)]
-        {
+        // Shapes straddle the MR register block: exact multiples, tails of
+        // every size, and degenerate single rows/columns.
+        for (m, k, n, salt) in [
+            (1, 1, 1, 1),
+            (3, 5, 2, 2),
+            (4, 4, 4, 6),
+            (5, 9, 4, 7),
+            (8, 8, 8, 3),
+            (17, 31, 13, 4),
+            (40, 7, 40, 5),
+        ] {
             let a = dense_test_matrix(m, k, salt);
             let b = dense_test_matrix(k, n, salt ^ 0xFFFF);
             let fast = a.matmul(&b).unwrap();
@@ -546,7 +913,103 @@ mod tests {
             let fast_bits: Vec<u64> = fast.as_slice().iter().map(|x| x.to_bits()).collect();
             let slow_bits: Vec<u64> = slow.as_slice().iter().map(|x| x.to_bits()).collect();
             assert_eq!(fast_bits, slow_bits, "shape {m}x{k}·{k}x{n} diverged from naive order");
+
+            // The into-variant is the same kernel without the allocation.
+            let mut out = Matrix::filled(m, n, f64::NAN);
+            a.matmul_into(&b, &mut out).unwrap();
+            assert_eq!(
+                out.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                slow_bits,
+                "matmul_into diverged at {m}x{k}·{k}x{n}"
+            );
+
+            // A·Bᵀ must match matmul against the materialised transpose.
+            let bt = dense_test_matrix(n, k, salt ^ 0xAAAA);
+            let via_transpose = a.matmul(&bt.transpose()).unwrap();
+            let direct = a.matmul_transpose_b(&bt).unwrap();
+            assert_eq!(
+                direct.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                via_transpose.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "matmul_transpose_b diverged at {m}x{k}·({n}x{k})ᵀ"
+            );
         }
+    }
+
+    #[test]
+    fn matmul_transpose_a_scaled_matches_per_sample_loop() {
+        for (b, m, n, salt) in [(1, 1, 1, 11), (4, 3, 5, 12), (9, 4, 4, 13), (32, 5, 7, 14)] {
+            let delta = dense_test_matrix(b, m, salt);
+            let acts = dense_test_matrix(b, n, salt ^ 0x5555);
+            let alpha = 1.0 / b as f64;
+            // Reference: the per-sample accumulation order of nn backprop.
+            let mut reference = Matrix::zeros(m, n);
+            for s in 0..b {
+                for r in 0..m {
+                    for c in 0..n {
+                        reference[(r, c)] += alpha * delta[(s, r)] * acts[(s, c)];
+                    }
+                }
+            }
+            let mut out = Matrix::filled(m, n, f64::NAN);
+            delta.matmul_transpose_a_scaled_into(&acts, alpha, &mut out).unwrap();
+            assert_eq!(
+                out.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reference.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "scaled δᵀ·A diverged at {b}x{m} · {b}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_into_bits_match_dot_products() {
+        for (m, k, salt) in [(1, 1, 21), (4, 6, 22), (7, 9, 23), (12, 33, 24)] {
+            let a = dense_test_matrix(m, k, salt);
+            let v: Vec<f64> = dense_test_matrix(1, k, salt ^ 0x3333).into_vec();
+            let reference: Vec<u64> = (0..m).map(|r| dot(a.row(r), &v).to_bits()).collect();
+            let mut out = vec![f64::NAN; m];
+            a.matvec_into(&v, &mut out).unwrap();
+            assert_eq!(
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reference,
+                "matvec_into diverged at {m}x{k}"
+            );
+            let alloc: Vec<u64> = a.matvec(&v).unwrap().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(alloc, reference);
+        }
+    }
+
+    #[test]
+    fn into_kernels_validate_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(4, 2);
+        let mut bad = Matrix::zeros(2, 2);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+        assert!(a.matmul_into(&Matrix::zeros(3, 2), &mut Matrix::zeros(3, 2)).is_err());
+        assert!(a.matmul_transpose_b_into(&Matrix::zeros(2, 3), &mut bad).is_err());
+        assert!(a.matmul_transpose_b_into(&Matrix::zeros(2, 4), &mut bad).is_err());
+        assert!(a.matmul_transpose_a_scaled_into(&Matrix::zeros(2, 2), 1.0, &mut bad).is_err());
+        assert!(a
+            .matmul_transpose_a_scaled_into(&Matrix::zeros(3, 2), 1.0, &mut Matrix::zeros(3, 3))
+            .is_err());
+        assert!(a.matvec_into(&[0.0; 3], &mut [0.0; 3]).is_err());
+        assert!(a.matvec_into(&[0.0; 4], &mut [0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn zero_dimension_kernels_are_safe() {
+        // Empty inner dimension: every output element is an empty sum (0.0).
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut out = Matrix::filled(3, 2, f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
+        let bt = Matrix::zeros(2, 0);
+        let mut out_t = Matrix::filled(3, 2, f64::NAN);
+        a.matmul_transpose_b_into(&bt, &mut out_t).unwrap();
+        assert!(out_t.as_slice().iter().all(|&x| x == 0.0));
+        let mut mv = [f64::NAN; 3];
+        a.matvec_into(&[], &mut mv).unwrap();
+        assert!(mv.iter().all(|&x| x == 0.0));
     }
 
     #[test]

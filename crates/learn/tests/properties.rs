@@ -4,11 +4,34 @@ use learn::dataset::{Dataset, Standardizer};
 use learn::linalg::{dot, euclidean_distance, Matrix};
 use learn::linear::RidgeRegression;
 use learn::metrics::{mae, prediction_accuracy, rmse};
+use learn::nn::{Activation, AdamOptimizer, BatchWorkspace, Mlp};
 use learn::transfer::fit_biased_ridge;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-100.0f64..100.0, len)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Reference `C[i][j] = Σ_k A[i][k]·B[k][j]` with `k` strictly ascending —
+/// the accumulation order every blocked kernel must preserve.
+fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
 }
 
 fn small_matrix() -> impl Strategy<Value = Matrix> {
@@ -126,6 +149,134 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&a));
         // Exact predictions always score 1.
         prop_assert!((prediction_accuracy(t, t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matmul_bits_match_naive_triple_loop(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rand_mat = |r: usize, c: usize| {
+            let data: Vec<f64> =
+                (0..r * c).map(|_| rand::Rng::gen_range(&mut rng, -10.0..10.0)).collect();
+            Matrix::from_vec(r, c, data).expect("length matches")
+        };
+        let a = rand_mat(m, k);
+        let b = rand_mat(k, n);
+        let slow = matmul_naive(&a, &b);
+        let fast = a.matmul(&b).expect("shapes");
+        prop_assert_eq!(bits(fast.as_slice()), bits(slow.as_slice()));
+        // A·Bᵀ against the materialised transpose.
+        let bt = rand_mat(n, k);
+        let direct = a.matmul_transpose_b(&bt).expect("shapes");
+        let via = a.matmul(&bt.transpose()).expect("shapes");
+        prop_assert_eq!(bits(direct.as_slice()), bits(via.as_slice()));
+        // Allocation-free matvec against per-row dot products.
+        let v: Vec<f64> = (0..k).map(|_| rand::Rng::gen_range(&mut rng, -10.0..10.0)).collect();
+        let mut out = vec![f64::NAN; m];
+        a.matvec_into(&v, &mut out).expect("shapes");
+        let per_row: Vec<f64> = (0..m).map(|r| dot(a.row(r), &v)).collect();
+        prop_assert_eq!(bits(&out), bits(&per_row));
+    }
+
+    #[test]
+    fn batched_forward_bits_match_per_sample(
+        seed in 0u64..10_000,
+        hidden in 1usize..10,
+        inputs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 1..40),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[4, hidden, 3], Activation::Tanh, &mut rng).expect("valid sizes");
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let batched = net.forward_batch(&refs).expect("valid batch");
+        for (x, row) in inputs.iter().zip(&batched) {
+            let single = net.forward(x).expect("arity");
+            prop_assert_eq!(bits(row), bits(&single));
+        }
+    }
+
+    #[test]
+    fn batched_training_bits_match_per_sample(
+        seed in 0u64..10_000,
+        hidden in 1usize..10,
+        samples in prop::collection::vec(
+            (prop::collection::vec(-5.0f64..5.0, 3), prop::collection::vec(-2.0f64..2.0, 2)),
+            1..48,
+        ),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scalar = Mlp::new(&[3, hidden, 2], Activation::Relu, &mut rng).expect("sizes");
+        let mut batched = scalar.clone();
+        let inputs: Vec<Vec<f64>> = samples.iter().map(|(x, _)| x.clone()).collect();
+        let targets: Vec<Vec<f64>> = samples.iter().map(|(_, y)| y.clone()).collect();
+        let refs_x: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let refs_y: Vec<&[f64]> = targets.iter().map(Vec::as_slice).collect();
+        let mut opt_s = AdamOptimizer::new(0.01);
+        let mut opt_b = AdamOptimizer::new(0.01);
+        let mut ws = BatchWorkspace::new();
+        for _ in 0..3 {
+            let ls = scalar.train_batch(&inputs, &targets, &mut opt_s).expect("valid batch");
+            let lb = batched
+                .train_batch_ws(&refs_x, &refs_y, &mut opt_b, &mut ws)
+                .expect("valid batch");
+            prop_assert_eq!(ls.to_bits(), lb.to_bits());
+        }
+        prop_assert_eq!(scalar.parameter_bits(), batched.parameter_bits());
+    }
+
+    #[test]
+    fn ilp_kernels_bits_match_reference(
+        seed in 0u64..10_000,
+        hidden in 1usize..10,
+        x in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[4, hidden, 3], Activation::Tanh, &mut rng).expect("valid sizes");
+        let reference = net.forward(&x).expect("arity");
+        let ilp = net.forward_ilp(&x).expect("arity");
+        prop_assert_eq!(bits(&reference), bits(&ilp));
+    }
+
+    #[test]
+    fn fused_td_training_bits_match_dense_targets(
+        seed in 0u64..10_000,
+        hidden in 1usize..10,
+        samples in prop::collection::vec(
+            (prop::collection::vec(-5.0f64..5.0, 3), 0usize..4, -2.0f64..2.0),
+            1..48,
+        ),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dense = Mlp::new(&[3, hidden, 4], Activation::Relu, &mut rng).expect("sizes");
+        let mut fused = dense.clone();
+        let inputs: Vec<Vec<f64>> = samples.iter().map(|(x, _, _)| x.clone()).collect();
+        let refs_x: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let actions: Vec<usize> = samples.iter().map(|(_, a, _)| *a).collect();
+        let bootstraps: Vec<f64> = samples.iter().map(|(_, _, b)| *b).collect();
+        let mut opt_d = AdamOptimizer::new(0.01);
+        let mut opt_f = AdamOptimizer::new(0.01);
+        let mut ws = BatchWorkspace::new();
+        for _ in 0..3 {
+            // Dense reference: materialise full target rows from the net's
+            // own current predictions, exactly like the scalar DQN path.
+            let targets: Vec<Vec<f64>> = inputs
+                .iter()
+                .zip(&actions)
+                .zip(&bootstraps)
+                .map(|((x, &a), &b)| {
+                    let mut t = dense.forward(x).expect("arity");
+                    t[a] = b;
+                    t
+                })
+                .collect();
+            let ld = dense.train_batch(&inputs, &targets, &mut opt_d).expect("valid batch");
+            let lf = fused
+                .train_td_batch_ws(&refs_x, &actions, &bootstraps, &mut opt_f, &mut ws)
+                .expect("valid batch");
+            prop_assert_eq!(ld.to_bits(), lf.to_bits());
+        }
+        prop_assert_eq!(dense.parameter_bits(), fused.parameter_bits());
     }
 
     #[test]

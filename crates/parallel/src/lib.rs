@@ -18,7 +18,10 @@
 //! counter by a scoped crew of worker threads (std threads, no external
 //! runtime), so uneven per-item cost load-balances without changing output
 //! order. With an effective thread count of 1 the implementation *is* the
-//! serial loop — no threads are spawned at all.
+//! serial loop — no threads are spawned at all. The crew is additionally
+//! capped by a serial-below-threshold guard
+//! ([`DEFAULT_MIN_ITEMS_PER_THREAD`], tunable per call via the `*_grained`
+//! variants), so tiny workloads never pay thread spawn/join overhead.
 //!
 //! ## Thread-count configuration
 //!
@@ -63,6 +66,28 @@ pub const THREADS_ENV: &str = "DCTA_THREADS";
 /// load-balances, small enough that chunk bookkeeping stays negligible.
 const CHUNKS_PER_THREAD: usize = 4;
 
+/// Minimum items each worker thread must have before the standard entry
+/// points ([`par_map`], [`par_map_indexed`], `try_*`) will spawn it.
+///
+/// Tiny workloads lose more to thread spawn/join than they gain from
+/// parallelism (the perf log showed a 0.90× *slowdown* on a ~10-item map at
+/// 2 threads), so the default entry points cap the crew at
+/// `n / DEFAULT_MIN_ITEMS_PER_THREAD` workers and fall back to the exact
+/// serial loop below that. Callers that know their per-item cost can pick a
+/// different grain via the `*_grained` variants: `1` restores the old
+/// always-parallel behaviour for few-but-expensive items (e.g. per-cluster
+/// DQN pretraining), larger grains serialise cheap fine-grained maps.
+/// The guard only changes *how* the work runs, never the result — every
+/// thread count returns identical bits.
+pub const DEFAULT_MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// The worker-crew size for `n` items at `min_items_per_thread` grain: the
+/// configured [`max_threads`], capped so each worker has at least the grain's
+/// worth of items (always at least 1).
+fn effective_threads(n: usize, min_items_per_thread: usize) -> usize {
+    max_threads().min(n / min_items_per_thread.max(1)).max(1)
+}
+
 /// One chunk's outcome: its ordered outputs, or the first failing index.
 type ChunkSlot<U, E> = Mutex<Option<Result<Vec<U>, (usize, E)>>>;
 
@@ -102,7 +127,19 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    par_map_indexed(items.len(), |i| f(&items[i]))
+    par_map_grained(items, DEFAULT_MIN_ITEMS_PER_THREAD, f)
+}
+
+/// [`par_map`] with an explicit serial-below-threshold grain: at most
+/// `n / min_items_per_thread` worker threads are used (serial below that).
+/// The grain never changes the result, only the crew size.
+pub fn par_map_grained<T, U, F>(items: &[T], min_items_per_thread: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed_grained(items.len(), min_items_per_thread, |i| f(&items[i]))
 }
 
 /// Maps `f` over `0..n`, in parallel, returning outputs in index order.
@@ -113,7 +150,17 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    match try_par_map_indexed(n, |i| Ok::<U, Infallible>(f(i))) {
+    par_map_indexed_grained(n, DEFAULT_MIN_ITEMS_PER_THREAD, f)
+}
+
+/// [`par_map_indexed`] with an explicit serial-below-threshold grain; see
+/// [`par_map_grained`].
+pub fn par_map_indexed_grained<U, F>(n: usize, min_items_per_thread: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    match try_par_map_indexed_grained(n, min_items_per_thread, |i| Ok::<U, Infallible>(f(i))) {
         Ok(v) => v,
         Err(e) => match e {},
     }
@@ -132,7 +179,27 @@ where
     E: Send,
     F: Fn(&T) -> Result<U, E> + Sync,
 {
-    try_par_map_indexed(items.len(), |i| f(&items[i]))
+    try_par_map_grained(items, DEFAULT_MIN_ITEMS_PER_THREAD, f)
+}
+
+/// [`try_par_map`] with an explicit serial-below-threshold grain; see
+/// [`par_map_grained`].
+///
+/// # Errors
+///
+/// The first (lowest-index) `Err` produced by `f`, if any.
+pub fn try_par_map_grained<T, U, E, F>(
+    items: &[T],
+    min_items_per_thread: usize,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    try_par_map_indexed_grained(items.len(), min_items_per_thread, |i| f(&items[i]))
 }
 
 /// Fallible [`par_map_indexed`]: returns the lowest-index error, like a
@@ -147,7 +214,27 @@ where
     E: Send,
     F: Fn(usize) -> Result<U, E> + Sync,
 {
-    let threads = max_threads().min(n);
+    try_par_map_indexed_grained(n, DEFAULT_MIN_ITEMS_PER_THREAD, f)
+}
+
+/// [`try_par_map_indexed`] with an explicit serial-below-threshold grain;
+/// see [`par_map_grained`]. This is the implementation all other entry
+/// points funnel into.
+///
+/// # Errors
+///
+/// The first (lowest-index) `Err` produced by `f`, if any.
+pub fn try_par_map_indexed_grained<U, E, F>(
+    n: usize,
+    min_items_per_thread: usize,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize) -> Result<U, E> + Sync,
+{
+    let threads = effective_threads(n, min_items_per_thread);
     if threads <= 1 {
         // Exact serial path: no threads, natural short-circuit on error.
         return (0..n).map(f).collect();
@@ -306,5 +393,61 @@ mod tests {
         assert_eq!(max_threads(), 3);
         set_max_threads(0);
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn serial_guard_caps_crew_size() {
+        let _g = guard(8);
+        // Default grain: a tiny map gets at most n/2 workers.
+        assert_eq!(effective_threads(3, DEFAULT_MIN_ITEMS_PER_THREAD), 1);
+        assert_eq!(effective_threads(10, DEFAULT_MIN_ITEMS_PER_THREAD), 5);
+        assert_eq!(effective_threads(100, DEFAULT_MIN_ITEMS_PER_THREAD), 8);
+        // Explicit grains: 1 restores full parallelism for few expensive
+        // items; large grains serialise cheap maps entirely.
+        assert_eq!(effective_threads(3, 1), 3);
+        assert_eq!(effective_threads(500, 32), 8);
+        assert_eq!(effective_threads(40, 32), 1);
+        assert_eq!(effective_threads(40, 0), 8, "grain 0 behaves as 1");
+        assert_eq!(effective_threads(0, 4), 1, "empty input still yields 1");
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn grained_outputs_bit_identical_to_standard() {
+        let _g = guard(0);
+        let f = |i: usize| {
+            let mut acc = 0.0f64;
+            for k in 1..=32 {
+                acc += ((i * k) as f64).sqrt() / (k as f64 + 0.3);
+            }
+            acc
+        };
+        set_max_threads(1);
+        let serial: Vec<u64> = par_map_indexed(100, f).into_iter().map(f64::to_bits).collect();
+        for threads in [2, 8] {
+            for grain in [1, 2, 16, 64, 1000] {
+                set_max_threads(threads);
+                let got: Vec<u64> =
+                    par_map_indexed_grained(100, grain, f).into_iter().map(f64::to_bits).collect();
+                assert_eq!(got, serial, "threads {threads} grain {grain} changed bits");
+            }
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn grained_error_reporting_matches_standard() {
+        let _g = guard(4);
+        let f = |i: usize| if i % 7 == 5 { Err(i) } else { Ok(i) };
+        for grain in [1, 4, 100] {
+            assert_eq!(try_par_map_indexed_grained(50, grain, f), Err(5), "grain {grain}");
+        }
+        let items: Vec<usize> = (0..20).collect();
+        assert_eq!(try_par_map_grained(&items, 1, |&i| f(i)), Err(5));
+        assert_eq!(
+            par_map_grained(&items, 3, |&i| i * 2),
+            (0..20).map(|i| i * 2).collect::<Vec<_>>()
+        );
+        set_max_threads(0);
     }
 }

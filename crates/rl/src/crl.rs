@@ -377,8 +377,13 @@ impl Crl {
         }
         jobs.retain(|(key, _)| !self.agents.contains_key(key));
         let config = &self.config;
-        let trained: Vec<(usize, DqnAgent)> =
-            parallel::try_par_map(&jobs, |(key, blend)| -> Result<(usize, DqnAgent), CrlError> {
+        // Grain 1: each job is a full multi-episode DQN training, far past
+        // the point where thread spawn overhead matters, so even two jobs
+        // deserve two threads.
+        let trained: Vec<(usize, DqnAgent)> = parallel::try_par_map_grained(
+            &jobs,
+            1,
+            |(key, blend)| -> Result<(usize, DqnAgent), CrlError> {
                 let clustered_spec = AllocSpec { importances: blend.clone(), ..spec.clone() };
                 let mut env = AllocEnv::new(clustered_spec)?;
                 // SplitMix-style key mixing keeps per-agent streams disjoint
@@ -396,7 +401,8 @@ impl Crl {
                     agent.train_episode(&mut env, &mut rng)?;
                 }
                 Ok((*key, agent))
-            })?;
+            },
+        )?;
         let count = trained.len();
         self.agents.extend(trained);
         Ok(count)

@@ -9,7 +9,7 @@
 
 use crate::mdp::{Environment, StepError};
 use crate::replay::{Experience, ReplayBuffer};
-use learn::nn::{Activation, AdamOptimizer, Mlp, NetworkError};
+use learn::nn::{Activation, AdamOptimizer, BatchWorkspace, Mlp, NetworkError};
 use rand::Rng;
 use std::fmt;
 
@@ -40,6 +40,14 @@ pub struct DqnConfig {
     /// a))`), which counters Q-learning's max-operator overestimation bias.
     /// An extension beyond the paper's plain DQN; ablatable.
     pub double_dqn: bool,
+    /// Run the minibatch TD update through the batched compute path: all
+    /// Q-values and bootstrap targets come from batched forwards over the
+    /// online and target nets (one matmul per layer) and gradients
+    /// accumulate as matrix products in a reused [`BatchWorkspace`].
+    /// Bit-identical to the per-sample path for `batch_size` ≤ 64 (the
+    /// gradient chunk size); `false` keeps the per-sample reference path
+    /// for A/B benchmarks.
+    pub batched: bool,
 }
 
 impl Default for DqnConfig {
@@ -56,6 +64,7 @@ impl Default for DqnConfig {
             target_sync_interval: 200,
             max_steps_per_episode: 500,
             double_dqn: false,
+            batched: true,
         }
     }
 }
@@ -116,6 +125,11 @@ pub struct DqnAgent {
     epsilon: f64,
     steps: usize,
     num_actions: usize,
+    /// Scratch for the fused TD forward/backward pass (and the Double-DQN
+    /// online action-selection forward).
+    ws_train: BatchWorkspace,
+    /// Scratch for the bootstrap forwards over next states.
+    ws_bootstrap: BatchWorkspace,
 }
 
 impl DqnAgent {
@@ -147,6 +161,8 @@ impl DqnAgent {
             config,
             steps: 0,
             num_actions,
+            ws_train: BatchWorkspace::new(),
+            ws_bootstrap: BatchWorkspace::new(),
         })
     }
 
@@ -160,13 +176,24 @@ impl DqnAgent {
         self.num_actions
     }
 
+    /// Raw `f64` bit patterns of the online then target network parameters.
+    /// Test hook for bit-identity assertions across execution strategies.
+    #[doc(hidden)]
+    pub fn parameter_bits(&self) -> Vec<u64> {
+        let mut bits = self.online.parameter_bits();
+        bits.extend(self.target.parameter_bits());
+        bits
+    }
+
     /// Q-values of every action at `state`.
     ///
     /// # Errors
     ///
     /// Propagates arity mismatches from the network.
     pub fn q_values(&self, state: &[f64]) -> Result<Vec<f64>, DqnError> {
-        Ok(self.online.forward(state)?)
+        // ILP-blocked inference kernel: bit-identical to `forward`, several
+        // times faster on the rollout path's single-state latency chain.
+        Ok(self.online.forward_ilp(state)?)
     }
 
     /// Greedy action restricted to `valid`, ties toward lower indices.
@@ -277,10 +304,37 @@ impl DqnAgent {
     }
 
     /// One minibatch TD update (no-op until the replay holds a full batch).
-    fn learn_step(&mut self, rng: &mut impl Rng) -> Result<(), DqnError> {
+    ///
+    /// `config.batched` (the default) routes the update through
+    /// [`Self::learn_step_batched`]; the per-sample path is kept as the A/B
+    /// reference, bit-identical for batches of at most 64 samples.
+    ///
+    /// Public (but doc-hidden) so `perfbench` can time the update in
+    /// isolation; everything else reaches it through [`Self::train_episode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and optimizer errors.
+    #[doc(hidden)]
+    pub fn learn_step(&mut self, rng: &mut impl Rng) -> Result<(), DqnError> {
         if self.replay.len() < self.config.batch_size {
             return Ok(());
         }
+        if self.config.batched {
+            self.learn_step_batched(rng)?;
+        } else {
+            self.learn_step_scalar(rng)?;
+        }
+        self.steps += 1;
+        if self.steps.is_multiple_of(self.config.target_sync_interval.max(1)) {
+            self.target.copy_parameters_from(&self.online)?;
+        }
+        Ok(())
+    }
+
+    /// Per-sample reference TD update: one forward per Q-value, one
+    /// forward/backward per sample inside `train_batch`.
+    fn learn_step_scalar(&mut self, rng: &mut impl Rng) -> Result<(), DqnError> {
         let batch = self.replay.sample(self.config.batch_size, rng);
         let mut inputs = Vec::with_capacity(batch.len());
         let mut targets = Vec::with_capacity(batch.len());
@@ -315,10 +369,62 @@ impl DqnAgent {
             targets.push(t);
         }
         self.online.train_batch(&inputs, &targets, &mut self.optimizer)?;
-        self.steps += 1;
-        if self.steps.is_multiple_of(self.config.target_sync_interval.max(1)) {
-            self.target.copy_parameters_from(&self.online)?;
+        Ok(())
+    }
+
+    /// Batched TD update: every bootstrap term comes from one batched target
+    /// forward over the sampled next states (plus one batched online forward
+    /// for Double-DQN action selection), then the TD training step fuses
+    /// target-row construction with its own forward
+    /// ([`Mlp::train_td_batch_ws`]), and the gradient accumulation runs as
+    /// matrix products in the reused workspaces. Per-row arithmetic is
+    /// exactly the per-sample path's, so results match
+    /// [`Self::learn_step_scalar`] bit for bit at the default batch size.
+    fn learn_step_batched(&mut self, rng: &mut impl Rng) -> Result<(), DqnError> {
+        let Self { online, target, optimizer, replay, config, ws_train, ws_bootstrap, .. } = self;
+        let batch = replay.sample(config.batch_size, rng);
+        let states: Vec<&[f64]> = batch.iter().map(|e| e.state.as_slice()).collect();
+        let next_states: Vec<&[f64]> = batch.iter().map(|e| e.next_state.as_slice()).collect();
+
+        let mut bootstraps = vec![0.0; batch.len()];
+        if config.double_dqn {
+            let q_online = online.forward_batch_ws(&next_states, ws_train)?;
+            let q_target = target.forward_batch_ws(&next_states, ws_bootstrap)?;
+            for (s, exp) in batch.iter().enumerate() {
+                bootstraps[s] = if exp.done || exp.next_valid.is_empty() {
+                    exp.reward
+                } else {
+                    let qo = q_online.row(s);
+                    let chosen = exp
+                        .next_valid
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            qo[a].partial_cmp(&qo[b]).expect("finite Q").then(b.cmp(&a))
+                        })
+                        .expect("non-empty valid set");
+                    exp.reward + config.discount * q_target.row(s)[chosen]
+                };
+            }
+        } else {
+            let q_next = target.forward_batch_ws(&next_states, ws_bootstrap)?;
+            for (s, exp) in batch.iter().enumerate() {
+                bootstraps[s] = if exp.done || exp.next_valid.is_empty() {
+                    exp.reward
+                } else {
+                    let qn = q_next.row(s);
+                    let best =
+                        exp.next_valid.iter().map(|&a| qn[a]).fold(f64::NEG_INFINITY, f64::max);
+                    exp.reward + config.discount * best
+                };
+            }
         }
+
+        // TD step: target rows are the training forward's own predictions
+        // with the taken action's entry replaced by its bootstrap value —
+        // no separate predict-the-targets forward needed.
+        let actions: Vec<usize> = batch.iter().map(|e| e.action).collect();
+        online.train_td_batch_ws(&states, &actions, &bootstraps, optimizer, ws_train)?;
         Ok(())
     }
 }
@@ -470,6 +576,31 @@ mod tests {
         let (reward, actions) = agent.evaluate_episode(&mut env).unwrap();
         assert_eq!(actions, vec![1, 0]);
         assert!((reward - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_learn_step_bits_match_scalar_path() {
+        // Same seed, same environment, same sampling stream: the batched
+        // compute path must leave exactly the same weights as the per-sample
+        // reference — for plain and Double DQN.
+        for double_dqn in [false, true] {
+            let train = |batched: bool| {
+                let mut rng = StdRng::seed_from_u64(33);
+                let mut env = Chain::new();
+                let mut agent = DqnAgent::new(
+                    2,
+                    2,
+                    DqnConfig { batched, double_dqn, ..quick_config() },
+                    &mut rng,
+                )
+                .unwrap();
+                for _ in 0..60 {
+                    agent.train_episode(&mut env, &mut rng).unwrap();
+                }
+                (agent.online.parameter_bits(), agent.target.parameter_bits())
+            };
+            assert_eq!(train(true), train(false), "double_dqn = {double_dqn}");
+        }
     }
 
     #[test]

@@ -70,3 +70,53 @@ fn pretrained_crl_is_thread_count_invariant() {
         assert_eq!(at_1, at_8, "{lookup:?}: threads 1 vs 8 diverged");
     }
 }
+
+/// Trains a single DQN with a batch size above the 64-sample gradient chunk,
+/// so every learn step goes through the parallel fixed-order chunked
+/// reduction, and returns all network parameter bits.
+fn train_large_batch_at(threads: usize) -> Vec<u64> {
+    use rand::SeedableRng;
+    use rl::alloc_env::AllocEnv;
+    use rl::dqn::DqnAgent;
+    use rl::mdp::Environment;
+
+    parallel::set_max_threads(threads);
+    let n = 6;
+    let task_spec = AllocSpec {
+        importances: (0..n).map(|i| 0.1 + 0.15 * i as f64).collect(),
+        times: vec![1.0; n],
+        resources: vec![1.0; n],
+        time_limit: 2.0,
+        time_limits: None,
+        capacities: vec![2.0, 2.0],
+    };
+    let mut env = AllocEnv::new(task_spec).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut agent = DqnAgent::new(
+        env.state_dim(),
+        env.num_actions(),
+        DqnConfig {
+            hidden: vec![16],
+            batch_size: 160,
+            replay_capacity: 1024,
+            target_sync_interval: 50,
+            ..DqnConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    for _ in 0..60 {
+        agent.train_episode(&mut env, &mut rng).unwrap();
+    }
+    parallel::set_max_threads(0);
+    agent.parameter_bits()
+}
+
+#[test]
+fn chunked_minibatch_gradients_are_thread_count_invariant() {
+    let at_1 = train_large_batch_at(1);
+    let at_2 = train_large_batch_at(2);
+    let at_8 = train_large_batch_at(8);
+    assert_eq!(at_1, at_2, "threads 1 vs 2 diverged");
+    assert_eq!(at_1, at_8, "threads 1 vs 8 diverged");
+}
