@@ -80,7 +80,7 @@ fn bench_dcta_end_to_end(c: &mut Criterion) {
         },
         ..PipelineConfig::default()
     };
-    let mut prepared = Pipeline::new(config).prepare(&scenario).expect("prepare");
+    let mut prepared = Pipeline::builder(config).prepare(&scenario).expect("prepare");
     let day = prepared.test_days().start;
     // Warm the agent cache so we measure steady-state inference.
     prepared.allocate(Method::Dcta, day).expect("warm-up");

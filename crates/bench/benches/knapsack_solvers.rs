@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use knapsack::dp::single_sack_2d_dp;
-use knapsack::exact::BranchAndBound;
+use knapsack::exact::{BranchAndBound, SolverOptions};
 use knapsack::generator::{generate, GeneratorConfig};
 use knapsack::greedy::{greedy, greedy_with_local_search};
 use knapsack::problem::{Problem, Sack};
@@ -38,7 +38,14 @@ fn bench_solvers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_and_bound_100k", format!("{n}x{m}")),
             &p,
-            |b, p| b.iter(|| black_box(BranchAndBound::with_node_limit(100_000).solve(p))),
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        BranchAndBound::with_options(SolverOptions::new().node_limit(100_000))
+                            .solve(p),
+                    )
+                })
+            },
         );
     }
     group.finish();

@@ -10,7 +10,7 @@
 use crate::common::{
     f3, mean, paper_pipeline, paper_scenario, pct, prepare_cached, RunOpts, Table,
 };
-use dcta_core::pipeline::{Method, PipelineConfig};
+use dcta_core::pipeline::{Method, PipelineConfig, RunSpec};
 use learn::kmeans::KMeans;
 use learn::linalg::euclidean_distance;
 use rand::rngs::StdRng;
@@ -51,7 +51,8 @@ pub fn weights(opts: &RunOpts) -> Result<WeightSweep, Box<dyn Error>> {
         let mut perf = Vec::new();
         let mut pt = Vec::new();
         for &day in &days {
-            let r = prepared.run_day(Method::Dcta, day)?;
+            let r =
+                prepared.run(&RunSpec::new(Method::Dcta, day))?.into_healthy().expect("healthy");
             captured.push(r.captured_importance);
             perf.push(r.decision_performance);
             pt.push(r.processing_time_s);
@@ -185,7 +186,8 @@ pub fn quality_gap(opts: &RunOpts) -> Result<QualityGap, Box<dyn Error>> {
     // Oracle capture per day for normalisation.
     let mut oracle = Vec::new();
     for &day in &days {
-        oracle.push(prepared.run_day(Method::ExactOracle, day)?.captured_importance);
+        let r = prepared.run(&RunSpec::new(Method::ExactOracle, day))?;
+        oracle.push(r.into_healthy().expect("healthy").captured_importance);
     }
     let mut rows = Vec::new();
     let mut table = Table::new(
@@ -198,7 +200,8 @@ pub fn quality_gap(opts: &RunOpts) -> Result<QualityGap, Box<dyn Error>> {
             if oracle[i] <= 1e-9 {
                 continue; // nothing important that day; ratio undefined
             }
-            let captured = prepared.run_day(method, day)?.captured_importance;
+            let r = prepared.run(&RunSpec::new(method, day))?;
+            let captured = r.into_healthy().expect("healthy").captured_importance;
             ratios.push(captured / oracle[i]);
         }
         let r = mean(&ratios);

@@ -1,34 +1,44 @@
 //! Tracked performance harness for the deterministic parallel layer.
 //!
 //! ```text
-//! perfbench [--quick] [--seed N] [--threads N] [--out PATH]
+//! perfbench [--quick] [--seed N] [--threads N] [--key NAME]
+//!           [--trend PATH] [--out PATH]
 //! ```
 //!
 //! Times the hot compute paths — the blocked matmul kernel against the
 //! old `ikj` loop, the batched DQN TD update against the per-sample
-//! reference, the importance matrix, CRL pretraining, and the end-to-end
+//! reference, the importance matrix, CRL pretraining, the parallel
+//! edgesim step, the parallel branch-and-bound, and the end-to-end
 //! pipeline — once on the exact serial path (`threads = 1`) and once at
 //! `--threads` (default: all cores), plus a warm pass over the importance
 //! cache. Every timed computation returns bit-identical results at both
 //! settings; only the wall clock may differ. Results print as a table and
-//! land as JSON rows `{bench, threads, wall_ms, speedup}` (default
-//! `BENCH_PR4.json`). For the `*_scalar` baselines the paired batched
-//! row's `speedup` is measured against the scalar row, not against 1.
+//! are upserted under `--key` into the tracked trend file (default
+//! `BENCH_TREND.json`) — one file accumulating an entry per PR/commit,
+//! replacing the per-PR `BENCH_PR*.json` snapshots. `--out PATH`
+//! additionally writes the single-run report in the old snapshot shape.
+//! For the `*_scalar` baselines the paired batched row's `speedup` is
+//! measured against the scalar row, not against 1.
 
 use buildings::scenario::Scenario;
 use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
+use dcta_bench::trend::{self, TrendEntry, TrendRow as Row};
 use dcta_core::cache::ImportanceCache;
 use dcta_core::crl_alloc::CrlAllocator;
 use dcta_core::importance::{CopModels, ImportanceEvaluator};
-use dcta_core::pipeline::{Method, Pipeline};
+use dcta_core::pipeline::{Method, Pipeline, RunSpec};
 use dcta_core::processor::{Processor, ProcessorFleet};
 use dcta_core::task::{EdgeTask, TaskId};
 use dcta_core::tatim::TatimInstance;
+use edgesim::cluster::Cluster;
 use edgesim::node::NodeId;
+use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
+use knapsack::exact::{BranchAndBound, SolverOptions};
+use knapsack::generator::{generate, GeneratorConfig};
 use learn::linalg::Matrix;
 use learn::transfer::MtlConfig;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rl::alloc_env::{AllocEnv, AllocSpec};
 use rl::crl::{CrlConfig, EnvironmentStore};
 use rl::dqn::{DqnAgent, DqnConfig};
@@ -39,14 +49,6 @@ use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
-
-#[derive(Debug, Serialize)]
-struct Row {
-    bench: String,
-    threads: usize,
-    wall_ms: f64,
-    speedup: f64,
-}
 
 #[derive(Debug, Serialize)]
 struct Report {
@@ -61,13 +63,17 @@ struct Report {
 struct Args {
     opts: RunOpts,
     threads: usize,
-    out: PathBuf,
+    key: String,
+    trend: PathBuf,
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut opts = RunOpts::default();
     let mut threads = parallel::max_threads();
-    let mut out = PathBuf::from("BENCH_PR4.json");
+    let mut key = "local".to_string();
+    let mut trend = PathBuf::from("BENCH_TREND.json");
+    let mut out = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -83,17 +89,26 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--key" => {
+                key = iter.next().ok_or("--key needs a value")?;
+            }
+            "--trend" => {
+                trend = PathBuf::from(iter.next().ok_or("--trend needs a value")?);
+            }
             "--out" => {
-                out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+                out = Some(PathBuf::from(iter.next().ok_or("--out needs a value")?));
             }
             "--help" | "-h" => {
-                println!("perfbench [--quick] [--seed N] [--threads N] [--out PATH]");
+                println!(
+                    "perfbench [--quick] [--seed N] [--threads N] [--key NAME] \
+                     [--trend PATH] [--out PATH]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args { opts, threads, out })
+    Ok(Args { opts, threads, key, trend, out })
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -380,6 +395,50 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
     crl_rows[0].speedup = scalar_crl_ms / crl_rows[0].wall_ms.max(1e-9);
     rows.extend(crl_rows);
 
+    // -- edgesim step: the per-node transmission fan-out vs the serial
+    // event loop. A synthetic round-robin round well above the 256-task
+    // fan-out threshold; zero resource demand keeps the capacity check out
+    // of the way so the bench times pure leg simulation.
+    let sim_tasks_n = opts.pick(60_000, 12_000);
+    println!("[edgesim step: {sim_tasks_n} tasks round-robin on the paper testbed]");
+    let cluster = Cluster::paper_testbed()?;
+    let worker_ids: Vec<NodeId> = cluster.workers().map(|w| w.id()).collect();
+    let mut sim_rng = StdRng::seed_from_u64(opts.seed ^ 0xED6E);
+    let sim_tasks: Vec<SimTask> = (0..sim_tasks_n)
+        .map(|_| {
+            SimTask::new(sim_rng.gen_range(1.0e3..2.0e6), sim_rng.gen_range(1.0e2..1.0e5), 0.0)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut sim_assignment = NodeAssignment::empty(sim_tasks_n);
+    for i in 0..sim_tasks_n {
+        sim_assignment.assign(i, Some(worker_ids[i % worker_ids.len()]));
+    }
+    let sim_config = SimConfig::default();
+    rows.extend(versus("edgesim_step", args.threads, reps, || {
+        // Several steps per rep so the wall time sits well above timer
+        // resolution even in quick mode.
+        for _ in 0..4 {
+            black_box(
+                simulate(&cluster, &sim_tasks, &sim_assignment, sim_config).expect("simulate"),
+            );
+        }
+    }));
+
+    // -- parallel branch-and-bound: top-level subtree fan-out with the
+    // shared incumbent bound vs the serial DFS, on a long-tail instance
+    // sized to be hard but tractable.
+    let bnb_items = opts.pick(26, 24);
+    println!("[branch and bound: {bnb_items} items x 4 sacks]");
+    let mut bnb_rng = StdRng::seed_from_u64(opts.seed ^ 0xB4B);
+    let bnb_problem = generate(
+        GeneratorConfig { num_items: bnb_items, num_sacks: 4, ..Default::default() },
+        &mut bnb_rng,
+    );
+    let bnb_solver = BranchAndBound::with_options(SolverOptions::new().parallel(true));
+    rows.extend(versus("bnb_solve", args.threads, reps, || {
+        black_box(bnb_solver.solve(&bnb_problem));
+    }));
+
     println!("[end-to-end pipeline]");
     let mut pipeline_config = paper_pipeline(opts);
     // PT here is measured by *us*, not by the experiment: exclude the
@@ -388,9 +447,9 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
     let mut last_stats = None;
     rows.extend(versus("pipeline_end_to_end", args.threads, reps, || {
         let mut prepared =
-            Pipeline::new(pipeline_config.clone()).prepare(&scenario).expect("prepare");
+            Pipeline::builder(pipeline_config.clone()).prepare(&scenario).expect("prepare");
         let day = prepared.test_days().start;
-        prepared.run_day(Method::Dcta, day).expect("run day");
+        prepared.run(&RunSpec::new(Method::Dcta, day)).expect("run day");
         last_stats = Some(prepared.cache_stats());
     }));
     if let Some(stats) = last_stats {
@@ -400,7 +459,7 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
     // The persisted-cache path `reproduce` takes on a second run: every
     // rep warm-starts from a snapshot, so the offline importance sweep is
     // pure cache hits and only training + the day run cost wall-clock.
-    let snapshot = Pipeline::new(pipeline_config.clone())
+    let snapshot = Pipeline::builder(pipeline_config.clone())
         .prepare(&scenario)
         .expect("prepare")
         .importance_cache()
@@ -408,11 +467,12 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
     rows.extend(versus("pipeline_end_to_end_warm_cache", args.threads, reps, || {
         let cache = ImportanceCache::with_capacity(dcta_bench::common::CACHE_CAPACITY);
         cache.load_text(&snapshot).expect("load snapshot");
-        let mut prepared = Pipeline::new(pipeline_config.clone())
-            .prepare_with_cache(&scenario, cache)
+        let mut prepared = Pipeline::builder(pipeline_config.clone())
+            .cache(cache)
+            .prepare(&scenario)
             .expect("prepare warm");
         let day = prepared.test_days().start;
-        prepared.run_day(Method::Dcta, day).expect("run day");
+        prepared.run(&RunSpec::new(Method::Dcta, day)).expect("run day");
     }));
 
     Ok(Report {
@@ -450,18 +510,37 @@ fn main() -> ExitCode {
         ]);
     }
     print!("{}", table.render());
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&args.out, json + "\n") {
-                eprintln!("error writing {}: {e}", args.out.display());
+
+    let entry = TrendEntry {
+        key: args.key.clone(),
+        quick: report.quick,
+        seed: report.seed,
+        host_threads: report.host_threads,
+        cache_hit_rate: report.cache_hit_rate,
+        rows: report.rows.clone(),
+    };
+    let existing = std::fs::read_to_string(&args.trend).ok();
+    let merged = trend::upsert(existing.as_deref(), &entry);
+    if let Err(e) = std::fs::write(&args.trend, merged) {
+        eprintln!("error writing {}: {e}", args.trend.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[trend {} updated under key `{}`]", args.trend.display(), args.key);
+
+    if let Some(out) = &args.out {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(out, json + "\n") {
+                    eprintln!("error writing {}: {e}", out.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("[saved {}]", out.display());
+            }
+            Err(e) => {
+                eprintln!("error serialising report: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("[saved {}]", args.out.display());
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error serialising report: {e}");
-            ExitCode::FAILURE
         }
     }
+    ExitCode::SUCCESS
 }

@@ -117,7 +117,7 @@ pub fn prepare_cached<'a>(
             Err(e) => eprintln!("[importance cache: ignoring {}: {e}]", path.display()),
         }
     }
-    let prepared = Pipeline::new(config).prepare_with_cache(scenario, cache)?;
+    let prepared = Pipeline::builder(config).cache(cache).prepare(scenario)?;
     if let Some(path) = cache_file() {
         if let Err(e) = prepared.importance_cache().save_file(path) {
             eprintln!("[importance cache: could not persist {}: {e}]", path.display());

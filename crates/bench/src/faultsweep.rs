@@ -16,7 +16,7 @@
 //! performance and the re-allocation latency of the recovery solve.
 
 use crate::common::{f3, mean, paper_pipeline, paper_scenario, prepare_cached, RunOpts, Table};
-use dcta_core::pipeline::Method;
+use dcta_core::pipeline::{Method, RunSpec};
 use dcta_core::recovery::RecoveryMode;
 use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
@@ -138,7 +138,7 @@ pub fn run(opts: &RunOpts) -> Result<FaultSweep, Box<dyn Error>> {
     // the MTTR scale.
     let mut horizons = Vec::with_capacity(days.len());
     for &day in &days {
-        horizons.push(prepared.run_day(Method::Dcta, day)?.processing_time_s);
+        horizons.push(prepared.run(&RunSpec::new(Method::Dcta, day))?.processing_time_s());
     }
 
     let crash_rates: Vec<f64> = opts.pick(vec![0.2, 0.4, 0.6, 0.8], vec![0.4, 0.8]);
@@ -170,7 +170,8 @@ pub fn run(opts: &RunOpts) -> Result<FaultSweep, Box<dyn Error>> {
                 )?;
                 let mut any_fault = false;
                 for (ai, &mode) in MODES.iter().enumerate() {
-                    let r = prepared.run_day_with_faults(Method::Dcta, day, &schedule, mode)?;
+                    let spec = RunSpec::new(Method::Dcta, day).with_faults(schedule.clone(), mode);
+                    let r = prepared.run(&spec)?.into_faulted().expect("faulted spec");
                     any_fault |= !r.failures.is_empty();
                     let acc = &mut accs[ai];
                     acc.retained.push(r.retained_fraction);

@@ -28,3 +28,4 @@ pub mod localmodel;
 pub mod solvers;
 pub mod staleness;
 pub mod sweeps;
+pub mod trend;

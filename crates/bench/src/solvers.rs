@@ -6,7 +6,7 @@
 
 use crate::common::{pct, RunOpts, Table};
 use knapsack::bounds::upper_bound;
-use knapsack::exact::BranchAndBound;
+use knapsack::exact::{BranchAndBound, SolverOptions};
 use knapsack::generator::{generate, GeneratorConfig};
 use knapsack::greedy::{greedy, greedy_with_local_search};
 use rand::rngs::StdRng;
@@ -74,7 +74,8 @@ pub fn run(opts: &RunOpts) -> Result<Solvers, Box<dyn Error>> {
             g_time += t0.elapsed().as_secs_f64() * 1e6;
             let ls = greedy_with_local_search(&p);
             let t1 = Instant::now();
-            let e = BranchAndBound::with_node_limit(2_000_000).solve(&p);
+            let e =
+                BranchAndBound::with_options(SolverOptions::new().node_limit(2_000_000)).solve(&p);
             e_time += t1.elapsed().as_secs_f64() * 1e6;
             let opt = e.profit.max(1e-12);
             g_ratio += g.profit / opt;

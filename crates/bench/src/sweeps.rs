@@ -8,7 +8,7 @@
 
 use crate::common::{f1, mean, paper_pipeline, paper_scenario, prepare_cached, RunOpts, Table};
 use buildings::scenario::{Scenario, ScenarioConfig};
-use dcta_core::pipeline::{Method, PipelineConfig};
+use dcta_core::pipeline::{Method, PipelineConfig, RunSpec};
 use serde::Serialize;
 use std::error::Error;
 
@@ -48,7 +48,7 @@ fn mean_pts(scenario: &Scenario, config: PipelineConfig) -> Result<Vec<f64>, Box
     for method in METHODS {
         let mut pts = Vec::new();
         for &day in &days {
-            pts.push(prepared.run_day(method, day)?.processing_time_s);
+            pts.push(prepared.run(&RunSpec::new(method, day))?.processing_time_s());
         }
         out.push(mean(&pts));
     }

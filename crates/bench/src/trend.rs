@@ -1,0 +1,283 @@
+//! The tracked performance trend: one `BENCH_TREND.json` accumulating a
+//! keyed entry per PR/commit, replacing the per-PR snapshot files
+//! (`BENCH_PR2.json`, `BENCH_PR4.json`, ...) that each landed as a new
+//! root-level artefact.
+//!
+//! The vendored `serde` stand-in is serialise-only, so the appender never
+//! round-trips the file through a deserialiser: existing entries are
+//! sliced out of the file text with a string-aware balanced-bracket scan
+//! and kept verbatim, the entry being upserted is dropped by key, and the
+//! fresh entry is rendered with `serde_json` and spliced in. A corrupt or
+//! missing file degrades to a fresh single-entry trend — the trend is an
+//! accelerant for reviewing perf history, never a correctness input.
+
+use serde::Serialize;
+
+/// One timed benchmark row (same shape the per-PR snapshots used).
+#[derive(Debug, Clone, Serialize)]
+pub struct TrendRow {
+    /// Benchmark name, e.g. `bnb_solve`.
+    pub bench: String,
+    /// Thread cap the measurement ran under.
+    pub threads: usize,
+    /// Best-of-reps wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Speedup against the row's baseline (serial or scalar twin).
+    pub speedup: f64,
+}
+
+/// One keyed trend entry: a full perfbench run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrendEntry {
+    /// PR/commit key; upserting an existing key replaces that entry.
+    pub key: String,
+    /// Whether the run used `--quick` workloads.
+    pub quick: bool,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// `parallel::max_threads()` on the host.
+    pub host_threads: usize,
+    /// Importance-cache hit rate observed during the run.
+    pub cache_hit_rate: f64,
+    /// The timed rows.
+    pub rows: Vec<TrendRow>,
+}
+
+/// Splits the raw JSON objects out of the `entries` array of a trend
+/// file. Returns `None` when the text has no well-formed entries array
+/// (missing file contents, corrupt braces) — callers start a fresh trend.
+pub fn split_entries(text: &str) -> Option<Vec<String>> {
+    let entries_pos = find_field(text, 0, "entries")?;
+    let open = text[entries_pos..].find('[')? + entries_pos;
+    let bytes = text.as_bytes();
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open + 1) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    entries.push(text[start?..=i].to_string());
+                    start = None;
+                }
+            }
+            b']' if depth == 0 => return Some(entries),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The `"key"` field of a raw entry object, read at the entry's top level
+/// (nested objects — the rows — are skipped, so a row named `key` could
+/// never shadow it).
+pub fn entry_key(entry: &str) -> Option<String> {
+    let pos = find_field(entry, 0, "key")?;
+    let rest = &entry[pos..];
+    let colon = rest.find(':')?;
+    let after = rest[colon + 1..].trim_start();
+    let inner = after.strip_prefix('"')?;
+    let end = inner.find('"')?;
+    Some(inner[..end].to_string())
+}
+
+/// Byte offset just past the closing quote of the first occurrence of the
+/// field name `name` at object depth `want_depth`, honouring strings.
+fn find_field(text: &str, want_depth: usize, name: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut escaped = false;
+                while j < bytes.len() {
+                    if escaped {
+                        escaped = false;
+                    } else if bytes[j] == b'\\' {
+                        escaped = true;
+                    } else if bytes[j] == b'"' {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return None;
+                }
+                // A field name is a string at the wanted depth followed by
+                // a colon; string *values* follow a colon themselves and
+                // fail this check.
+                let is_name = text[j + 1..].trim_start().starts_with(':');
+                if depth == want_depth + 1 && is_name && &text[start..j] == name {
+                    return Some(j + 1);
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Upserts `entry` into the trend text: entries with a different key are
+/// kept verbatim in order, any entry with the same key is replaced in
+/// place (first occurrence position), and a brand-new key appends at the
+/// end. `existing` is the current file contents, or `None`/corrupt to
+/// start fresh.
+pub fn upsert(existing: Option<&str>, entry: &TrendEntry) -> String {
+    let rendered = indent(&serde_json::to_string_pretty(entry).expect("trend entry serialises"), 4);
+    let mut kept: Vec<String> = Vec::new();
+    let mut replaced = false;
+    if let Some(parsed) = existing.and_then(split_entries) {
+        for raw in parsed {
+            if entry_key(&raw).as_deref() == Some(entry.key.as_str()) {
+                if !replaced {
+                    kept.push(rendered.clone());
+                    replaced = true;
+                }
+            } else {
+                kept.push(indent(raw.trim(), 4));
+            }
+        }
+    }
+    if !replaced {
+        kept.push(rendered);
+    }
+    let mut out = String::from("{\n  \"generated_by\": \"perfbench\",\n  \"entries\": [\n");
+    for (i, e) in kept.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < kept.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Re-indents a pretty-printed JSON fragment by `by` spaces per line,
+/// normalising whatever indentation the fragment arrived with relative to
+/// its first line.
+fn indent(fragment: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    let lines: Vec<&str> = fragment.lines().collect();
+    // Continuation lines keep their own deeper indentation; only the
+    // common leading offset (that of the closing brace) is swapped out.
+    let base = lines.iter().skip(1).map(|l| l.len() - l.trim_start().len()).min().unwrap_or(0);
+    lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                format!("{pad}{}", l.trim_start())
+            } else {
+                format!("{pad}{}", &l[base.min(l.len() - l.trim_start().len())..])
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, wall: f64) -> TrendEntry {
+        TrendEntry {
+            key: key.to_string(),
+            quick: false,
+            seed: 7,
+            host_threads: 2,
+            cache_hit_rate: 0.5,
+            rows: vec![TrendRow {
+                bench: "bnb_solve".to_string(),
+                threads: 2,
+                wall_ms: wall,
+                speedup: 1.7,
+            }],
+        }
+    }
+
+    #[test]
+    fn upsert_into_empty_creates_single_entry() {
+        let text = upsert(None, &entry("PR5", 1.0));
+        let entries = split_entries(&text).expect("well-formed");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entry_key(&entries[0]).as_deref(), Some("PR5"));
+        assert!(text.contains("\"generated_by\": \"perfbench\""));
+    }
+
+    #[test]
+    fn upsert_appends_new_keys_in_order() {
+        let t1 = upsert(None, &entry("PR2", 1.0));
+        let t2 = upsert(Some(&t1), &entry("PR4", 2.0));
+        let t3 = upsert(Some(&t2), &entry("PR5", 3.0));
+        let keys: Vec<_> = split_entries(&t3)
+            .expect("well-formed")
+            .iter()
+            .map(|e| entry_key(e).expect("key"))
+            .collect();
+        assert_eq!(keys, ["PR2", "PR4", "PR5"]);
+    }
+
+    #[test]
+    fn upsert_replaces_same_key_in_place_and_keeps_others_verbatim() {
+        let t1 = upsert(None, &entry("PR2", 1.0));
+        let t2 = upsert(Some(&t1), &entry("PR4", 2.5));
+        let pr2_before = split_entries(&t2).expect("ok")[0].clone();
+        let t3 = upsert(Some(&t2), &entry("PR4", 9.5));
+        let entries = split_entries(&t3).expect("ok");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], pr2_before, "untouched entry must survive byte-for-byte");
+        assert_eq!(entry_key(&entries[1]).as_deref(), Some("PR4"));
+        assert!(entries[1].contains("9.5"), "replacement row missing: {}", entries[1]);
+        assert!(!entries[1].contains("2.5"), "stale row survived: {}", entries[1]);
+    }
+
+    #[test]
+    fn splitter_survives_brackets_and_quotes_inside_strings() {
+        let mut e = entry("tricky", 1.0);
+        e.rows[0].bench = "a{b]c}d[e\\\"f".to_string();
+        let text = upsert(None, &e);
+        let entries = split_entries(&text).expect("well-formed despite bracket soup");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entry_key(&entries[0]).as_deref(), Some("tricky"));
+    }
+
+    #[test]
+    fn corrupt_existing_text_degrades_to_fresh_trend() {
+        let text = upsert(Some("{ not json at all"), &entry("PR5", 1.0));
+        assert_eq!(split_entries(&text).expect("fresh trend").len(), 1);
+    }
+
+    #[test]
+    fn entry_key_ignores_nested_key_fields() {
+        let raw = r#"{ "rows": [{"key": "decoy"}], "key": "real" }"#;
+        assert_eq!(entry_key(raw).as_deref(), Some("real"));
+    }
+}

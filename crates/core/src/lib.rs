@@ -29,15 +29,14 @@
 //!
 //! ```no_run
 //! use buildings::scenario::{Scenario, ScenarioConfig};
-//! use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
+//! use dcta_core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let scenario = Scenario::generate(ScenarioConfig::default())?;
-//! let pipeline = Pipeline::new(PipelineConfig::default());
-//! let mut prepared = pipeline.prepare(&scenario)?;
+//! let mut prepared = Pipeline::builder(PipelineConfig::default()).prepare(&scenario)?;
 //! let day = prepared.test_days().start;
-//! let report = prepared.run_day(Method::Dcta, day)?;
-//! println!("PT = {:.3}s, H = {:.3}", report.processing_time_s, report.decision_performance);
+//! let report = prepared.run(&RunSpec::new(Method::Dcta, day))?;
+//! println!("PT = {:.3}s, H = {:.3}", report.processing_time_s(), report.decision_performance());
 //! # Ok(())
 //! # }
 //! ```

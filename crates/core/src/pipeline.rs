@@ -25,6 +25,7 @@ use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
 use edgesim::run::{simulate, simulate_with_faults, RetryPolicy, SimConfig, SimError, SimTask};
 use edgesim::trace::FailureRecord;
+use knapsack::exact::{BranchAndBound, SolverOptions};
 use learn::transfer::MtlConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -297,6 +298,151 @@ impl FaultRunReport {
     }
 }
 
+/// A complete description of one evaluation run: which [`Method`] on which
+/// day, optionally under a [`FaultSchedule`] with a [`RecoveryMode`], and
+/// optionally pinned to a thread count. The single entry point
+/// [`PreparedPipeline::run`] consumes it; the older
+/// `run_day`/`run_day_with_faults` pair are thin wrappers over the same
+/// path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    method: Method,
+    day: usize,
+    faults: Option<(FaultSchedule, RecoveryMode)>,
+    threads: Option<usize>,
+}
+
+impl RunSpec {
+    /// A fault-free run of `method` on evaluation day `day`, at the
+    /// session's ambient thread count.
+    pub fn new(method: Method, day: usize) -> Self {
+        Self { method, day, faults: None, threads: None }
+    }
+
+    /// Injects `schedule` mid-run and reacts with `mode`. The resulting
+    /// [`RunReport`] is the [`RunReport::Faulted`] variant.
+    #[must_use]
+    pub fn with_faults(mut self, schedule: FaultSchedule, mode: RecoveryMode) -> Self {
+        self.faults = Some((schedule, mode));
+        self
+    }
+
+    /// Pins the run to `threads` worker threads (`0` = auto). The override
+    /// is scoped to the run: the ambient setting is restored on return.
+    /// Results are thread-count invariant by the §8.1 determinism contract;
+    /// this only changes wall-clock.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The method under evaluation.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The evaluation-day index.
+    pub fn day(&self) -> usize {
+        self.day
+    }
+
+    /// The fault schedule and recovery mode, when set.
+    pub fn faults(&self) -> Option<(&FaultSchedule, RecoveryMode)> {
+        self.faults.as_ref().map(|(s, m)| (s, *m))
+    }
+
+    /// The pinned thread count, when set.
+    pub fn thread_override(&self) -> Option<usize> {
+        self.threads
+    }
+}
+
+/// What [`PreparedPipeline::run`] produced: a plain [`DayReport`] for a
+/// fault-free spec, a [`FaultRunReport`] when the spec carried a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunReport {
+    /// Fault-free outcome.
+    Healthy(DayReport),
+    /// Fault-injected outcome (boxed: the fault report is much larger).
+    Faulted(Box<FaultRunReport>),
+}
+
+impl RunReport {
+    /// The method that produced the run.
+    pub fn method(&self) -> Method {
+        match self {
+            RunReport::Healthy(r) => r.method,
+            RunReport::Faulted(r) => r.method,
+        }
+    }
+
+    /// The evaluation-day index.
+    pub fn day(&self) -> usize {
+        match self {
+            RunReport::Healthy(r) => r.day,
+            RunReport::Faulted(r) => r.day,
+        }
+    }
+
+    /// The allocation the day started with.
+    pub fn allocation(&self) -> &Allocation {
+        match self {
+            RunReport::Healthy(r) => &r.allocation,
+            RunReport::Faulted(r) => &r.allocation,
+        }
+    }
+
+    /// End-to-end PT, seconds (under faults: faulted round + recovery +
+    /// re-allocation latency).
+    pub fn processing_time_s(&self) -> f64 {
+        match self {
+            RunReport::Healthy(r) => r.processing_time_s,
+            RunReport::Faulted(r) => r.processing_time_s,
+        }
+    }
+
+    /// Decision performance `H` over the delivered task set.
+    pub fn decision_performance(&self) -> f64 {
+        match self {
+            RunReport::Healthy(r) => r.decision_performance,
+            RunReport::Faulted(r) => r.decision_performance,
+        }
+    }
+
+    /// The healthy report, if this was a fault-free run.
+    pub fn as_healthy(&self) -> Option<&DayReport> {
+        match self {
+            RunReport::Healthy(r) => Some(r),
+            RunReport::Faulted(_) => None,
+        }
+    }
+
+    /// The fault report, if the spec injected faults.
+    pub fn as_faulted(&self) -> Option<&FaultRunReport> {
+        match self {
+            RunReport::Healthy(_) => None,
+            RunReport::Faulted(r) => Some(r),
+        }
+    }
+
+    /// Unwraps the healthy report, if this was a fault-free run.
+    pub fn into_healthy(self) -> Option<DayReport> {
+        match self {
+            RunReport::Healthy(r) => Some(r),
+            RunReport::Faulted(_) => None,
+        }
+    }
+
+    /// Unwraps the fault report, if the spec injected faults.
+    pub fn into_faulted(self) -> Option<FaultRunReport> {
+        match self {
+            RunReport::Healthy(_) => None,
+            RunReport::Faulted(r) => Some(*r),
+        }
+    }
+}
+
 /// The pipeline factory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
@@ -314,7 +460,17 @@ impl Pipeline {
         &self.config
     }
 
+    /// Starts a [`PipelineBuilder`] — the preferred way to configure the
+    /// offline phase (`.cache(...)`, `.pretrain(true)`, `.threads(n)`)
+    /// before calling [`PipelineBuilder::prepare`].
+    pub fn builder(config: PipelineConfig) -> PipelineBuilder {
+        PipelineBuilder { config, cache: ImportanceCache::new(), pretrain: false, threads: None }
+    }
+
     /// Runs the offline phase against `scenario`.
+    ///
+    /// Equivalent to `Pipeline::builder(config).prepare(scenario)`; kept as
+    /// the short spelling for the no-options case.
     ///
     /// # Errors
     ///
@@ -323,7 +479,7 @@ impl Pipeline {
         &self,
         scenario: &'a Scenario,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
-        self.prepare_with_cache(scenario, ImportanceCache::new())
+        self.prepare_impl(scenario, ImportanceCache::new(), false)
     }
 
     /// Runs the offline phase seeded with an existing decision-performance
@@ -333,6 +489,10 @@ impl Pipeline {
     /// and evaluator fingerprint, so a mismatched cache is merely useless,
     /// never wrong.
     ///
+    /// Note: superseded by `Pipeline::builder(config).cache(c).prepare(s)`,
+    /// which composes with the other offline options; this wrapper remains
+    /// for source compatibility and delegates to the same path.
+    ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
@@ -340,6 +500,15 @@ impl Pipeline {
         &self,
         scenario: &'a Scenario,
         cache: ImportanceCache,
+    ) -> Result<PreparedPipeline<'a>, PipelineError> {
+        self.prepare_impl(scenario, cache, false)
+    }
+
+    fn prepare_impl<'a>(
+        &self,
+        scenario: &'a Scenario,
+        cache: ImportanceCache,
+        pretrain: bool,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
         let cfg = &self.config;
         if scenario.days().len() <= cfg.env_history_days {
@@ -438,6 +607,12 @@ impl Pipeline {
         for d in 0..cfg.env_history_days {
             dcta.crl_mut().observe(scenario.day(d).sensing.clone(), true_importances[d].clone())?;
         }
+        if pretrain {
+            // Eagerly train an agent per environment so the first online
+            // allocation of each context is a pure cache hit.
+            crl.pretrain(&base)?;
+            dcta.crl_mut().pretrain(&base)?;
+        }
 
         Ok(PreparedPipeline {
             scenario,
@@ -470,6 +645,61 @@ impl Pipeline {
 impl Default for Pipeline {
     fn default() -> Self {
         Self::new(PipelineConfig::default())
+    }
+}
+
+/// Configures the offline phase before running it. Built by
+/// [`Pipeline::builder`]; every option defaults to the behaviour of plain
+/// [`Pipeline::prepare`], so `Pipeline::builder(cfg).prepare(&s)` and
+/// `Pipeline::new(cfg).prepare(&s)` are interchangeable.
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    config: PipelineConfig,
+    cache: ImportanceCache,
+    pretrain: bool,
+    threads: Option<usize>,
+}
+
+impl PipelineBuilder {
+    /// Seeds the offline phase with an existing decision-performance cache
+    /// (see [`Pipeline::prepare_with_cache`] for the key-safety argument).
+    #[must_use]
+    pub fn cache(mut self, cache: ImportanceCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Eagerly trains a CRL agent per stored environment during the offline
+    /// phase (both the standalone CRL and DCTA's internal one), so the
+    /// first online allocation of each context skips training. Off by
+    /// default: it front-loads work sweeps may never need.
+    #[must_use]
+    pub fn pretrain(mut self, on: bool) -> Self {
+        self.pretrain = on;
+        self
+    }
+
+    /// Pins the offline phase to `threads` worker threads (`0` = auto),
+    /// restoring the ambient setting on return. Results are thread-count
+    /// invariant (§8.1); this only changes wall-clock.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runs the offline phase against `scenario` with the configured
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn prepare<'a>(
+        self,
+        scenario: &'a Scenario,
+    ) -> Result<PreparedPipeline<'a>, PipelineError> {
+        let _threads = self.threads.map(parallel::ScopedThreads::new);
+        Pipeline::new(self.config).prepare_impl(scenario, self.cache, self.pretrain)
     }
 }
 
@@ -585,7 +815,8 @@ impl<'a> PreparedPipeline<'a> {
             Method::ExactOracle => {
                 let instance = blind.with_importances(&self.true_importances[day]);
                 let problem = instance.to_knapsack()?;
-                let sol = knapsack::exact::BranchAndBound::with_node_limit(200_000).solve(&problem);
+                let sol = BranchAndBound::with_options(SolverOptions::new().node_limit(200_000))
+                    .solve(&problem);
                 instance.allocation_from_packing(&sol.packing)
             }
             Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
@@ -617,15 +848,45 @@ impl<'a> PreparedPipeline<'a> {
         Ok(())
     }
 
+    /// Executes one evaluation run described by `spec` — the single entry
+    /// point behind [`Self::run_day`] and [`Self::run_day_with_faults`].
+    /// A fault-free spec yields [`RunReport::Healthy`]; a spec with a
+    /// schedule yields [`RunReport::Faulted`]. A thread override, when
+    /// present, is scoped to this call.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn run(&mut self, spec: &RunSpec) -> Result<RunReport, PipelineError> {
+        let _threads = spec.threads.map(parallel::ScopedThreads::new);
+        match &spec.faults {
+            None => {
+                let (allocation, overhead) = self.allocate(spec.method, spec.day)?;
+                let report = self.execute(spec.method, spec.day, allocation, overhead)?;
+                Ok(RunReport::Healthy(report))
+            }
+            Some((schedule, mode)) => {
+                let report = self.run_faulted_impl(spec.method, spec.day, schedule, *mode)?;
+                Ok(RunReport::Faulted(Box::new(report)))
+            }
+        }
+    }
+
     /// Allocates with `method` and executes on the simulated testbed,
     /// returning the full report.
+    ///
+    /// Note: superseded by [`Self::run`] with a [`RunSpec`]; this thin
+    /// wrapper remains for source compatibility and delegates to the same
+    /// path.
     ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
     pub fn run_day(&mut self, method: Method, day: usize) -> Result<DayReport, PipelineError> {
-        let (allocation, overhead) = self.allocate(method, day)?;
-        self.execute(method, day, allocation, overhead)
+        match self.run(&RunSpec::new(method, day))? {
+            RunReport::Healthy(r) => Ok(r),
+            RunReport::Faulted(_) => unreachable!("fault-free spec produced a fault report"),
+        }
     }
 
     /// Executes a pre-computed allocation (used by sweeps that vary the
@@ -689,10 +950,28 @@ impl<'a> PreparedPipeline<'a> {
     /// responses). In-round timeout/redispatch retries remain an
     /// `edgesim`-level facility configured via [`SimConfig::retry`].
     ///
+    /// Note: superseded by [`Self::run`] with
+    /// `RunSpec::new(method, day).with_faults(schedule, mode)`; this thin
+    /// wrapper remains for source compatibility and delegates to the same
+    /// path.
+    ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
     pub fn run_day_with_faults(
+        &mut self,
+        method: Method,
+        day: usize,
+        schedule: &FaultSchedule,
+        mode: RecoveryMode,
+    ) -> Result<FaultRunReport, PipelineError> {
+        match self.run(&RunSpec::new(method, day).with_faults(schedule.clone(), mode))? {
+            RunReport::Faulted(r) => Ok(*r),
+            RunReport::Healthy(_) => unreachable!("faulted spec produced a healthy report"),
+        }
+    }
+
+    fn run_faulted_impl(
         &mut self,
         method: Method,
         day: usize,

@@ -9,7 +9,7 @@
 use crate::allocation::Allocation;
 use crate::processor::ProcessorFleet;
 use crate::task::EdgeTask;
-use knapsack::exact::BranchAndBound;
+use knapsack::exact::{BranchAndBound, SolverOptions};
 use knapsack::greedy;
 use knapsack::problem::{Item, Packing, Problem, ProblemError, Sack};
 use rl::alloc_env::AllocSpec;
@@ -123,8 +123,23 @@ impl TatimInstance {
     ///
     /// Propagates the reduction.
     pub fn solve_exact(&self) -> Result<(Allocation, f64), TatimError> {
+        self.solve_exact_with(&SolverOptions::new())
+    }
+
+    /// Exact allocation under explicit [`SolverOptions`] — an anytime node
+    /// budget, a wall-clock deadline, or the parallel subtree search
+    /// (which returns the identical optimum and assignment; see the
+    /// determinism notes on [`BranchAndBound`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    pub fn solve_exact_with(
+        &self,
+        options: &SolverOptions,
+    ) -> Result<(Allocation, f64), TatimError> {
         let problem = self.to_knapsack()?;
-        let sol = BranchAndBound::new().solve(&problem);
+        let sol = BranchAndBound::with_options(*options).solve(&problem);
         Ok((self.allocation_from_packing(&sol.packing), sol.profit))
     }
 

@@ -1,0 +1,199 @@
+//! Exact equivalence of the unified run/prepare API against the legacy
+//! entry points: `run(&RunSpec)` vs `run_day`/`run_day_with_faults`, and
+//! `Pipeline::builder(...).prepare(...)` vs `prepare`/`prepare_with_cache`.
+//! Everything deterministic must agree to the bit; only measured wall-clock
+//! fields (re-allocation latency) are exempt.
+
+use buildings::scenario::{Scenario, ScenarioConfig};
+use dcta_core::cache::ImportanceCache;
+use dcta_core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
+use dcta_core::recovery::RecoveryMode;
+use edgesim::faults::FaultSchedule;
+use rl::crl::CrlConfig;
+use rl::dqn::DqnConfig;
+
+fn small_scenario() -> Scenario {
+    Scenario::generate(ScenarioConfig {
+        num_buildings: 2,
+        chillers_per_building: 2,
+        bands_per_chiller: 4,
+        num_tasks: 12,
+        history_days: 50,
+        eval_days: 8,
+        mean_input_mbit: 40.0,
+        ..ScenarioConfig::default()
+    })
+    .unwrap()
+}
+
+fn quick_config() -> PipelineConfig {
+    PipelineConfig {
+        workers: 4,
+        env_history_days: 5,
+        crl: CrlConfig {
+            episodes: 12,
+            dqn: DqnConfig { hidden: vec![24], ..DqnConfig::default() },
+            ..CrlConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// `run(&RunSpec)` and the legacy `run_day` must produce bit-identical
+/// reports for every method — including the stateful RandomMapping, which
+/// is why each side gets its own fresh prepare and an identical call
+/// sequence.
+#[test]
+fn run_spec_matches_run_day_bitwise() {
+    let s = small_scenario();
+    let mut old = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let mut new = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let day = old.test_days().start;
+    for method in [
+        Method::RandomMapping,
+        Method::Dml,
+        Method::GreedyOracle,
+        Method::ExactOracle,
+        Method::Crl,
+        Method::Dcta,
+    ] {
+        let a = old.run_day(method, day).unwrap();
+        let report = new.run(&RunSpec::new(method, day)).unwrap();
+        assert_eq!(report.method(), method);
+        assert_eq!(report.day(), day);
+        let b = report.into_healthy().expect("fault-free spec yields Healthy");
+        assert_eq!(
+            a.processing_time_s.to_bits(),
+            b.processing_time_s.to_bits(),
+            "{method}: PT bits diverged"
+        );
+        assert_eq!(
+            a.decision_performance.to_bits(),
+            b.decision_performance.to_bits(),
+            "{method}: H bits diverged"
+        );
+        assert_eq!(a, b, "{method}: reports diverged");
+    }
+}
+
+/// Same contract for the fault path. `RecoveryMode::None` skips the
+/// wall-clock re-solve, so the whole report must match bit-for-bit;
+/// `Resolve` runs a timed re-solve, so every field except the measured
+/// latency (and the PT sum that includes it) must match.
+#[test]
+fn run_spec_matches_run_day_with_faults() {
+    let s = small_scenario();
+    let mut old = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let mut new = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let day = old.test_days().start;
+    let victim = old.fleet().node_of(0);
+    let schedule = FaultSchedule::new().with_crash(victim, 0.2).unwrap();
+
+    let a = old.run_day_with_faults(Method::Dml, day, &schedule, RecoveryMode::None).unwrap();
+    let b = new
+        .run(&RunSpec::new(Method::Dml, day).with_faults(schedule.clone(), RecoveryMode::None))
+        .unwrap()
+        .into_faulted()
+        .expect("faulted spec yields Faulted");
+    assert_eq!(a, b, "RecoveryMode::None reports diverged");
+
+    let a = old.run_day_with_faults(Method::Dml, day, &schedule, RecoveryMode::Resolve).unwrap();
+    let b = new
+        .run(&RunSpec::new(Method::Dml, day).with_faults(schedule.clone(), RecoveryMode::Resolve))
+        .unwrap()
+        .into_faulted()
+        .unwrap();
+    assert_eq!(
+        a.simulated_processing_time_s.to_bits(),
+        b.simulated_processing_time_s.to_bits(),
+        "simulated PT diverged"
+    );
+    assert_eq!(a.allocation, b.allocation);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.delivered_importance.to_bits(), b.delivered_importance.to_bits());
+    assert_eq!(a.retained_fraction.to_bits(), b.retained_fraction.to_bits());
+    assert_eq!(a.decision_performance.to_bits(), b.decision_performance.to_bits());
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.lost, b.lost);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.down_at_end, b.down_at_end);
+}
+
+/// The builder with default options is the same offline phase as plain
+/// `prepare`, and `.cache(...)` is the same as `prepare_with_cache`.
+#[test]
+fn builder_matches_prepare_paths() {
+    let s = small_scenario();
+    let day;
+    let reference = {
+        let mut p = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        day = p.test_days().start;
+        p.run_day(Method::Dcta, day).unwrap()
+    };
+
+    let mut built = Pipeline::builder(quick_config()).prepare(&s).unwrap();
+    let b = built.run_day(Method::Dcta, day).unwrap();
+    assert_eq!(reference, b, "builder default diverged from prepare");
+
+    let mut cached_old =
+        Pipeline::new(quick_config()).prepare_with_cache(&s, ImportanceCache::new()).unwrap();
+    let mut cached_new =
+        Pipeline::builder(quick_config()).cache(ImportanceCache::new()).prepare(&s).unwrap();
+    let a = cached_old.run_day(Method::Dcta, day).unwrap();
+    let b = cached_new.run_day(Method::Dcta, day).unwrap();
+    assert_eq!(a, b, "builder cache path diverged from prepare_with_cache");
+    assert_eq!(reference, b, "cache seeding changed the result");
+}
+
+/// Pre-training agents and pinning a thread count are pure wall-clock
+/// options: results must be bit-identical to the plain offline phase, and
+/// a `RunSpec` thread override must not change the report either.
+#[test]
+fn pretrain_and_thread_overrides_do_not_change_results() {
+    let s = small_scenario();
+    let mut plain = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let mut tuned =
+        Pipeline::builder(quick_config()).pretrain(true).threads(2).prepare(&s).unwrap();
+    let day = plain.test_days().start;
+    for method in [Method::Crl, Method::Dcta] {
+        let a = plain.run_day(method, day).unwrap();
+        let b = tuned.run(&RunSpec::new(method, day).threads(2)).unwrap().into_healthy().unwrap();
+        assert_eq!(a, b, "{method}: pretrain/threads changed the report");
+    }
+}
+
+/// The spec accessors round-trip what the builders set, and the report
+/// accessors agree with the underlying variants.
+#[test]
+fn run_spec_and_report_accessors() {
+    let schedule = FaultSchedule::new();
+    let spec = RunSpec::new(Method::Dcta, 7)
+        .with_faults(schedule.clone(), RecoveryMode::RandomShed)
+        .threads(3);
+    assert_eq!(spec.method(), Method::Dcta);
+    assert_eq!(spec.day(), 7);
+    assert_eq!(spec.thread_override(), Some(3));
+    let (sched, mode) = spec.faults().expect("faults set");
+    assert_eq!(sched, &schedule);
+    assert_eq!(mode, RecoveryMode::RandomShed);
+
+    let s = small_scenario();
+    let mut p = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let day = p.test_days().start;
+    let report = p.run(&RunSpec::new(Method::Dml, day)).unwrap();
+    assert!(report.as_healthy().is_some());
+    assert!(report.as_faulted().is_none());
+    let pt = report.processing_time_s();
+    let h = report.decision_performance();
+    let healthy = report.into_healthy().unwrap();
+    assert_eq!(pt.to_bits(), healthy.processing_time_s.to_bits());
+    assert_eq!(h.to_bits(), healthy.decision_performance.to_bits());
+
+    let victim = p.fleet().node_of(0);
+    let crash = FaultSchedule::new().with_crash(victim, 0.2).unwrap();
+    let faulted =
+        p.run(&RunSpec::new(Method::Dml, day).with_faults(crash, RecoveryMode::None)).unwrap();
+    assert!(faulted.as_faulted().is_some());
+    assert_eq!(faulted.method(), Method::Dml);
+    assert!(faulted.allocation().scheduled_count() > 0);
+}

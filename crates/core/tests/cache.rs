@@ -4,7 +4,7 @@
 use buildings::scenario::{Scenario, ScenarioConfig};
 use dcta_core::cache::ImportanceCache;
 use dcta_core::importance::{CopModels, ImportanceEvaluator};
-use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
+use dcta_core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 use learn::transfer::MtlConfig;
 use rl::crl::CrlConfig;
 use rl::dqn::DqnConfig;
@@ -65,7 +65,7 @@ fn evaluator_cache_serves_repeats_bit_identically() {
 #[test]
 fn pipeline_surfaces_cache_hits_in_summary() {
     let s = small_scenario();
-    let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let mut prepared = Pipeline::builder(quick_config()).prepare(&s).unwrap();
     let after_prepare = prepared.cache_stats();
     assert!(after_prepare.misses > 0, "prepare must evaluate through the cache");
     assert_eq!(after_prepare.entries as u64, after_prepare.misses);
@@ -74,7 +74,7 @@ fn pipeline_surfaces_cache_hits_in_summary() {
     // performance the offline importance sweep already priced — the
     // evaluation inside `execute` must be a cache hit.
     let day = prepared.test_days().start;
-    prepared.run_day(Method::Dml, day).unwrap();
+    prepared.run(&RunSpec::new(Method::Dml, day)).unwrap();
     let after_run = prepared.cache_stats();
     assert!(after_run.hits > after_prepare.hits, "run summary should show cache hits: {after_run}");
     assert!(after_run.hit_rate() > 0.0);
@@ -83,8 +83,7 @@ fn pipeline_surfaces_cache_hits_in_summary() {
 #[test]
 fn persisted_cache_skips_the_offline_importance_sweep() {
     let s = small_scenario();
-    let pipeline = Pipeline::new(quick_config());
-    let mut cold = pipeline.prepare(&s).unwrap();
+    let mut cold = Pipeline::builder(quick_config()).prepare(&s).unwrap();
     let cold_stats = cold.cache_stats();
     assert!(cold_stats.misses > 0);
 
@@ -97,14 +96,15 @@ fn persisted_cache_skips_the_offline_importance_sweep() {
 
     let warm_cache = ImportanceCache::with_capacity(1 << 16);
     assert_eq!(warm_cache.load_file(&path).unwrap() as u64, cold_stats.misses);
-    let mut warm = pipeline.prepare_with_cache(&s, warm_cache).unwrap();
+    let mut warm = Pipeline::builder(quick_config()).cache(warm_cache).prepare(&s).unwrap();
     let warm_stats = warm.cache_stats();
     assert_eq!(warm_stats.misses, 0, "warm prepare must recompute nothing: {warm_stats}");
 
     // And the warm pipeline reproduces the cold one bit for bit.
     let day = cold.test_days().start;
-    let a = cold.run_day(Method::GreedyOracle, day).unwrap();
-    let b = warm.run_day(Method::GreedyOracle, day).unwrap();
+    let spec = RunSpec::new(Method::GreedyOracle, day);
+    let a = cold.run(&spec).unwrap().into_healthy().unwrap();
+    let b = warm.run(&spec).unwrap().into_healthy().unwrap();
     assert_eq!(a.processing_time_s.to_bits(), b.processing_time_s.to_bits());
     assert_eq!(a.decision_performance.to_bits(), b.decision_performance.to_bits());
     assert_eq!(a.allocation, b.allocation);

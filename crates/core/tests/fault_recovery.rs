@@ -8,7 +8,7 @@
 //! process-global: the loop below must own it for the whole run.
 
 use buildings::scenario::{Scenario, ScenarioConfig};
-use dcta_core::pipeline::{FaultRunReport, Method, Pipeline, PipelineConfig};
+use dcta_core::pipeline::{FaultRunReport, Method, Pipeline, PipelineConfig, RunSpec};
 use dcta_core::recovery::RecoveryMode;
 use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
@@ -69,20 +69,20 @@ fn faulted_pipeline_is_thread_count_invariant() {
     let s = small_scenario();
     let mut runs = Vec::new();
     for threads in THREAD_COUNTS {
-        parallel::set_max_threads(threads);
         // Preparation (model training + the offline importance sweep) is
         // inside the loop on purpose: the whole train → allocate → fault →
-        // recover chain must be invariant, not just the last hop.
-        let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
+        // recover chain must be invariant, not just the last hop. The
+        // builder's and spec's scoped overrides cap both halves.
+        let mut prepared = Pipeline::builder(quick_config()).threads(threads).prepare(&s).unwrap();
         let day = prepared.test_days().start;
         let workers: Vec<NodeId> =
             prepared.fleet().processors().iter().map(|p| p.node).filter(|n| n.0 != 0).collect();
         let schedule = FaultSchedule::seeded(9, &workers, 0.7, 0.0, 10.0).unwrap();
         assert!(!schedule.is_empty(), "seed 9 must crash at least one worker");
-        let r = prepared
-            .run_day_with_faults(Method::GreedyOracle, day, &schedule, RecoveryMode::Resolve)
-            .unwrap();
-        parallel::set_max_threads(0);
+        let spec = RunSpec::new(Method::GreedyOracle, day)
+            .with_faults(schedule, RecoveryMode::Resolve)
+            .threads(threads);
+        let r = prepared.run(&spec).unwrap().into_faulted().unwrap();
         runs.push(deterministic_bits(&r));
     }
     assert_eq!(runs[0], runs[1], "threads 1 vs 2 diverged");

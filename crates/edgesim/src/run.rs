@@ -357,7 +357,23 @@ pub fn validate_assignment(
     Ok(())
 }
 
+/// Scheduled-task threshold below which [`simulate`] keeps the global
+/// event loop even in per-node-link mode: the paper-scale rounds (tens of
+/// tasks) finish in microseconds, where thread spawn/join would dominate.
+/// At or above it, the independent per-node transmission/compute legs fan
+/// out across `dcta-parallel` workers. Both paths produce bit-identical
+/// reports (gated by the parity tests below), so the threshold only
+/// changes how the work runs, never the result.
+const PAR_MIN_SCHEDULED: usize = 256;
+
 /// Simulates one allocation round.
+///
+/// In [`MediumMode::PerNodeLink`] mode the nodes' timelines are mutually
+/// independent — each star link and CPU is touched only by its own node's
+/// tasks — so large rounds are computed per node in parallel (ordered
+/// assembly, bit-identical at every thread count); small rounds and
+/// [`MediumMode::SharedMedium`] (where every transfer serialises through
+/// one channel) run the global discrete-event loop.
 ///
 /// # Errors
 ///
@@ -369,7 +385,24 @@ pub fn simulate(
     config: SimConfig,
 ) -> Result<SimReport, SimError> {
     validate_assignment(cluster, tasks, assignment, config)?;
+    if matches!(cluster.network().medium(), MediumMode::PerNodeLink)
+        && assignment.scheduled_count() >= PAR_MIN_SCHEDULED
+    {
+        return Ok(simulate_per_node(cluster, tasks, assignment, config));
+    }
+    Ok(simulate_event_loop(cluster, tasks, assignment, config))
+}
 
+/// The reference discrete-event engine: one global queue, causal order,
+/// FIFO tie-breaks. Handles both medium modes; [`simulate`] routes here
+/// for shared-medium and small rounds, and the per-node fan-out is pinned
+/// bit-identical to this loop by the parity tests.
+fn simulate_event_loop(
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    assignment: &NodeAssignment,
+    config: SimConfig,
+) -> SimReport {
     let controller = cluster.controller();
     // In shared-medium mode every transfer serialises through one channel,
     // modelled as a single virtual link key.
@@ -449,12 +482,172 @@ pub fn simulate(
         }
     }
 
-    Ok(SimReport {
+    SimReport {
         processing_time: last_result + config.decision_overhead_s,
         timelines,
         node_busy,
         link_busy,
-    })
+    }
+}
+
+/// One node's completed leg of a per-node-link round: its tasks' timelines
+/// plus the node-local accumulators, ready for ordered assembly.
+struct NodeLeg {
+    node: NodeId,
+    /// `(task index, timeline)` in task order.
+    timelines: Vec<(usize, TaskTimeline)>,
+    node_busy: f64,
+    link_busy: f64,
+    /// Whether the leg reserved its star link at all (controller-local
+    /// tasks never do); mirrors which `link_busy` entries the event loop
+    /// creates.
+    uses_link: bool,
+    last_result: f64,
+}
+
+/// Per-node decomposition of [`simulate_event_loop`] for
+/// [`MediumMode::PerNodeLink`]: each node's tasks replay, in task order,
+/// exactly the event sequence the global loop would process for that node.
+///
+/// Why this is bit-identical to the event loop: inputs are dispatched at
+/// `t0` in task order, reserving each link's FIFO chain up front, so a
+/// node's `InputArrived` events carry non-decreasing times and pop in task
+/// order (the queue breaks time ties by insertion sequence). The FIFO CPU
+/// then finishes computations in that same order, so `ComputeDone` — and
+/// with it the result-leg link reservations — also replays in task order.
+/// No state is shared across nodes except `last_result`, a max over
+/// non-negative values, which is order-invariant. Every floating-point
+/// operation below is the same operation, on the same operands, in the
+/// same per-node order as in the event loop.
+fn simulate_per_node(
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    assignment: &NodeAssignment,
+    config: SimConfig,
+) -> SimReport {
+    let controller = cluster.controller();
+    let t0 = config.partition_overhead_s;
+
+    // Group task indices by node, groups ordered by first appearance so
+    // the fan-out and assembly order is a pure function of the assignment.
+    let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    for i in 0..tasks.len() {
+        let Some(node) = assignment.node_of(i) else { continue };
+        let g = *group_of.entry(node).or_insert_with(|| {
+            groups.push((node, Vec::new()));
+            groups.len() - 1
+        });
+        groups[g].1.push(i);
+    }
+
+    // Grain 1: groups are few (one per busy node) but each carries many
+    // tasks, so every group is worth a worker.
+    let legs: Vec<NodeLeg> = parallel::par_map_indexed_grained(groups.len(), 1, |g| {
+        let (node, idxs) = &groups[g];
+        node_leg(cluster, tasks, config, *node, controller, idxs)
+    });
+
+    // Serial ordered assembly.
+    let mut timelines: Vec<Option<TaskTimeline>> = vec![None; tasks.len()];
+    let mut node_busy: HashMap<NodeId, f64> = HashMap::new();
+    let mut link_busy: HashMap<NodeId, f64> = HashMap::new();
+    let mut last_result = t0;
+    for leg in legs {
+        node_busy.insert(leg.node, leg.node_busy);
+        if leg.uses_link {
+            link_busy.insert(leg.node, leg.link_busy);
+        }
+        last_result = last_result.max(leg.last_result);
+        for (i, tl) in leg.timelines {
+            timelines[i] = Some(tl);
+        }
+    }
+
+    SimReport {
+        processing_time: last_result + config.decision_overhead_s,
+        timelines,
+        node_busy,
+        link_busy,
+    }
+}
+
+/// Replays one node's input legs, FIFO compute, and result legs in task
+/// order, mirroring the event loop's arithmetic operation for operation.
+fn node_leg(
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    config: SimConfig,
+    node: NodeId,
+    controller: NodeId,
+    idxs: &[usize],
+) -> NodeLeg {
+    let t0 = config.partition_overhead_s;
+    let is_controller = node == controller;
+    let mut link_free = t0;
+    let mut cpu_free: Option<f64> = None;
+    let mut node_busy = 0.0;
+    let mut link_busy = 0.0;
+    let mut timelines: Vec<(usize, TaskTimeline)> = Vec::with_capacity(idxs.len());
+    let mut arrivals: Vec<f64> = Vec::with_capacity(idxs.len());
+
+    // Input legs: the event loop reserves the link chain up front at t0,
+    // in task order.
+    for &i in idxs {
+        let (transfer_start, arrive) = if is_controller {
+            (t0, t0) // local task: no network hop
+        } else {
+            let start = link_free.max(t0);
+            let dur = cluster.network().transfer_time(node, tasks[i].input_bits);
+            link_free = start + dur;
+            link_busy += dur;
+            (start, start + dur)
+        };
+        timelines.push((
+            i,
+            TaskTimeline {
+                node,
+                transfer_start,
+                compute_start: 0.0,
+                compute_end: 0.0,
+                result_at: 0.0,
+            },
+        ));
+        arrivals.push(arrive);
+    }
+
+    // FIFO compute: arrivals are non-decreasing in task order, so the CPU
+    // serves tasks in task order exactly as the event loop does.
+    let compute_node = cluster.node(node).expect("validated");
+    for (k, (_, tl)) in timelines.iter_mut().enumerate() {
+        let arrive = arrivals[k];
+        let free = cpu_free.unwrap_or(arrive);
+        let start = free.max(arrive);
+        let dur = compute_node.compute_time(tasks[idxs[k]].input_bits);
+        cpu_free = Some(start + dur);
+        node_busy += dur;
+        tl.compute_start = start;
+        tl.compute_end = start + dur;
+    }
+
+    // Result legs: compute ends are non-decreasing in task order, so the
+    // link's return chain is reserved in task order too.
+    let mut last_result = t0;
+    for (k, (_, tl)) in timelines.iter_mut().enumerate() {
+        let result_at = if is_controller {
+            tl.compute_end
+        } else {
+            let start = link_free.max(tl.compute_end);
+            let dur = cluster.network().transfer_time(node, tasks[idxs[k]].result_bits);
+            link_free = start + dur;
+            link_busy += dur;
+            start + dur
+        };
+        tl.result_at = result_at;
+        last_result = last_result.max(result_at);
+    }
+
+    NodeLeg { node, timelines, node_busy, link_busy, uses_link: !is_controller, last_result }
 }
 
 /// Result of a fault-injected allocation round ([`simulate_with_faults`]).
@@ -1237,6 +1430,111 @@ mod tests {
         // before task 1's input finished occupying the link.
         let input1_done = tl1.compute_start;
         assert!(tl0.result_at >= input1_done);
+    }
+
+    /// Thread-invariance tests flip the process-wide override; serialise.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A round big enough to cross [`PAR_MIN_SCHEDULED`]: varied task
+    /// sizes, round-robin over every node including the controller, plus a
+    /// sprinkling of unscheduled tasks.
+    fn big_round(n: usize) -> (Cluster, Vec<SimTask>, NodeAssignment) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let c = Cluster::paper_testbed().unwrap();
+        let ids: Vec<NodeId> = c.nodes().iter().map(|node| node.id()).collect();
+        let mut rng = StdRng::seed_from_u64(0xE5D1);
+        let tasks: Vec<SimTask> = (0..n)
+            .map(|_| SimTask::new(rng.gen_range(1e3..5e6), rng.gen_range(1e2..1e5), 0.0).unwrap())
+            .collect();
+        let mut a = NodeAssignment::empty(n);
+        for i in 0..n {
+            if i % 17 == 11 {
+                continue; // leave some tasks unscheduled
+            }
+            a.assign(i, Some(ids[i % ids.len()]));
+        }
+        (c, tasks, a)
+    }
+
+    fn report_bits(r: &SimReport) -> Vec<u64> {
+        let mut bits = vec![r.processing_time.to_bits()];
+        for tl in r.timelines.iter().flatten() {
+            bits.extend([
+                tl.transfer_start.to_bits(),
+                tl.compute_start.to_bits(),
+                tl.compute_end.to_bits(),
+                tl.result_at.to_bits(),
+            ]);
+        }
+        let mut busy: Vec<(NodeId, u64, Option<u64>)> = r
+            .node_busy
+            .iter()
+            .map(|(&id, b)| (id, b.to_bits(), r.link_busy.get(&id).map(|l| l.to_bits())))
+            .collect();
+        busy.sort_by_key(|e| e.0 .0);
+        for (id, nb, lb) in busy {
+            bits.push(id.0 as u64);
+            bits.push(nb);
+            bits.push(lb.unwrap_or(u64::MAX));
+        }
+        bits
+    }
+
+    #[test]
+    fn per_node_fan_out_matches_event_loop_bitwise() {
+        let (c, tasks, a) = big_round(400);
+        let config = SimConfig::default(); // non-zero overheads
+        let reference = simulate_event_loop(&c, &tasks, &a, config);
+        let fanned = simulate_per_node(&c, &tasks, &a, config);
+        assert_eq!(report_bits(&fanned), report_bits(&reference));
+        assert_eq!(fanned, reference);
+        // And via the public entry point, which routes to the fan-out at
+        // this size.
+        assert!(a.scheduled_count() >= PAR_MIN_SCHEDULED);
+        let public = simulate(&c, &tasks, &a, config).unwrap();
+        assert_eq!(report_bits(&public), report_bits(&reference));
+    }
+
+    #[test]
+    fn per_node_fan_out_parity_on_small_and_skewed_rounds() {
+        let c = Cluster::paper_testbed().unwrap();
+        // Everything on one worker (single group), plus a controller task.
+        let tasks = vec![
+            SimTask::new(1e6, 1e4, 0.0).unwrap(),
+            SimTask::new(2e6, 1e3, 0.0).unwrap(),
+            SimTask::new(5e5, 5e4, 0.0).unwrap(),
+        ];
+        let mut a = NodeAssignment::empty(3);
+        a.assign(0, Some(NodeId(2)));
+        a.assign(1, Some(NodeId(0)));
+        a.assign(2, Some(NodeId(2)));
+        let config = SimConfig::default();
+        let reference = simulate_event_loop(&c, &tasks, &a, config);
+        let fanned = simulate_per_node(&c, &tasks, &a, config);
+        assert_eq!(report_bits(&fanned), report_bits(&reference));
+        // Empty assignment.
+        let empty = NodeAssignment::empty(3);
+        assert_eq!(
+            simulate_per_node(&c, &tasks, &empty, config),
+            simulate_event_loop(&c, &tasks, &empty, config)
+        );
+    }
+
+    #[test]
+    fn parallel_simulate_is_thread_count_invariant() {
+        let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (c, tasks, a) = big_round(600);
+        let config = SimConfig::default();
+        let reference = {
+            let _t = parallel::ScopedThreads::new(1);
+            simulate(&c, &tasks, &a, config).unwrap()
+        };
+        for threads in [2usize, 8] {
+            let _t = parallel::ScopedThreads::new(threads);
+            let got = simulate(&c, &tasks, &a, config).unwrap();
+            assert_eq!(report_bits(&got), report_bits(&reference), "threads {threads}");
+        }
     }
 }
 

@@ -146,3 +146,63 @@ proptest! {
         prop_assert!((expected - actual).abs() < 1e-6, "{expected} vs {actual}");
     }
 }
+
+/// A round large enough to engage the per-node parallel fan-out inside
+/// [`simulate`] (its serial-below-threshold guard sits at 256 scheduled
+/// tasks), with varied sizes and every node in play.
+fn big_workload(n: usize) -> (Vec<SimTask>, NodeAssignment) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xFA57);
+    let tasks: Vec<SimTask> = (0..n)
+        .map(|_| SimTask::new(rng.gen_range(1e3..5e6), rng.gen_range(1e2..1e5), 0.0).unwrap())
+        .collect();
+    let mut assignment = NodeAssignment::empty(n);
+    for i in 0..n {
+        assignment.assign(i, Some(NodeId(i % 10)));
+    }
+    (tasks, assignment)
+}
+
+/// The parallel edgesim step and the fault engine must produce
+/// byte-identical reports at threads 1, 2 and 8 — including under an
+/// active fault schedule (crashes, link dropouts, stragglers).
+#[test]
+fn edgesim_step_bit_identical_across_thread_counts_under_faults() {
+    let cluster = Cluster::paper_testbed().expect("testbed");
+    let (tasks, assignment) = big_workload(512);
+    let workers: Vec<NodeId> = (1..=9).map(NodeId).collect();
+    let schedule = FaultSchedule::seeded(41, &workers, 0.6, 0.5, 5.0).expect("valid schedule");
+    assert!(!schedule.is_empty(), "schedule must actually inject faults");
+
+    let (healthy_ref, faulty_ref) = {
+        let _t = parallel::ScopedThreads::new(1);
+        (
+            simulate(&cluster, &tasks, &assignment, config()).expect("simulate"),
+            simulate_with_faults(&cluster, &tasks, &assignment, config(), &schedule)
+                .expect("fault run"),
+        )
+    };
+    assert!(
+        !faulty_ref.failures.is_empty() || !faulty_ref.down_at_end.is_empty(),
+        "faults should perturb a 512-task round"
+    );
+    for threads in [2usize, 8] {
+        let _t = parallel::ScopedThreads::new(threads);
+        let healthy = simulate(&cluster, &tasks, &assignment, config()).expect("simulate");
+        assert_eq!(healthy, healthy_ref, "healthy step diverged at {threads} threads");
+        assert_eq!(
+            healthy.processing_time.to_bits(),
+            healthy_ref.processing_time.to_bits(),
+            "healthy PT bits diverged at {threads} threads"
+        );
+        let faulty = simulate_with_faults(&cluster, &tasks, &assignment, config(), &schedule)
+            .expect("fault run");
+        assert_eq!(faulty, faulty_ref, "fault run diverged at {threads} threads");
+        assert_eq!(
+            faulty.processing_time.to_bits(),
+            faulty_ref.processing_time.to_bits(),
+            "faulted PT bits diverged at {threads} threads"
+        );
+    }
+}

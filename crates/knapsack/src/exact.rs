@@ -9,6 +9,8 @@
 
 use crate::bounds::upper_bound_subset;
 use crate::problem::{Packing, Problem, Solution};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Exhaustive search over all `(num_sacks + 1)^num_items` placements.
 ///
@@ -84,57 +86,174 @@ pub fn brute_force(problem: &Problem) -> Solution {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BranchAndBound {
+    options: SolverOptions,
+}
+
+/// Typed configuration for [`BranchAndBound`], replacing the old
+/// positional/boolean knobs with a chainable builder:
+///
+/// ```
+/// use knapsack::exact::SolverOptions;
+/// use std::time::Duration;
+///
+/// let opts = SolverOptions::new()
+///     .node_limit(100_000)
+///     .deadline(Duration::from_millis(50))
+///     .parallel(true);
+/// assert_eq!(opts.node_limit, Some(100_000));
+/// ```
+///
+/// # Determinism
+///
+/// * Default options reproduce the original serial solver node-for-node.
+/// * `parallel(true)` keeps the *returned* `Solution` (profit **and**
+///   assignment) bit-identical to the serial solver at every thread count;
+///   only the set of explored nodes may differ (see
+///   [`BranchAndBound::solve`]).
+/// * `node_limit` with `parallel(true)` applies the budget *per subtree*
+///   and disables the shared incumbent bound, so the anytime result is
+///   still thread-count invariant (though it differs from the serial
+///   solver's anytime result, whose budget is global).
+/// * `deadline` is wall-clock and therefore inherently non-deterministic;
+///   the determinism guarantees above hold only for deadline-free runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverOptions {
     /// Optional cap on explored nodes; `None` = unlimited. When the cap is
     /// hit the incumbent (a feasible, possibly sub-optimal packing) is
     /// returned — useful as an anytime solver inside benchmarks.
     pub node_limit: Option<u64>,
+    /// Optional wall-clock budget; checked every 1024 nodes, so overshoot
+    /// is bounded by ~1024 node expansions. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Explore top-level subtrees in parallel (via `dcta-parallel`) with a
+    /// deterministic best-solution reduction. Off by default.
+    pub parallel: bool,
 }
 
-impl BranchAndBound {
-    /// Creates an exact solver with no node limit.
+impl SolverOptions {
+    /// Default options: unlimited nodes, no deadline, serial.
     pub fn new() -> Self {
-        Self { node_limit: None }
+        Self::default()
+    }
+
+    /// Caps the number of explored nodes (anytime incumbent on overrun).
+    #[must_use]
+    pub fn node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Sets a wall-clock budget (anytime incumbent on overrun).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables or disables parallel subtree exploration.
+    #[must_use]
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+}
+
+/// Once at least this many open subtrees exist at the split depth, prefix
+/// enumeration stops deepening. Thread-count *independent* so the subtree
+/// partition — and with it the reduction order — is a pure function of the
+/// problem.
+const PAR_SUBTREE_TARGET: usize = 64;
+
+/// Hard cap on the split depth: past this, enumeration itself would start
+/// to dominate, and a tree still this thin is heavily pruned anyway.
+const PAR_MAX_SPLIT_DEPTH: usize = 12;
+
+impl BranchAndBound {
+    /// Creates an exact solver with default [`SolverOptions`] (serial,
+    /// unlimited). Equivalent to `with_options(SolverOptions::new())`.
+    pub fn new() -> Self {
+        Self { options: SolverOptions::new() }
     }
 
     /// Creates an anytime solver that stops after `limit` nodes.
+    ///
+    /// Compatibility wrapper kept for older call sites; prefer
+    /// [`BranchAndBound::with_options`] with
+    /// [`SolverOptions::node_limit`].
     pub fn with_node_limit(limit: u64) -> Self {
-        Self { node_limit: Some(limit) }
+        Self::with_options(SolverOptions::new().node_limit(limit))
+    }
+
+    /// Creates a solver from typed [`SolverOptions`].
+    pub fn with_options(options: SolverOptions) -> Self {
+        Self { options }
+    }
+
+    /// The solver's configuration.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
     }
 
     /// Solves `problem`, returning the best packing found (the optimum when
-    /// no node limit is set).
+    /// no node/deadline budget is set).
+    ///
+    /// With [`SolverOptions::parallel`] the top-level branch-and-bound
+    /// subtrees are explored concurrently, sharing a monotone incumbent
+    /// bound through an atomic; pruning (and hence node counts) may differ
+    /// across thread counts, but the returned optimum and assignment may
+    /// not — the reduction scans subtrees in the fixed serial DFS order
+    /// (lexicographic in the branching sequence) and keeps the first
+    /// strict improvement, which is exactly the serial solver's answer.
     pub fn solve(&self, problem: &Problem) -> Solution {
-        let n = problem.num_items();
-        // Density order: big profit per aggregate size first.
-        let total_w: f64 =
-            problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
-        let total_v: f64 =
-            problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            let da = problem.items()[a].density(total_w, total_v);
-            let db = problem.items()[b].density(total_w, total_v);
-            db.partial_cmp(&da).expect("densities comparable")
-        });
-
-        let mut search = Search {
-            problem,
-            order,
-            best: Packing::empty(n),
-            best_profit: -1.0,
-            residual: problem
-                .sacks()
-                .iter()
-                .map(|s| (s.weight_capacity, s.volume_capacity))
-                .collect(),
-            current: Packing::empty(n),
-            nodes: 0,
-            node_limit: self.node_limit,
-        };
-        search.dfs(0, 0.0);
-        let profit = search.best_profit.max(0.0);
-        Solution { packing: search.best, profit }
+        let order = density_order(problem);
+        let deadline = self.options.deadline.map(|d| Instant::now() + d);
+        if self.options.parallel && problem.num_items() > 0 {
+            solve_parallel(problem, order, &self.options, deadline)
+        } else {
+            solve_serial(problem, order, &self.options, deadline)
+        }
     }
+}
+
+/// Item exploration order: decreasing profit per aggregate size.
+fn density_order(problem: &Problem) -> Vec<usize> {
+    let total_w: f64 = problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
+    let total_v: f64 = problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
+    let mut order: Vec<usize> = (0..problem.num_items()).collect();
+    order.sort_by(|&a, &b| {
+        let da = problem.items()[a].density(total_w, total_v);
+        let db = problem.items()[b].density(total_w, total_v);
+        db.partial_cmp(&da).expect("densities comparable")
+    });
+    order
+}
+
+fn full_residual(problem: &Problem) -> Vec<(f64, f64)> {
+    problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect()
+}
+
+fn solve_serial(
+    problem: &Problem,
+    order: Vec<usize>,
+    options: &SolverOptions,
+    deadline: Option<Instant>,
+) -> Solution {
+    let n = problem.num_items();
+    let mut search = Search {
+        problem,
+        order,
+        best: Packing::empty(n),
+        best_profit: -1.0,
+        residual: full_residual(problem),
+        current: Packing::empty(n),
+        nodes: 0,
+        node_limit: options.node_limit,
+        deadline,
+        deadline_hit: false,
+    };
+    search.dfs(0, 0.0);
+    let profit = search.best_profit.max(0.0);
+    Solution { packing: search.best, profit }
 }
 
 struct Search<'a> {
@@ -146,6 +265,8 @@ struct Search<'a> {
     current: Packing,
     nodes: u64,
     node_limit: Option<u64>,
+    deadline: Option<Instant>,
+    deadline_hit: bool,
 }
 
 impl Search<'_> {
@@ -153,6 +274,15 @@ impl Search<'_> {
         self.nodes += 1;
         if let Some(limit) = self.node_limit {
             if self.nodes > limit {
+                return;
+            }
+        }
+        if self.deadline_hit {
+            return;
+        }
+        if let Some(d) = self.deadline {
+            if self.nodes & 1023 == 0 && Instant::now() >= d {
+                self.deadline_hit = true;
                 return;
             }
         }
@@ -197,6 +327,280 @@ impl Search<'_> {
         }
         // Branch 0: skip the item.
         self.dfs(depth + 1, profit);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel subtree exploration.
+//
+// The serial solver is a fixed-order DFS whose answer is its *first*
+// strict-improvement optimum achiever. The parallel solver reproduces that
+// answer in three phases:
+//
+//  1. A serial *prefix enumeration* walks the identical DFS down to a
+//     deterministic split depth, recording in DFS order both every
+//     incumbent improvement it sees (`Slot::Candidate`) and every open
+//     node at the split depth (`Slot::Subtree`). The split depth grows
+//     until at least `PAR_SUBTREE_TARGET` subtrees exist, and is a pure
+//     function of the problem — never of the thread count.
+//  2. The subtrees run concurrently via `parallel::par_map_indexed`
+//     (ordered assembly). Each continues the same DFS with a *local*
+//     incumbent, publishing improvements into a shared `AtomicU64`
+//     incumbent via `fetch_max` over the profit's bit pattern (valid
+//     because non-negative IEEE-754 doubles order like their bits). The
+//     shared bound prunes with a *strict* `<`: a path whose optimistic
+//     potential ties the global optimum is never shared-pruned, so the
+//     subtree containing the serial answer always reaches it, no matter
+//     how the threads interleave. Local pruning keeps the serial solver's
+//     epsilon rule.
+//  3. A serial reduction scans the slots in DFS order, keeping the first
+//     strict improvement — i.e. the serial solver's first achiever. The
+//     slot order is the serial branching order (sack 0, 1, …, skip), so
+//     ties resolve to the lexicographically-smallest branching sequence,
+//     exactly as in the serial DFS.
+//
+// Racy sub-optimal subtrees (whose exploration was cut short by a shared
+// bound published mid-flight) can only under-report — and only in subtrees
+// whose true maximum is below the global optimum — so they can never win
+// the reduction, and the returned `Solution` is thread-count invariant.
+// Caveat: like the serial epsilon prune, the argument assumes optima are
+// separated by more than 1e-12; profits built from small integers (as in
+// the TATIM reduction's scaled importances) satisfy this exactly.
+// ---------------------------------------------------------------------------
+
+/// One entry of the DFS-ordered work list produced by prefix enumeration.
+enum Slot {
+    /// An incumbent improvement observed *during* enumeration: a feasible
+    /// packing and its profit, at its serial DFS position.
+    Candidate { profit: f64, packing: Packing },
+    /// An unexplored subtree rooted at the split depth.
+    Subtree(SubtreeRoot),
+}
+
+/// Frozen DFS state at a subtree root.
+struct SubtreeRoot {
+    depth: usize,
+    profit: f64,
+    residual: Vec<(f64, f64)>,
+    current: Packing,
+}
+
+struct PrefixEnum<'a> {
+    problem: &'a Problem,
+    order: &'a [usize],
+    split_depth: usize,
+    residual: Vec<(f64, f64)>,
+    current: Packing,
+    enum_best: f64,
+    slots: Vec<Slot>,
+}
+
+impl PrefixEnum<'_> {
+    fn walk(&mut self, depth: usize, profit: f64) {
+        if profit > self.enum_best {
+            self.enum_best = profit;
+            self.slots.push(Slot::Candidate { profit, packing: self.current.clone() });
+        }
+        if depth == self.order.len() {
+            return;
+        }
+        // Same epsilon prune as the serial DFS, but against the running
+        // enumeration incumbent — a lower bar than the serial solver's
+        // global incumbent at the same node, so this prunes a *subset* of
+        // what the serial solver prunes and can never cut off its answer.
+        let rest = &self.order[depth..];
+        let agg_w: f64 = self.residual.iter().map(|r| r.0.max(0.0)).sum();
+        let agg_v: f64 = self.residual.iter().map(|r| r.1.max(0.0)).sum();
+        let bound = upper_bound_subset(self.problem, rest, agg_w, agg_v);
+        if profit + bound <= self.enum_best + 1e-12 {
+            return;
+        }
+        if depth == self.split_depth {
+            self.slots.push(Slot::Subtree(SubtreeRoot {
+                depth,
+                profit,
+                residual: self.residual.clone(),
+                current: self.current.clone(),
+            }));
+            return;
+        }
+
+        let item_idx = self.order[depth];
+        let item = self.problem.items()[item_idx];
+        let mut seen: Vec<(f64, f64)> = Vec::new();
+        for s in 0..self.problem.num_sacks() {
+            let (rw, rv) = self.residual[s];
+            if item.weight > rw + 1e-12 || item.volume > rv + 1e-12 {
+                continue;
+            }
+            if seen.iter().any(|&(w, v)| (w - rw).abs() < 1e-12 && (v - rv).abs() < 1e-12) {
+                continue;
+            }
+            seen.push((rw, rv));
+            self.residual[s] = (rw - item.weight, rv - item.volume);
+            self.current.assign(item_idx, Some(s));
+            self.walk(depth + 1, profit + item.profit);
+            self.current.assign(item_idx, None);
+            self.residual[s] = (rw, rv);
+        }
+        self.walk(depth + 1, profit);
+    }
+}
+
+fn enumerate_prefix(problem: &Problem, order: &[usize], split_depth: usize) -> (Vec<Slot>, f64) {
+    let mut en = PrefixEnum {
+        problem,
+        order,
+        split_depth,
+        residual: full_residual(problem),
+        current: Packing::empty(problem.num_items()),
+        enum_best: -1.0,
+        slots: Vec::new(),
+    };
+    en.walk(0, 0.0);
+    (en.slots, en.enum_best)
+}
+
+fn solve_parallel(
+    problem: &Problem,
+    order: Vec<usize>,
+    options: &SolverOptions,
+    deadline: Option<Instant>,
+) -> Solution {
+    let n = problem.num_items();
+    // Deepen the split until enough independent subtrees exist. Each
+    // candidate depth re-enumerates from scratch; the prefix region is tiny
+    // relative to the full tree, so this costs a negligible serial prelude.
+    let max_split = n.min(PAR_MAX_SPLIT_DEPTH);
+    let mut split_depth = 1usize.min(max_split);
+    let (mut slots, mut enum_best) = enumerate_prefix(problem, &order, split_depth);
+    while split_depth < max_split
+        && (1..PAR_SUBTREE_TARGET)
+            .contains(&slots.iter().filter(|s| matches!(s, Slot::Subtree(_))).count())
+    {
+        split_depth += 1;
+        (slots, enum_best) = enumerate_prefix(problem, &order, split_depth);
+    }
+
+    // A node budget makes each subtree's exploration depend on its pruning
+    // history, so the shared bound must be off for the anytime result to
+    // stay thread-count invariant; each subtree then is a pure function.
+    let shared = if options.node_limit.is_none() {
+        Some(AtomicU64::new(enum_best.max(0.0).to_bits()))
+    } else {
+        None
+    };
+
+    let roots: Vec<&SubtreeRoot> = slots
+        .iter()
+        .filter_map(|s| match s {
+            Slot::Subtree(root) => Some(root),
+            Slot::Candidate { .. } => None,
+        })
+        .collect();
+    // Grain 1: subtrees are few but expensive, the exact case the
+    // serial-below-threshold default grain would mis-handle.
+    let results: Vec<(f64, Packing)> = parallel::par_map_grained(&roots, 1, |root| {
+        let mut search = Search {
+            problem,
+            order: order.clone(),
+            best: Packing::empty(n),
+            best_profit: -1.0,
+            residual: root.residual.clone(),
+            current: root.current.clone(),
+            nodes: 0,
+            node_limit: options.node_limit,
+            deadline,
+            deadline_hit: false,
+        };
+        search.dfs_shared(root.depth, root.profit, shared.as_ref());
+        (search.best_profit, search.best)
+    });
+
+    // Serial reduction in DFS slot order: first strict improvement wins,
+    // reproducing the serial solver's first optimum achiever.
+    let mut best_profit = -1.0;
+    let mut best = Packing::empty(n);
+    let mut sub_results = results.into_iter();
+    for slot in slots {
+        let (profit, packing) = match slot {
+            Slot::Candidate { profit, packing } => (profit, packing),
+            Slot::Subtree(_) => sub_results.next().expect("one result per subtree"),
+        };
+        if profit > best_profit {
+            best_profit = profit;
+            best = packing;
+        }
+    }
+    Solution { packing: best, profit: best_profit.max(0.0) }
+}
+
+impl Search<'_> {
+    /// [`Search::dfs`] plus an optional shared incumbent: improvements are
+    /// published with a monotone `fetch_max` over the profit bits, and
+    /// subtrees are additionally pruned against the shared bound with a
+    /// *strict* `<` so tie-potential paths survive (see the module notes on
+    /// determinism).
+    fn dfs_shared(&mut self, depth: usize, profit: f64, shared: Option<&AtomicU64>) {
+        self.nodes += 1;
+        if let Some(limit) = self.node_limit {
+            if self.nodes > limit {
+                return;
+            }
+        }
+        if self.deadline_hit {
+            return;
+        }
+        if let Some(d) = self.deadline {
+            if self.nodes & 1023 == 0 && Instant::now() >= d {
+                self.deadline_hit = true;
+                return;
+            }
+        }
+        if profit > self.best_profit {
+            self.best_profit = profit;
+            self.best = self.current.clone();
+            if let Some(shared) = shared {
+                shared.fetch_max(profit.to_bits(), Ordering::Relaxed);
+            }
+        }
+        if depth == self.order.len() {
+            return;
+        }
+
+        let rest = &self.order[depth..];
+        let agg_w: f64 = self.residual.iter().map(|r| r.0.max(0.0)).sum();
+        let agg_v: f64 = self.residual.iter().map(|r| r.1.max(0.0)).sum();
+        let bound = upper_bound_subset(self.problem, rest, agg_w, agg_v);
+        let potential = profit + bound;
+        if potential <= self.best_profit + 1e-12 {
+            return;
+        }
+        if let Some(shared) = shared {
+            if potential < f64::from_bits(shared.load(Ordering::Relaxed)) {
+                return;
+            }
+        }
+
+        let item_idx = self.order[depth];
+        let item = self.problem.items()[item_idx];
+        let mut seen: Vec<(f64, f64)> = Vec::new();
+        for s in 0..self.problem.num_sacks() {
+            let (rw, rv) = self.residual[s];
+            if item.weight > rw + 1e-12 || item.volume > rv + 1e-12 {
+                continue;
+            }
+            if seen.iter().any(|&(w, v)| (w - rw).abs() < 1e-12 && (v - rv).abs() < 1e-12) {
+                continue;
+            }
+            seen.push((rw, rv));
+            self.residual[s] = (rw - item.weight, rv - item.volume);
+            self.current.assign(item_idx, Some(s));
+            self.dfs_shared(depth + 1, profit + item.profit, shared);
+            self.current.assign(item_idx, None);
+            self.residual[s] = (rw, rv);
+        }
+        self.dfs_shared(depth + 1, profit, shared);
     }
 }
 
@@ -313,5 +717,123 @@ mod tests {
         assert!(s.packing.is_feasible(&p));
         let full = BranchAndBound::new().solve(&p);
         assert!(full.profit >= s.profit);
+    }
+
+    /// Tests below flip the process-wide thread override; serialise them.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn random_integer_problem(rng: &mut StdRng, max_items: usize) -> Problem {
+        let n = rng.gen_range(1..=max_items);
+        let m = rng.gen_range(1..=4);
+        let items: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..5.0f64).round(),
+                    rng.gen_range(0.0..5.0f64).round(),
+                    rng.gen_range(0.0..10.0f64).round(),
+                )
+            })
+            .collect();
+        let sacks: Vec<(f64, f64)> = (0..m)
+            .map(|_| (rng.gen_range(0.0..9.0f64).round(), rng.gen_range(0.0..9.0f64).round()))
+            .collect();
+        problem(items, sacks)
+    }
+
+    #[test]
+    fn solver_options_builder_composes() {
+        let opts =
+            SolverOptions::new().node_limit(10).deadline(Duration::from_millis(5)).parallel(true);
+        assert_eq!(opts.node_limit, Some(10));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
+        assert!(opts.parallel);
+        assert_eq!(BranchAndBound::with_options(opts).options(), &opts);
+        assert_eq!(BranchAndBound::with_node_limit(7).options().node_limit, Some(7));
+        assert_eq!(BranchAndBound::new().options(), &SolverOptions::default());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bits_across_thread_counts() {
+        let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(77);
+        let serial_solver = BranchAndBound::new();
+        let par_solver = BranchAndBound::with_options(SolverOptions::new().parallel(true));
+        for round in 0..20 {
+            let p = random_integer_problem(&mut rng, 18);
+            let serial = serial_solver.solve(&p);
+            for threads in [1usize, 2, 8] {
+                let _t = parallel::ScopedThreads::new(threads);
+                let par = par_solver.solve(&p);
+                assert_eq!(
+                    par.profit.to_bits(),
+                    serial.profit.to_bits(),
+                    "round {round} threads {threads}: profit mismatch {} vs {}",
+                    par.profit,
+                    serial.profit
+                );
+                assert_eq!(
+                    par.packing.placement(),
+                    serial.packing.placement(),
+                    "round {round} threads {threads}: assignment mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_brute_force_on_small_instances() {
+        let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _t = parallel::ScopedThreads::new(4);
+        let mut rng = StdRng::seed_from_u64(31);
+        let solver = BranchAndBound::with_options(SolverOptions::new().parallel(true));
+        for round in 0..40 {
+            let p = random_integer_problem(&mut rng, 7);
+            let par = solver.solve(&p);
+            let bf = brute_force(&p);
+            assert!(
+                (par.profit - bf.profit).abs() < 1e-9,
+                "round {round}: parallel {} vs brute force {}",
+                par.profit,
+                bf.profit
+            );
+            assert!(par.packing.is_feasible(&p));
+        }
+    }
+
+    #[test]
+    fn parallel_node_limit_is_thread_count_invariant() {
+        let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(5151);
+        let p = random_integer_problem(&mut rng, 18);
+        let solver =
+            BranchAndBound::with_options(SolverOptions::new().parallel(true).node_limit(40));
+        let reference = {
+            let _t = parallel::ScopedThreads::new(1);
+            solver.solve(&p)
+        };
+        assert!(reference.packing.is_feasible(&p));
+        for threads in [2usize, 8] {
+            let _t = parallel::ScopedThreads::new(threads);
+            let got = solver.solve(&p);
+            assert_eq!(got.profit.to_bits(), reference.profit.to_bits(), "threads {threads}");
+            assert_eq!(got.packing.placement(), reference.packing.placement());
+        }
+    }
+
+    #[test]
+    fn deadline_returns_feasible_incumbent() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let items: Vec<(f64, f64, f64)> = (0..26)
+            .map(|_| (rng.gen_range(1.0..5.0), rng.gen_range(1.0..5.0), rng.gen_range(1.0..10.0)))
+            .collect();
+        let p = problem(items, vec![(16.0, 16.0), (12.0, 12.0), (8.0, 8.0)]);
+        for opts in [
+            SolverOptions::new().deadline(Duration::ZERO),
+            SolverOptions::new().deadline(Duration::ZERO).parallel(true),
+        ] {
+            let s = BranchAndBound::with_options(opts).solve(&p);
+            assert!(s.packing.is_feasible(&p));
+            assert!(s.profit >= 0.0);
+        }
     }
 }

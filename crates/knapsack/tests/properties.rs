@@ -3,10 +3,17 @@
 //! monotonicity of the optimum in capacity.
 
 use knapsack::bounds::upper_bound;
-use knapsack::exact::{brute_force, BranchAndBound};
+use knapsack::exact::{brute_force, BranchAndBound, SolverOptions};
 use knapsack::greedy::{greedy, greedy_with_local_search};
 use knapsack::problem::{Item, Problem, Sack};
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The parallel-vs-serial tests flip the process-wide thread override;
+/// serialise them so concurrent test threads don't fight over it. (The
+/// override never changes any *result* — only which sweep a test believes
+/// it is timing — but the tests are only meaningful when it sticks.)
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
 
 fn small_problem() -> impl Strategy<Value = Problem> {
     let item = (0.0f64..5.0, 0.0f64..5.0, 0.0f64..1.0)
@@ -14,6 +21,18 @@ fn small_problem() -> impl Strategy<Value = Problem> {
     let sack =
         (0.0f64..10.0, 0.0f64..10.0).prop_map(|(w, v)| Sack::new(w, v).expect("valid ranges"));
     (prop::collection::vec(item, 0..8), prop::collection::vec(sack, 1..4))
+        .prop_map(|(items, sacks)| Problem::new(items, sacks).expect("sacks non-empty"))
+}
+
+/// Integer-valued MCMK instances: profit gaps are ≥ 1 ≫ the solver's
+/// 1e-12 epsilon, so serial and parallel answers must agree to the bit.
+fn integer_problem() -> impl Strategy<Value = Problem> {
+    let item = (0u8..5, 0u8..5, 0u8..10).prop_map(|(w, v, p)| {
+        Item::new(f64::from(w), f64::from(v), f64::from(p)).expect("valid ranges")
+    });
+    let sack = (0u8..10, 0u8..10)
+        .prop_map(|(w, v)| Sack::new(f64::from(w), f64::from(v)).expect("valid ranges"));
+    (prop::collection::vec(item, 0..16), prop::collection::vec(sack, 1..5))
         .prop_map(|(items, sacks)| Problem::new(items, sacks).expect("sacks non-empty"))
 }
 
@@ -92,6 +111,35 @@ proptest! {
         let grown = Problem::new(items, p.sacks().to_vec()).expect("sacks unchanged");
         let bigger = BranchAndBound::new().solve(&grown).profit;
         prop_assert!(bigger + 1e-9 >= base, "new item reduced optimum");
+    }
+
+    #[test]
+    fn parallel_bnb_matches_serial_optimum_and_assignment(p in integer_problem()) {
+        let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let serial = BranchAndBound::new().solve(&p);
+        let par_solver = BranchAndBound::with_options(SolverOptions::new().parallel(true));
+        for threads in [1usize, 2, 8] {
+            let _t = parallel::ScopedThreads::new(threads);
+            let par = par_solver.solve(&p);
+            prop_assert_eq!(par.profit.to_bits(), serial.profit.to_bits(),
+                "threads {}: parallel profit {} != serial {}", threads, par.profit, serial.profit);
+            prop_assert_eq!(par.packing.placement(), serial.packing.placement(),
+                "threads {}: assignment diverged", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_bnb_profit_within_eps_on_continuous_instances(p in medium_problem()) {
+        let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _t = parallel::ScopedThreads::new(4);
+        let serial = BranchAndBound::new().solve(&p);
+        let par = BranchAndBound::with_options(SolverOptions::new().parallel(true)).solve(&p);
+        // Continuous profits can tie within the solver's 1e-12 prune
+        // epsilon, where the assignment may legitimately differ; the
+        // optimum value itself must still agree to ~1e-12.
+        prop_assert!((par.profit - serial.profit).abs() < 1e-9,
+            "parallel {} vs serial {}", par.profit, serial.profit);
+        prop_assert!(par.packing.is_feasible(&p));
     }
 
     #[test]

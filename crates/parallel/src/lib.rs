@@ -98,6 +98,54 @@ pub fn set_max_threads(threads: usize) {
     MAX_THREADS_OVERRIDE.store(threads, Ordering::SeqCst);
 }
 
+/// The raw process-wide override as last set by [`set_max_threads`] (or an
+/// active [`ScopedThreads`] guard); `0` means "no override". Unlike
+/// [`max_threads`] this does not consult `DCTA_THREADS` or detected
+/// parallelism — it exists so callers can save and restore the override
+/// around a temporary change.
+pub fn max_threads_override() -> usize {
+    MAX_THREADS_OVERRIDE.load(Ordering::SeqCst)
+}
+
+/// RAII guard that overrides the process-wide thread count for a scope.
+///
+/// On construction the guard swaps in `threads` (as [`set_max_threads`]
+/// would); on drop it restores the override that was active before, so
+/// guards nest LIFO. The override is *process-wide*, not thread-local:
+/// concurrent scopes with different guards race on the same slot, so the
+/// guard is intended for the single-threaded orchestration layers
+/// (pipeline construction, benchmark drivers), not for worker closures.
+/// Per the crate determinism contract the override only changes how work
+/// is scheduled, never the bits of any result.
+///
+/// ```
+/// parallel::set_max_threads(0);
+/// {
+///     let _guard = parallel::ScopedThreads::new(2);
+///     assert_eq!(parallel::max_threads(), 2);
+/// }
+/// assert_eq!(parallel::max_threads_override(), 0);
+/// ```
+#[derive(Debug)]
+#[must_use = "the override is restored when the guard drops"]
+pub struct ScopedThreads {
+    prior: usize,
+}
+
+impl ScopedThreads {
+    /// Overrides the thread count until the guard drops (`0` = clear the
+    /// override for the scope).
+    pub fn new(threads: usize) -> Self {
+        Self { prior: MAX_THREADS_OVERRIDE.swap(threads, Ordering::SeqCst) }
+    }
+}
+
+impl Drop for ScopedThreads {
+    fn drop(&mut self) {
+        MAX_THREADS_OVERRIDE.store(self.prior, Ordering::SeqCst);
+    }
+}
+
 /// The effective maximum thread count: the [`set_max_threads`] override if
 /// set, else `DCTA_THREADS` if parseable and non-zero, else
 /// [`std::thread::available_parallelism`] (1 when undetectable).
@@ -393,6 +441,24 @@ mod tests {
         assert_eq!(max_threads(), 3);
         set_max_threads(0);
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_threads_restores_prior_override() {
+        let _g = guard(5);
+        assert_eq!(max_threads_override(), 5);
+        {
+            let _s = ScopedThreads::new(2);
+            assert_eq!(max_threads(), 2);
+            {
+                let _inner = ScopedThreads::new(7);
+                assert_eq!(max_threads(), 7);
+            }
+            assert_eq!(max_threads(), 2, "inner guard restores outer override");
+        }
+        assert_eq!(max_threads_override(), 5, "outer guard restores set_max_threads value");
+        set_max_threads(0);
+        assert_eq!(max_threads_override(), 0);
     }
 
     #[test]

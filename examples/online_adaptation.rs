@@ -9,7 +9,7 @@
 //! ```
 
 use tatim::buildings::scenario::{Scenario, ScenarioConfig};
-use tatim::core::pipeline::{Method, Pipeline, PipelineConfig};
+use tatim::core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 use tatim::rl::crl::{CrlConfig, LookupMode};
 use tatim::rl::dqn::DqnConfig;
 
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("online kNN (paper's choice)", LookupMode::OnlineKnn),
         ("offline k-means (SVII alternative)", LookupMode::OfflineKMeans { clusters: 3 }),
     ] {
-        let pipeline = Pipeline::new(PipelineConfig {
+        let mut prepared = Pipeline::builder(PipelineConfig {
             workers: 4,
             env_history_days: 4,
             crl: CrlConfig {
@@ -35,12 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..CrlConfig::default()
             },
             ..PipelineConfig::default()
-        });
-        let mut prepared = pipeline.prepare(&scenario)?;
+        })
+        .prepare(&scenario)?;
         println!("== {label} ==");
         let mut captured = 0.0;
         for day in prepared.test_days().collect::<Vec<_>>() {
-            let report = prepared.run_day(Method::Crl, day)?;
+            let report =
+                prepared.run(&RunSpec::new(Method::Crl, day))?.into_healthy().expect("healthy run");
             captured += report.captured_importance;
             println!(
                 "day {day}: scheduled {:>2} tasks, captured importance {:.3}, decision perf {:.3}, store size {}",

@@ -6,7 +6,7 @@
 //! ```
 
 use tatim::buildings::scenario::{Scenario, ScenarioConfig};
-use tatim::core::pipeline::{Method, Pipeline, PipelineConfig};
+use tatim::core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 use tatim::rl::crl::CrlConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,26 +29,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Offline phase: train COP models, build the CRL environment store and
     // the SVM local process from the first evaluation days.
-    let pipeline = Pipeline::new(PipelineConfig {
+    let mut prepared = Pipeline::builder(PipelineConfig {
         workers: 4,
         env_history_days: 4,
         crl: CrlConfig { episodes: 40, ..CrlConfig::default() },
         ..PipelineConfig::default()
-    });
-    let mut prepared = pipeline.prepare(&scenario)?;
+    })
+    .prepare(&scenario)?;
 
     // Online phase: allocate and execute each remaining day with DCTA and
     // the Random Mapping baseline.
     println!("\n{:>4}  {:>10}  {:>10}  {:>9}  {:>9}", "day", "DCTA PT", "RM PT", "DCTA H", "RM H");
     for day in prepared.test_days().collect::<Vec<_>>() {
-        let dcta = prepared.run_day(Method::Dcta, day)?;
-        let rm = prepared.run_day(Method::RandomMapping, day)?;
+        let dcta = prepared.run(&RunSpec::new(Method::Dcta, day))?;
+        let rm = prepared.run(&RunSpec::new(Method::RandomMapping, day))?;
         println!(
             "{day:>4}  {:>9.1}s  {:>9.1}s  {:>9.3}  {:>9.3}",
-            dcta.processing_time_s,
-            rm.processing_time_s,
-            dcta.decision_performance,
-            rm.decision_performance
+            dcta.processing_time_s(),
+            rm.processing_time_s(),
+            dcta.decision_performance(),
+            rm.decision_performance()
         );
     }
     println!("\nDCTA runs only the important tasks, cutting processing time while");

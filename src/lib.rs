@@ -21,13 +21,14 @@
 //!
 //! ```
 //! use tatim::buildings::scenario::{Scenario, ScenarioConfig};
-//! use tatim::core::pipeline::{Pipeline, PipelineConfig};
+//! use tatim::core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let scenario = Scenario::generate(ScenarioConfig { num_tasks: 10, ..Default::default() })?;
-//! let pipeline = Pipeline::new(PipelineConfig::default());
-//! let report = pipeline.run_day(&scenario, 0)?;
-//! assert!(report.decision_performance >= 0.0);
+//! let mut prepared = Pipeline::builder(PipelineConfig::default()).prepare(&scenario)?;
+//! let day = prepared.test_days().start;
+//! let report = prepared.run(&RunSpec::new(Method::Dcta, day))?;
+//! assert!(report.decision_performance() >= 0.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,7 +65,10 @@ pub mod prelude {
     pub use dcta_core::allocation::Allocation;
     pub use dcta_core::dcta::DctaAllocator;
     pub use dcta_core::importance::{CopModels, ImportanceEvaluator};
-    pub use dcta_core::pipeline::{DayReport, Method, Pipeline, PipelineConfig, PreparedPipeline};
+    pub use dcta_core::pipeline::{
+        DayReport, Method, Pipeline, PipelineBuilder, PipelineConfig, PreparedPipeline, RunReport,
+        RunSpec,
+    };
     pub use dcta_core::processor::{Processor, ProcessorFleet};
     pub use dcta_core::task::{EdgeTask, TaskId};
     pub use dcta_core::tatim::TatimInstance;

@@ -3,7 +3,7 @@
 //! claims hold across the whole stack.
 
 use tatim::buildings::scenario::{Scenario, ScenarioConfig};
-use tatim::core::pipeline::{Method, Pipeline, PipelineConfig};
+use tatim::core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 use tatim::rl::crl::CrlConfig;
 use tatim::rl::dqn::DqnConfig;
 
@@ -21,8 +21,8 @@ fn scenario() -> Scenario {
     .expect("scenario generates")
 }
 
-fn pipeline() -> Pipeline {
-    Pipeline::new(PipelineConfig {
+fn config() -> PipelineConfig {
+    PipelineConfig {
         workers: 4,
         env_history_days: 5,
         crl: CrlConfig {
@@ -31,18 +31,22 @@ fn pipeline() -> Pipeline {
             ..CrlConfig::default()
         },
         ..PipelineConfig::default()
-    })
+    }
 }
 
 #[test]
 fn full_stack_produces_consistent_reports() {
     let s = scenario();
-    let mut prepared = pipeline().prepare(&s).expect("prepare");
+    let mut prepared = Pipeline::builder(config()).prepare(&s).expect("prepare");
     let days: Vec<usize> = prepared.test_days().collect();
     assert_eq!(days.len(), 4);
     for &day in &days {
         for method in [Method::RandomMapping, Method::Dml, Method::Crl, Method::Dcta] {
-            let r = prepared.run_day(method, day).expect("run day");
+            let r = prepared
+                .run(&RunSpec::new(method, day))
+                .expect("run day")
+                .into_healthy()
+                .expect("healthy run");
             assert_eq!(r.day, day);
             assert!(r.processing_time_s.is_finite() && r.processing_time_s > 0.0);
             assert!((0.0..=1.0).contains(&r.decision_performance));
@@ -55,15 +59,18 @@ fn full_stack_produces_consistent_reports() {
 #[test]
 fn importance_aware_methods_save_processing_time() {
     let s = scenario();
-    let mut prepared = pipeline().prepare(&s).expect("prepare");
+    let mut prepared = Pipeline::builder(config()).prepare(&s).expect("prepare");
     let mut rm = 0.0;
     let mut dml = 0.0;
     let mut dcta = 0.0;
     let days: Vec<usize> = prepared.test_days().collect();
     for &day in &days {
-        rm += prepared.run_day(Method::RandomMapping, day).expect("rm").processing_time_s;
-        dml += prepared.run_day(Method::Dml, day).expect("dml").processing_time_s;
-        dcta += prepared.run_day(Method::Dcta, day).expect("dcta").processing_time_s;
+        rm += prepared
+            .run(&RunSpec::new(Method::RandomMapping, day))
+            .expect("rm")
+            .processing_time_s();
+        dml += prepared.run(&RunSpec::new(Method::Dml, day)).expect("dml").processing_time_s();
+        dcta += prepared.run(&RunSpec::new(Method::Dcta, day)).expect("dcta").processing_time_s();
     }
     // The paper's headline: importance-aware allocation cuts PT vs both
     // non-selective baselines, and RM is the worst.
@@ -74,14 +81,16 @@ fn importance_aware_methods_save_processing_time() {
 #[test]
 fn decision_performance_survives_task_selection() {
     let s = scenario();
-    let mut prepared = pipeline().prepare(&s).expect("prepare");
+    let mut prepared = Pipeline::builder(config()).prepare(&s).expect("prepare");
     let days: Vec<usize> = prepared.test_days().collect();
     let mut full = 0.0;
     let mut selected = 0.0;
     for &day in &days {
-        full += prepared.run_day(Method::Dml, day).expect("dml").decision_performance;
-        selected +=
-            prepared.run_day(Method::GreedyOracle, day).expect("oracle").decision_performance;
+        full += prepared.run(&RunSpec::new(Method::Dml, day)).expect("dml").decision_performance();
+        selected += prepared
+            .run(&RunSpec::new(Method::GreedyOracle, day))
+            .expect("oracle")
+            .decision_performance();
     }
     // Dropping the unimportant tasks must cost almost nothing: the
     // "without performance degradation" claim.
@@ -91,14 +100,14 @@ fn decision_performance_survives_task_selection() {
 #[test]
 fn determinism_per_seed() {
     let s = scenario();
-    let mut a = pipeline().prepare(&s).expect("prepare a");
-    let mut b = pipeline().prepare(&s).expect("prepare b");
+    let mut a = Pipeline::builder(config()).prepare(&s).expect("prepare a");
+    let mut b = Pipeline::builder(config()).prepare(&s).expect("prepare b");
     let day = a.test_days().start;
     // Deterministic methods must agree across identically-seeded pipelines.
     for method in [Method::Dml, Method::GreedyOracle, Method::Dcta] {
-        let ra = a.run_day(method, day).expect("a");
-        let rb = b.run_day(method, day).expect("b");
-        assert_eq!(ra.allocation, rb.allocation, "{method} not deterministic");
+        let ra = a.run(&RunSpec::new(method, day)).expect("a");
+        let rb = b.run(&RunSpec::new(method, day)).expect("b");
+        assert_eq!(ra.allocation(), rb.allocation(), "{method} not deterministic");
     }
 }
 
@@ -107,7 +116,7 @@ fn sweeping_workers_reduces_processing_time() {
     let s = scenario();
     let mut pts = Vec::new();
     for workers in [2usize, 6] {
-        let p = Pipeline::new(PipelineConfig {
+        let p = Pipeline::builder(PipelineConfig {
             workers,
             env_history_days: 5,
             crl: CrlConfig {
@@ -119,7 +128,7 @@ fn sweeping_workers_reduces_processing_time() {
         });
         let mut prepared = p.prepare(&s).expect("prepare");
         let day = prepared.test_days().start;
-        pts.push(prepared.run_day(Method::Dml, day).expect("dml").processing_time_s);
+        pts.push(prepared.run(&RunSpec::new(Method::Dml, day)).expect("dml").processing_time_s());
     }
     assert!(pts[1] < pts[0], "more workers should cut PT: {pts:?}");
 }
@@ -127,7 +136,7 @@ fn sweeping_workers_reduces_processing_time() {
 #[test]
 fn bandwidth_scaling_cuts_processing_time_end_to_end() {
     let s = scenario();
-    let mut prepared = pipeline().prepare(&s).expect("prepare");
+    let mut prepared = Pipeline::builder(config()).prepare(&s).expect("prepare");
     let day = prepared.test_days().start;
     let (alloc, overhead) = prepared.allocate(Method::Dml, day).expect("allocate");
     let slow = prepared
