@@ -1,8 +1,8 @@
 //! Tracked performance harness for the deterministic parallel layer.
 //!
 //! ```text
-//! perfbench [--quick] [--seed N] [--threads N] [--key NAME]
-//!           [--trend PATH] [--out PATH]
+//! perfbench [serve_throughput] [--quick] [--seed N] [--threads N]
+//!           [--key NAME] [--trend PATH] [--out PATH]
 //! ```
 //!
 //! Times the hot compute paths — the blocked matmul kernel against the
@@ -19,6 +19,13 @@
 //! additionally writes the single-run report in the old snapshot shape.
 //! For the `*_scalar` baselines the paired batched row's `speedup` is
 //! measured against the scalar row, not against 1.
+//!
+//! The `serve_throughput` mode swaps the kernel suite for the serving
+//! benchmark (`dcta_bench::serving`): one warmed tenant on an
+//! `AllocatorService`, a fixed mixed request stream pushed through a
+//! `ServicePool` at 1, 2 and 8 workers, rows upserted under the same
+//! `--key` machinery. Use a distinct key (e.g. `ci-<sha>-serve`) so the
+//! entry never clobbers the kernel-suite entry for the same commit.
 
 use buildings::scenario::Scenario;
 use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
@@ -60,7 +67,17 @@ struct Report {
     rows: Vec<Row>,
 }
 
+/// Which benchmark suite a `perfbench` invocation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The kernel/pipeline suite (default).
+    Kernels,
+    /// The serving-layer throughput sweep.
+    ServeThroughput,
+}
+
 struct Args {
+    mode: Mode,
     opts: RunOpts,
     threads: usize,
     key: String,
@@ -69,6 +86,7 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut mode = Mode::Kernels;
     let mut opts = RunOpts::default();
     let mut threads = parallel::max_threads();
     let mut key = "local".to_string();
@@ -77,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "serve_throughput" => mode = Mode::ServeThroughput,
             "--quick" => opts.quick = true,
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
@@ -100,15 +119,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perfbench [--quick] [--seed N] [--threads N] [--key NAME] \
-                     [--trend PATH] [--out PATH]"
+                    "perfbench [serve_throughput] [--quick] [--seed N] [--threads N] \
+                     [--key NAME] [--trend PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args { opts, threads, key, trend, out })
+    Ok(Args { mode, opts, threads, key, trend, out })
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -239,6 +258,17 @@ fn crl_instance(scenario: &Scenario) -> TatimInstance {
 
 fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
     let opts = &args.opts;
+    if args.mode == Mode::ServeThroughput {
+        let (rows, cache_hit_rate) = dcta_bench::serving::serve_throughput(opts)?;
+        return Ok(Report {
+            generated_by: "perfbench serve_throughput".to_string(),
+            quick: opts.quick,
+            seed: opts.seed,
+            host_threads: parallel::max_threads(),
+            cache_hit_rate,
+            rows,
+        });
+    }
     let reps = opts.pick(3, 1);
     let scenario = paper_scenario(opts, opts.pick(10, 6))?;
     let models =

@@ -15,6 +15,7 @@
 //! | [`ablations`] | Eq. 6 weight sweep, §VII kNN-vs-k-means lookup, quality gap |
 //! | [`extensions`] | Shapley-vs-LOO importance, shared-medium contention |
 //! | [`faultsweep`] | Robustness extension: crash-rate × MTTR recovery grid |
+//! | [`serving`] | Serving extension: allocation-as-a-service throughput (`perfbench serve_throughput`) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +26,7 @@ pub mod distribution;
 pub mod extensions;
 pub mod faultsweep;
 pub mod localmodel;
+pub mod serving;
 pub mod solvers;
 pub mod staleness;
 pub mod sweeps;

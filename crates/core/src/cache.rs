@@ -20,10 +20,16 @@
 //!   [`ImportanceEvaluator::with_cache`]), and
 //! * the availability mask packed into a `u64` bitset.
 //!
-//! Lookups and inserts go through a [`Mutex`]; hit/miss tallies are
-//! lock-free [`AtomicU64`]s so the parallel leave-one-out loops can count
-//! without contending. Two threads that race on the same missing key both
-//! compute it — the values are identical by determinism, so the second
+//! The map is **sharded**: entries are distributed over [`SHARDS`]
+//! independently-locked shards selected by an FNV-1a fingerprint of the
+//! full key, so concurrent serving threads (see `dcta-serve`) contend only
+//! when they touch the same shard. Recency is a single process-wide atomic
+//! clock, which keeps least-recently-used ordering global across shards;
+//! capacity eviction takes every shard lock in index order (lookups hold at
+//! most one shard lock and never acquire a second, so the ordering is
+//! deadlock-free). Hit/miss tallies are lock-free [`AtomicU64`]s and stay
+//! exact under concurrency. Two threads that race on the same missing key
+//! both compute it — the values are identical by determinism, so the second
 //! insert is a no-op overwrite, never a wrong answer.
 //!
 //! Caches can be **persisted** between runs ([`ImportanceCache::save_file`] /
@@ -129,6 +135,25 @@ struct CacheKey {
     mask: Vec<u64>,
 }
 
+/// Number of independently-locked shards. A fixed power of two keeps shard
+/// selection a mask and the behaviour identical on every host.
+const SHARDS: usize = 8;
+
+impl CacheKey {
+    /// The shard this key lives in: an FNV-1a fingerprint over every key
+    /// word, masked down to a shard index.
+    fn shard(&self) -> usize {
+        let mut fp = Fingerprint::new();
+        fp.push_u64(self.seed);
+        fp.push_u64(self.evaluator);
+        fp.push_u64(self.day);
+        for &word in &self.mask {
+            fp.push_u64(word);
+        }
+        (fp.finish() as usize) & (SHARDS - 1)
+    }
+}
+
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -176,34 +201,10 @@ struct Slot {
     last_used: u64,
 }
 
-/// The locked interior: the map plus a logical recency clock.
+/// One independently-locked shard of the map.
 #[derive(Debug, Default)]
-struct Store {
+struct Shard {
     map: HashMap<CacheKey, Slot>,
-    clock: u64,
-}
-
-impl Store {
-    /// Inserts (stamping the entry most-recent) and evicts down to
-    /// `capacity` by least-recently-used. Returns the eviction count.
-    fn insert(&mut self, key: CacheKey, value: f64, capacity: Option<usize>) -> u64 {
-        self.clock += 1;
-        self.map.insert(key, Slot { value, last_used: self.clock });
-        let mut evicted = 0;
-        if let Some(cap) = capacity {
-            while self.map.len() > cap {
-                let oldest = self
-                    .map
-                    .iter()
-                    .min_by_key(|(_, slot)| slot.last_used)
-                    .map(|(k, _)| k.clone())
-                    .expect("map over capacity is non-empty");
-                self.map.remove(&oldest);
-                evicted += 1;
-            }
-        }
-        evicted
-    }
 }
 
 /// Error persisting or restoring a cache.
@@ -257,20 +258,87 @@ const PERSIST_HEADER: &str = "dcta-importance-cache v1";
 /// evaluator fingerprint inside the key enforces this even if a cache is
 /// accidentally shared across ablations — or restored from another run's
 /// dump via [`ImportanceCache::load_file`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ImportanceCache {
-    store: Mutex<Store>,
-    /// Maximum resident entries (`None` = unbounded).
+    shards: [Mutex<Shard>; SHARDS],
+    /// Maximum resident entries across all shards (`None` = unbounded).
     capacity: Option<usize>,
+    /// Global logical recency clock: stamps are process-wide monotonic, so
+    /// least-recently-used ordering stays total across shards.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+}
+
+impl Default for ImportanceCache {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::default()),
+            capacity: None,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ImportanceCache {
     /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The next recency stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Locks every shard in index order. Lookups hold at most one shard
+    /// lock and never acquire a second, so this total order is
+    /// deadlock-free.
+    fn lock_all(&self) -> Vec<std::sync::MutexGuard<'_, Shard>> {
+        self.shards.iter().map(|s| s.lock().expect("cache poisoned")).collect()
+    }
+
+    /// Inserts `key` (stamping it most-recent) and, when a capacity is
+    /// configured, evicts globally least-recently-used entries down to it.
+    fn insert(&self, key: CacheKey, value: f64) {
+        let shard = key.shard();
+        let stamp = self.tick();
+        self.shards[shard]
+            .lock()
+            .expect("cache poisoned")
+            .map
+            .insert(key, Slot { value, last_used: stamp });
+        if let Some(cap) = self.capacity {
+            self.evict_to(cap);
+        }
+    }
+
+    /// Evicts globally least-recently-used entries until at most `cap`
+    /// remain. Takes every shard lock for the duration — only capped caches
+    /// ever pay this, and only on inserts past capacity.
+    fn evict_to(&self, cap: usize) {
+        let mut guards = self.lock_all();
+        loop {
+            let total: usize = guards.iter().map(|g| g.map.len()).sum();
+            if total <= cap {
+                return;
+            }
+            let mut oldest: Option<(usize, CacheKey, u64)> = None;
+            for (i, guard) in guards.iter().enumerate() {
+                for (k, slot) in &guard.map {
+                    if oldest.as_ref().is_none_or(|(_, _, stamp)| slot.last_used < *stamp) {
+                        oldest = Some((i, k.clone(), slot.last_used));
+                    }
+                }
+            }
+            let (i, key, _) = oldest.expect("map over capacity is non-empty");
+            guards[i].map.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Creates an empty cache that holds at most `capacity` entries,
@@ -306,11 +374,9 @@ impl ImportanceCache {
     ) -> Result<f64, E> {
         let key = CacheKey { seed, evaluator, day, mask: pack_mask(available) };
         {
-            let mut store = self.store.lock().expect("cache poisoned");
-            store.clock += 1;
-            let clock = store.clock;
-            if let Some(slot) = store.map.get_mut(&key) {
-                slot.last_used = clock;
+            let mut shard = self.shards[key.shard()].lock().expect("cache poisoned");
+            if let Some(slot) = shard.map.get_mut(&key) {
+                slot.last_used = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(slot.value);
             }
@@ -320,8 +386,7 @@ impl ImportanceCache {
         // must not serialise on each other's misses.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute()?;
-        let evicted = self.store.lock().expect("cache poisoned").insert(key, value, self.capacity);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.insert(key, value);
         Ok(value)
     }
 
@@ -330,16 +395,18 @@ impl ImportanceCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.store.lock().expect("cache poisoned").map.len(),
+            entries: self.lock_all().iter().map(|g| g.map.len()).sum(),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry and zeroes the counters.
     pub fn clear(&self) {
-        let mut store = self.store.lock().expect("cache poisoned");
-        store.map.clear();
-        store.clock = 0;
+        let mut guards = self.lock_all();
+        for guard in &mut guards {
+            guard.map.clear();
+        }
+        self.clock.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
@@ -350,8 +417,9 @@ impl ImportanceCache {
     /// same eviction order. Values are written as exact `f64` bit patterns
     /// — persistence must not perturb a single bit of any result.
     pub fn to_text(&self) -> String {
-        let store = self.store.lock().expect("cache poisoned");
-        let mut entries: Vec<(&CacheKey, &Slot)> = store.map.iter().collect();
+        let guards = self.lock_all();
+        let mut entries: Vec<(&CacheKey, &Slot)> =
+            guards.iter().flat_map(|g| g.map.iter()).collect();
         entries.sort_by_key(|(_, slot)| slot.last_used);
         let mut out = String::from(PERSIST_HEADER);
         out.push('\n');
@@ -421,12 +489,9 @@ impl ImportanceCache {
             parsed.push((CacheKey { seed, evaluator, day, mask }, value));
         }
         let count = parsed.len();
-        let mut store = self.store.lock().expect("cache poisoned");
-        let mut evicted = 0;
         for (key, value) in parsed {
-            evicted += store.insert(key, value, self.capacity);
+            self.insert(key, value);
         }
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(count)
     }
 
@@ -507,6 +572,46 @@ mod tests {
         cache.clear();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_lookups_keep_counters_exact() {
+        let cache = ImportanceCache::new();
+        const THREADS: u64 = 8;
+        const KEYS: u64 = 32;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                scope.spawn(move || {
+                    // Every thread touches every key twice: the second pass is
+                    // all hits, and the per-key value must come back bit-equal
+                    // no matter which thread computed it first.
+                    for _pass in 0..2 {
+                        for day in 0..KEYS {
+                            let value = cache
+                                .lookup_or_compute(7, 1, day, &[day % 3 == 0], || {
+                                    Ok::<f64, ()>((day as f64) * 0.125 + 1.0)
+                                })
+                                .expect("compute is infallible");
+                            assert_eq!(
+                                value.to_bits(),
+                                ((day as f64) * 0.125 + 1.0).to_bits(),
+                                "thread {t} day {day}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, KEYS as usize);
+        // Exactly one miss per key is not guaranteed (two threads can race the
+        // same cold key), but hits + misses is the exact number of lookups and
+        // misses is bounded by lookups of cold slots.
+        assert_eq!(stats.hits + stats.misses, THREADS * KEYS * 2);
+        assert!(stats.misses >= KEYS);
+        assert!(stats.misses <= THREADS * KEYS);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::allocation::Allocation;
 use crate::tatim::TatimInstance;
-use rl::crl::{Crl, CrlAllocation, CrlConfig, CrlError, EnvironmentRecord, EnvironmentStore};
+use rl::crl::{
+    Crl, CrlAllocation, CrlConfig, CrlError, EnvironmentRecord, EnvironmentStore, SharedCrl,
+};
 
 /// CRL allocator over [`TatimInstance`]s.
 ///
@@ -76,6 +78,77 @@ impl CrlAllocator {
     /// Propagates [`CrlError`].
     pub fn allocate(
         &mut self,
+        instance: &TatimInstance,
+        signature: &[f64],
+    ) -> Result<CrlOutcome, CrlError> {
+        let spec = instance.to_alloc_spec();
+        let CrlAllocation { assignment, estimated_importances, cache_hit, .. } =
+            self.crl.allocate(signature, &spec)?;
+        Ok(CrlOutcome {
+            allocation: Allocation::from_placement(assignment),
+            estimated_importances,
+            cache_hit,
+        })
+    }
+
+    /// Converts this allocator into a thread-shareable
+    /// [`SharedCrlAllocator`] bound to `instance`'s task geometry — the
+    /// core-side face of [`rl::crl::Crl::freeze`]. Any agents already
+    /// cached here are discarded; the frozen allocator retrains them
+    /// race-free with the `pretrain` seed formula, so its allocations are
+    /// bit-identical to a pretrained mutable allocator's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrlError`] (empty store, shape mismatch).
+    pub fn freeze(self, instance: &TatimInstance) -> Result<SharedCrlAllocator, CrlError> {
+        Ok(SharedCrlAllocator { crl: self.crl.freeze(&instance.to_alloc_spec())? })
+    }
+}
+
+/// A frozen, `&self`-only CRL allocator over [`TatimInstance`]s (see
+/// [`CrlAllocator::freeze`]); safe to share across request threads.
+#[derive(Debug)]
+pub struct SharedCrlAllocator {
+    crl: SharedCrl,
+}
+
+impl SharedCrlAllocator {
+    /// Number of stored environments.
+    pub fn store_len(&self) -> usize {
+        self.crl.store().len()
+    }
+
+    /// Number of agents trained so far.
+    pub fn cached_agents(&self) -> usize {
+        self.crl.cached_agents()
+    }
+
+    /// Trains every key's agent up front, in parallel. Returns the number
+    /// trained now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrlError`].
+    pub fn pretrain_all(&self) -> Result<usize, CrlError> {
+        self.crl.pretrain_all()
+    }
+
+    /// The underlying frozen CRL — exposes per-key agents for batched
+    /// Q-value serving.
+    pub fn shared(&self) -> &SharedCrl {
+        &self.crl
+    }
+
+    /// Allocates `instance` for `signature`, lazily (and race-free)
+    /// training the context's agent on first touch. Matches
+    /// [`CrlAllocator::allocate`] on a pretrained allocator bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrlError`].
+    pub fn allocate(
+        &self,
         instance: &TatimInstance,
         signature: &[f64],
     ) -> Result<CrlOutcome, CrlError> {

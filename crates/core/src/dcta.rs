@@ -17,7 +17,7 @@
 //! "more important tasks to more powerful edge devices").
 
 use crate::allocation::Allocation;
-use crate::crl_alloc::{CrlAllocator, CrlOutcome};
+use crate::crl_alloc::{CrlAllocator, CrlOutcome, SharedCrlAllocator};
 use crate::local::{LocalError, LocalProcess};
 use crate::tatim::{TatimError, TatimInstance};
 use rl::crl::CrlError;
@@ -182,6 +182,77 @@ impl DctaAllocator {
         let (packed, _) = scored.solve_greedy()?;
         // …then speed-aware placement of the selected set: heaviest tasks
         // onto the fastest processors, respecting both budgets.
+        let allocation = speed_aware_placement(instance, &packed);
+        Ok(DctaOutcome { allocation, combined_scores: combined, crl: crl_outcome })
+    }
+
+    /// Converts this allocator into a thread-shareable [`SharedDcta`] bound
+    /// to `instance`'s task geometry: the general process is frozen via
+    /// [`CrlAllocator::freeze`], the (already immutable) local process and
+    /// weights move across unchanged. The frozen allocator's outcomes are
+    /// bit-identical to a pretrained mutable allocator's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrlError`] from freezing the general process.
+    pub fn freeze(self, instance: &TatimInstance) -> Result<SharedDcta, DctaError> {
+        Ok(SharedDcta {
+            crl: self.crl.freeze(instance)?,
+            local: self.local,
+            w1: self.w1,
+            w2: self.w2,
+        })
+    }
+}
+
+/// A frozen, `&self`-only cooperative allocator (see
+/// [`DctaAllocator::freeze`]); safe to share across request threads.
+#[derive(Debug)]
+pub struct SharedDcta {
+    crl: SharedCrlAllocator,
+    local: LocalProcess,
+    w1: f64,
+    w2: f64,
+}
+
+impl SharedDcta {
+    /// The cooperative weights `(w1, w2)`.
+    pub fn weights(&self) -> (f64, f64) {
+        (self.w1, self.w2)
+    }
+
+    /// Read access to the frozen general process.
+    pub fn crl(&self) -> &SharedCrlAllocator {
+        &self.crl
+    }
+
+    /// Allocates `instance` for the day described by `signature` and
+    /// `local_rows` — [`DctaAllocator::allocate`] arithmetic, verbatim,
+    /// against the frozen general process.
+    ///
+    /// # Errors
+    ///
+    /// See [`DctaError`] variants.
+    pub fn allocate(
+        &self,
+        instance: &TatimInstance,
+        signature: &[f64],
+        local_rows: &[Vec<f64>],
+    ) -> Result<DctaOutcome, DctaError> {
+        let n = instance.num_tasks();
+        if local_rows.len() != n {
+            return Err(DctaError::FeatureCount { tasks: n, rows: local_rows.len() });
+        }
+        let crl_outcome = self.crl.allocate(instance, signature)?;
+        let mut combined = Vec::with_capacity(n);
+        let norm = self.w1 + self.w2;
+        for (j, row) in local_rows.iter().enumerate() {
+            let f1 = f64::from(crl_outcome.allocation.processor_of(j).is_some());
+            let f2 = self.local.selection_score(row)?;
+            combined.push((self.w1 * f1 + self.w2 * f2) / norm);
+        }
+        let scored = instance.with_importances(&combined);
+        let (packed, _) = scored.solve_greedy()?;
         let allocation = speed_aware_placement(instance, &packed);
         Ok(DctaOutcome { allocation, combined_scores: combined, crl: crl_outcome })
     }

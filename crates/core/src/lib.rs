@@ -22,6 +22,9 @@
 //!   paper's PT / decision-performance metrics.
 //! * [`recovery`] — importance-aware re-planning after mid-run processor
 //!   loss (re-solve over survivors, shed least-important first).
+//! * [`shared`] — the frozen `Send + Sync` pipeline core
+//!   ([`shared::PreparedCore`]) a concurrent serving layer shares across
+//!   request threads.
 //! * [`shapley`] — permutation-sampling group importance (an extension
 //!   beyond the paper's leave-one-out metric).
 //!
@@ -56,5 +59,6 @@ pub mod pipeline;
 pub mod processor;
 pub mod recovery;
 pub mod shapley;
+pub mod shared;
 pub mod task;
 pub mod tatim;

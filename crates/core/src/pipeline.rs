@@ -971,6 +971,36 @@ impl<'a> PreparedPipeline<'a> {
         }
     }
 
+    /// Freezes this pipeline into a [`crate::shared::PreparedCore`] — the
+    /// `Send + Sync`, `&self`-only form a serving layer shares across
+    /// request threads. The core owns a clone of the scenario (no borrow to
+    /// keep alive) and retrains any lazily-cached CRL agents race-free with
+    /// the `pretrain` per-key seed formula, so for every method except
+    /// [`Method::RandomMapping`] its runs are bit-identical to this
+    /// pipeline's with `.pretrain(true)` (see the `shared` module docs for
+    /// the `RandomMapping` caveat).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrlError`] from freezing the CRL allocators (e.g. an
+    /// empty environment store).
+    pub fn into_core(self) -> Result<crate::shared::PreparedCore, PipelineError> {
+        let base = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        Ok(crate::shared::PreparedCore::from_parts(
+            Scenario::clone(self.scenario),
+            self.config,
+            self.models,
+            self.cluster,
+            self.fleet,
+            self.tasks,
+            self.true_importances,
+            self.crl.freeze(&base)?,
+            self.dcta.freeze(&base)?,
+            self.history,
+            self.cache,
+        ))
+    }
+
     fn run_faulted_impl(
         &mut self,
         method: Method,

@@ -1,0 +1,570 @@
+//! A `Send + Sync` prepared pipeline for concurrent serving.
+//!
+//! [`crate::pipeline::PreparedPipeline`] is a batch artefact: it borrows its
+//! scenario, takes `&mut self` everywhere (a shared RNG, lazily-trained CRL
+//! agents, accumulating stores), and therefore serves exactly one caller.
+//! [`PreparedCore`] is its frozen counterpart for a serving layer: it owns
+//! its scenario, every method takes `&self`, and all interior state is
+//! thread-safe — the sharded [`ImportanceCache`], the per-key `OnceLock`
+//! agent slots inside the frozen CRL allocators, and per-request seeded RNG
+//! for the one stochastic baseline.
+//!
+//! ## Determinism contract
+//!
+//! For every method except [`Method::RandomMapping`], a `PreparedCore` run
+//! is bit-identical to the same [`RunSpec`] on a `PreparedPipeline` built
+//! with `.pretrain(true)` — frozen agents are trained with the `pretrain`
+//! per-key seed formula, so neither request order, nor request interleaving,
+//! nor the number of serving threads can change a single answer bit.
+//! `RandomMapping` draws from a fresh RNG seeded by `(config.seed, day)`
+//! instead of the batch pipeline's sequential shared stream: still fully
+//! deterministic and interleaving-invariant, but its draws differ from the
+//! mutable pipeline's (which depend on how many allocations preceded them —
+//! a history no concurrent server can meaningfully reproduce).
+//!
+//! The frozen core deliberately has no `observe_day`: the accumulating
+//! environment store is an offline-phase facility. Re-prepare and re-freeze
+//! to fold new days in.
+
+use crate::allocation::Allocation;
+use crate::baselines::{dml_balanced, random_mapping};
+use crate::cache::{CacheStats, ImportanceCache};
+use crate::crl_alloc::SharedCrlAllocator;
+use crate::dcta::SharedDcta;
+use crate::features::{local_features, TaskHistory};
+use crate::importance::{CopModels, ImportanceEvaluator};
+use crate::pipeline::{
+    DayReport, FaultRunReport, Method, PipelineConfig, PipelineError, RunReport, RunSpec,
+};
+use crate::processor::ProcessorFleet;
+use crate::recovery::{self, RecoveryMode};
+use crate::task::EdgeTask;
+use crate::tatim::TatimInstance;
+use buildings::scenario::Scenario;
+use edgesim::cluster::Cluster;
+use edgesim::faults::FaultSchedule;
+use edgesim::node::NodeId;
+use edgesim::run::{simulate, simulate_with_faults, RetryPolicy, SimTask};
+use knapsack::exact::{BranchAndBound, SolverOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+use std::time::Instant;
+
+/// The prepared pipeline, frozen for concurrent `&self` serving (see the
+/// module docs for the determinism contract). Built by
+/// [`crate::pipeline::PreparedPipeline::into_core`].
+#[derive(Debug)]
+pub struct PreparedCore {
+    scenario: Scenario,
+    config: PipelineConfig,
+    models: CopModels,
+    cluster: Cluster,
+    fleet: ProcessorFleet,
+    tasks: Vec<EdgeTask>,
+    true_importances: Vec<Vec<f64>>,
+    crl: SharedCrlAllocator,
+    dcta: SharedDcta,
+    history: TaskHistory,
+    cache: ImportanceCache,
+}
+
+impl PreparedCore {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        scenario: Scenario,
+        config: PipelineConfig,
+        models: CopModels,
+        cluster: Cluster,
+        fleet: ProcessorFleet,
+        tasks: Vec<EdgeTask>,
+        true_importances: Vec<Vec<f64>>,
+        crl: SharedCrlAllocator,
+        dcta: SharedDcta,
+        history: TaskHistory,
+        cache: ImportanceCache,
+    ) -> Self {
+        Self {
+            scenario,
+            config,
+            models,
+            cluster,
+            fleet,
+            tasks,
+            true_importances,
+            crl,
+            dcta,
+            history,
+            cache,
+        }
+    }
+
+    /// The evaluation (non-history) day range.
+    pub fn test_days(&self) -> Range<usize> {
+        self.config.env_history_days..self.scenario.days().len()
+    }
+
+    /// The scenario under evaluation (owned by the core).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The pipeline configuration this core was prepared with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The processor fleet.
+    pub fn fleet(&self) -> &ProcessorFleet {
+        &self.fleet
+    }
+
+    /// The frozen general process (per-key agents for Q-value serving).
+    pub fn crl(&self) -> &SharedCrlAllocator {
+        &self.crl
+    }
+
+    /// The frozen cooperative allocator.
+    pub fn dcta(&self) -> &SharedDcta {
+        &self.dcta
+    }
+
+    /// Hit/miss counters of the shared decision-performance cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// True importances of evaluation day `day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` is out of range.
+    pub fn true_importances(&self, day: usize) -> &[f64] {
+        &self.true_importances[day]
+    }
+
+    /// The sensing signature of day `day` (the CRL context key).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::BadDay`] for out-of-range days.
+    pub fn signature_of_day(&self, day: usize) -> Result<&[f64], PipelineError> {
+        self.check_day(day)?;
+        Ok(&self.scenario.day(day).sensing)
+    }
+
+    /// The blind TATIM instance (no importances priced in) every online
+    /// allocator decides over.
+    pub fn blind_instance(&self) -> TatimInstance {
+        TatimInstance::new(self.tasks.clone(), self.fleet.clone())
+    }
+
+    /// The TATIM instance of a day, priced with its true importances.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::BadDay`] for out-of-range days.
+    pub fn instance_for_day(&self, day: usize) -> Result<TatimInstance, PipelineError> {
+        self.check_day(day)?;
+        Ok(self.blind_instance().with_importances(&self.true_importances[day]))
+    }
+
+    fn check_day(&self, day: usize) -> Result<(), PipelineError> {
+        let range = self.test_days();
+        if !range.contains(&day) {
+            return Err(PipelineError::BadDay { day, range });
+        }
+        Ok(())
+    }
+
+    /// The Table-I local feature rows of day `day` (DCTA's `F2` input).
+    fn local_rows(&self, day: usize) -> Vec<Vec<f64>> {
+        let ctx = self.scenario.day(day);
+        (0..self.tasks.len())
+            .map(|j| local_features(&self.scenario, &self.models, &self.history, ctx, j))
+            .collect()
+    }
+
+    /// Produces `method`'s allocation for evaluation day `day`, plus the
+    /// wall-clock seconds the allocator itself consumed.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn allocate(&self, method: Method, day: usize) -> Result<(Allocation, f64), PipelineError> {
+        self.check_day(day)?;
+        let start = Instant::now();
+        let ctx = self.scenario.day(day);
+        let blind = self.blind_instance();
+        let allocation = match method {
+            Method::RandomMapping => {
+                // Per-request RNG keyed by (seed, day): deterministic and
+                // interleaving-invariant, unlike the batch pipeline's
+                // sequential shared stream (see module docs).
+                let mut rng = StdRng::seed_from_u64(
+                    self.config.seed
+                        ^ 0x51AB
+                        ^ (day as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                random_mapping(&blind, &mut rng)
+            }
+            Method::Dml => dml_balanced(&blind),
+            Method::GreedyOracle => {
+                blind.with_importances(&self.true_importances[day]).solve_greedy()?.0
+            }
+            Method::ExactOracle => {
+                let instance = blind.with_importances(&self.true_importances[day]);
+                let problem = instance.to_knapsack()?;
+                let sol = BranchAndBound::with_options(SolverOptions::new().node_limit(200_000))
+                    .solve(&problem);
+                instance.allocation_from_packing(&sol.packing)
+            }
+            Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
+            Method::Dcta => {
+                let rows = self.local_rows(day);
+                self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
+            }
+        };
+        Ok((allocation, start.elapsed().as_secs_f64()))
+    }
+
+    /// Executes one evaluation run described by `spec` — the `&self`
+    /// counterpart of [`crate::pipeline::PreparedPipeline::run`].
+    ///
+    /// `spec`'s thread override is ignored: the ambient thread count is a
+    /// process-global knob, and scoping it per request from concurrent
+    /// serving threads would race. Results are thread-count invariant
+    /// anyway (§8.1); a serving layer's concurrency comes from its own
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn run(&self, spec: &RunSpec) -> Result<RunReport, PipelineError> {
+        match spec.faults() {
+            None => {
+                let (allocation, overhead) = self.allocate(spec.method(), spec.day())?;
+                let report = self.execute(spec.method(), spec.day(), allocation, overhead)?;
+                Ok(RunReport::Healthy(report))
+            }
+            Some((schedule, mode)) => {
+                let report = self.run_faulted(spec.method(), spec.day(), schedule, mode)?;
+                Ok(RunReport::Faulted(Box::new(report)))
+            }
+        }
+    }
+
+    /// Executes a pre-computed allocation on the simulated testbed.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn execute(
+        &self,
+        method: Method,
+        day: usize,
+        allocation: Allocation,
+        allocator_overhead_s: f64,
+    ) -> Result<DayReport, PipelineError> {
+        self.check_day(day)?;
+        let sim_tasks = self.sim_tasks()?;
+        let node_assignment = allocation.to_node_assignment(&self.fleet);
+        let report = simulate(&self.cluster, &sim_tasks, &node_assignment, self.config.sim)?;
+
+        let available: Vec<bool> =
+            (0..self.tasks.len()).map(|j| allocation.processor_of(j).is_some()).collect();
+        let evaluator =
+            ImportanceEvaluator::new(&self.scenario, &self.models).with_cache(&self.cache);
+        let decision_performance =
+            evaluator.decision_performance(self.scenario.day(day), &available)?;
+        let captured_importance: f64 = available
+            .iter()
+            .zip(&self.true_importances[day])
+            .filter(|(&a, _)| a)
+            .map(|(_, &i)| i)
+            .sum();
+        let scheduled = allocation.scheduled_count();
+        let mut processing_time_s = report.processing_time;
+        if self.config.include_allocation_overhead {
+            processing_time_s += allocator_overhead_s;
+        }
+        Ok(DayReport {
+            method,
+            day,
+            allocation,
+            processing_time_s,
+            decision_performance,
+            scheduled,
+            captured_importance,
+        })
+    }
+
+    fn sim_tasks(&self) -> Result<Vec<SimTask>, PipelineError> {
+        Ok(self
+            .tasks
+            .iter()
+            .map(|t| SimTask::new(t.input_bits(), self.config.result_bits, t.resource_demand()))
+            .collect::<Result<_, _>>()?)
+    }
+
+    fn run_faulted(
+        &self,
+        method: Method,
+        day: usize,
+        schedule: &FaultSchedule,
+        mode: RecoveryMode,
+    ) -> Result<FaultRunReport, PipelineError> {
+        self.check_day(day)?;
+        let (allocation, _) = self.allocate(method, day)?;
+        let sim_tasks = self.sim_tasks()?;
+        let node_assignment = allocation.to_node_assignment(&self.fleet);
+
+        let healthy = simulate(&self.cluster, &sim_tasks, &node_assignment, self.config.sim)?;
+
+        let mut sim_cfg = self.config.sim;
+        sim_cfg.retry = RetryPolicy::no_retry();
+        let faulted =
+            simulate_with_faults(&self.cluster, &sim_tasks, &node_assignment, sim_cfg, schedule)?;
+
+        let n = self.tasks.len();
+        let mut delivered_mask = faulted.completed.clone();
+        let mut simulated_processing_time_s = faulted.processing_time;
+        let mut shed = Vec::new();
+        let mut reallocation_latency_s = 0.0;
+
+        let orphans = faulted.failed_tasks();
+        let survivors: Vec<NodeId> = self
+            .fleet
+            .processors()
+            .iter()
+            .map(|p| p.node)
+            .filter(|node| !faulted.down_at_end.contains(node))
+            .collect();
+        if mode != RecoveryMode::None && !orphans.is_empty() && !survivors.is_empty() {
+            let finished: Vec<bool> =
+                (0..n).map(|j| allocation.processor_of(j).is_none() || delivered_mask[j]).collect();
+            let instance = self.instance_for_day(day)?;
+            let budget = self.config.recovery_budget_fraction;
+            let plan = match mode {
+                RecoveryMode::Resolve => {
+                    recovery::replan(&instance, &finished, &survivors, budget)?
+                }
+                RecoveryMode::RandomShed => recovery::replan_random_shed(
+                    &instance,
+                    &finished,
+                    &survivors,
+                    budget,
+                    self.config.seed ^ day as u64,
+                )?,
+                RecoveryMode::None => unreachable!("guarded above"),
+            };
+            reallocation_latency_s = plan.replan_latency_s;
+            shed = plan.shed;
+            if plan.allocation.scheduled_count() > 0 {
+                let retry_assignment = plan.allocation.to_node_assignment(&self.fleet);
+                let retry_round =
+                    simulate(&self.cluster, &sim_tasks, &retry_assignment, self.config.sim)?;
+                simulated_processing_time_s += retry_round.processing_time;
+                for (j, timeline) in retry_round.timelines.iter().enumerate() {
+                    if timeline.is_some() {
+                        delivered_mask[j] = true;
+                    }
+                }
+            }
+        }
+
+        let evaluator =
+            ImportanceEvaluator::new(&self.scenario, &self.models).with_cache(&self.cache);
+        let scheduled_mask: Vec<bool> =
+            (0..n).map(|j| allocation.processor_of(j).is_some()).collect();
+        let healthy_decision_performance =
+            evaluator.decision_performance(self.scenario.day(day), &scheduled_mask)?;
+        let decision_performance =
+            evaluator.decision_performance(self.scenario.day(day), &delivered_mask)?;
+        let importance_of = |mask: &[bool]| -> f64 {
+            mask.iter().zip(&self.true_importances[day]).filter(|(&m, _)| m).map(|(_, &i)| i).sum()
+        };
+        let healthy_importance = importance_of(&scheduled_mask);
+        let delivered_importance = importance_of(&delivered_mask);
+        let retained_fraction =
+            if healthy_importance <= 0.0 { 1.0 } else { delivered_importance / healthy_importance };
+        let lost: Vec<usize> =
+            (0..n).filter(|&j| scheduled_mask[j] && !delivered_mask[j]).collect();
+        Ok(FaultRunReport {
+            method,
+            day,
+            mode,
+            allocation,
+            healthy_processing_time_s: healthy.processing_time,
+            healthy_importance,
+            healthy_decision_performance,
+            processing_time_s: simulated_processing_time_s + reallocation_latency_s,
+            simulated_processing_time_s,
+            delivered: delivered_mask.iter().filter(|d| **d).count(),
+            delivered_importance,
+            retained_fraction,
+            decision_performance,
+            shed,
+            lost,
+            reallocation_latency_s,
+            failures: faulted.failures,
+            down_at_end: faulted.down_at_end,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use buildings::scenario::ScenarioConfig;
+    use edgesim::faults::FaultSchedule;
+    use rl::crl::CrlConfig;
+    use rl::dqn::DqnConfig;
+
+    fn small_scenario() -> Scenario {
+        Scenario::generate(ScenarioConfig {
+            num_buildings: 2,
+            chillers_per_building: 2,
+            bands_per_chiller: 4,
+            num_tasks: 12,
+            history_days: 50,
+            eval_days: 8,
+            mean_input_mbit: 40.0,
+            ..ScenarioConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            workers: 4,
+            env_history_days: 5,
+            crl: CrlConfig {
+                episodes: 12,
+                dqn: DqnConfig { hidden: vec![24], ..DqnConfig::default() },
+                ..CrlConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn core_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedCore>();
+    }
+
+    #[test]
+    fn core_reports_match_pretrained_pipeline_bitwise() {
+        let s = small_scenario();
+        let mut reference = Pipeline::builder(quick_config()).pretrain(true).prepare(&s).unwrap();
+        let core = Pipeline::builder(quick_config())
+            .pretrain(false)
+            .prepare(&s)
+            .unwrap()
+            .into_core()
+            .unwrap();
+        let day = core.test_days().start;
+        // Every deterministic method: bit-identical PT and H.
+        for method in
+            [Method::Dml, Method::GreedyOracle, Method::ExactOracle, Method::Crl, Method::Dcta]
+        {
+            let want = reference.run_day(method, day).unwrap();
+            let got = core.run(&RunSpec::new(method, day)).unwrap().into_healthy().unwrap();
+            assert_eq!(
+                got.processing_time_s.to_bits(),
+                want.processing_time_s.to_bits(),
+                "{method} PT"
+            );
+            assert_eq!(
+                got.decision_performance.to_bits(),
+                want.decision_performance.to_bits(),
+                "{method} H"
+            );
+            assert_eq!(got.allocation, want.allocation, "{method} allocation");
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_are_interleaving_invariant() {
+        let s = small_scenario();
+        let core = Pipeline::new(quick_config()).prepare(&s).unwrap().into_core().unwrap();
+        let days: Vec<usize> = core.test_days().take(3).collect();
+        let solo: Vec<DayReport> = days
+            .iter()
+            .map(|&d| core.run(&RunSpec::new(Method::Dcta, d)).unwrap().into_healthy().unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let core = &core;
+                let solo = &solo;
+                let days = &days;
+                scope.spawn(move || {
+                    let mut order: Vec<usize> = (0..days.len()).collect();
+                    if t % 2 == 1 {
+                        order.reverse();
+                    }
+                    for i in order {
+                        let got = core
+                            .run(&RunSpec::new(Method::Dcta, days[i]))
+                            .unwrap()
+                            .into_healthy()
+                            .unwrap();
+                        assert_eq!(got, solo[i], "thread {t} day {}", days[i]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn faulted_runs_work_through_the_core() {
+        let s = small_scenario();
+        let core = Pipeline::new(quick_config()).prepare(&s).unwrap().into_core().unwrap();
+        let day = core.test_days().start;
+        let victim = core.fleet().node_of(0);
+        let schedule = FaultSchedule::new().with_crash(victim, 0.2).unwrap();
+        let spec = RunSpec::new(Method::Dml, day).with_faults(schedule, RecoveryMode::Resolve);
+        let report = core.run(&spec).unwrap().into_faulted().unwrap();
+        assert_eq!(report.day, day);
+        assert!(report.retained_fraction >= 0.0);
+        // Same spec twice: the simulated outcome is bit-identical (the core
+        // is stateless per run). `reallocation_latency_s` is measured
+        // wall-clock, so `processing_time_s` is excluded by design.
+        let again = core.run(&spec).unwrap().into_faulted().unwrap();
+        assert_eq!(report.allocation, again.allocation);
+        assert_eq!(
+            report.simulated_processing_time_s.to_bits(),
+            again.simulated_processing_time_s.to_bits()
+        );
+        assert_eq!(report.decision_performance.to_bits(), again.decision_performance.to_bits());
+        assert_eq!(report.delivered_importance.to_bits(), again.delivered_importance.to_bits());
+        assert_eq!(report.shed, again.shed);
+        assert_eq!(report.lost, again.lost);
+        assert_eq!(report.failures, again.failures);
+    }
+
+    #[test]
+    fn random_mapping_is_deterministic_per_day() {
+        let s = small_scenario();
+        let core = Pipeline::new(quick_config()).prepare(&s).unwrap().into_core().unwrap();
+        let day = core.test_days().start;
+        let (a, _) = core.allocate(Method::RandomMapping, day).unwrap();
+        let (b, _) = core.allocate(Method::RandomMapping, day).unwrap();
+        assert_eq!(a, b, "same (seed, day) must draw the same mapping");
+        let (c, _) = core.allocate(Method::RandomMapping, day + 1).unwrap();
+        assert_ne!(a, c, "different days draw different mappings");
+    }
+
+    #[test]
+    fn bad_day_rejected() {
+        let s = small_scenario();
+        let core = Pipeline::new(quick_config()).prepare(&s).unwrap().into_core().unwrap();
+        assert!(matches!(
+            core.run(&RunSpec::new(Method::Dml, 0)),
+            Err(PipelineError::BadDay { .. })
+        ));
+        assert!(matches!(core.signature_of_day(999), Err(PipelineError::BadDay { .. })));
+    }
+}

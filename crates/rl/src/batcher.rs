@@ -1,0 +1,315 @@
+//! Cross-request batched DQN inference.
+//!
+//! A serving layer fields many concurrent `q_values` queries against the
+//! same agent; answering each with its own scalar forward wastes the batched
+//! kernels from the training path. [`QBatcher`] coalesces concurrent
+//! submissions into one [`DqnAgent::q_values_batch`] ride — one matmul per
+//! layer for the whole batch — and hands each caller its own row.
+//!
+//! Because the batched forward is row-wise bit-identical to the scalar
+//! forward (see [`learn::nn::Mlp::forward_batch`]), every answer is
+//! bit-identical to what the caller would have computed alone, no matter how
+//! requests interleave, how large the batch got, or whether it flushed on
+//! size or deadline. Batching is purely a throughput optimisation; it is
+//! invisible in the results.
+//!
+//! The batcher is *leaderless*: there is no background thread. The
+//! submission that fills the batch to `max_batch` flushes it immediately
+//! (size flush); otherwise each waiter sleeps on its own slot with a
+//! `max_wait` timeout and the first to time out flushes whatever queued in
+//! the meantime (deadline flush). Under load batches fill; when idle a lone
+//! request pays at most `max_wait` extra latency.
+
+use crate::dqn::{DqnAgent, DqnError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Default size trigger: flush as soon as this many requests queue.
+pub const DEFAULT_MAX_BATCH: usize = 64;
+
+/// Default deadline trigger: a queued request waits at most this long
+/// before some waiter flushes the queue.
+pub const DEFAULT_MAX_WAIT: Duration = Duration::from_micros(100);
+
+/// One caller's answer slot: filled exactly once by whichever thread
+/// flushes the batch containing it.
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<Result<Vec<f64>, DqnError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, result: Result<Vec<f64>, DqnError>) {
+        *self.result.lock().expect("slot poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A queued query: the state to evaluate and where to deliver the row.
+#[derive(Debug)]
+struct Pending {
+    state: Vec<f64>,
+    slot: Arc<Slot>,
+}
+
+/// Counters describing how the batcher has been coalescing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatcherStats {
+    /// Queries submitted.
+    pub requests: u64,
+    /// Batches flushed (size- plus deadline-triggered).
+    pub batches: u64,
+    /// Batches flushed because the queue reached `max_batch`.
+    pub size_flushes: u64,
+    /// Batches flushed by a waiter's deadline expiring.
+    pub deadline_flushes: u64,
+    /// Total states answered through batched forwards.
+    pub batched_states: u64,
+}
+
+impl BatcherStats {
+    /// Mean states per flushed batch (0 when nothing flushed yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_states as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Coalesces concurrent `q_values` queries into batched forwards.
+///
+/// One batcher serves one logical agent: every [`QBatcher::submit`] call on
+/// a given batcher must pass a reference to the *same* agent (a serving
+/// layer keys batchers per agent), otherwise rows would mix parameters.
+/// The agent travels by argument rather than being owned so the batcher
+/// itself stays `'static` and freely shareable.
+#[derive(Debug)]
+pub struct QBatcher {
+    max_batch: usize,
+    max_wait: Duration,
+    queue: Mutex<Vec<Pending>>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    size_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    batched_states: AtomicU64,
+}
+
+impl Default for QBatcher {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT)
+    }
+}
+
+impl QBatcher {
+    /// Creates a batcher that flushes at `max_batch` queued states or when
+    /// a waiter has been queued for `max_wait`, whichever comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch` is zero.
+    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+        assert!(max_batch > 0, "batch trigger must be positive");
+        Self {
+            max_batch,
+            max_wait,
+            queue: Mutex::new(Vec::new()),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            size_flushes: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            batched_states: AtomicU64::new(0),
+        }
+    }
+
+    /// The size trigger.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The deadline trigger.
+    pub fn max_wait(&self) -> Duration {
+        self.max_wait
+    }
+
+    /// Current counters (exact; taken with relaxed atomics).
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            size_flushes: self.size_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            batched_states: self.batched_states.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Q-values of every action at `state`, answered through a shared
+    /// batched forward. Bit-identical to `agent.q_values(state)`.
+    ///
+    /// Blocks until some flush (this thread's or another's) delivers the
+    /// row — at most `max_wait` past the moment the queue last moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the batched forward's error to every caller in the batch.
+    pub fn submit(&self, agent: &DqnAgent, state: &[f64]) -> Result<Vec<f64>, DqnError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::default());
+        let size_triggered = {
+            let mut queue = self.queue.lock().expect("batcher poisoned");
+            queue.push(Pending { state: state.to_vec(), slot: Arc::clone(&slot) });
+            queue.len() >= self.max_batch
+        };
+        if size_triggered {
+            self.flush(agent, &self.size_flushes);
+        }
+        loop {
+            let mut guard = slot.result.lock().expect("slot poisoned");
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            let (mut guard, wait) =
+                slot.ready.wait_timeout(guard, self.max_wait).expect("slot poisoned");
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            drop(guard);
+            if wait.timed_out() {
+                // Deadline flush: whatever queued since the last flush rides
+                // together. Our own pending is in there unless another
+                // thread's flush is already carrying it, in which case this
+                // drains (possibly nothing) and we wait again.
+                self.flush(agent, &self.deadline_flushes);
+            }
+        }
+    }
+
+    /// Drains the queue and answers every drained slot via one batched
+    /// forward. `kind` is the flush-reason counter to bump.
+    fn flush(&self, agent: &DqnAgent, kind: &AtomicU64) {
+        let drained: Vec<Pending> = {
+            let mut queue = self.queue.lock().expect("batcher poisoned");
+            std::mem::take(&mut *queue)
+        };
+        if drained.is_empty() {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        kind.fetch_add(1, Ordering::Relaxed);
+        self.batched_states.fetch_add(drained.len() as u64, Ordering::Relaxed);
+        let states: Vec<&[f64]> = drained.iter().map(|p| p.state.as_slice()).collect();
+        match agent.q_values_batch(&states) {
+            Ok(rows) => {
+                for (pending, row) in drained.iter().zip(rows) {
+                    pending.slot.fill(Ok(row));
+                }
+            }
+            Err(e) => {
+                for pending in &drained {
+                    pending.slot.fill(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dqn::DqnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agent() -> DqnAgent {
+        let mut rng = StdRng::seed_from_u64(5);
+        DqnAgent::new(3, 4, DqnConfig { hidden: vec![16], ..DqnConfig::default() }, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn single_request_flushes_on_deadline() {
+        let agent = agent();
+        let batcher = QBatcher::new(64, Duration::from_micros(50));
+        let state = [0.25, -1.0, 2.0];
+        let batched = batcher.submit(&agent, &state).unwrap();
+        assert_eq!(batched, agent.q_values(&state).unwrap());
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.deadline_flushes, 1);
+        assert_eq!(stats.size_flushes, 0);
+        assert_eq!(stats.batched_states, 1);
+        assert!((stats.mean_batch_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_submissions_are_bit_identical_to_scalar() {
+        let agent = agent();
+        // Tiny size trigger plus a generous deadline: most flushes are
+        // size-triggered, stragglers ride the deadline.
+        let batcher = QBatcher::new(4, Duration::from_micros(200));
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 16;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let agent = &agent;
+                let batcher = &batcher;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let state =
+                            [t as f64 * 0.5, i as f64 - 3.0, (t * PER_THREAD + i) as f64 * 0.01];
+                        let batched = batcher.submit(agent, &state).unwrap();
+                        let scalar = agent.q_values(&state).unwrap();
+                        let batched_bits: Vec<u64> = batched.iter().map(|v| v.to_bits()).collect();
+                        let scalar_bits: Vec<u64> = scalar.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(batched_bits, scalar_bits, "thread {t} request {i}");
+                    }
+                });
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, (THREADS * PER_THREAD) as u64);
+        assert_eq!(stats.batched_states, stats.requests, "every request answered exactly once");
+        assert!(stats.batches >= 1);
+        assert!(stats.mean_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn size_trigger_fires_without_waiting_out_the_deadline() {
+        let agent = agent();
+        // Deadline far beyond the test timeout: only a size flush can
+        // answer. With exactly two submitters and trigger 2, the second
+        // push always sees a full queue and flushes both.
+        let batcher = QBatcher::new(2, Duration::from_secs(60));
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                let agent = &agent;
+                let batcher = &batcher;
+                scope.spawn(move || {
+                    let state = [t as f64, 0.0, 1.0];
+                    let batched = batcher.submit(agent, &state).unwrap();
+                    assert_eq!(batched, agent.q_values(&state).unwrap());
+                });
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.size_flushes, 1);
+        assert_eq!(stats.deadline_flushes, 0);
+        assert_eq!(stats.batched_states, 2);
+    }
+
+    #[test]
+    fn arity_errors_reach_every_caller() {
+        let agent = agent();
+        let batcher = QBatcher::new(64, Duration::from_micros(50));
+        let result = batcher.submit(&agent, &[1.0]); // agent expects 3 inputs
+        assert!(result.is_err());
+        assert_eq!(batcher.stats().batched_states, 1);
+    }
+}

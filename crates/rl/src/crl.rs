@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// One historical environment: the day's sensing signature and the task
 /// importances observed for it.
@@ -449,6 +450,219 @@ impl Crl {
         let estimated_value = env.assigned_value();
         Ok(CrlAllocation { assignment, estimated_importances: blend, estimated_value, cache_hit })
     }
+
+    /// Converts this allocator into a shareable, `&self`-only [`SharedCrl`]
+    /// bound to `spec`'s task geometry.
+    ///
+    /// The frozen allocator answers concurrent queries from shared state:
+    /// the kNN index (online mode) or k-means clustering (offline mode) is
+    /// built once here, and per-environment agents live in per-key
+    /// [`OnceLock`] slots seeded exactly like [`Self::pretrain`] — so lazy
+    /// concurrent training produces agents bit-identical to an up-front
+    /// `pretrain`, independent of request order and thread count. Any
+    /// agents this allocator had already cached are discarded: lazily
+    /// trained ones drew from the shared RNG and are therefore
+    /// order-dependent, which the frozen contract forbids.
+    ///
+    /// # Errors
+    ///
+    /// [`CrlError::EmptyStore`] on an empty store, [`CrlError::Shape`] when
+    /// `spec` disagrees with the stored importance arity, plus validation
+    /// and clustering errors.
+    pub fn freeze(mut self, spec: &AllocSpec) -> Result<SharedCrl, CrlError> {
+        spec.validate()?;
+        if self.store.is_empty() {
+            return Err(CrlError::EmptyStore);
+        }
+        if self.store.records()[0].importances.len() != spec.num_tasks() {
+            return Err(CrlError::Shape);
+        }
+        let (lookup, blends) = match self.config.lookup {
+            LookupMode::OnlineKnn => {
+                let index = KnnIndex::new(
+                    self.store.records().iter().map(|r| r.signature.clone()).collect(),
+                )?;
+                // Per-key training blends exactly as `pretrain` enumerates
+                // them: record `k`'s self-query always resolves to key `k`
+                // (or a lower-index duplicate that shadows it, in which case
+                // key `k` is never produced by any query either).
+                let mut blends = Vec::with_capacity(self.store.len());
+                for record in self.store.records() {
+                    blends.push(self.store.nearest_blend(&record.signature, self.config.k)?.1);
+                }
+                (SharedLookup::Knn { index, k: self.config.k.max(1) }, blends)
+            }
+            LookupMode::OfflineKMeans { clusters } => {
+                self.ensure_clustering(clusters)?;
+                let clustering = self.clustering.take().expect("built above");
+                let blends = clustering.centroid_importances.clone();
+                (
+                    SharedLookup::KMeans {
+                        model: clustering.model,
+                        centroid_importances: clustering.centroid_importances,
+                    },
+                    blends,
+                )
+            }
+        };
+        let slots = blends.iter().map(|_| OnceLock::new()).collect();
+        Ok(SharedCrl {
+            store: self.store,
+            config: self.config,
+            spec: spec.clone(),
+            lookup,
+            blends,
+            slots,
+        })
+    }
+}
+
+/// Frozen environment-definition state shared across queries.
+#[derive(Debug)]
+enum SharedLookup {
+    /// Online mode: one kNN index built at freeze time (the mutable path
+    /// rebuilds it per query).
+    Knn { index: KnnIndex, k: usize },
+    /// Offline mode: the clustering frozen at its freeze-time state.
+    KMeans { model: KMeans, centroid_importances: Vec<Vec<f64>> },
+}
+
+/// A frozen, thread-shareable CRL allocator (see [`Crl::freeze`]).
+///
+/// Every method takes `&self`; the agent cache is a vector of per-key
+/// [`OnceLock`] slots, so concurrent first-touch training is race-free —
+/// one winner trains, everyone else blocks on the same slot — and each
+/// agent is seeded from `config.seed` mixed with its key (the
+/// [`Crl::pretrain`] formula), making results bit-identical regardless of
+/// which request, thread, or ordering trained it.
+#[derive(Debug)]
+pub struct SharedCrl {
+    store: EnvironmentStore,
+    config: CrlConfig,
+    /// The task geometry agents are trained against (importances replaced
+    /// per key by the training blend).
+    spec: AllocSpec,
+    lookup: SharedLookup,
+    /// Training blend per agent key.
+    blends: Vec<Vec<f64>>,
+    /// Lazily-trained agent per key; `Err` is cached too so a failing
+    /// geometry does not retrain on every request.
+    slots: Vec<OnceLock<Result<DqnAgent, CrlError>>>,
+}
+
+impl SharedCrl {
+    /// Read access to the environment store.
+    pub fn store(&self) -> &EnvironmentStore {
+        &self.store
+    }
+
+    /// Number of agent keys the frozen lookup can produce.
+    pub fn num_keys(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of agents trained so far.
+    pub fn cached_agents(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Environment definition against the frozen lookup state: the agent
+    /// key plus the query's blended importance estimate. Bit-identical to
+    /// the mutable [`Crl`]'s definition at freeze time.
+    ///
+    /// # Errors
+    ///
+    /// [`CrlError::Knn`] on lookup failure.
+    pub fn define_environment(&self, signature: &[f64]) -> Result<(usize, Vec<f64>), CrlError> {
+        match &self.lookup {
+            SharedLookup::Knn { index, k } => {
+                let hits = index.nearest(signature, *k)?;
+                let n = self.store.records()[0].importances.len();
+                let mut blend = vec![0.0; n];
+                let mut total = 0.0;
+                for h in &hits {
+                    let w = 1.0 / (h.distance + 1e-9);
+                    for (b, &i) in blend.iter_mut().zip(&self.store.records()[h.index].importances)
+                    {
+                        *b += w * i;
+                    }
+                    total += w;
+                }
+                for b in &mut blend {
+                    *b /= total;
+                }
+                Ok((hits[0].index, blend))
+            }
+            SharedLookup::KMeans { model, centroid_importances } => {
+                let cluster = model.predict(signature);
+                Ok((cluster, centroid_importances[cluster].clone()))
+            }
+        }
+    }
+
+    /// The (lazily trained) agent for `key`. Blocks while another thread is
+    /// training the same slot; never trains twice.
+    ///
+    /// # Errors
+    ///
+    /// Replays the training error cached in the slot, or
+    /// [`CrlError::EmptyStore`] for an out-of-range key.
+    pub fn agent(&self, key: usize) -> Result<&DqnAgent, CrlError> {
+        let slot = self.slots.get(key).ok_or(CrlError::EmptyStore)?;
+        slot.get_or_init(|| self.train_key(key)).as_ref().map_err(Clone::clone)
+    }
+
+    /// Trains every key's agent up front (in parallel), the frozen
+    /// counterpart of [`Crl::pretrain`]. Returns the number trained now.
+    ///
+    /// # Errors
+    ///
+    /// The first training error, if any.
+    pub fn pretrain_all(&self) -> Result<usize, CrlError> {
+        let cold: Vec<usize> =
+            (0..self.slots.len()).filter(|&key| self.slots[key].get().is_none()).collect();
+        let trained = parallel::try_par_map_grained(&cold, 1, |&key| self.agent(key).map(|_| ()))?;
+        Ok(trained.len())
+    }
+
+    /// Allocates the live instance against the frozen store: environment
+    /// definition, (lazily trained) cached agent, greedy rollout. Matches
+    /// [`Crl::allocate`] on a pretrained mutable allocator bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// See [`CrlError`] variants.
+    pub fn allocate(&self, signature: &[f64], spec: &AllocSpec) -> Result<CrlAllocation, CrlError> {
+        spec.validate()?;
+        let (key, blend) = self.define_environment(signature)?;
+        if blend.len() != spec.num_tasks() {
+            return Err(CrlError::Shape);
+        }
+        let cache_hit = self.slots.get(key).is_some_and(|s| s.get().is_some());
+        let agent = self.agent(key)?;
+        let clustered_spec = AllocSpec { importances: blend.clone(), ..spec.clone() };
+        let mut env = AllocEnv::new(clustered_spec)?;
+        let (_, _actions) = agent.evaluate_episode(&mut env)?;
+        let assignment = env.assignment().to_vec();
+        let estimated_value = env.assigned_value();
+        Ok(CrlAllocation { assignment, estimated_importances: blend, estimated_value, cache_hit })
+    }
+
+    fn train_key(&self, key: usize) -> Result<DqnAgent, CrlError> {
+        let blend = &self.blends[key];
+        let clustered_spec = AllocSpec { importances: blend.clone(), ..self.spec.clone() };
+        let mut env = AllocEnv::new(clustered_spec)?;
+        // The `pretrain` seed formula, verbatim: agents must not depend on
+        // which request (or thread) got to the slot first.
+        let agent_seed = self.config.seed ^ (key as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(agent_seed);
+        let mut agent =
+            DqnAgent::new(env.state_dim(), env.num_actions(), self.config.dqn.clone(), &mut rng)?;
+        for _ in 0..self.config.episodes {
+            agent.train_episode(&mut env, &mut rng)?;
+        }
+        Ok(agent)
+    }
 }
 
 #[cfg(test)]
@@ -610,6 +824,151 @@ mod tests {
             out
         };
         assert_eq!(run(&[0.0, 10.0]), run(&[10.0, 0.0]));
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+
+    fn spec(n: usize) -> AllocSpec {
+        AllocSpec {
+            importances: vec![0.0; n],
+            times: vec![1.0; n],
+            resources: vec![1.0; n],
+            time_limit: 1.0,
+            time_limits: None,
+            capacities: vec![1.0, 1.0],
+        }
+    }
+
+    fn store(n: usize) -> EnvironmentStore {
+        let mut store = EnvironmentStore::new();
+        let mut imp_a = vec![0.05; n];
+        imp_a[0] = 0.95;
+        let mut imp_b = vec![0.05; n];
+        imp_b[n - 1] = 0.95;
+        for d in 0..4 {
+            let jitter = d as f64 * 0.1;
+            store
+                .push(EnvironmentRecord { signature: vec![jitter], importances: imp_a.clone() })
+                .unwrap();
+            store
+                .push(EnvironmentRecord {
+                    signature: vec![10.0 + jitter],
+                    importances: imp_b.clone(),
+                })
+                .unwrap();
+        }
+        store
+    }
+
+    fn configs() -> Vec<CrlConfig> {
+        vec![
+            CrlConfig { episodes: 10, ..CrlConfig::default() },
+            CrlConfig {
+                episodes: 10,
+                lookup: LookupMode::OfflineKMeans { clusters: 2 },
+                ..CrlConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn frozen_allocations_match_pretrained_mutable_path() {
+        let n = 4;
+        for config in configs() {
+            let mut mutable = Crl::new(store(n), config.clone());
+            mutable.pretrain(&spec(n)).unwrap();
+            let shared = Crl::new(store(n), config.clone()).freeze(&spec(n)).unwrap();
+            for sig in [0.05, 3.0, 9.95, 10.2] {
+                let reference = mutable.allocate(&[sig], &spec(n)).unwrap();
+                let frozen = shared.allocate(&[sig], &spec(n)).unwrap();
+                assert_eq!(frozen.assignment, reference.assignment, "{config:?} sig {sig}");
+                let frozen_bits: Vec<u64> =
+                    frozen.estimated_importances.iter().map(|v| v.to_bits()).collect();
+                let reference_bits: Vec<u64> =
+                    reference.estimated_importances.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(frozen_bits, reference_bits);
+                assert_eq!(frozen.estimated_value.to_bits(), reference.estimated_value.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_lazy_training_is_thread_and_order_invariant() {
+        let n = 4;
+        let config = CrlConfig { episodes: 10, ..CrlConfig::default() };
+        let shared = Crl::new(store(n), config.clone()).freeze(&spec(n)).unwrap();
+        let signatures = [0.0, 10.0, 0.2, 10.3, 5.0];
+        // Hammer the frozen allocator from several threads; every thread
+        // must see identical allocations, and they must match a fresh
+        // single-threaded freeze probed in a different order.
+        let mut collected: Vec<Vec<(u64, Vec<Option<usize>>)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut order: Vec<f64> = signatures.to_vec();
+                        if t % 2 == 1 {
+                            order.reverse();
+                        }
+                        for sig in order {
+                            let alloc = shared.allocate(&[sig], &spec(n)).unwrap();
+                            out.push((sig.to_bits(), alloc.assignment));
+                        }
+                        out.sort();
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                collected.push(handle.join().unwrap());
+            }
+        });
+        let solo = Crl::new(store(n), config).freeze(&spec(n)).unwrap();
+        let mut reference: Vec<(u64, Vec<Option<usize>>)> = signatures
+            .iter()
+            .rev()
+            .map(|&sig| (sig.to_bits(), solo.allocate(&[sig], &spec(n)).unwrap().assignment))
+            .collect();
+        reference.sort();
+        for run in &collected {
+            assert_eq!(run, &reference);
+        }
+    }
+
+    #[test]
+    fn pretrain_all_covers_every_key_and_is_idempotent() {
+        let n = 3;
+        let config = CrlConfig {
+            episodes: 5,
+            lookup: LookupMode::OfflineKMeans { clusters: 2 },
+            ..CrlConfig::default()
+        };
+        let shared = Crl::new(store(n), config).freeze(&spec(n)).unwrap();
+        assert_eq!(shared.cached_agents(), 0);
+        assert_eq!(shared.pretrain_all().unwrap(), shared.num_keys());
+        assert_eq!(shared.cached_agents(), shared.num_keys());
+        assert_eq!(shared.pretrain_all().unwrap(), 0);
+        assert!(shared.allocate(&[0.0], &spec(n)).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn freeze_validates_inputs() {
+        let empty =
+            Crl::new(EnvironmentStore::new(), CrlConfig { episodes: 1, ..CrlConfig::default() });
+        assert!(matches!(empty.freeze(&spec(2)), Err(CrlError::EmptyStore)));
+        let crl = Crl::new(store(4), CrlConfig { episodes: 1, ..CrlConfig::default() });
+        assert!(matches!(crl.freeze(&spec(3)), Err(CrlError::Shape)));
+    }
+
+    #[test]
+    fn shared_crl_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedCrl>();
     }
 }
 

@@ -1,0 +1,147 @@
+//! A fixed worker pool in front of an [`AllocatorService`]: submissions
+//! enqueue and return a [`Ticket`]; `workers` threads drain the queue by
+//! calling [`AllocatorService::handle`].
+//!
+//! The pool adds *throughput*, not semantics — every answer is exactly what
+//! a direct `handle` call would have produced (see the crate-level
+//! determinism contract), so the worker count is a pure performance knob.
+//! Dropping the pool finishes all queued work before joining the workers.
+
+use crate::service::{AllocRequest, AllocResponse, AllocatorService, ServeError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One submission's answer slot, filled by whichever worker ran it.
+#[derive(Debug, Default)]
+struct TicketState {
+    slot: Mutex<Option<Result<AllocResponse, ServeError>>>,
+    ready: Condvar,
+}
+
+/// A pending answer from [`ServicePool::submit`]; redeem with
+/// [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until a worker answers the request, then returns the answer.
+    pub fn wait(self) -> Result<AllocResponse, ServeError> {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket poisoned");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    request: AllocRequest,
+    ticket: Arc<TicketState>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    service: Arc<AllocatorService>,
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The worker pool. Create with [`ServicePool::new`]; submit with
+/// [`ServicePool::submit`].
+#[derive(Debug)]
+pub struct ServicePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// Spawns `workers` threads serving `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero or a thread fails to spawn.
+    pub fn new(service: Arc<AllocatorService>, workers: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            service,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The service behind the pool.
+    pub fn service(&self) -> &Arc<AllocatorService> {
+        &self.shared.service
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues `request` and returns a [`Ticket`] for its answer.
+    pub fn submit(&self, request: AllocRequest) -> Ticket {
+        let state = Arc::new(TicketState::default());
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.push_back(Job { request, ticket: Arc::clone(&state) });
+        }
+        self.shared.work_ready.notify_one();
+        Ticket { state }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already filled no ticket; surfacing the
+            // panic here beats silently swallowing it.
+            if let Err(e) = worker.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                // Queued work drains before shutdown is honoured, so a
+                // dropped pool still answers everything submitted.
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        let result = shared.service.handle(&job.request);
+        *job.ticket.slot.lock().expect("ticket poisoned") = Some(result);
+        job.ticket.ready.notify_all();
+    }
+}

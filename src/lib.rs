@@ -14,6 +14,9 @@
 //! * [`parallel`] — deterministic fork-join layer (bit-identical results at
 //!   any thread count).
 //! * [`buildings`] — synthetic green-building (chiller AIOps) workloads.
+//! * [`serve`] — allocation-as-a-service: a concurrent multi-tenant serving
+//!   layer over frozen pipeline cores with cross-request batched DQN
+//!   inference.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the per-experiment index.
 //!
@@ -43,6 +46,7 @@ pub use knapsack;
 pub use learn;
 pub use parallel;
 pub use rl;
+pub use serve;
 
 /// One-import convenience: the types a typical consumer touches.
 ///
@@ -70,6 +74,7 @@ pub mod prelude {
         RunSpec,
     };
     pub use dcta_core::processor::{Processor, ProcessorFleet};
+    pub use dcta_core::shared::PreparedCore;
     pub use dcta_core::task::{EdgeTask, TaskId};
     pub use dcta_core::tatim::TatimInstance;
     pub use edgesim::cluster::Cluster;
@@ -77,4 +82,6 @@ pub mod prelude {
     pub use edgesim::run::{simulate, NodeAssignment, SimConfig, SimTask};
     pub use learn::transfer::{MtlConfig, MtlMode};
     pub use rl::crl::{CrlConfig, LookupMode};
+    pub use serve::pool::{ServicePool, Ticket};
+    pub use serve::{AllocRequest, AllocResponse, AllocatorService, Query, ServeError};
 }
