@@ -1,8 +1,8 @@
 //! Tracked performance harness for the deterministic parallel layer.
 //!
 //! ```text
-//! perfbench [serve_throughput] [--quick] [--seed N] [--threads N]
-//!           [--key NAME] [--trend PATH] [--out PATH]
+//! perfbench [serve_throughput | edgesim_scale] [--quick] [--seed N]
+//!           [--threads N] [--key NAME] [--trend PATH] [--out PATH]
 //! ```
 //!
 //! Times the hot compute paths — the blocked matmul kernel against the
@@ -26,6 +26,12 @@
 //! `ServicePool` at 1, 2 and 8 workers, rows upserted under the same
 //! `--key` machinery. Use a distinct key (e.g. `ci-<sha>-serve`) so the
 //! entry never clobbers the kernel-suite entry for the same commit.
+//!
+//! The `edgesim_scale` mode runs the simulator scale sweep
+//! (`dcta_bench::scale`): star and mesh rounds at 10/100/1000 nodes and
+//! 1/2/8 threads, with the pre-PR7 star event loop (BinaryHeap queue,
+//! HashMap state, linear node lookup) kept verbatim as the measured
+//! baseline. Again use a distinct key (e.g. `ci-<sha>-scale`).
 
 use buildings::scenario::Scenario;
 use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
@@ -74,6 +80,8 @@ enum Mode {
     Kernels,
     /// The serving-layer throughput sweep.
     ServeThroughput,
+    /// The simulator scale sweep (star/mesh × node count × threads).
+    EdgesimScale,
 }
 
 struct Args {
@@ -96,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "serve_throughput" => mode = Mode::ServeThroughput,
+            "edgesim_scale" => mode = Mode::EdgesimScale,
             "--quick" => opts.quick = true,
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
@@ -119,8 +128,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perfbench [serve_throughput] [--quick] [--seed N] [--threads N] \
-                     [--key NAME] [--trend PATH] [--out PATH]"
+                    "perfbench [serve_throughput | edgesim_scale] [--quick] [--seed N] \
+                     [--threads N] [--key NAME] [--trend PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -266,6 +275,18 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
             seed: opts.seed,
             host_threads: parallel::max_threads(),
             cache_hit_rate,
+            rows,
+        });
+    }
+    if args.mode == Mode::EdgesimScale {
+        let rows = dcta_bench::scale::edgesim_scale(opts)?;
+        return Ok(Report {
+            generated_by: "perfbench edgesim_scale".to_string(),
+            quick: opts.quick,
+            seed: opts.seed,
+            host_threads: parallel::max_threads(),
+            // No importance evaluations run in this mode.
+            cache_hit_rate: 0.0,
             rows,
         });
     }

@@ -16,6 +16,7 @@
 //! | [`extensions`] | Shapley-vs-LOO importance, shared-medium contention |
 //! | [`faultsweep`] | Robustness extension: crash-rate × MTTR recovery grid |
 //! | [`serving`] | Serving extension: allocation-as-a-service throughput (`perfbench serve_throughput`) |
+//! | [`scale`] | Scale extension: star/mesh events-per-second sweep (`perfbench edgesim_scale`) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +27,7 @@ pub mod distribution;
 pub mod extensions;
 pub mod faultsweep;
 pub mod localmodel;
+pub mod scale;
 pub mod serving;
 pub mod solvers;
 pub mod staleness;

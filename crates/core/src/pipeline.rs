@@ -20,7 +20,7 @@ use crate::recovery::{self, RecoveryError, RecoveryMode};
 use crate::task::{EdgeTask, TaskId};
 use crate::tatim::{TatimError, TatimInstance};
 use buildings::scenario::Scenario;
-use edgesim::cluster::{Cluster, ClusterError};
+use edgesim::cluster::{Cluster, ClusterError, MeshSpec};
 use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
 use edgesim::run::{simulate, simulate_with_faults, RetryPolicy, SimConfig, SimError, SimTask};
@@ -66,6 +66,17 @@ impl fmt::Display for Method {
     }
 }
 
+/// Which simulated world the pipeline runs on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// The paper's star WiFi testbed ([`PipelineConfig::workers`] workers
+    /// behind per-node links).
+    Star,
+    /// A seeded grid-with-chords mesh; the spec fixes the node count, so
+    /// [`PipelineConfig::workers`] is ignored.
+    Mesh(MeshSpec),
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
@@ -74,6 +85,8 @@ pub struct PipelineConfig {
     /// Worker count of the simulated testbed (Fig. 9 sweeps this); the
     /// paper's full testbed has 9.
     pub workers: usize,
+    /// Simulated network topology (star testbed by default).
+    pub topology: Topology,
     /// Shared time limit `T` as a fraction of `Σ t_j / M` — i.e. how much
     /// of the total reference workload each processor may take. Below ~1.0
     /// the selection pressure of TATIM kicks in.
@@ -111,6 +124,7 @@ impl Default for PipelineConfig {
         Self {
             mtl: MtlConfig { transfer_strength: 2.0, ..MtlConfig::default() },
             workers: 9,
+            topology: Topology::Star,
             time_limit_fraction: 0.5,
             env_history_days: 6,
             crl: CrlConfig::default(),
@@ -519,7 +533,10 @@ impl Pipeline {
         }
 
         let models = CopModels::train(scenario, cfg.mtl)?;
-        let cluster = Cluster::testbed_with_workers(cfg.workers)?;
+        let cluster = match cfg.topology {
+            Topology::Star => Cluster::testbed_with_workers(cfg.workers)?,
+            Topology::Mesh(spec) => Cluster::mesh_testbed(spec)?,
+        };
 
         // Tasks: input sizes from the scenario; resource demand relative to
         // the mean input (mean demand 1.0).
@@ -1152,6 +1169,22 @@ mod tests {
         let s = small_scenario();
         let p = Pipeline::new(PipelineConfig { env_history_days: 8, ..quick_config() });
         assert!(matches!(p.prepare(&s), Err(PipelineError::TooFewDays { .. })));
+    }
+
+    #[test]
+    fn mesh_topology_runs_end_to_end() {
+        let s = small_scenario();
+        let cfg =
+            PipelineConfig { topology: Topology::Mesh(MeshSpec::new(16, 5)), ..quick_config() };
+        let mut prepared = Pipeline::new(cfg).prepare(&s).unwrap();
+        assert!(prepared.cluster().mesh().is_some(), "cluster should be a mesh");
+        assert_eq!(prepared.cluster().nodes().len(), 16);
+        let day = prepared.test_days().start;
+        let a = prepared.run_day(Method::Dcta, day).unwrap();
+        assert!(a.processing_time_s > 0.0);
+        // Same prepared state, same day: mesh rounds are deterministic.
+        let b = prepared.run_day(Method::Dcta, day).unwrap();
+        assert_eq!(a.processing_time_s.to_bits(), b.processing_time_s.to_bits());
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! application, allocates tasks, and aggregates the decision; sensing nodes
 //! execute the allocated tasks.
 
-use crate::network::{NetworkError, StarNetwork};
+use crate::network::{Link, MeshNetwork, NetworkError, StarNetwork};
 use crate::node::{DeviceModel, Node, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Error building or modifying a cluster.
@@ -23,6 +25,21 @@ pub enum ClusterError {
         /// The repeated id.
         node: NodeId,
     },
+    /// Mesh clusters need exactly one node per mesh vertex.
+    MeshNodeCount {
+        /// Nodes supplied.
+        nodes: usize,
+        /// Vertices in the mesh.
+        mesh_nodes: usize,
+    },
+    /// Mesh clusters need node `i` to carry id `NodeId(i)` (ids index the
+    /// adjacency directly).
+    MeshNodeId {
+        /// Position in the node list.
+        index: usize,
+        /// The id found there.
+        id: NodeId,
+    },
     /// Underlying network error.
     Network(NetworkError),
 }
@@ -34,6 +51,12 @@ impl fmt::Display for ClusterError {
                 write!(f, "cluster needs a controller plus at least one worker, got {got} nodes")
             }
             ClusterError::DuplicateNode { node } => write!(f, "duplicate node id {node}"),
+            ClusterError::MeshNodeCount { nodes, mesh_nodes } => {
+                write!(f, "mesh has {mesh_nodes} vertices but {nodes} nodes were supplied")
+            }
+            ClusterError::MeshNodeId { index, id } => {
+                write!(f, "mesh cluster node at position {index} must have id {index}, got {id}")
+            }
             ClusterError::Network(e) => write!(f, "network error: {e}"),
         }
     }
@@ -54,12 +77,25 @@ impl From<NetworkError> for ClusterError {
     }
 }
 
-/// An edge cluster: one controller plus worker nodes on a star network.
+/// The network a cluster sits on: the paper's star, or a general mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetTopology {
+    /// Hub-and-spoke WiFi star (the paper's testbed).
+    Star(StarNetwork),
+    /// Sparse multi-hop mesh with proportional-share contention.
+    Mesh(MeshNetwork),
+}
+
+/// An edge cluster: one controller plus worker nodes on a network
+/// topology (star or mesh).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     nodes: Vec<Node>,
-    network: StarNetwork,
+    topology: NetTopology,
     controller: NodeId,
+    /// `id.0 → position in `nodes``, `usize::MAX` = absent: node lookup is
+    /// an array read, not a scan (the per-event hot path at 1000+ nodes).
+    index: Vec<usize>,
 }
 
 /// Default WiFi bandwidth of the testbed, bits per second: the effective
@@ -81,6 +117,40 @@ impl Cluster {
         network: StarNetwork,
         controller: NodeId,
     ) -> Result<Self, ClusterError> {
+        Self::with_topology(nodes, NetTopology::Star(network), controller)
+    }
+
+    /// Builds a mesh cluster: node `i` sits on mesh vertex `i`, so the
+    /// node list must match the mesh vertex-for-vertex with dense ids.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::MeshNodeCount`] / [`ClusterError::MeshNodeId`] on a
+    /// shape mismatch, plus the usual [`Cluster::new`] validation.
+    pub fn new_mesh(
+        nodes: Vec<Node>,
+        mesh: MeshNetwork,
+        controller: NodeId,
+    ) -> Result<Self, ClusterError> {
+        if nodes.len() != mesh.nodes() {
+            return Err(ClusterError::MeshNodeCount {
+                nodes: nodes.len(),
+                mesh_nodes: mesh.nodes(),
+            });
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if n.id() != NodeId(i) {
+                return Err(ClusterError::MeshNodeId { index: i, id: n.id() });
+            }
+        }
+        Self::with_topology(nodes, NetTopology::Mesh(mesh), controller)
+    }
+
+    fn with_topology(
+        nodes: Vec<Node>,
+        topology: NetTopology,
+        controller: NodeId,
+    ) -> Result<Self, ClusterError> {
         if nodes.len() < 2 {
             return Err(ClusterError::TooFewNodes { got: nodes.len() });
         }
@@ -89,7 +159,22 @@ impl Cluster {
                 return Err(ClusterError::DuplicateNode { node: n.id() });
             }
         }
-        Ok(Self { nodes, network, controller })
+        let index = Self::build_index(&nodes);
+        Ok(Self { nodes, topology, controller, index })
+    }
+
+    /// Dense id → position map; left empty (scan fallback) when ids are so
+    /// sparse the table would dwarf the node list.
+    fn build_index(nodes: &[Node]) -> Vec<usize> {
+        let max_id = nodes.iter().map(|n| n.id().0).max().unwrap_or(0);
+        if max_id >= nodes.len() * 8 + 1024 {
+            return Vec::new();
+        }
+        let mut index = vec![usize::MAX; max_id + 1];
+        for (i, n) in nodes.iter().enumerate() {
+            index[n.id().0] = i;
+        }
+        index
     }
 
     /// The paper's Fig. 8 testbed: laptop controller + 9 Raspberry Pis
@@ -142,24 +227,177 @@ impl Cluster {
         self.controller
     }
 
+    /// The network topology.
+    pub fn topology(&self) -> &NetTopology {
+        &self.topology
+    }
+
+    /// The mesh, when this cluster is a mesh cluster.
+    pub fn mesh(&self) -> Option<&MeshNetwork> {
+        match &self.topology {
+            NetTopology::Mesh(m) => Some(m),
+            NetTopology::Star(_) => None,
+        }
+    }
+
+    /// The mesh (mutable), when this cluster is a mesh cluster.
+    pub fn mesh_mut(&mut self) -> Option<&mut MeshNetwork> {
+        match &mut self.topology {
+            NetTopology::Mesh(m) => Some(m),
+            NetTopology::Star(_) => None,
+        }
+    }
+
     /// The star network (immutable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mesh cluster — star-only call sites (Fig. 11 sweeps,
+    /// the paper testbeds) use this; topology-generic code matches on
+    /// [`Self::topology`] instead.
     pub fn network(&self) -> &StarNetwork {
-        &self.network
+        match &self.topology {
+            NetTopology::Star(s) => s,
+            NetTopology::Mesh(_) => panic!("network(): cluster is a mesh, not a star"),
+        }
     }
 
     /// The star network (mutable — e.g. for bandwidth sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mesh cluster (see [`Self::network`]).
     pub fn network_mut(&mut self) -> &mut StarNetwork {
-        &mut self.network
+        match &mut self.topology {
+            NetTopology::Star(s) => s,
+            NetTopology::Mesh(_) => panic!("network_mut(): cluster is a mesh, not a star"),
+        }
     }
 
-    /// Looks up a node by id.
+    /// Looks up a node by id — O(1) via the dense id index.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.nodes.iter().find(|n| n.id() == id)
+        if self.index.is_empty() {
+            return self.nodes.iter().find(|n| n.id() == id);
+        }
+        let i = self.index.get(id.0).copied()?;
+        (i != usize::MAX).then(|| &self.nodes[i])
     }
 
-    /// Mutable node lookup (e.g. to inject slowdowns in tests).
+    /// Mutable node lookup (e.g. to inject slowdowns in tests). The
+    /// replacement must keep the node's id — ids index the cluster.
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
-        self.nodes.iter_mut().find(|n| n.id() == id)
+        if self.index.is_empty() {
+            return self.nodes.iter_mut().find(|n| n.id() == id);
+        }
+        let i = self.index.get(id.0).copied()?;
+        (i != usize::MAX).then(|| &mut self.nodes[i])
+    }
+}
+
+/// Parameters for the seeded mesh-world generator
+/// ([`Cluster::mesh_testbed`]).
+///
+/// The generator lays nodes on a √n × √n grid (row-major, node 0 = the
+/// laptop controller in one corner), wires 4-neighbour grid edges, and
+/// adds `chords_per_8` seeded long-range chords per 8 nodes. Edges carry
+/// Soar-style bandwidth/latency tiers: every 8th grid row/column is a
+/// fast backbone, chords are a middle tier, everything else is testbed
+/// WiFi — with a small seeded per-edge bandwidth jitter so no two worlds
+/// are accidentally symmetric. Worker devices cycle the paper's Pi
+/// models; every 64th node is a laptop-class aggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshSpec {
+    /// Total node count, controller included (≥ 2).
+    pub nodes: usize,
+    /// Seed for chords and bandwidth jitter.
+    pub seed: u64,
+    /// Long-range chords added per 8 nodes.
+    pub chords_per_8: usize,
+}
+
+impl MeshSpec {
+    /// A `nodes`-node world with the default chord density.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        Self { nodes, seed, chords_per_8: 1 }
+    }
+}
+
+/// Backbone-tier bandwidth (every 8th grid row/column), bits/second.
+pub const MESH_BACKBONE_BPS: f64 = 1e8;
+/// Chord-tier bandwidth (seeded long-range links), bits/second.
+pub const MESH_CHORD_BPS: f64 = 3e7;
+
+impl Cluster {
+    /// Generates a seeded mesh world per `spec` (see [`MeshSpec`]).
+    ///
+    /// Deterministic: the same spec always yields the same cluster, and
+    /// the 100/1000/4000-node worlds used by the scale sweep are just
+    /// `MeshSpec::new(n, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::TooFewNodes`] when `spec.nodes < 2`; network
+    /// validation never fails for the generated tiers.
+    pub fn mesh_testbed(spec: MeshSpec) -> Result<Self, ClusterError> {
+        let n = spec.nodes;
+        if n < 2 {
+            return Err(ClusterError::TooFewNodes { got: n });
+        }
+        let side = (n as f64).sqrt().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let jitter = |base: f64, rng: &mut StdRng| base * (0.85 + 0.3 * rng.gen::<f64>());
+
+        let mut builder = MeshNetwork::builder(n);
+        let add =
+            |a: usize, b: usize, bps: f64, lat: f64, builder: &mut crate::network::MeshBuilder| {
+                // Generated edges are always valid and unique.
+                builder
+                    .add_edge(a, b, Link::new(bps, lat).expect("generated link"))
+                    .expect("grid edge");
+            };
+        // 4-neighbour grid edges with tiered capacities.
+        for v in 0..n {
+            let (r, c) = (v / side, v % side);
+            if c + 1 < side && v + 1 < n {
+                let backbone = r % 8 == 0;
+                let bps = if backbone { MESH_BACKBONE_BPS } else { DEFAULT_WIFI_BPS };
+                let lat = if backbone { 2e-4 } else { 1e-3 };
+                add(v, v + 1, jitter(bps, &mut rng), lat, &mut builder);
+            }
+            if v + side < n {
+                let backbone = c % 8 == 0;
+                let bps = if backbone { MESH_BACKBONE_BPS } else { DEFAULT_WIFI_BPS };
+                let lat = if backbone { 2e-4 } else { 1e-3 };
+                add(v, v + side, jitter(bps, &mut rng), lat, &mut builder);
+            }
+        }
+        // Seeded long-range chords (middle tier); duplicates of grid edges
+        // or earlier chords are simply skipped so the count stays bounded.
+        let chords = n * spec.chords_per_8 / 8;
+        for _ in 0..chords {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let bps = jitter(MESH_CHORD_BPS, &mut rng);
+            let _ = builder.add_edge(a, b, Link::new(bps, 5e-4).expect("chord link"));
+        }
+        let mesh = builder.build();
+
+        let models = [
+            DeviceModel::RaspberryPiAPlus,
+            DeviceModel::RaspberryPiB,
+            DeviceModel::RaspberryPiBPlus,
+        ];
+        let mut nodes = Vec::with_capacity(n);
+        nodes.push(Node::new(NodeId(0), DeviceModel::Laptop));
+        for v in 1..n {
+            let model =
+                if v % 64 == 0 { DeviceModel::Laptop } else { models[(v - 1) % models.len()] };
+            nodes.push(Node::new(NodeId(v), model));
+        }
+        Self::new_mesh(nodes, mesh, NodeId(0))
     }
 }
 
@@ -213,5 +451,83 @@ mod tests {
         let before = c.node(NodeId(1)).unwrap().compute_time(1e6);
         c.node_mut(NodeId(1)).map(|n| *n = n.clone().with_slowdown(2.0)).unwrap();
         assert!(c.node(NodeId(1)).unwrap().compute_time(1e6) > before);
+    }
+
+    #[test]
+    fn sparse_ids_fall_back_to_scan() {
+        let nodes = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1_000_000), DeviceModel::RaspberryPiB),
+        ];
+        let net = StarNetwork::uniform(1e6, 0.0).unwrap();
+        let c = Cluster::new(nodes, net, NodeId(0)).unwrap();
+        assert!(c.node(NodeId(1_000_000)).is_some());
+        assert!(c.node(NodeId(7)).is_none());
+    }
+
+    #[test]
+    fn mesh_cluster_shape_validation() {
+        let link = Link::new(1e6, 0.0).unwrap();
+        let mut b = MeshNetwork::builder(3);
+        b.add_edge(0, 1, link).unwrap();
+        b.add_edge(1, 2, link).unwrap();
+        let mesh = b.build();
+        let two = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+        ];
+        assert!(matches!(
+            Cluster::new_mesh(two, mesh.clone(), NodeId(0)),
+            Err(ClusterError::MeshNodeCount { nodes: 2, mesh_nodes: 3 })
+        ));
+        let misnumbered = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(2), DeviceModel::RaspberryPiB),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+        ];
+        assert!(matches!(
+            Cluster::new_mesh(misnumbered, mesh.clone(), NodeId(0)),
+            Err(ClusterError::MeshNodeId { index: 1, .. })
+        ));
+        let good = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+            Node::new(NodeId(2), DeviceModel::RaspberryPiBPlus),
+        ];
+        let c = Cluster::new_mesh(good, mesh, NodeId(0)).unwrap();
+        assert!(c.mesh().is_some());
+        assert_eq!(c.num_workers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh, not a star")]
+    fn star_accessor_panics_on_mesh() {
+        let c = Cluster::mesh_testbed(MeshSpec::new(9, 7)).unwrap();
+        let _ = c.network();
+    }
+
+    #[test]
+    fn mesh_testbed_is_deterministic_and_connected() {
+        for &n in &[10usize, 100, 1000] {
+            let a = Cluster::mesh_testbed(MeshSpec::new(n, 42)).unwrap();
+            let b = Cluster::mesh_testbed(MeshSpec::new(n, 42)).unwrap();
+            assert_eq!(a, b, "same spec must reproduce the same world");
+            let mesh = a.mesh().unwrap();
+            assert_eq!(mesh.nodes(), n);
+            let routes = mesh.routes_from(0, &[]);
+            assert!((0..n).all(|v| routes.reachable(v)), "grid worlds are connected");
+            assert_eq!(a.node(NodeId(0)).unwrap().model(), DeviceModel::Laptop);
+        }
+        let other_seed = Cluster::mesh_testbed(MeshSpec::new(100, 43)).unwrap();
+        assert_ne!(Cluster::mesh_testbed(MeshSpec::new(100, 42)).unwrap(), other_seed);
+    }
+
+    #[test]
+    fn mesh_testbed_4000_nodes_builds() {
+        let c = Cluster::mesh_testbed(MeshSpec::new(4000, 7)).unwrap();
+        let mesh = c.mesh().unwrap();
+        assert_eq!(mesh.nodes(), 4000);
+        // Grid plus chords: strictly more edges than a spanning tree.
+        assert!(mesh.num_edges() >= 4000);
     }
 }

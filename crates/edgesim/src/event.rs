@@ -106,6 +106,187 @@ impl<T: PartialEq> Default for EventQueue<T> {
     }
 }
 
+/// Smallest bucket count a [`CalendarQueue`] will shrink to.
+const MIN_BUCKETS: usize = 16;
+/// Largest bucket count a [`CalendarQueue`] will grow to.
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// An indexed calendar (bucket) queue with the same ordering contract as
+/// [`EventQueue`]: earliest time first, FIFO among equal timestamps.
+///
+/// Events hash into `buckets.len()` time slices of `width` seconds each
+/// (`bucket = floor(time / width) mod buckets`); popping walks the calendar
+/// from the current day, so insert and pop are O(1) amortised for a calendar
+/// in balance — the difference against one global O(log n) heap dominates at
+/// 1000+ simulated nodes where the event population stays large for the
+/// whole run. Each bucket is itself a small earliest-first heap, so even a
+/// long-tailed timestamp distribution that crowds one bucket degrades to
+/// O(log b), never a linear sorted insert. The queue resizes (doubling or
+/// halving the bucket count, re-estimating the width from the observed event
+/// span) when the population drifts out of balance with the calendar, so no
+/// tuning is needed.
+///
+/// The pop order is *identical* to [`EventQueue`]'s — same `(time, seq)`
+/// key, same FIFO tie-break — which `tests/properties.rs` pins with a
+/// proptest over random insert/pop interleavings. The engines in
+/// [`crate::run`] rely on that equivalence: swapping the queue cannot move
+/// a single event.
+///
+/// # Examples
+///
+/// ```
+/// use edgesim::event::CalendarQueue;
+///
+/// let mut q = CalendarQueue::new();
+/// q.schedule(2.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop_next(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop_next(), Some((2.0, "later")));
+/// assert_eq!(q.pop_next(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    /// Each bucket is a small earliest-first heap ([`Scheduled`]'s order is
+    /// inverted, so `peek`/`pop` yield the bucket's minimum `(time, seq)`).
+    /// A heap rather than a sorted `Vec` keeps inserts O(log b) even when a
+    /// long-tailed timestamp distribution crowds one bucket — a sorted
+    /// insert would pay an O(b) memmove per event there.
+    buckets: Vec<BinaryHeap<Scheduled<T>>>,
+    /// Seconds covered by one bucket.
+    width: f64,
+    /// Virtual day the pop cursor is on: events with
+    /// `floor(time / width) == day` live in bucket `day % buckets.len()`.
+    day: u64,
+    len: usize,
+    seq: u64,
+    now: f64,
+}
+
+impl<T: PartialEq> CalendarQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        let buckets = std::iter::repeat_with(BinaryHeap::new).take(MIN_BUCKETS).collect();
+        Self { buckets, width: 1.0, day: 0, len: 0, seq: 0, now: 0.0 }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn day_of(&self, time: f64) -> u64 {
+        // `as u64` saturates, so negative epsilons clamp to day 0 and huge
+        // times to the last representable day.
+        (time / self.width).floor().max(0.0) as u64
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is non-finite or earlier than the current time
+    /// (events cannot be scheduled in the past).
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(time + 1e-12 >= self.now, "cannot schedule in the past: {time} < {}", self.now);
+        if self.len >= self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let ev = Scheduled { time, seq, payload };
+        let n = self.buckets.len();
+        let day = self.day_of(time);
+        // The ε-past allowance lets `time` land one day behind the cursor
+        // when a bucket boundary falls inside the epsilon; back up so the
+        // scan still pops strictly in (time, seq) order.
+        if day < self.day {
+            self.day = day;
+        }
+        self.buckets[day as usize % n].push(ev);
+        self.len += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop_next(&mut self) -> Option<(f64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.len <= self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize((self.buckets.len() / 2).max(MIN_BUCKETS));
+        }
+        let n = self.buckets.len() as u64;
+        // Walk the calendar from the current day; after a full fruitless
+        // rotation fall back to a direct scan for the global minimum (the
+        // pending events are all far in the future).
+        for _ in 0..n {
+            let b = (self.day % n) as usize;
+            if let Some(ev) = self.buckets[b].peek() {
+                if self.day_of(ev.time) <= self.day {
+                    let ev = self.buckets[b].pop().expect("bucket minimum exists");
+                    self.len -= 1;
+                    self.now = ev.time;
+                    return Some((ev.time, ev.payload));
+                }
+            }
+            self.day += 1;
+        }
+        self.day = self.day_of(self.min_time().expect("len > 0"));
+        let b = (self.day % n) as usize;
+        let ev = self.buckets[b].pop().expect("minimum's bucket is non-empty");
+        self.len -= 1;
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Earliest pending timestamp, or `None` when empty. O(buckets).
+    fn min_time(&self) -> Option<f64> {
+        self.buckets
+            .iter()
+            .filter_map(|b| b.peek().map(|e| e.time))
+            .fold(None, |m, t| Some(m.map_or(t, |m: f64| m.min(t))))
+    }
+
+    /// Rebuilds the calendar with `n` buckets and a width estimated from
+    /// the current event span (aiming for ~2 events per active day).
+    fn resize(&mut self, n: usize) {
+        let events: Vec<Scheduled<T>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for ev in &events {
+            lo = lo.min(ev.time);
+            hi = hi.max(ev.time);
+        }
+        let span = (hi - lo).max(0.0);
+        self.width = if span > 0.0 && !events.is_empty() {
+            (span * 2.0 / events.len() as f64).max(1e-9)
+        } else {
+            1.0
+        };
+        self.buckets = std::iter::repeat_with(BinaryHeap::new).take(n).collect();
+        self.day = self.day_of(if lo.is_finite() { lo } else { self.now });
+        for ev in events {
+            let b = self.day_of(ev.time) as usize % n;
+            self.buckets[b].push(ev);
+        }
+    }
+}
+
+impl<T: PartialEq> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +354,101 @@ mod tests {
         q.pop_next();
         assert!(q.is_empty());
         assert!(q.pop_next().is_none());
+    }
+
+    #[test]
+    fn calendar_pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn calendar_equal_times_are_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calendar_clock_advances_and_same_time_followup() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, "first");
+        let (t, _) = q.pop_next().unwrap();
+        assert_eq!(q.now(), 5.0);
+        q.schedule(t, "same-time follow-up");
+        assert_eq!(q.pop_next().unwrap().1, "same-time follow-up");
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn calendar_scheduling_in_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(5.0, ());
+        q.pop_next();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn calendar_non_finite_time_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn calendar_survives_resize_cycles() {
+        // Push enough to force grow resizes, drain to force shrink, with
+        // wildly uneven time spreads; compare against the heap reference.
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut state = 0x5EEDu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pending = 0usize;
+        for step in 0..4000u64 {
+            if pending == 0 || rnd() % 3 != 0 {
+                let base = cal.now();
+                let dt = match rnd() % 4 {
+                    0 => 0.0,
+                    1 => (rnd() % 1000) as f64 * 1e-6,
+                    2 => (rnd() % 1000) as f64,
+                    _ => (rnd() % 10) as f64 * 1e6,
+                };
+                cal.schedule(base + dt, step);
+                heap.schedule(base + dt, step);
+                pending += 1;
+            } else {
+                assert_eq!(cal.pop_next(), heap.pop_next());
+                pending -= 1;
+            }
+        }
+        while pending > 0 {
+            assert_eq!(cal.pop_next(), heap.pop_next());
+            pending -= 1;
+        }
+        assert!(cal.pop_next().is_none());
+    }
+
+    #[test]
+    fn calendar_far_future_fallback_scan() {
+        // One event many "years" ahead of the cursor: the rotation comes up
+        // empty and the direct-minimum fallback must find it.
+        let mut q = CalendarQueue::new();
+        q.schedule(0.5, "near");
+        q.schedule(1e9, "far");
+        assert_eq!(q.pop_next().unwrap().1, "near");
+        assert_eq!(q.pop_next().unwrap().1, "far");
     }
 }

@@ -9,10 +9,20 @@
 //! partition/decision overheads. Processing time (`PT = t_s − t_c`) is the
 //! headline metric of Figs. 9-11.
 //!
+//! Beyond the paper's testbed, the simulator scales to 1000+-node worlds:
+//! [`network::MeshNetwork`] models arbitrary topologies with static
+//! shortest-path routes and proportional-share link contention, and the
+//! star is its degenerate single-hop case.
+//!
 //! * [`node`] — device models and compute rates.
-//! * [`network`] — star WiFi links, bandwidth sweeps.
-//! * [`event`] — deterministic discrete-event queue.
-//! * [`cluster`] — Fig. 8 testbed assembly and variants.
+//! * [`network`] — star WiFi links and bandwidth sweeps, plus CSR mesh
+//!   topologies with per-hop links and build-time routing.
+//! * [`event`] — deterministic discrete-event queues: the reference
+//!   `BinaryHeap` [`event::EventQueue`] and the indexed
+//!   [`event::CalendarQueue`] with the identical `(time, seq)` FIFO
+//!   contract.
+//! * [`cluster`] — Fig. 8 testbed assembly and variants; seeded
+//!   grid-with-chords mesh testbeds ([`cluster::Cluster::mesh_testbed`]).
 //! * [`run`] — executing a task→node assignment, producing a [`run::SimReport`];
 //!   fault-aware execution with retries via [`run::simulate_with_faults`].
 //! * [`faults`] — seeded deterministic crash/link/straggler schedules.

@@ -128,6 +128,11 @@ impl Node {
         self.capacity
     }
 
+    /// Compute slowdown factor (1.0 = nominal speed).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
     /// Seconds needed to process `bits` of input on this node.
     pub fn compute_time(&self, bits: f64) -> f64 {
         self.model.seconds_per_bit() * self.slowdown * bits.max(0.0)

@@ -14,10 +14,10 @@
 //!
 //! Tasks allocated to the controller itself skip the network.
 
-use crate::cluster::Cluster;
-use crate::event::EventQueue;
+use crate::cluster::{Cluster, NetTopology};
+use crate::event::CalendarQueue;
 use crate::faults::{FaultKind, FaultSchedule};
-use crate::network::MediumMode;
+use crate::network::{MediumMode, MeshNetwork, Routes};
 use crate::node::NodeId;
 use crate::trace::{FailureKind, FailureRecord};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -229,6 +229,14 @@ pub enum SimError {
         /// The controller node.
         node: NodeId,
     },
+    /// A task was assigned to a mesh node with no route from the
+    /// controller (the mesh is disconnected there).
+    UnreachableNode {
+        /// Task index.
+        task: usize,
+        /// The unreachable node.
+        node: NodeId,
+    },
     /// Invalid [`RetryPolicy`] parameters.
     BadRetryPolicy {
         /// Offending timeout factor.
@@ -261,6 +269,9 @@ impl fmt::Display for SimError {
             }
             SimError::ControllerFault { node } => {
                 write!(f, "fault schedule targets the controller {node}")
+            }
+            SimError::UnreachableNode { task, node } => {
+                write!(f, "task {task} assigned to {node}, which has no route from the controller")
             }
             SimError::BadRetryPolicy { timeout_factor, backoff_base_s, min_timeout_s } => write!(
                 f,
@@ -368,12 +379,16 @@ const PAR_MIN_SCHEDULED: usize = 256;
 
 /// Simulates one allocation round.
 ///
-/// In [`MediumMode::PerNodeLink`] mode the nodes' timelines are mutually
-/// independent — each star link and CPU is touched only by its own node's
-/// tasks — so large rounds are computed per node in parallel (ordered
-/// assembly, bit-identical at every thread count); small rounds and
-/// [`MediumMode::SharedMedium`] (where every transfer serialises through
-/// one channel) run the global discrete-event loop.
+/// On a star cluster in [`MediumMode::PerNodeLink`] mode the nodes'
+/// timelines are mutually independent — each star link and CPU is touched
+/// only by its own node's tasks — so large rounds are computed per node in
+/// parallel (ordered assembly, bit-identical at every thread count); small
+/// rounds and [`MediumMode::SharedMedium`] (where every transfer
+/// serialises through one channel) run the global discrete-event loop.
+///
+/// On a mesh cluster the round runs the proportional-share fluid-flow
+/// engine (see [`simulate_with_faults`]) with an empty fault schedule; the
+/// engine is single-threaded, so thread-count invariance is structural.
 ///
 /// # Errors
 ///
@@ -385,18 +400,57 @@ pub fn simulate(
     config: SimConfig,
 ) -> Result<SimReport, SimError> {
     validate_assignment(cluster, tasks, assignment, config)?;
-    if matches!(cluster.network().medium(), MediumMode::PerNodeLink)
-        && assignment.scheduled_count() >= PAR_MIN_SCHEDULED
-    {
-        return Ok(simulate_per_node(cluster, tasks, assignment, config));
+    match cluster.topology() {
+        NetTopology::Mesh(mesh) => {
+            config.retry.validate()?;
+            validate_reachable(mesh, cluster, tasks, assignment)?;
+            let report =
+                MeshSim::new(cluster, mesh, tasks, config).run(assignment, &FaultSchedule::new());
+            Ok(report.to_sim_report())
+        }
+        NetTopology::Star(net) => {
+            if matches!(net.medium(), MediumMode::PerNodeLink)
+                && assignment.scheduled_count() >= PAR_MIN_SCHEDULED
+            {
+                return Ok(simulate_per_node(cluster, tasks, assignment, config));
+            }
+            Ok(simulate_event_loop(cluster, tasks, assignment, config))
+        }
     }
-    Ok(simulate_event_loop(cluster, tasks, assignment, config))
 }
 
-/// The reference discrete-event engine: one global queue, causal order,
-/// FIFO tie-breaks. Handles both medium modes; [`simulate`] routes here
-/// for shared-medium and small rounds, and the per-node fan-out is pinned
-/// bit-identical to this loop by the parity tests.
+/// Rejects assignments that target mesh nodes with no route from the
+/// controller on the healthy (all edges up) topology.
+fn validate_reachable(
+    mesh: &MeshNetwork,
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    assignment: &NodeAssignment,
+) -> Result<(), SimError> {
+    let routes = mesh.routes_from(cluster.controller().0, &[]);
+    for i in 0..tasks.len() {
+        if let Some(node) = assignment.node_of(i) {
+            if node != cluster.controller() && !routes.reachable(node.0) {
+                return Err(SimError::UnreachableNode { task: i, node });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The reference discrete-event engine for star clusters: one global
+/// queue, causal order, FIFO tie-breaks. Handles both medium modes;
+/// [`simulate`] routes here for shared-medium and small rounds, and the
+/// per-node fan-out is pinned bit-identical to this loop by the parity
+/// tests.
+///
+/// All engine state is dense `Vec` storage indexed by node id (ids are
+/// dense in every cluster constructor), so an event costs a few array
+/// reads — no hashing, no scans. The arithmetic is operation-for-operation
+/// the one the original `HashMap`-based loop performed: lazily-initialised
+/// entries started at exactly the values the vectors are pre-filled with,
+/// so every `max`/`+` sees the same operands and the reports stay
+/// byte-identical.
 fn simulate_event_loop(
     cluster: &Cluster,
     tasks: &[SimTask],
@@ -404,32 +458,45 @@ fn simulate_event_loop(
     config: SimConfig,
 ) -> SimReport {
     let controller = cluster.controller();
+    let net = cluster.network();
+    let shared = matches!(net.medium(), MediumMode::SharedMedium);
+    let slots = cluster.nodes().iter().map(|n| n.id().0).max().unwrap_or(0) + 1;
+    let t0 = config.partition_overhead_s;
+
+    // Per-slot precomputation: link parameters and compute-rate
+    // coefficient (seconds_per_bit × slowdown — `compute_time` multiplies
+    // left-to-right, so folding the first product keeps the bits).
+    let mut links = vec![net.link(NodeId(0)); slots];
+    let mut compute_coef = vec![0.0f64; slots];
+    for n in cluster.nodes() {
+        links[n.id().0] = net.link(n.id());
+        compute_coef[n.id().0] = n.model().seconds_per_bit() * n.slowdown();
+    }
+
+    let mut queue: CalendarQueue<Ev> = CalendarQueue::new();
     // In shared-medium mode every transfer serialises through one channel,
-    // modelled as a single virtual link key.
-    let shared_key = NodeId(usize::MAX);
-    let link_key = |node: NodeId| match cluster.network().medium() {
-        MediumMode::PerNodeLink => node,
-        MediumMode::SharedMedium => shared_key,
-    };
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut link_free: HashMap<NodeId, f64> = HashMap::new();
-    let mut cpu_free: HashMap<NodeId, f64> = HashMap::new();
-    let mut link_busy: HashMap<NodeId, f64> = HashMap::new();
-    let mut node_busy: HashMap<NodeId, f64> = HashMap::new();
+    // modelled as a single virtual link slot.
+    let mut shared_free = t0;
+    let mut link_free = vec![t0; slots];
+    let mut cpu_free = vec![0.0f64; slots];
+    let mut link_busy = vec![0.0f64; slots];
+    let mut node_busy = vec![0.0f64; slots];
+    let mut link_touched = vec![false; slots];
+    let mut node_touched = vec![false; slots];
     let mut timelines: Vec<Option<TaskTimeline>> = vec![None; tasks.len()];
 
-    let t0 = config.partition_overhead_s;
     // Dispatch all inputs at t0, FIFO per link in task order.
     for i in 0..tasks.len() {
         let Some(node) = assignment.node_of(i) else { continue };
         let (transfer_start, arrive) = if node == controller {
             (t0, t0) // local task: no network hop
         } else {
-            let free = link_free.entry(link_key(node)).or_insert(t0);
+            let free = if shared { &mut shared_free } else { &mut link_free[node.0] };
             let start = free.max(t0);
-            let dur = cluster.network().transfer_time(node, tasks[i].input_bits);
+            let dur = links[node.0].transfer_time(tasks[i].input_bits);
             *free = start + dur;
-            *link_busy.entry(node).or_insert(0.0) += dur;
+            link_busy[node.0] += dur;
+            link_touched[node.0] = true;
             (start, start + dur)
         };
         timelines[i] = Some(TaskTimeline {
@@ -448,11 +515,12 @@ fn simulate_event_loop(
         match ev {
             Ev::InputArrived(i) => {
                 let node = timelines[i].expect("scheduled task").node;
-                let free = cpu_free.entry(node).or_insert(now);
+                let free = &mut cpu_free[node.0];
                 let start = free.max(now);
-                let dur = cluster.node(node).expect("validated").compute_time(tasks[i].input_bits);
+                let dur = compute_coef[node.0] * tasks[i].input_bits.max(0.0);
                 *free = start + dur;
-                *node_busy.entry(node).or_insert(0.0) += dur;
+                node_busy[node.0] += dur;
+                node_touched[node.0] = true;
                 let tl = timelines[i].as_mut().expect("scheduled task");
                 tl.compute_start = start;
                 tl.compute_end = start + dur;
@@ -463,11 +531,11 @@ fn simulate_event_loop(
                 if node == controller {
                     queue.schedule(now, Ev::ResultArrived(i));
                 } else {
-                    let free = link_free.entry(link_key(node)).or_insert(now);
+                    let free = if shared { &mut shared_free } else { &mut link_free[node.0] };
                     let start = free.max(now);
-                    let dur = cluster.network().transfer_time(node, tasks[i].result_bits);
+                    let dur = links[node.0].transfer_time(tasks[i].result_bits);
                     *free = start + dur;
-                    *link_busy.entry(node).or_insert(0.0) += dur;
+                    link_busy[node.0] += dur;
                     queue.schedule(start + dur, Ev::ResultArrived(i));
                 }
             }
@@ -485,9 +553,21 @@ fn simulate_event_loop(
     SimReport {
         processing_time: last_result + config.decision_overhead_s,
         timelines,
-        node_busy,
-        link_busy,
+        node_busy: gather_busy(&node_busy, &node_touched),
+        link_busy: gather_busy(&link_busy, &link_touched),
     }
+}
+
+/// Converts dense busy accumulators back to the report's sparse map,
+/// keeping the `HashMap` era's entry-existence semantics: a node appears
+/// iff it touched that resource.
+fn gather_busy(busy: &[f64], touched: &[bool]) -> HashMap<NodeId, f64> {
+    busy.iter()
+        .zip(touched)
+        .enumerate()
+        .filter(|&(_, (_, &t))| t)
+        .map(|(i, (&b, _))| (NodeId(i), b))
+        .collect()
 }
 
 /// One node's completed leg of a per-node-link round: its tasks' timelines
@@ -774,7 +854,7 @@ struct FaultSim<'a> {
     tasks: &'a [SimTask],
     config: SimConfig,
     controller: NodeId,
-    queue: EventQueue<FEv>,
+    queue: CalendarQueue<FEv>,
     link_free: HashMap<NodeId, f64>,
     cpu_free: HashMap<NodeId, f64>,
     link_busy: HashMap<NodeId, f64>,
@@ -1145,6 +1225,759 @@ impl FaultSim<'_> {
     }
 }
 
+/// Events of the mesh engine. Flow-scoped events carry the flow id (and,
+/// for [`MEv::FlowDone`], the rate version that scheduled them — a rate
+/// change bumps the version, turning the superseded completion inert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MEv {
+    /// Index into the fault schedule fires.
+    Fault(usize),
+    /// A flow's serialisation finished under the rate of `version`.
+    FlowDone {
+        flow: usize,
+        version: u64,
+    },
+    /// A finished flow's payload, delayed by path propagation, lands.
+    Delivered {
+        flow: usize,
+    },
+    /// Controller-local input leg finished for (task, attempt).
+    InputArrived {
+        task: usize,
+        attempt: usize,
+    },
+    ComputeDone {
+        task: usize,
+        attempt: usize,
+    },
+    /// Controller-local result leg finished for (task, attempt).
+    ResultArrived {
+        task: usize,
+        attempt: usize,
+    },
+    /// Controller-side heartbeat timer for (task, attempt).
+    Heartbeat {
+        task: usize,
+        attempt: usize,
+    },
+    /// Backoff elapsed; pick a surviving node and re-dispatch.
+    Redispatch {
+        task: usize,
+    },
+}
+
+/// One transfer in flight across the mesh under proportional-share
+/// contention. The flow's share weight is its total requested size
+/// (`bits`), constant for its lifetime; the granted rate is the minimum
+/// over its path edges of `capacity × (bits / load)` where `load` sums the
+/// weights of the flows crossing that edge. A lone flow's share is
+/// `bits / bits == 1.0` exactly, so it gets the full edge capacity.
+#[derive(Debug, Clone)]
+struct Flow {
+    task: usize,
+    attempt: usize,
+    /// `false` = input leg (controller → worker), `true` = result leg.
+    result: bool,
+    /// Worker-side endpoint (dense mesh node index).
+    node: usize,
+    /// Edge ids along the route, fixed at flow start (re-routing only
+    /// affects flows started after the topology change).
+    path: Vec<usize>,
+    /// Requested size — the constant share weight.
+    bits: f64,
+    /// Bits still to serialise.
+    remaining: f64,
+    /// Currently granted rate in bits/sec.
+    rate: f64,
+    /// Instant `remaining` was last advanced to.
+    last_update: f64,
+    /// Creation instant (for elapsed link-busy accounting).
+    started: f64,
+    /// Sum of one-way propagation latencies along `path`, applied once
+    /// after serialisation completes.
+    latency: f64,
+    /// Bumped on every rate change; stale [`MEv::FlowDone`] events no-op.
+    version: u64,
+    active: bool,
+}
+
+/// Per-task state of the mesh engine: [`TaskState`] plus the id of the
+/// attempt's in-flight flow (if the current leg is a network transfer).
+#[derive(Debug, Clone, Copy)]
+struct MTaskState {
+    attempt: usize,
+    node: NodeId,
+    leg: Leg,
+    flow: Option<usize>,
+    /// Reserved compute interval (start, end); transfers track their flow
+    /// instead.
+    interval: (f64, f64),
+    aborted: bool,
+    resolved: bool,
+    completed: bool,
+    timeline: TaskTimeline,
+}
+
+/// The mesh discrete-event engine: fluid-flow transfers with
+/// proportional-share contention and incremental rate settlement.
+///
+/// All state is dense `Vec` storage indexed by mesh node or edge id.
+/// After every handled event, [`MeshSim::settle`] revisits only the flows
+/// crossing edges whose flow set changed ("dirty" edges): each is advanced
+/// under its previously granted rate, then re-granted from the new loads;
+/// a flow whose rate is bitwise unchanged keeps its scheduled completion,
+/// so a settlement touches O(affected flows), not all active flows.
+///
+/// The engine is single-threaded, so thread-count invariance is
+/// structural; determinism follows from the queue's (time, seq) FIFO
+/// contract and the dense, id-ordered iteration everywhere.
+struct MeshSim<'a> {
+    cluster: &'a Cluster,
+    mesh: &'a MeshNetwork,
+    tasks: &'a [SimTask],
+    config: SimConfig,
+    controller: NodeId,
+    queue: CalendarQueue<MEv>,
+    /// Shortest-path tree from the controller over the live edges;
+    /// recomputed on every topology change.
+    routes: Routes,
+    edge_down: Vec<bool>,
+    /// The uplink edge a `LinkDown(n)` fault took out, so `LinkUp(n)`
+    /// restores exactly that edge.
+    downed_uplink: Vec<Option<usize>>,
+    /// Flow slab; ids are never reused within a run.
+    flows: Vec<Flow>,
+    /// Active flow ids crossing each edge, in arrival order.
+    edge_flows: Vec<Vec<usize>>,
+    /// Sum of active flows' share weights per edge; reset to exactly 0.0
+    /// when an edge empties so no float residue leaks across rounds of
+    /// contention.
+    edge_load: Vec<f64>,
+    /// Edges whose flow set changed since the last settlement.
+    dirty: Vec<usize>,
+    /// Settlement stamp per flow (dedupes flows crossing several dirty
+    /// edges).
+    touch_stamp: Vec<u64>,
+    stamp: u64,
+    cpu_free: Vec<f64>,
+    node_busy: Vec<f64>,
+    link_busy: Vec<f64>,
+    node_touched: Vec<bool>,
+    link_touched: Vec<bool>,
+    dispatched_load: Vec<f64>,
+    resident: Vec<f64>,
+    state: Vec<Option<MTaskState>>,
+    final_timelines: Vec<Option<TaskTimeline>>,
+    attempts_used: Vec<usize>,
+    failures: Vec<FailureRecord>,
+    down: Vec<bool>,
+    /// Compute-time multiplier per node; exactly 1.0 outside straggler
+    /// windows (bit-exact identity multiply).
+    straggle: Vec<f64>,
+    /// Per-node FIFO of (task, attempt) results parked while the node was
+    /// unreachable.
+    waiting: Vec<Vec<(usize, usize)>>,
+    pending: usize,
+    last_resolution: f64,
+}
+
+impl<'a> MeshSim<'a> {
+    fn new(
+        cluster: &'a Cluster,
+        mesh: &'a MeshNetwork,
+        tasks: &'a [SimTask],
+        config: SimConfig,
+    ) -> Self {
+        let n = mesh.nodes();
+        let m = mesh.num_edges();
+        let controller = cluster.controller();
+        Self {
+            cluster,
+            mesh,
+            tasks,
+            config,
+            controller,
+            queue: CalendarQueue::new(),
+            routes: mesh.routes_from(controller.0, &[]),
+            edge_down: vec![false; m],
+            downed_uplink: vec![None; n],
+            flows: Vec::new(),
+            edge_flows: std::iter::repeat_with(Vec::new).take(m).collect(),
+            edge_load: vec![0.0; m],
+            dirty: Vec::new(),
+            touch_stamp: Vec::new(),
+            stamp: 0,
+            cpu_free: vec![0.0; n],
+            node_busy: vec![0.0; n],
+            link_busy: vec![0.0; n],
+            node_touched: vec![false; n],
+            link_touched: vec![false; n],
+            dispatched_load: vec![0.0; n],
+            resident: vec![0.0; n],
+            state: vec![None; tasks.len()],
+            final_timelines: vec![None; tasks.len()],
+            attempts_used: vec![0; tasks.len()],
+            failures: Vec::new(),
+            down: vec![false; n],
+            straggle: vec![1.0; n],
+            waiting: vec![Vec::new(); n],
+            pending: 0,
+            last_resolution: config.partition_overhead_s,
+        }
+    }
+
+    fn live(&self, task: usize, attempt: usize) -> bool {
+        match self.state[task] {
+            Some(st) => !st.resolved && !st.aborted && st.attempt == attempt,
+            None => false,
+        }
+    }
+
+    /// Starts a transfer toward (or from) `node` along the current route.
+    /// Zero-size payloads skip the fluid phase entirely: they hold no
+    /// share of any edge and deliver after pure path latency.
+    ///
+    /// The caller guarantees `node` is currently reachable.
+    fn start_flow(
+        &mut self,
+        task: usize,
+        attempt: usize,
+        result: bool,
+        node: NodeId,
+        t: f64,
+        bits: f64,
+    ) -> usize {
+        let path = self.routes.path_edges(node.0);
+        let latency: f64 = path.iter().map(|&e| self.mesh.link(e).latency_s()).sum();
+        let bits = bits.max(0.0);
+        let fid = self.flows.len();
+        self.link_touched[node.0] = true;
+        if bits > 0.0 {
+            for &e in &path {
+                self.edge_flows[e].push(fid);
+                self.edge_load[e] += bits;
+                self.dirty.push(e);
+            }
+            self.flows.push(Flow {
+                task,
+                attempt,
+                result,
+                node: node.0,
+                path,
+                bits,
+                remaining: bits,
+                rate: 0.0,
+                last_update: t,
+                started: t,
+                latency,
+                version: 0,
+                active: true,
+            });
+        } else {
+            // Nothing to serialise: deliver after propagation alone.
+            self.flows.push(Flow {
+                task,
+                attempt,
+                result,
+                node: node.0,
+                path,
+                bits,
+                remaining: 0.0,
+                rate: 0.0,
+                last_update: t,
+                started: t,
+                latency,
+                version: 0,
+                active: false,
+            });
+            self.queue.schedule(t + latency, MEv::Delivered { flow: fid });
+        }
+        self.touch_stamp.push(0);
+        fid
+    }
+
+    /// Takes `fid` off the network: accrues its elapsed serialisation time
+    /// to the worker's link-busy ledger, releases its share on every path
+    /// edge, and marks those edges dirty. Idempotent.
+    fn end_flow(&mut self, fid: usize, now: f64) {
+        let f = &mut self.flows[fid];
+        if !f.active {
+            return;
+        }
+        f.active = false;
+        let elapsed = (now - f.started).max(0.0);
+        let node = f.node;
+        let bits = f.bits;
+        let path = std::mem::take(&mut f.path);
+        self.link_busy[node] += elapsed;
+        for &e in &path {
+            self.edge_flows[e].retain(|&g| g != fid);
+            self.edge_load[e] -= bits;
+            if self.edge_flows[e].is_empty() {
+                self.edge_load[e] = 0.0;
+            }
+            self.dirty.push(e);
+        }
+    }
+
+    /// Settles the network after a flow-set change: every flow crossing a
+    /// dirty edge is advanced under its old rate, then re-granted
+    /// `min over path of capacity × (bits / load)`. Only a bitwise rate
+    /// change bumps the flow's version and reschedules its completion —
+    /// unaffected flows keep their pending [`MEv::FlowDone`] untouched.
+    ///
+    /// Settling once per handled event is equivalent to settling after
+    /// each individual flow change at that instant: intermediate
+    /// settlements at the same timestamp advance flows by `dt = 0`, which
+    /// is a no-op, so only the final rate grant matters.
+    fn settle(&mut self, now: f64) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.stamp += 1;
+        let mut dirty = std::mem::take(&mut self.dirty);
+        for &e in &dirty {
+            for fi in 0..self.edge_flows[e].len() {
+                let fid = self.edge_flows[e][fi];
+                if self.touch_stamp[fid] == self.stamp {
+                    continue;
+                }
+                self.touch_stamp[fid] = self.stamp;
+                {
+                    // Advance under the old rate. A flow created at t0 can
+                    // see a settlement at an earlier fault instant; it has
+                    // not started transferring yet, so its clock stays put.
+                    let f = &mut self.flows[fid];
+                    if now > f.last_update {
+                        f.remaining = (f.remaining - f.rate * (now - f.last_update)).max(0.0);
+                        f.last_update = now;
+                    }
+                }
+                let mut rate = f64::INFINITY;
+                {
+                    let f = &self.flows[fid];
+                    for &pe in &f.path {
+                        let r = self.mesh.link(pe).bandwidth_bps() * (f.bits / self.edge_load[pe]);
+                        if r < rate {
+                            rate = r;
+                        }
+                    }
+                }
+                let f = &mut self.flows[fid];
+                if rate.to_bits() == f.rate.to_bits() {
+                    continue;
+                }
+                f.rate = rate;
+                f.version += 1;
+                let fire = f.last_update + f.remaining / rate;
+                let version = f.version;
+                self.queue.schedule(fire, MEv::FlowDone { flow: fid, version });
+            }
+        }
+        dirty.clear();
+        self.dirty = dirty;
+    }
+
+    /// Heartbeat duration for `task` on `node`: retry-factor × the
+    /// attempt's nominal PT — uncontended transfers at the current route's
+    /// bottleneck bandwidth plus compute at advertised rates. Falls back
+    /// to compute alone while the node is unreachable (the transfer cost
+    /// is unknowable; the floor and factor keep the timer sane).
+    fn timeout_of(&self, task: usize, node: NodeId) -> f64 {
+        let spec = self.tasks[task];
+        let compute =
+            self.cluster.node(node).expect("validated node").compute_time(spec.input_bits);
+        let nominal = if node == self.controller || !self.routes.reachable(node.0) {
+            compute
+        } else {
+            self.mesh.nominal_transfer_time(&self.routes, node.0, spec.input_bits)
+                + compute
+                + self.mesh.nominal_transfer_time(&self.routes, node.0, spec.result_bits)
+        };
+        (self.config.retry.timeout_factor * nominal).max(self.config.retry.min_timeout_s)
+    }
+
+    fn dispatch(&mut self, task: usize, node: NodeId, t: f64, attempt: usize) {
+        let spec = self.tasks[task];
+        let nominal =
+            self.cluster.node(node).expect("validated node").compute_time(spec.input_bits);
+        self.dispatched_load[node.0] += nominal;
+        self.resident[node.0] += spec.resource_demand;
+        let flow = if node == self.controller {
+            self.queue.schedule(t, MEv::InputArrived { task, attempt });
+            None
+        } else {
+            Some(self.start_flow(task, attempt, false, node, t, spec.input_bits))
+        };
+        self.state[task] = Some(MTaskState {
+            attempt,
+            node,
+            leg: Leg::InputTransfer,
+            flow,
+            interval: (t, t),
+            aborted: false,
+            resolved: false,
+            completed: false,
+            timeline: TaskTimeline {
+                node,
+                transfer_start: t,
+                compute_start: 0.0,
+                compute_end: 0.0,
+                result_at: 0.0,
+            },
+        });
+        self.attempts_used[task] = attempt;
+        self.queue.schedule(t + self.timeout_of(task, node), MEv::Heartbeat { task, attempt });
+    }
+
+    /// Kills the current attempt: ends its in-flight flow (elapsed
+    /// serialisation time stays accrued; the un-transferred remainder is
+    /// never charged), refunds un-elapsed compute on a crash, releases
+    /// residency, and leaves the attempt for the heartbeat to detect.
+    fn abort_attempt(&mut self, task: usize, now: f64, cause: AbortCause) {
+        let st = self.state[task].expect("abort of unscheduled task");
+        match st.leg {
+            Leg::InputTransfer | Leg::ResultTransfer => {
+                if let Some(fid) = st.flow {
+                    self.end_flow(fid, now);
+                }
+            }
+            Leg::Computing => {
+                if matches!(cause, AbortCause::Crash) {
+                    let lost = st.interval.1 - st.interval.0.max(now);
+                    if lost > 0.0 {
+                        self.node_busy[st.node.0] -= lost;
+                    }
+                }
+            }
+            Leg::AwaitingLink => {
+                self.waiting[st.node.0].retain(|&(t, _)| t != task);
+            }
+        }
+        self.resident[st.node.0] -= self.tasks[task].resource_demand;
+        self.state[task].as_mut().expect("present").aborted = true;
+        self.failures.push(FailureRecord {
+            time: now,
+            kind: FailureKind::AttemptAborted { task, node: st.node, attempt: st.attempt },
+        });
+    }
+
+    /// Mesh fault semantics. A crash takes out the node's *compute* — its
+    /// resident attempts abort — but the node keeps forwarding transit
+    /// flows (the radio survives the process). Topology damage is
+    /// `LinkDown(n)`, which drops `n`'s current uplink edge: every flow
+    /// crossing that edge aborts (whichever task it served) and routes are
+    /// recomputed, possibly re-routing *around* the dead edge for flows
+    /// started later.
+    fn on_fault(&mut self, now: f64, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash(n) => {
+                self.failures.push(FailureRecord { time: now, kind: FailureKind::NodeCrashed(n) });
+                if !self.down[n.0] {
+                    self.down[n.0] = true;
+                    for task in 0..self.tasks.len() {
+                        let Some(st) = self.state[task] else { continue };
+                        if st.node == n && !st.resolved && !st.aborted {
+                            self.abort_attempt(task, now, AbortCause::Crash);
+                        }
+                    }
+                    self.cpu_free[n.0] = now;
+                    self.straggle[n.0] = 1.0;
+                    self.waiting[n.0].clear();
+                }
+            }
+            FaultKind::Recover(n) => {
+                self.failures
+                    .push(FailureRecord { time: now, kind: FailureKind::NodeRecovered(n) });
+                if self.down[n.0] {
+                    self.down[n.0] = false;
+                    self.cpu_free[n.0] = now;
+                }
+            }
+            FaultKind::LinkDown(n) => {
+                self.failures.push(FailureRecord { time: now, kind: FailureKind::LinkWentDown(n) });
+                if self.downed_uplink[n.0].is_none() {
+                    if let Some(e) = self.routes.uplink_edge(n.0) {
+                        self.downed_uplink[n.0] = Some(e);
+                        self.edge_down[e] = true;
+                        // Every flow crossing the dead edge dies with it.
+                        let crossing = self.edge_flows[e].clone();
+                        for fid in crossing {
+                            let (task, attempt) = (self.flows[fid].task, self.flows[fid].attempt);
+                            if self.live(task, attempt) {
+                                self.abort_attempt(task, now, AbortCause::LinkLoss);
+                            }
+                        }
+                        self.routes = self.mesh.routes_from(self.controller.0, &self.edge_down);
+                    }
+                }
+            }
+            FaultKind::LinkUp(n) => {
+                self.failures.push(FailureRecord { time: now, kind: FailureKind::LinkRestored(n) });
+                if let Some(e) = self.downed_uplink[n.0].take() {
+                    self.edge_down[e] = false;
+                    self.routes = self.mesh.routes_from(self.controller.0, &self.edge_down);
+                    // Drain results parked behind the partition for every
+                    // node the restore reconnected: ascending node id,
+                    // FIFO within each node.
+                    for v in 0..self.mesh.nodes() {
+                        if self.waiting[v].is_empty() || !self.routes.reachable(v) {
+                            continue;
+                        }
+                        let parked = std::mem::take(&mut self.waiting[v]);
+                        for (task, attempt) in parked {
+                            if !self.live(task, attempt) {
+                                continue;
+                            }
+                            let fid = self.start_flow(
+                                task,
+                                attempt,
+                                true,
+                                NodeId(v),
+                                now,
+                                self.tasks[task].result_bits,
+                            );
+                            let s = self.state[task].as_mut().expect("live");
+                            s.leg = Leg::ResultTransfer;
+                            s.flow = Some(fid);
+                            s.interval = (now, now);
+                        }
+                    }
+                }
+            }
+            FaultKind::StragglerStart(n, factor) => {
+                self.straggle[n.0] = factor;
+            }
+            FaultKind::StragglerEnd(n) => {
+                self.straggle[n.0] = 1.0;
+            }
+        }
+    }
+
+    /// Input payload landed on the worker (or the controller-local leg
+    /// fired): queue the compute, FIFO per node.
+    fn begin_compute(&mut self, now: f64, task: usize, attempt: usize) {
+        let node = self.state[task].expect("live").node;
+        let free = &mut self.cpu_free[node.0];
+        let start = free.max(now);
+        let base =
+            self.cluster.node(node).expect("validated").compute_time(self.tasks[task].input_bits);
+        let dur = base * self.straggle[node.0];
+        *free = start + dur;
+        self.node_busy[node.0] += dur;
+        self.node_touched[node.0] = true;
+        let s = self.state[task].as_mut().expect("live");
+        s.leg = Leg::Computing;
+        s.flow = None;
+        s.interval = (start, start + dur);
+        s.timeline.compute_start = start;
+        s.timeline.compute_end = start + dur;
+        self.queue.schedule(start + dur, MEv::ComputeDone { task, attempt });
+    }
+
+    fn on_compute_done(&mut self, now: f64, task: usize, attempt: usize) {
+        if !self.live(task, attempt) {
+            return;
+        }
+        let node = self.state[task].expect("live").node;
+        if node == self.controller {
+            let s = self.state[task].as_mut().expect("live");
+            s.leg = Leg::ResultTransfer;
+            s.interval = (now, now);
+            self.queue.schedule(now, MEv::ResultArrived { task, attempt });
+        } else if !self.routes.reachable(node.0) {
+            // Result computed but the node is partitioned off: park until
+            // a LinkUp reconnects it.
+            let s = self.state[task].as_mut().expect("live");
+            s.leg = Leg::AwaitingLink;
+            s.interval = (now, now);
+            self.waiting[node.0].push((task, attempt));
+        } else {
+            let fid = self.start_flow(task, attempt, true, node, now, self.tasks[task].result_bits);
+            let s = self.state[task].as_mut().expect("live");
+            s.leg = Leg::ResultTransfer;
+            s.flow = Some(fid);
+            s.interval = (now, now);
+        }
+    }
+
+    fn on_flow_done(&mut self, now: f64, fid: usize, version: u64) {
+        let f = &self.flows[fid];
+        if !f.active || f.version != version {
+            return;
+        }
+        let latency = f.latency;
+        self.end_flow(fid, now);
+        self.queue.schedule(now + latency, MEv::Delivered { flow: fid });
+    }
+
+    fn on_delivered(&mut self, now: f64, fid: usize) {
+        let f = &self.flows[fid];
+        let (task, attempt, result) = (f.task, f.attempt, f.result);
+        if !self.live(task, attempt) {
+            return;
+        }
+        if result {
+            self.resolve_completed(now, task);
+        } else {
+            self.begin_compute(now, task, attempt);
+        }
+    }
+
+    fn resolve_completed(&mut self, now: f64, task: usize) {
+        let s = self.state[task].as_mut().expect("live");
+        s.timeline.result_at = now;
+        s.resolved = true;
+        s.completed = true;
+        self.final_timelines[task] = Some(s.timeline);
+        self.last_resolution = self.last_resolution.max(now);
+        self.pending -= 1;
+    }
+
+    fn on_heartbeat(&mut self, now: f64, task: usize, attempt: usize) {
+        let Some(st) = self.state[task] else { return };
+        if st.resolved || st.attempt != attempt {
+            return;
+        }
+        if st.aborted {
+            self.failures.push(FailureRecord {
+                time: now,
+                kind: FailureKind::TimeoutDetected { task, node: st.node, attempt },
+            });
+            self.retry_or_fail(task, now);
+        } else if matches!(st.leg, Leg::AwaitingLink) && !self.routes.reachable(st.node.0) {
+            // Result stranded behind a partition that outlived the
+            // timeout: give up on this attempt and recompute elsewhere.
+            self.abort_attempt(task, now, AbortCause::Strand);
+            self.failures.push(FailureRecord {
+                time: now,
+                kind: FailureKind::TimeoutDetected { task, node: st.node, attempt },
+            });
+            self.retry_or_fail(task, now);
+        } else {
+            // Healthy in-flight work is never preempted: re-arm.
+            self.queue
+                .schedule(now + self.timeout_of(task, st.node), MEv::Heartbeat { task, attempt });
+        }
+    }
+
+    fn retry_or_fail(&mut self, task: usize, now: f64) {
+        let used = self.state[task].expect("scheduled").attempt;
+        if used > self.config.retry.max_retries {
+            self.fail_task(task, now);
+        } else {
+            let delay = self.config.retry.backoff_base_s * 2f64.powi(used as i32 - 1);
+            self.queue.schedule(now + delay, MEv::Redispatch { task });
+        }
+    }
+
+    fn fail_task(&mut self, task: usize, now: f64) {
+        let used = self.state[task].expect("scheduled").attempt;
+        let s = self.state[task].as_mut().expect("scheduled");
+        s.resolved = true;
+        self.failures.push(FailureRecord {
+            time: now,
+            kind: FailureKind::TaskFailed { task, attempts: used },
+        });
+        self.last_resolution = self.last_resolution.max(now);
+        self.pending -= 1;
+    }
+
+    fn on_redispatch(&mut self, now: f64, task: usize) {
+        let st = self.state[task].expect("scheduled");
+        if st.resolved || !st.aborted {
+            return;
+        }
+        let next = st.attempt + 1;
+        let demand = self.tasks[task].resource_demand;
+        // Deterministic target selection, as on the star: least cumulative
+        // dispatched nominal compute seconds among up nodes the controller
+        // can currently reach, ties broken by ascending node id.
+        let mut best: Option<(f64, NodeId)> = None;
+        for n in self.cluster.nodes() {
+            let id = n.id();
+            if self.down[id.0] || (id != self.controller && !self.routes.reachable(id.0)) {
+                continue;
+            }
+            if self.config.enforce_capacity && self.resident[id.0] + demand > n.capacity() + 1e-9 {
+                continue;
+            }
+            let load = self.dispatched_load[id.0];
+            let better = match best {
+                None => true,
+                Some((bl, bid)) => load < bl || (load == bl && id < bid),
+            };
+            if better {
+                best = Some((load, id));
+            }
+        }
+        match best {
+            Some((_, node)) => {
+                self.failures.push(FailureRecord {
+                    time: now,
+                    kind: FailureKind::Redispatched { task, node, attempt: next },
+                });
+                self.dispatch(task, node, now, next);
+            }
+            None => self.fail_task(task, now),
+        }
+    }
+
+    fn run(mut self, assignment: &NodeAssignment, schedule: &FaultSchedule) -> FaultReport {
+        // Faults enter the queue first so that, at equal timestamps, a
+        // fault takes effect before task events of the same instant.
+        for (idx, ev) in schedule.events().iter().enumerate() {
+            self.queue.schedule(ev.time, MEv::Fault(idx));
+        }
+        let t0 = self.config.partition_overhead_s;
+        for i in 0..self.tasks.len() {
+            if let Some(node) = assignment.node_of(i) {
+                self.dispatch(i, node, t0, 1);
+                self.pending += 1;
+            }
+        }
+        // One settlement grants every t0 flow its initial rate.
+        self.settle(t0);
+        while self.pending > 0 {
+            let Some((now, ev)) = self.queue.pop_next() else { break };
+            match ev {
+                MEv::Fault(idx) => self.on_fault(now, schedule.events()[idx].kind),
+                MEv::FlowDone { flow, version } => self.on_flow_done(now, flow, version),
+                MEv::Delivered { flow } => self.on_delivered(now, flow),
+                MEv::InputArrived { task, attempt } => {
+                    if self.live(task, attempt) {
+                        self.begin_compute(now, task, attempt);
+                    }
+                }
+                MEv::ComputeDone { task, attempt } => self.on_compute_done(now, task, attempt),
+                MEv::ResultArrived { task, attempt } => {
+                    if self.live(task, attempt) {
+                        self.resolve_completed(now, task);
+                    }
+                }
+                MEv::Heartbeat { task, attempt } => self.on_heartbeat(now, task, attempt),
+                MEv::Redispatch { task } => self.on_redispatch(now, task),
+            }
+            self.settle(now);
+        }
+        let n = self.mesh.nodes();
+        FaultReport {
+            processing_time: self.last_resolution + self.config.decision_overhead_s,
+            timelines: self.final_timelines,
+            completed: self
+                .state
+                .iter()
+                .map(|s| s.map(|st| st.completed).unwrap_or(false))
+                .collect(),
+            attempts: self.attempts_used,
+            failures: self.failures,
+            node_busy: gather_busy(&self.node_busy, &self.node_touched),
+            link_busy: gather_busy(&self.link_busy, &self.link_touched),
+            down_at_end: (0..n).filter(|&v| self.down[v]).map(NodeId).collect(),
+        }
+    }
+}
+
 /// Simulates one allocation round under an injected [`FaultSchedule`], with
 /// controller-side timeout detection, bounded retries and re-dispatch to
 /// surviving nodes ([`RetryPolicy`]).
@@ -1187,13 +2020,17 @@ pub fn simulate_with_faults(
             return Err(SimError::ControllerFault { node });
         }
     }
+    if let NetTopology::Mesh(mesh) = cluster.topology() {
+        validate_reachable(mesh, cluster, tasks, assignment)?;
+        return Ok(MeshSim::new(cluster, mesh, tasks, config).run(assignment, schedule));
+    }
 
     let mut sim = FaultSim {
         cluster,
         tasks,
         config,
         controller: cluster.controller(),
-        queue: EventQueue::new(),
+        queue: CalendarQueue::new(),
         link_free: HashMap::new(),
         cpu_free: HashMap::new(),
         link_busy: HashMap::new(),
@@ -1831,5 +2668,272 @@ mod medium_tests {
         let r1 = simulate(&shared, &tasks, &a, cfg).unwrap();
         let r2 = simulate(&per_link_cluster, &tasks, &a, cfg).unwrap();
         assert!((r1.processing_time - r2.processing_time).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod mesh_tests {
+    use super::*;
+    use crate::cluster::{Cluster, MeshSpec};
+    use crate::faults::FaultSchedule;
+    use crate::network::{Link, MeshNetwork};
+    use crate::node::{DeviceModel, Node};
+
+    fn cfg() -> SimConfig {
+        SimConfig { partition_overhead_s: 0.0, decision_overhead_s: 0.0, ..SimConfig::default() }
+    }
+
+    /// Controller(0) — 1 — 2 line: the first hop is shared by every
+    /// transfer, the second only by node 2's.
+    fn line3(cap01: f64, cap12: f64, lat: f64) -> Cluster {
+        let mut b = MeshNetwork::builder(3);
+        b.add_edge(0, 1, Link::new(cap01, lat).unwrap()).unwrap();
+        b.add_edge(1, 2, Link::new(cap12, lat).unwrap()).unwrap();
+        let nodes = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+            Node::new(NodeId(2), DeviceModel::RaspberryPiB),
+        ];
+        Cluster::new_mesh(nodes, b.build(), NodeId(0)).unwrap()
+    }
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn lone_flow_gets_full_bottleneck_capacity() {
+        let c = line3(1e6, 2e6, 0.01);
+        let tasks = vec![SimTask::new(1e6, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(2)));
+        let r = simulate(&c, &tasks, &a, cfg()).unwrap();
+        let tl = r.timelines[0].unwrap();
+        // A lone flow's share is exactly 1.0 on both hops, so it
+        // serialises at the bottleneck (1e6 bps) and lands after the two
+        // hops' propagation latency.
+        assert_eq!(tl.transfer_start, 0.0);
+        approx(tl.compute_start, 1.0 + 0.02);
+        // The zero-bit result skips the fluid phase: pure path latency.
+        approx(tl.result_at, tl.compute_end + 0.02);
+    }
+
+    #[test]
+    fn two_flow_split_matches_closed_form() {
+        let c = line3(1e6, 1e6, 0.0);
+        let tasks =
+            vec![SimTask::new(1e6, 0.0, 1.0).unwrap(), SimTask::new(1e6, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(2)));
+        let r = simulate(&c, &tasks, &a, cfg()).unwrap();
+        // Both flows cross the first hop with equal weights: each is
+        // granted cap/2 = 0.5e6 bps, so both 1e6-bit payloads land at 2.0.
+        approx(r.timelines[0].unwrap().compute_start, 2.0);
+        approx(r.timelines[1].unwrap().compute_start, 2.0);
+        // Alone, the same payload lands in half the time.
+        let mut solo = NodeAssignment::empty(2);
+        solo.assign(0, Some(NodeId(1)));
+        let rs = simulate(&c, &tasks, &solo, cfg()).unwrap();
+        approx(rs.timelines[0].unwrap().compute_start, 1.0);
+    }
+
+    #[test]
+    fn three_flow_split_takes_min_over_path() {
+        let c = line3(6e6, 0.5e6, 0.0);
+        let tasks = vec![
+            SimTask::new(3e6, 0.0, 1.0).unwrap(),
+            SimTask::new(2e6, 0.0, 1.0).unwrap(),
+            SimTask::new(1e6, 0.0, 1.0).unwrap(),
+        ];
+        let mut a = NodeAssignment::empty(3);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(1)));
+        a.assign(2, Some(NodeId(2)));
+        let r = simulate(&c, &tasks, &a, cfg()).unwrap();
+        // First hop load = 6e6: shares are 3e6/2e6/1e6 bps — the two
+        // node-1 payloads land together at 1.0. Node 2's flow is capped by
+        // its second hop (0.5e6 < its 1e6 first-hop share) and lands at 2.0.
+        let tl0 = r.timelines[0].unwrap();
+        let tl1 = r.timelines[1].unwrap();
+        approx(tl0.compute_start, 1.0);
+        approx(r.timelines[2].unwrap().compute_start, 2.0);
+        // Simultaneous landings compute FIFO in task order.
+        assert_eq!(tl1.compute_start.to_bits(), tl0.compute_end.to_bits());
+    }
+
+    #[test]
+    fn flow_release_raises_rates_incrementally() {
+        // A's result (2e6 bits) joins the first hop while B's input
+        // (1e6 bits, capped at 0.5e6 by its second hop) still crosses it;
+        // when B's input ends, A's result is re-granted the full 2e6 bps
+        // mid-flight, superseding its previously scheduled completion.
+        let c = line3(2e6, 0.5e6, 0.0);
+        let tasks =
+            vec![SimTask::new(1e6, 2e6, 1.0).unwrap(), SimTask::new(1e6, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(2)));
+        let r = simulate(&c, &tasks, &a, cfg()).unwrap();
+        let cb = c.node(NodeId(1)).unwrap().compute_time(1e6);
+        // A's input: share 1e6/2e6 of a 2e6 edge → 1e6 bps → lands at 1.0.
+        let t_res = 1.0 + cb;
+        assert!(t_res < 2.0, "compute must finish while B is still transferring");
+        // B's input rides its 0.5e6 bottleneck throughout → ends at 2.0.
+        approx(r.timelines[1].unwrap().compute_start, 2.0);
+        // A's result: 2/3 share of 2e6 until 2.0, full 2e6 after.
+        let transferred = (2.0 - t_res) * (2e6 * (2.0 / 3.0));
+        let expect = 2.0 + (2e6 - transferred) / 2e6;
+        approx(r.timelines[0].unwrap().result_at, expect);
+    }
+
+    #[test]
+    fn mesh_empty_fault_schedule_matches_simulate_bitwise() {
+        let c = Cluster::mesh_testbed(MeshSpec::new(20, 7)).unwrap();
+        let tasks: Vec<SimTask> =
+            (1..=8).map(|i| SimTask::new(i as f64 * 4e5, 1e4, 0.0).unwrap()).collect();
+        let mut a = NodeAssignment::empty(8);
+        for i in 0..8 {
+            a.assign(i, Some(NodeId(1 + (i * 2) % 19)));
+        }
+        let cfg = SimConfig { enforce_capacity: false, ..SimConfig::default() };
+        let plain = simulate(&c, &tasks, &a, cfg).unwrap();
+        let faulty = simulate_with_faults(&c, &tasks, &a, cfg, &FaultSchedule::new()).unwrap();
+        assert_eq!(plain.processing_time.to_bits(), faulty.processing_time.to_bits());
+        assert_eq!(plain.timelines, faulty.timelines);
+        assert_eq!(plain.node_busy, faulty.node_busy);
+        assert_eq!(plain.link_busy, faulty.link_busy);
+        assert!(faulty.failures.is_empty());
+    }
+
+    #[test]
+    fn unreachable_mesh_node_is_rejected() {
+        let mut b = MeshNetwork::builder(3);
+        b.add_edge(0, 1, Link::new(1e6, 0.0).unwrap()).unwrap();
+        let nodes = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+            Node::new(NodeId(2), DeviceModel::RaspberryPiB),
+        ];
+        let c = Cluster::new_mesh(nodes, b.build(), NodeId(0)).unwrap();
+        let tasks = vec![SimTask::new(1e6, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(2)));
+        assert!(matches!(
+            simulate(&c, &tasks, &a, cfg()),
+            Err(SimError::UnreachableNode { task: 0, node: NodeId(2) })
+        ));
+        assert!(matches!(
+            simulate_with_faults(&c, &tasks, &a, cfg(), &FaultSchedule::new()),
+            Err(SimError::UnreachableNode { task: 0, node: NodeId(2) })
+        ));
+    }
+
+    #[test]
+    fn mesh_crash_is_detected_and_redispatched() {
+        let c = line3(1e6, 1e6, 0.0);
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(2)));
+        // Input lands at 1.0; compute spans ≈[1.0, 1.0 + cb]. Crash inside.
+        let cb = c.node(NodeId(2)).unwrap().compute_time(1e6);
+        let schedule = FaultSchedule::new().with_crash(NodeId(2), 1.0 + cb / 2.0).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![2], "one retry after the crash");
+        assert_ne!(r.timelines[0].unwrap().node, NodeId(2));
+        assert_eq!(r.down_at_end, vec![NodeId(2)]);
+        let kinds = |p: fn(&FailureKind) -> bool| r.failures.iter().any(|f| p(&f.kind));
+        assert!(kinds(|k| matches!(k, FailureKind::NodeCrashed(n) if *n == NodeId(2))));
+        assert!(kinds(|k| matches!(k, FailureKind::AttemptAborted { task: 0, .. })));
+        assert!(kinds(|k| matches!(k, FailureKind::Redispatched { task: 0, .. })));
+    }
+
+    #[test]
+    fn link_dropout_forces_reroute_around_dead_edge() {
+        // Triangle: fast two-hop route to node 2 plus a slow direct edge.
+        let mut b = MeshNetwork::builder(3);
+        b.add_edge(0, 1, Link::new(2e6, 0.0).unwrap()).unwrap();
+        b.add_edge(1, 2, Link::new(2e6, 0.0).unwrap()).unwrap();
+        b.add_edge(0, 2, Link::new(0.1e6, 0.0).unwrap()).unwrap();
+        let nodes = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+            Node::new(NodeId(2), DeviceModel::RaspberryPiB),
+        ];
+        let c = Cluster::new_mesh(nodes, b.build(), NodeId(0)).unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e6, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(2)));
+        // Input takes the fast route and lands at 0.5; the dropout fires
+        // mid-compute (no flow in flight), killing node 2's uplink edge
+        // 1—2. The result leg must re-route over the slow direct edge.
+        let cb = c.node(NodeId(2)).unwrap().compute_time(1e6);
+        assert!(cb > 0.1, "compute window must contain the dropout");
+        let schedule =
+            FaultSchedule::new().with_link_outage(NodeId(2), 0.5 + cb / 2.0, 1e6).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![1], "the attempt itself survives the dropout");
+        let tl = r.timelines[0].unwrap();
+        assert!((tl.compute_start - 0.5).abs() < 1e-9);
+        // Result serialises at the direct edge's 0.1e6 bps: 10 seconds.
+        assert!((tl.result_at - (tl.compute_end + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_dropout_aborts_crossing_flows() {
+        let c = line3(1e6, 1e6, 0.0);
+        let tasks = vec![SimTask::new(2e6, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(2)));
+        // The input flow crosses edge 1—2 until 2.0; the dropout at 0.5
+        // kills it and partitions node 2, so the retry lands elsewhere.
+        let schedule = FaultSchedule::new().with_link_outage(NodeId(2), 0.5, 1e6).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![2]);
+        assert_ne!(r.timelines[0].unwrap().node, NodeId(2));
+        let kinds = |p: fn(&FailureKind) -> bool| r.failures.iter().any(|f| p(&f.kind));
+        assert!(kinds(|k| matches!(k, FailureKind::LinkWentDown(n) if *n == NodeId(2))));
+        assert!(kinds(|k| matches!(k, FailureKind::AttemptAborted { task: 0, .. })));
+        assert!(kinds(|k| matches!(k, FailureKind::Redispatched { task: 0, .. })));
+    }
+
+    #[test]
+    fn link_restore_drains_parked_results() {
+        let c = line3(1e6, 1e6, 0.0);
+        let tasks = vec![SimTask::new(1e6, 1e6, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(2)));
+        let cb = c.node(NodeId(2)).unwrap().compute_time(1e6);
+        // Dropout during compute, restore shortly after the result is
+        // ready: the parked result ships at restore time over both hops.
+        let up = 1.0 + cb + 0.2;
+        let schedule =
+            FaultSchedule::new().with_link_outage(NodeId(2), 1.0 + cb / 2.0, up).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.attempts, vec![1], "parked result needs no retry");
+        let tl = r.timelines[0].unwrap();
+        // Result flow starts at the restore and gets the full 1e6 bps.
+        assert!((tl.result_at - (up + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_runs_are_deterministic() {
+        let c = Cluster::mesh_testbed(MeshSpec::new(100, 3)).unwrap();
+        let tasks: Vec<SimTask> =
+            (0..40).map(|i| SimTask::new((i as f64 + 1.0) * 1e5, 2e4, 0.0).unwrap()).collect();
+        let mut a = NodeAssignment::empty(40);
+        for i in 0..40 {
+            a.assign(i, Some(NodeId(1 + (i * 7) % 99)));
+        }
+        let cfg = SimConfig { enforce_capacity: false, ..SimConfig::default() };
+        let workers: Vec<NodeId> = (1..100).map(NodeId).collect();
+        let schedule = FaultSchedule::seeded(17, &workers, 0.5, 0.5, 5.0).unwrap();
+        let r1 = simulate_with_faults(&c, &tasks, &a, cfg, &schedule).unwrap();
+        let r2 = simulate_with_faults(&c, &tasks, &a, cfg, &schedule).unwrap();
+        assert_eq!(r1, r2);
     }
 }

@@ -19,9 +19,11 @@ pub enum FailureKind {
     NodeCrashed(NodeId),
     /// A previously crashed node rejoined with an empty queue.
     NodeRecovered(NodeId),
-    /// A node's star link dropped.
+    /// A node's link dropped: its star link, or on a mesh its current
+    /// uplink edge (traffic re-routes where the topology allows).
     LinkWentDown(NodeId),
-    /// A node's star link was restored.
+    /// A node's link was restored (on a mesh, the dropped edge rejoins
+    /// the topology and routes are recomputed).
     LinkRestored(NodeId),
     /// An in-flight attempt (transfer or compute leg) was killed by a fault.
     AttemptAborted {
@@ -257,5 +259,24 @@ mod tests {
         let busy: Vec<usize> =
             u.iter().filter(|x| x.compute_busy_s > 0.0).map(|x| x.node.0).collect();
         assert_eq!(busy, vec![1, 2]);
+    }
+
+    #[test]
+    fn trace_exports_work_on_mesh_reports() {
+        let cluster = Cluster::mesh_testbed(crate::cluster::MeshSpec::new(12, 3)).unwrap();
+        let tasks =
+            vec![SimTask::new(1e6, 1e4, 1.0).unwrap(), SimTask::new(2e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(4)));
+        a.assign(1, Some(NodeId(7)));
+        let report = simulate(&cluster, &tasks, &a, SimConfig::default()).unwrap();
+        let csv = timelines_to_csv(&report);
+        assert_eq!(csv.lines().count(), 1 + 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,4,"));
+        let u = utilization(&report, &cluster);
+        assert_eq!(u.len(), 11);
+        let busy: Vec<usize> =
+            u.iter().filter(|x| x.compute_busy_s > 0.0).map(|x| x.node.0).collect();
+        assert_eq!(busy, vec![4, 7]);
     }
 }

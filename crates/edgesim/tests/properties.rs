@@ -206,3 +206,104 @@ fn edgesim_step_bit_identical_across_thread_counts_under_faults() {
         );
     }
 }
+
+/// The calendar queue must replay the `BinaryHeap` reference exactly —
+/// same pop times (bitwise) and same payloads, including FIFO order among
+/// same-timestamp ties — across random schedule/pop interleavings that
+/// drive it through grow/shrink resizes and bucket-rotation fallbacks.
+mod calendar_queue_equivalence {
+    use edgesim::event::{CalendarQueue, EventQueue};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn calendar_matches_heap_on_random_interleavings(
+            ops in prop::collection::vec((0u8..2, 0.0f64..50.0, 0usize..4), 1..300),
+        ) {
+            let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+            let mut heap: EventQueue<u32> = EventQueue::new();
+            let mut next = 0u32;
+            for (pop, dt, dup) in ops {
+                if pop == 1 {
+                    match (cal.pop_next(), heap.pop_next()) {
+                        (Some((tc, vc)), Some((th, vh))) => {
+                            prop_assert_eq!(tc.to_bits(), th.to_bits());
+                            prop_assert_eq!(vc, vh);
+                        }
+                        (None, None) => {}
+                        (c, h) => prop_assert!(false, "divergence: {:?} vs {:?}", c, h),
+                    }
+                } else {
+                    // dup+1 events at one timestamp exercise the FIFO
+                    // tie-break; the time base is whichever clock both
+                    // queues share (they pop in lockstep).
+                    let t = cal.now() + dt;
+                    for _ in 0..=dup {
+                        cal.schedule(t, next);
+                        heap.schedule(t, next);
+                        next += 1;
+                    }
+                }
+            }
+            loop {
+                match (cal.pop_next(), heap.pop_next()) {
+                    (Some((tc, vc)), Some((th, vh))) => {
+                        prop_assert_eq!(tc.to_bits(), th.to_bits());
+                        prop_assert_eq!(vc, vh);
+                    }
+                    (None, None) => break,
+                    (c, h) => prop_assert!(false, "drain divergence: {:?} vs {:?}", c, h),
+                }
+            }
+        }
+    }
+}
+
+/// The mesh engine is single-threaded by construction, but the bit-identity
+/// gate must hold through the public API at every thread count — healthy
+/// and under an active fault schedule with crashes, dropouts (which force
+/// re-routing) and stragglers.
+#[test]
+fn mesh_sim_bit_identical_across_thread_counts_under_faults() {
+    use edgesim::cluster::MeshSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let cluster = Cluster::mesh_testbed(MeshSpec::new(100, 11)).expect("mesh testbed");
+    let mut rng = StdRng::seed_from_u64(0x7E57);
+    let tasks: Vec<SimTask> = (0..300)
+        .map(|_| SimTask::new(rng.gen_range(1e3..5e6), rng.gen_range(1e2..1e5), 0.0).unwrap())
+        .collect();
+    let mut assignment = NodeAssignment::empty(300);
+    for i in 0..300 {
+        assignment.assign(i, Some(NodeId(1 + i % 99)));
+    }
+    let workers: Vec<NodeId> = (1..100).map(NodeId).collect();
+    let schedule = FaultSchedule::seeded(41, &workers, 0.6, 0.5, 5.0).expect("valid schedule");
+    assert!(!schedule.is_empty(), "schedule must actually inject faults");
+
+    let (healthy_ref, faulty_ref) = {
+        let _t = parallel::ScopedThreads::new(1);
+        (
+            simulate(&cluster, &tasks, &assignment, config()).expect("simulate"),
+            simulate_with_faults(&cluster, &tasks, &assignment, config(), &schedule)
+                .expect("fault run"),
+        )
+    };
+    assert!(!faulty_ref.failures.is_empty(), "faults should perturb a 300-task mesh round");
+    for threads in [2usize, 8] {
+        let _t = parallel::ScopedThreads::new(threads);
+        let healthy = simulate(&cluster, &tasks, &assignment, config()).expect("simulate");
+        assert_eq!(healthy, healthy_ref, "healthy mesh run diverged at {threads} threads");
+        let faulty = simulate_with_faults(&cluster, &tasks, &assignment, config(), &schedule)
+            .expect("fault run");
+        assert_eq!(faulty, faulty_ref, "faulted mesh run diverged at {threads} threads");
+        assert_eq!(
+            faulty.processing_time.to_bits(),
+            faulty_ref.processing_time.to_bits(),
+            "faulted mesh PT bits diverged at {threads} threads"
+        );
+    }
+}
