@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! fault_sweep [--quick] [--seed N] [--out DIR] [--threads N]
+//!             [--trend PATH --key NAME]
 //! ```
 //!
 //! Seeds crash/recovery schedules over the worker nodes on a crash-rate ×
-//! MTTR grid and replays each faulted round under the three controller
-//! reactions (`resolve`, `none`, `random-shed`). Prints the retained-
-//! importance table and writes `<out>/fault_sweep.json`; the importance
-//! cache persists next to it so repeated runs skip the offline sweep.
+//! MTTR grid (heterogeneous per-node fragility) and replays each faulted
+//! round under the four controller reactions (`resolve`, `none`,
+//! `random-shed`, `proactive`). Prints the retained-importance table, the
+//! worst-cell comparison, and writes `<out>/fault_sweep.json`; the
+//! importance cache persists next to it so repeated runs skip the offline
+//! sweep. With `--trend PATH --key NAME` the per-policy retained
+//! fractions are additionally upserted as a (non-gating) trend entry —
+//! CI uses `--key ci-<sha>-proactive`.
 
 use dcta_bench::common::{set_cache_dir, RunOpts};
 use dcta_bench::faultsweep;
+use dcta_bench::trend::{self, TrendEntry, TrendRow};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,11 +26,15 @@ use std::time::Instant;
 struct Args {
     opts: RunOpts,
     out: PathBuf,
+    trend: Option<PathBuf>,
+    key: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut opts = RunOpts::default();
     let mut out = PathBuf::from("results");
+    let mut trend = None;
+    let mut key = "local-proactive".to_string();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -36,6 +46,12 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
             }
+            "--trend" => {
+                trend = Some(PathBuf::from(iter.next().ok_or("--trend needs a value")?));
+            }
+            "--key" => {
+                key = iter.next().ok_or("--key needs a value")?;
+            }
             "--threads" => {
                 let v = iter.next().ok_or("--threads needs a value")?;
                 let threads: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
@@ -45,13 +61,16 @@ fn parse_args() -> Result<Args, String> {
                 parallel::set_max_threads(threads);
             }
             "--help" | "-h" => {
-                println!("fault_sweep [--quick] [--seed N] [--out DIR] [--threads N]");
+                println!(
+                    "fault_sweep [--quick] [--seed N] [--out DIR] [--threads N] \
+                     [--trend PATH --key NAME]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args { opts, out })
+    Ok(Args { opts, out, trend, key })
 }
 
 fn main() -> ExitCode {
@@ -75,9 +94,29 @@ fn main() -> ExitCode {
     };
     print!("{}", sweep.table.render());
     println!(
-        "[overall retained: resolve {:.3}, none {:.3}, random-shed {:.3}]",
-        sweep.overall_retained[0], sweep.overall_retained[1], sweep.overall_retained[2]
+        "[overall retained: resolve {:.3}, none {:.3}, random-shed {:.3}, proactive {:.3}]",
+        sweep.overall_retained[0],
+        sweep.overall_retained[1],
+        sweep.overall_retained[2],
+        sweep.overall_retained[3]
     );
+    println!(
+        "[worst cell retained: resolve {:.3}, proactive {:.3} ({}{:.3})]",
+        sweep.worst_cell_retained[0],
+        sweep.worst_cell_retained[3],
+        if sweep.worst_cell_retained[3] >= sweep.worst_cell_retained[0] { "+" } else { "" },
+        sweep.worst_cell_retained[3] - sweep.worst_cell_retained[0]
+    );
+    if let Some(mesh) = &sweep.mesh {
+        println!(
+            "[mesh {} nodes: {} link outages, {} crashes; retained resolve {:.3}, proactive {:.3}]",
+            mesh.nodes,
+            mesh.link_outages,
+            mesh.crashes,
+            mesh.arms[0].mean_retained_fraction,
+            mesh.arms[3].mean_retained_fraction
+        );
+    }
     let path = args.out.join("fault_sweep.json");
     match serde_json::to_string_pretty(&sweep) {
         Ok(json) => {
@@ -91,6 +130,32 @@ fn main() -> ExitCode {
             eprintln!("could not serialise the sweep: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(trend_path) = &args.trend {
+        let mut rows = Vec::new();
+        for (arm, name) in ["resolve", "none", "random_shed", "proactive"].iter().enumerate() {
+            rows.push(TrendRow {
+                bench: format!("fault_sweep_retained_{name}"),
+                threads: 1,
+                wall_ms: sweep.overall_retained[arm],
+                speedup: sweep.worst_cell_retained[arm],
+            });
+        }
+        let entry = TrendEntry {
+            key: args.key.clone(),
+            quick: sweep.quick,
+            seed: sweep.seed,
+            host_threads: parallel::max_threads(),
+            cache_hit_rate: 0.0,
+            rows,
+        };
+        let existing = fs::read_to_string(trend_path).ok();
+        let merged = trend::upsert(existing.as_deref(), &entry);
+        if let Err(e) = fs::write(trend_path, merged) {
+            eprintln!("error writing {}: {e}", trend_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[trend {} updated under key `{}`]", trend_path.display(), args.key);
     }
     println!("[fault sweep done in {:.1?}]", t.elapsed());
     ExitCode::SUCCESS

@@ -526,6 +526,50 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
         prepared.run(&RunSpec::new(Method::Dcta, day)).expect("run day");
     }));
 
+    // -- fault replan: the reactive recovery solve vs the availability-
+    // weighted proactive one, on the paper-scale TATIM instance with one
+    // processor lost and half the tasks orphaned. Many solves per rep keep
+    // the wall time above timer resolution; both paths return in well
+    // under a millisecond, so the interesting number is their *ratio*
+    // (the survival queries and weighted greedy are the only extra work).
+    println!("[fault replan: reactive vs proactive recovery solve]");
+    let replan_pipeline =
+        Pipeline::builder(pipeline_config.clone()).prepare(&scenario).expect("prepare");
+    let replan_day = replan_pipeline.test_days().start;
+    let replan_instance = replan_pipeline.instance_for_day(replan_day)?;
+    let fleet_nodes: Vec<NodeId> =
+        replan_pipeline.fleet().processors().iter().map(|p| p.node).collect();
+    let survivors: Vec<NodeId> =
+        fleet_nodes.iter().copied().filter(|&n| Some(n) != fleet_nodes.last().copied()).collect();
+    let finished: Vec<bool> = (0..replan_instance.num_tasks()).map(|j| j % 2 == 0).collect();
+    let availability = replan_pipeline.availability().clone();
+    let proactive_cfg = pipeline_config.proactive;
+    let replan_reps = opts.pick(200, 50);
+    rows.extend(versus("fault_replan_reactive", args.threads, reps, || {
+        for _ in 0..replan_reps {
+            black_box(
+                dcta_core::recovery::replan(&replan_instance, &finished, &survivors, 1.0)
+                    .expect("replan"),
+            );
+        }
+    }));
+    rows.extend(versus("fault_replan_proactive", args.threads, reps, || {
+        for _ in 0..replan_reps {
+            black_box(
+                dcta_core::recovery::replan_proactive(
+                    &replan_instance,
+                    &finished,
+                    &survivors,
+                    1.0,
+                    &availability,
+                    &proactive_cfg,
+                    0xA7A1,
+                )
+                .expect("replan proactive"),
+            );
+        }
+    }));
+
     Ok(Report {
         generated_by: "perfbench".to_string(),
         quick: opts.quick,

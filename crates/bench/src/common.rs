@@ -2,6 +2,7 @@
 //! canonical configurations, text tables, and result snapshots.
 
 use buildings::scenario::{Scenario, ScenarioConfig, ScenarioError};
+use dcta_core::availability::AvailabilityModel;
 use dcta_core::cache::ImportanceCache;
 use dcta_core::pipeline::{Pipeline, PipelineConfig, PipelineError, PreparedPipeline};
 use rl::crl::CrlConfig;
@@ -77,6 +78,11 @@ pub const CACHE_CAPACITY: usize = 1 << 16;
 /// Basename of the importance-cache snapshot stored next to `results/*.json`.
 pub const CACHE_BASENAME: &str = "importance_cache.txt";
 
+/// Basename of the availability-posterior snapshot persisted next to the
+/// importance cache (same versioned-text scheme; see
+/// `dcta_core::availability`).
+pub const AVAILABILITY_BASENAME: &str = "availability_prior.txt";
+
 static CACHE_FILE: OnceLock<Option<PathBuf>> = OnceLock::new();
 
 /// Points the persisted importance cache at `<dir>/importance_cache.txt`.
@@ -91,6 +97,23 @@ pub fn set_cache_dir(dir: &Path) {
 
 fn cache_file() -> Option<&'static Path> {
     CACHE_FILE.get().and_then(|p| p.as_deref())
+}
+
+fn availability_file() -> Option<PathBuf> {
+    cache_file().map(|p| p.with_file_name(AVAILABILITY_BASENAME))
+}
+
+/// Persists `model`'s posterior next to the importance cache (no-op when
+/// no results directory is configured). Like the cache snapshot, this is
+/// an accelerator/provenance artefact: failures are reported, never fatal.
+pub fn persist_availability(model: &AvailabilityModel) {
+    let Some(path) = availability_file() else { return };
+    match model.save_file(&path) {
+        Ok(()) => {
+            println!("[availability prior: {} nodes saved to {}]", model.len(), path.display())
+        }
+        Err(e) => eprintln!("[availability prior: could not persist {}: {e}]", path.display()),
+    }
 }
 
 /// Prepares a pipeline through the persisted importance cache.
@@ -117,7 +140,22 @@ pub fn prepare_cached<'a>(
             Err(e) => eprintln!("[importance cache: ignoring {}: {e}]", path.display()),
         }
     }
-    let prepared = Pipeline::builder(config).cache(cache).prepare(scenario)?;
+    // The availability posterior warm-starts from the snapshot persisted
+    // next to the importance cache — same versioned-text scheme, same
+    // best-effort semantics. Sweeps that need per-cell independence reset
+    // it explicitly (`AvailabilityModel::clear`).
+    let availability = AvailabilityModel::new(config.availability);
+    if let Some(path) = availability_file() {
+        match availability.load_file(&path) {
+            Ok(n) if n > 0 => {
+                println!("[availability prior: {n} nodes from {}]", path.display());
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("[availability prior: ignoring {}: {e}]", path.display()),
+        }
+    }
+    let prepared =
+        Pipeline::builder(config).cache(cache).availability(availability).prepare(scenario)?;
     if let Some(path) = cache_file() {
         if let Err(e) = prepared.importance_cache().save_file(path) {
             eprintln!("[importance cache: could not persist {}: {e}]", path.display());

@@ -22,6 +22,9 @@
 //!   paper's PT / decision-performance metrics.
 //! * [`recovery`] — importance-aware re-planning after mid-run processor
 //!   loss (re-solve over survivors, shed least-important first).
+//! * [`availability`] — learned per-node Beta availability priors with
+//!   Thompson/UCB survival estimates, driving the proactive allocation
+//!   path (`RecoveryMode::Proactive`) ahead of any crash.
 //! * [`shared`] — the frozen `Send + Sync` pipeline core
 //!   ([`shared::PreparedCore`]) a concurrent serving layer shares across
 //!   request threads.
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod allocation;
+pub mod availability;
 pub mod baselines;
 pub mod cache;
 pub mod crl_alloc;

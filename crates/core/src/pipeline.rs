@@ -8,6 +8,9 @@
 //! paper's metrics: processing time `PT` and decision performance `H`.
 
 use crate::allocation::Allocation;
+use crate::availability::{
+    proactive_draw_seed, AvailabilityConfig, AvailabilityModel, ProactiveConfig,
+};
 use crate::baselines::{dml_balanced, random_mapping};
 use crate::cache::{CacheStats, ImportanceCache};
 use crate::crl_alloc::CrlAllocator;
@@ -23,7 +26,11 @@ use buildings::scenario::Scenario;
 use edgesim::cluster::{Cluster, ClusterError, MeshSpec};
 use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
-use edgesim::run::{simulate, simulate_with_faults, RetryPolicy, SimConfig, SimError, SimTask};
+use edgesim::run::{
+    simulate, simulate_with_faults, simulate_with_faults_biased, RedispatchPrefs, RetryPolicy,
+    SimConfig, SimError, SimTask,
+};
+use edgesim::trace::node_exposures;
 use edgesim::trace::FailureRecord;
 use knapsack::exact::{BranchAndBound, SolverOptions};
 use learn::transfer::MtlConfig;
@@ -115,6 +122,11 @@ pub struct PipelineConfig {
     /// window (tasks longer than the scaled budget become unplaceable).
     /// Only [`PreparedPipeline::run_day_with_faults`] reads it.
     pub recovery_budget_fraction: f64,
+    /// Shaping of the learned per-node availability posterior
+    /// ([`RecoveryMode::Proactive`] runs feed and read it).
+    pub availability: AvailabilityConfig,
+    /// How hard proactive allocation leans on learned availability.
+    pub proactive: ProactiveConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -134,6 +146,8 @@ impl Default for PipelineConfig {
             result_bits: 1e4,
             include_allocation_overhead: false,
             recovery_budget_fraction: 1.0,
+            availability: AvailabilityConfig::default(),
+            proactive: ProactiveConfig::default(),
             seed: 99,
         }
     }
@@ -478,7 +492,13 @@ impl Pipeline {
     /// offline phase (`.cache(...)`, `.pretrain(true)`, `.threads(n)`)
     /// before calling [`PipelineBuilder::prepare`].
     pub fn builder(config: PipelineConfig) -> PipelineBuilder {
-        PipelineBuilder { config, cache: ImportanceCache::new(), pretrain: false, threads: None }
+        PipelineBuilder {
+            config,
+            cache: ImportanceCache::new(),
+            pretrain: false,
+            threads: None,
+            availability: None,
+        }
     }
 
     /// Runs the offline phase against `scenario`.
@@ -493,7 +513,7 @@ impl Pipeline {
         &self,
         scenario: &'a Scenario,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
-        self.prepare_impl(scenario, ImportanceCache::new(), false)
+        self.prepare_impl(scenario, ImportanceCache::new(), false, None)
     }
 
     /// Runs the offline phase seeded with an existing decision-performance
@@ -515,7 +535,7 @@ impl Pipeline {
         scenario: &'a Scenario,
         cache: ImportanceCache,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
-        self.prepare_impl(scenario, cache, false)
+        self.prepare_impl(scenario, cache, false, None)
     }
 
     fn prepare_impl<'a>(
@@ -523,6 +543,7 @@ impl Pipeline {
         scenario: &'a Scenario,
         cache: ImportanceCache,
         pretrain: bool,
+        availability: Option<AvailabilityModel>,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
         let cfg = &self.config;
         if scenario.days().len() <= cfg.env_history_days {
@@ -643,6 +664,7 @@ impl Pipeline {
             dcta,
             history,
             cache,
+            availability: availability.unwrap_or_else(|| AvailabilityModel::new(cfg.availability)),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x51AB),
         })
     }
@@ -675,6 +697,7 @@ pub struct PipelineBuilder {
     cache: ImportanceCache,
     pretrain: bool,
     threads: Option<usize>,
+    availability: Option<AvailabilityModel>,
 }
 
 impl PipelineBuilder {
@@ -683,6 +706,18 @@ impl PipelineBuilder {
     #[must_use]
     pub fn cache(mut self, cache: ImportanceCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Seeds the pipeline with an existing availability posterior —
+    /// typically one restored from a previous run's dump
+    /// ([`AvailabilityModel::load_file`]), so availability learning
+    /// survives across runs the way the importance cache does. Without
+    /// this, a fresh model is built from
+    /// [`PipelineConfig::availability`].
+    #[must_use]
+    pub fn availability(mut self, model: AvailabilityModel) -> Self {
+        self.availability = Some(model);
         self
     }
 
@@ -716,7 +751,12 @@ impl PipelineBuilder {
         scenario: &'a Scenario,
     ) -> Result<PreparedPipeline<'a>, PipelineError> {
         let _threads = self.threads.map(parallel::ScopedThreads::new);
-        Pipeline::new(self.config).prepare_impl(scenario, self.cache, self.pretrain)
+        Pipeline::new(self.config).prepare_impl(
+            scenario,
+            self.cache,
+            self.pretrain,
+            self.availability,
+        )
     }
 }
 
@@ -735,6 +775,7 @@ pub struct PreparedPipeline<'a> {
     dcta: DctaAllocator,
     history: TaskHistory,
     cache: ImportanceCache,
+    availability: AvailabilityModel,
     rng: StdRng,
 }
 
@@ -778,6 +819,14 @@ impl<'a> PreparedPipeline<'a> {
     /// pipeline's run summary alongside PT and `H`.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The learned per-node availability posterior. Interior-mutable:
+    /// callers may [`AvailabilityModel::absorb`] external failure history
+    /// or persist it ([`AvailabilityModel::save_file`]) through `&self`.
+    /// [`RecoveryMode::Proactive`] runs feed it automatically.
+    pub fn availability(&self) -> &AvailabilityModel {
+        &self.availability
     }
 
     /// True importances of evaluation day `day`.
@@ -844,6 +893,61 @@ impl<'a> PreparedPipeline<'a> {
                 self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
             }
         };
+        Ok((allocation, start.elapsed().as_secs_f64()))
+    }
+
+    /// Produces `method`'s *proactive* allocation for day `day`: the same
+    /// importance estimates the method would act on, but each processor's
+    /// profit is scaled by `(1 - w) + w * survival(node)` with `w` the
+    /// [`crate::availability::ProactiveConfig::weight`] and `survival` the
+    /// learned availability posterior's estimate — so at-risk processors
+    /// only win tasks their capacity advantage can still justify.
+    ///
+    /// Methods that carry no per-task importance signal
+    /// ([`Method::RandomMapping`], [`Method::Dml`]) fall back to their
+    /// plain allocation. The oracles use the true importances; CRL its
+    /// estimated importances; DCTA its combined scores.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn allocate_proactive(
+        &mut self,
+        method: Method,
+        day: usize,
+    ) -> Result<(Allocation, f64), PipelineError> {
+        self.check_day(day)?;
+        let start = Instant::now();
+        let ctx = self.scenario.day(day);
+        let blind = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        let estimates: Option<Vec<f64>> = match method {
+            Method::GreedyOracle | Method::ExactOracle => Some(self.true_importances[day].clone()),
+            Method::Crl => Some(self.crl.allocate(&blind, &ctx.sensing)?.estimated_importances),
+            Method::Dcta => {
+                let rows: Vec<Vec<f64>> = (0..self.tasks.len())
+                    .map(|j| local_features(self.scenario, &self.models, &self.history, ctx, j))
+                    .collect();
+                Some(self.dcta.allocate(&blind, &ctx.sensing, &rows)?.combined_scores)
+            }
+            Method::RandomMapping | Method::Dml => None,
+        };
+        let Some(mut est) = estimates else {
+            return self.allocate(method, day);
+        };
+        for e in &mut est {
+            *e = e.clamp(0.0, 1.0);
+        }
+        let pc = self.config.proactive;
+        let draw_seed = proactive_draw_seed(pc.seed ^ self.config.seed, day as u64);
+        let weights: Vec<f64> = self
+            .fleet
+            .processors()
+            .iter()
+            .map(|p| {
+                (1.0 - pc.weight) + pc.weight * self.availability.survival(p.node.0, &pc, draw_seed)
+            })
+            .collect();
+        let (allocation, _) = blind.with_importances(&est).solve_greedy_weighted(&weights)?;
         Ok((allocation, start.elapsed().as_secs_f64()))
     }
 
@@ -1015,6 +1119,7 @@ impl<'a> PreparedPipeline<'a> {
             self.dcta.freeze(&base)?,
             self.history,
             self.cache,
+            self.availability.clone(),
         ))
     }
 
@@ -1026,7 +1131,13 @@ impl<'a> PreparedPipeline<'a> {
         mode: RecoveryMode,
     ) -> Result<FaultRunReport, PipelineError> {
         self.check_day(day)?;
-        let (allocation, _) = self.allocate(method, day)?;
+        // Proactive mode shapes the *initial* allocation with the learned
+        // availability posterior; every other mode allocates blind to
+        // faults and differs only in its reaction.
+        let (allocation, _) = match mode {
+            RecoveryMode::Proactive => self.allocate_proactive(method, day)?,
+            _ => self.allocate(method, day)?,
+        };
         let sim_tasks: Vec<SimTask> = self
             .tasks
             .iter()
@@ -1038,10 +1149,28 @@ impl<'a> PreparedPipeline<'a> {
         // healthy testbed.
         let healthy = simulate(&self.cluster, &sim_tasks, &node_assignment, self.config.sim)?;
 
+        // Reactive modes replay the round with retries disabled so every
+        // reaction faces an identical trajectory. The proactive controller
+        // keeps its heartbeat retry layer live and biases orphan
+        // re-dispatch toward the most-available candidate: posterior mean
+        // survival feeds [`RedispatchPrefs`], so score beats load beats
+        // node id (see `edgesim::run`).
         let mut sim_cfg = self.config.sim;
-        sim_cfg.retry = RetryPolicy::no_retry();
-        let faulted =
-            simulate_with_faults(&self.cluster, &sim_tasks, &node_assignment, sim_cfg, schedule)?;
+        let faulted = if mode == RecoveryMode::Proactive {
+            let max_node = self.fleet.processors().iter().map(|p| p.node.0).max().unwrap_or(0);
+            let scores: Vec<f64> = (0..=max_node).map(|n| self.availability.mean(n)).collect();
+            simulate_with_faults_biased(
+                &self.cluster,
+                &sim_tasks,
+                &node_assignment,
+                sim_cfg,
+                schedule,
+                &RedispatchPrefs::from_scores(scores),
+            )?
+        } else {
+            sim_cfg.retry = RetryPolicy::no_retry();
+            simulate_with_faults(&self.cluster, &sim_tasks, &node_assignment, sim_cfg, schedule)?
+        };
 
         let n = self.tasks.len();
         let mut delivered_mask = faulted.completed.clone();
@@ -1067,6 +1196,15 @@ impl<'a> PreparedPipeline<'a> {
                 RecoveryMode::Resolve => {
                     recovery::replan(&instance, &finished, &survivors, budget)?
                 }
+                RecoveryMode::Proactive => recovery::replan_proactive(
+                    &instance,
+                    &finished,
+                    &survivors,
+                    budget,
+                    &self.availability,
+                    &self.config.proactive,
+                    proactive_draw_seed(self.config.proactive.seed ^ self.config.seed, day as u64),
+                )?,
                 RecoveryMode::RandomShed => recovery::replan_random_shed(
                     &instance,
                     &finished,
@@ -1089,6 +1227,17 @@ impl<'a> PreparedPipeline<'a> {
                     }
                 }
             }
+        }
+
+        // Proactive runs learn: the round's failure history becomes an
+        // exposure observation and the posterior advances one round. The
+        // other modes leave the model untouched, so reactive arms of a
+        // sweep stay bit-identical to their pre-availability behaviour.
+        if mode == RecoveryMode::Proactive {
+            let nodes: Vec<NodeId> = self.fleet.processors().iter().map(|p| p.node).collect();
+            let horizon = faulted.processing_time.max(1e-9);
+            self.availability.absorb(&node_exposures(&faulted.failures, &nodes, horizon));
+            self.availability.advance_round();
         }
 
         let evaluator =

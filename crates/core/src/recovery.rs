@@ -15,6 +15,7 @@
 //! random instead of by importance.
 
 use crate::allocation::Allocation;
+use crate::availability::{AvailabilityModel, ProactiveConfig};
 use crate::processor::{FleetError, Processor, ProcessorFleet};
 use crate::tatim::{TatimError, TatimInstance};
 use edgesim::node::NodeId;
@@ -37,6 +38,11 @@ pub enum RecoveryMode {
     /// whatever does not fit — importance-blind. The ablation control that
     /// isolates the value of importance-aware shedding.
     RandomShed,
+    /// Anticipate failure: the *initial* allocation already weights each
+    /// processor by its learned survival probability
+    /// ([`crate::availability::AvailabilityModel`]), and the post-crash
+    /// re-solve prefers high-availability survivors the same way.
+    Proactive,
 }
 
 impl fmt::Display for RecoveryMode {
@@ -45,6 +51,7 @@ impl fmt::Display for RecoveryMode {
             RecoveryMode::None => "none",
             RecoveryMode::Resolve => "resolve",
             RecoveryMode::RandomShed => "random-shed",
+            RecoveryMode::Proactive => "proactive",
         };
         f.write_str(name)
     }
@@ -234,6 +241,51 @@ pub fn replan(
     let tasks = unfinished.iter().map(|&j| instance.tasks()[j].clone()).collect();
     let sub = TatimInstance::new(tasks, fleet);
     let (sub_alloc, _) = sub.solve_greedy()?;
+    for (k, &j) in unfinished.iter().enumerate() {
+        if let Some(p) = sub_alloc.processor_of(k) {
+            allocation.assign(j, Some(cols[p]));
+        }
+    }
+    Ok(finish_plan(instance, allocation, &unfinished, started))
+}
+
+/// Availability-aware variant of [`replan`]: the re-solve maximises
+/// *expected retained* importance, weighting each surviving processor by
+/// `(1 − w) + w · survival` from the learned availability posterior — so
+/// orphans preferentially land on survivors the model believes will stay
+/// up. `draw_seed` keys any Thompson draw (mix the day in for per-day
+/// refresh); with `w = 0` this degenerates to plain [`replan`] placement.
+///
+/// # Errors
+///
+/// See [`RecoveryError`] variants.
+pub fn replan_proactive(
+    instance: &TatimInstance,
+    completed: &[bool],
+    surviving: &[NodeId],
+    budget_fraction: f64,
+    model: &AvailabilityModel,
+    proactive: &ProactiveConfig,
+    draw_seed: u64,
+) -> Result<RecoveryPlan, RecoveryError> {
+    let started = Instant::now();
+    let (cols, unfinished) = setup(instance, completed, surviving, budget_fraction)?;
+    let mut allocation = Allocation::empty(instance.num_tasks());
+    if unfinished.is_empty() {
+        return Ok(finish_plan(instance, allocation, &unfinished, started));
+    }
+    let fleet = surviving_fleet(instance.fleet(), &cols, budget_fraction)?;
+    let weights: Vec<f64> = cols
+        .iter()
+        .map(|&c| {
+            let node = instance.fleet().node_of(c).0;
+            let survival = model.survival(node, proactive, draw_seed);
+            (1.0 - proactive.weight) + proactive.weight * survival
+        })
+        .collect();
+    let tasks = unfinished.iter().map(|&j| instance.tasks()[j].clone()).collect();
+    let sub = TatimInstance::new(tasks, fleet);
+    let (sub_alloc, _) = sub.solve_greedy_weighted(&weights)?;
     for (k, &j) in unfinished.iter().enumerate() {
         if let Some(p) = sub_alloc.processor_of(k) {
             allocation.assign(j, Some(cols[p]));
@@ -442,5 +494,94 @@ mod tests {
         assert_eq!(RecoveryMode::None.to_string(), "none");
         assert_eq!(RecoveryMode::Resolve.to_string(), "resolve");
         assert_eq!(RecoveryMode::RandomShed.to_string(), "random-shed");
+        assert_eq!(RecoveryMode::Proactive.to_string(), "proactive");
+    }
+
+    mod proactive {
+        use super::*;
+        use crate::availability::{AvailabilityModel, ProactiveConfig, SurvivalEstimator};
+        use edgesim::trace::NodeExposure;
+
+        fn model_with(beliefs: &[(usize, f64, f64, u64)]) -> AvailabilityModel {
+            let m = AvailabilityModel::default();
+            let exposures: Vec<NodeExposure> = beliefs
+                .iter()
+                .map(|&(node, up_s, down_s, crashes)| NodeExposure {
+                    node: NodeId(node),
+                    up_s,
+                    down_s,
+                    crashes,
+                })
+                .collect();
+            m.absorb(&exposures);
+            m.advance_round();
+            m
+        }
+
+        #[test]
+        fn proactive_replan_steers_orphans_to_reliable_survivors() {
+            let inst = instance();
+            // Survivors: node 1 (steady) and node 3 (crashy). Half budget
+            // fits one task per survivor — the more important of the two
+            // kept tasks must land on node 1.
+            let model = model_with(&[(1, 3600.0, 0.0, 0), (3, 60.0, 3540.0, 8)]);
+            let pc = ProactiveConfig {
+                estimator: SurvivalEstimator::Mean,
+                weight: 0.8,
+                ..ProactiveConfig::default()
+            };
+            let survivors = [NodeId(1), NodeId(3)];
+            let plan =
+                replan_proactive(&inst, &[false; 6], &survivors, 0.5, &model, &pc, 7).unwrap();
+            assert_eq!(plan.allocation.scheduled_count(), 2);
+            let col5 = plan.allocation.processor_of(5).expect("top task kept");
+            assert_eq!(inst.fleet().node_of(col5), NodeId(1), "top task on the steady node");
+        }
+
+        #[test]
+        fn zero_weight_matches_plain_replan_placement() {
+            let inst = instance();
+            let model = model_with(&[(1, 60.0, 3540.0, 9)]);
+            let pc = ProactiveConfig {
+                weight: 0.0,
+                estimator: SurvivalEstimator::Mean,
+                ..ProactiveConfig::default()
+            };
+            let survivors = [NodeId(1), NodeId(3)];
+            let pro =
+                replan_proactive(&inst, &[false; 6], &survivors, 1.0, &model, &pc, 0).unwrap();
+            let plain = replan(&inst, &[false; 6], &survivors, 1.0).unwrap();
+            // With the availability term switched off both solve the same
+            // unweighted objective over the same survivors.
+            assert_eq!(pro.shed, plain.shed);
+            assert_eq!(pro.recovered_importance.to_bits(), plain.recovered_importance.to_bits());
+        }
+
+        #[test]
+        fn proactive_replan_is_seed_deterministic() {
+            let inst = instance();
+            let model = model_with(&[(1, 600.0, 60.0, 1), (2, 300.0, 300.0, 2)]);
+            let pc = ProactiveConfig::default(); // Thompson estimator
+            let survivors = [NodeId(1), NodeId(2), NodeId(3)];
+            let a = replan_proactive(&inst, &[false; 6], &survivors, 0.5, &model, &pc, 42).unwrap();
+            let b = replan_proactive(&inst, &[false; 6], &survivors, 0.5, &model, &pc, 42).unwrap();
+            assert_eq!(a.allocation, b.allocation);
+            assert_eq!(a.shed, b.shed);
+        }
+
+        #[test]
+        fn proactive_replan_validates_like_replan() {
+            let inst = instance();
+            let model = AvailabilityModel::default();
+            let pc = ProactiveConfig::default();
+            assert!(matches!(
+                replan_proactive(&inst, &[false; 6], &[], 1.0, &model, &pc, 0),
+                Err(RecoveryError::NoSurvivors)
+            ));
+            assert!(matches!(
+                replan_proactive(&inst, &[false; 2], &[NodeId(1)], 1.0, &model, &pc, 0),
+                Err(RecoveryError::MaskLength { .. })
+            ));
+        }
     }
 }

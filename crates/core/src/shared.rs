@@ -27,6 +27,7 @@
 //! to fold new days in.
 
 use crate::allocation::Allocation;
+use crate::availability::{proactive_draw_seed, AvailabilityModel};
 use crate::baselines::{dml_balanced, random_mapping};
 use crate::cache::{CacheStats, ImportanceCache};
 use crate::crl_alloc::SharedCrlAllocator;
@@ -44,7 +45,10 @@ use buildings::scenario::Scenario;
 use edgesim::cluster::Cluster;
 use edgesim::faults::FaultSchedule;
 use edgesim::node::NodeId;
-use edgesim::run::{simulate, simulate_with_faults, RetryPolicy, SimTask};
+use edgesim::run::{
+    simulate, simulate_with_faults, simulate_with_faults_biased, RedispatchPrefs, RetryPolicy,
+    SimTask,
+};
 use knapsack::exact::{BranchAndBound, SolverOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +71,7 @@ pub struct PreparedCore {
     dcta: SharedDcta,
     history: TaskHistory,
     cache: ImportanceCache,
+    availability: AvailabilityModel,
 }
 
 impl PreparedCore {
@@ -83,6 +88,7 @@ impl PreparedCore {
         dcta: SharedDcta,
         history: TaskHistory,
         cache: ImportanceCache,
+        availability: AvailabilityModel,
     ) -> Self {
         Self {
             scenario,
@@ -96,7 +102,17 @@ impl PreparedCore {
             dcta,
             history,
             cache,
+            availability,
         }
+    }
+
+    /// The frozen availability posterior [`RecoveryMode::Proactive`] runs
+    /// read. Frozen means *read-only*: unlike the batch pipeline, serving
+    /// never absorbs failure history, so repeat runs of the same
+    /// [`RunSpec`] stay bit-identical regardless of what ran in between.
+    /// Re-prepare and re-freeze to fold new observations in.
+    pub fn availability(&self) -> &AvailabilityModel {
+        &self.availability
     }
 
     /// The evaluation (non-history) day range.
@@ -228,6 +244,55 @@ impl PreparedCore {
         Ok((allocation, start.elapsed().as_secs_f64()))
     }
 
+    /// The `&self` counterpart of
+    /// [`crate::pipeline::PreparedPipeline::allocate_proactive`]: the
+    /// method's own importance estimates priced over processors whose
+    /// profit is scaled by `(1 - w) + w * survival(node)` from the frozen
+    /// availability posterior. Methods without a per-task signal
+    /// ([`Method::RandomMapping`], [`Method::Dml`]) fall back to
+    /// [`Self::allocate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn allocate_proactive(
+        &self,
+        method: Method,
+        day: usize,
+    ) -> Result<(Allocation, f64), PipelineError> {
+        self.check_day(day)?;
+        let start = Instant::now();
+        let ctx = self.scenario.day(day);
+        let blind = self.blind_instance();
+        let estimates: Option<Vec<f64>> = match method {
+            Method::GreedyOracle | Method::ExactOracle => Some(self.true_importances[day].clone()),
+            Method::Crl => Some(self.crl.allocate(&blind, &ctx.sensing)?.estimated_importances),
+            Method::Dcta => {
+                let rows = self.local_rows(day);
+                Some(self.dcta.allocate(&blind, &ctx.sensing, &rows)?.combined_scores)
+            }
+            Method::RandomMapping | Method::Dml => None,
+        };
+        let Some(mut est) = estimates else {
+            return self.allocate(method, day);
+        };
+        for e in &mut est {
+            *e = e.clamp(0.0, 1.0);
+        }
+        let pc = self.config.proactive;
+        let draw_seed = proactive_draw_seed(pc.seed ^ self.config.seed, day as u64);
+        let weights: Vec<f64> = self
+            .fleet
+            .processors()
+            .iter()
+            .map(|p| {
+                (1.0 - pc.weight) + pc.weight * self.availability.survival(p.node.0, &pc, draw_seed)
+            })
+            .collect();
+        let (allocation, _) = blind.with_importances(&est).solve_greedy_weighted(&weights)?;
+        Ok((allocation, start.elapsed().as_secs_f64()))
+    }
+
     /// Executes one evaluation run described by `spec` — the `&self`
     /// counterpart of [`crate::pipeline::PreparedPipeline::run`].
     ///
@@ -315,16 +380,35 @@ impl PreparedCore {
         mode: RecoveryMode,
     ) -> Result<FaultRunReport, PipelineError> {
         self.check_day(day)?;
-        let (allocation, _) = self.allocate(method, day)?;
+        let (allocation, _) = match mode {
+            RecoveryMode::Proactive => self.allocate_proactive(method, day)?,
+            _ => self.allocate(method, day)?,
+        };
         let sim_tasks = self.sim_tasks()?;
         let node_assignment = allocation.to_node_assignment(&self.fleet);
 
         let healthy = simulate(&self.cluster, &sim_tasks, &node_assignment, self.config.sim)?;
 
+        // Same arm split as `PreparedPipeline::run_faulted_impl`: reactive
+        // modes disable retries for an identical trajectory, proactive
+        // keeps the retry layer live with availability-biased re-dispatch
+        // read from the frozen posterior.
         let mut sim_cfg = self.config.sim;
-        sim_cfg.retry = RetryPolicy::no_retry();
-        let faulted =
-            simulate_with_faults(&self.cluster, &sim_tasks, &node_assignment, sim_cfg, schedule)?;
+        let faulted = if mode == RecoveryMode::Proactive {
+            let max_node = self.fleet.processors().iter().map(|p| p.node.0).max().unwrap_or(0);
+            let scores: Vec<f64> = (0..=max_node).map(|n| self.availability.mean(n)).collect();
+            simulate_with_faults_biased(
+                &self.cluster,
+                &sim_tasks,
+                &node_assignment,
+                sim_cfg,
+                schedule,
+                &RedispatchPrefs::from_scores(scores),
+            )?
+        } else {
+            sim_cfg.retry = RetryPolicy::no_retry();
+            simulate_with_faults(&self.cluster, &sim_tasks, &node_assignment, sim_cfg, schedule)?
+        };
 
         let n = self.tasks.len();
         let mut delivered_mask = faulted.completed.clone();
@@ -349,6 +433,15 @@ impl PreparedCore {
                 RecoveryMode::Resolve => {
                     recovery::replan(&instance, &finished, &survivors, budget)?
                 }
+                RecoveryMode::Proactive => recovery::replan_proactive(
+                    &instance,
+                    &finished,
+                    &survivors,
+                    budget,
+                    &self.availability,
+                    &self.config.proactive,
+                    proactive_draw_seed(self.config.proactive.seed ^ self.config.seed, day as u64),
+                )?,
                 RecoveryMode::RandomShed => recovery::replan_random_shed(
                     &instance,
                     &finished,

@@ -154,6 +154,83 @@ impl TatimInstance {
         Ok((self.allocation_from_packing(&sol.packing), sol.profit))
     }
 
+    /// Availability-weighted greedy allocation: maximises the *expected
+    /// retained* importance `Σ_j I_j · m_{p(j)}`, where `m_p =
+    /// sack_weights[p]` is processor `p`'s retention multiplier (for the
+    /// proactive path, `(1 − w) + w · survival_p`). The plain objective is
+    /// the `m ≡ 1` special case.
+    ///
+    /// Items are visited in the same profit-density order as
+    /// [`TatimInstance::solve_greedy`]; each is placed into the feasible
+    /// sack with the highest multiplier, multiplier ties broken by
+    /// best-fit slack and then the lowest sack index — fully
+    /// deterministic, no RNG. Returns the allocation and the weighted
+    /// objective value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sack_weights` has the wrong length or holds a
+    /// non-finite or negative weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    pub fn solve_greedy_weighted(
+        &self,
+        sack_weights: &[f64],
+    ) -> Result<(Allocation, f64), TatimError> {
+        assert_eq!(sack_weights.len(), self.fleet.len(), "sack weight vector length");
+        assert!(
+            sack_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "sack weights must be finite and non-negative"
+        );
+        let problem = self.to_knapsack()?;
+        let n = problem.num_items();
+        let total_w: f64 =
+            problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
+        let total_v: f64 =
+            problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let da = problem.items()[a].density(total_w, total_v);
+            let db = problem.items()[b].density(total_w, total_v);
+            db.partial_cmp(&da).expect("densities comparable").then(
+                problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"),
+            )
+        });
+        let mut packing = Packing::empty(n);
+        let mut residual: Vec<(f64, f64)> =
+            problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect();
+        let mut weighted_profit = 0.0;
+        for &i in &order {
+            let item = problem.items()[i];
+            // Highest multiplier first; among equal multipliers, best fit.
+            let mut best: Option<(usize, f64, f64)> = None;
+            for (s, &(rw, rv)) in residual.iter().enumerate() {
+                if item.weight <= rw + 1e-12 && item.volume <= rv + 1e-12 {
+                    let m = sack_weights[s];
+                    let slack = (rw - item.weight) / total_w + (rv - item.volume) / total_v;
+                    let better = match best {
+                        None => true,
+                        Some((_, bm, bs)) => {
+                            m > bm + 1e-12 || ((m - bm).abs() <= 1e-12 && slack < bs)
+                        }
+                    };
+                    if better {
+                        best = Some((s, m, slack));
+                    }
+                }
+            }
+            if let Some((s, m, _)) = best {
+                residual[s].0 -= item.weight;
+                residual[s].1 -= item.volume;
+                packing.assign(i, Some(s));
+                weighted_profit += item.profit * m;
+            }
+        }
+        Ok((self.allocation_from_packing(&packing), weighted_profit))
+    }
+
     /// The RL view of the instance (for CRL): task demands and processor
     /// budgets; importances carried as-is (CRL overrides them with its
     /// clustered estimate). Heterogeneous per-processor limits (§VII) are
@@ -262,6 +339,41 @@ mod tests {
         assert_eq!(spec.time_limit, 0.5);
         assert!((spec.times[0] - 0.475).abs() < 1e-12);
         assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn weighted_solve_with_unit_weights_matches_plain_objective() {
+        let inst = instance();
+        let (alloc, wprofit) = inst.solve_greedy_weighted(&[1.0, 1.0]).unwrap();
+        assert!(alloc.is_feasible(inst.tasks(), inst.fleet()));
+        assert!((alloc.total_importance(inst.tasks()) - wprofit).abs() < 1e-12);
+        // Same scheduled set as the exact solver on this tiny instance.
+        assert_eq!(alloc.scheduled_count(), 2);
+        assert_eq!(alloc.processor_of(2), None);
+    }
+
+    #[test]
+    fn weighted_solve_steers_important_tasks_to_reliable_processors() {
+        let inst = instance();
+        // Processor 1 is far more likely to survive: the most important
+        // task must land there.
+        let (alloc, _) = inst.solve_greedy_weighted(&[0.2, 0.9]).unwrap();
+        assert_eq!(alloc.processor_of(0), Some(1));
+        let (flipped, _) = inst.solve_greedy_weighted(&[0.9, 0.2]).unwrap();
+        assert_eq!(flipped.processor_of(0), Some(0));
+    }
+
+    #[test]
+    fn weighted_profit_accounts_for_the_multiplier() {
+        let inst = instance();
+        let (alloc, wprofit) = inst.solve_greedy_weighted(&[0.5, 0.5]).unwrap();
+        assert!((wprofit - 0.5 * alloc.total_importance(inst.tasks())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn weighted_solve_checks_weight_length() {
+        let _ = instance().solve_greedy_weighted(&[1.0]);
     }
 
     #[test]

@@ -244,6 +244,51 @@ impl FaultSchedule {
         Ok(schedule)
     }
 
+    /// [`Self::seeded`] with a *per-node* crash probability: `rates[i]`
+    /// applies to `nodes[i]`. The RNG stream matches `seeded` exactly
+    /// (both draws happen for every node), so `seeded_rates` with a
+    /// uniform `rates` slice reproduces `seeded` bit for bit. Heterogeneous
+    /// rates give fragile and steady nodes distinct long-run behaviour —
+    /// the signal an availability posterior can learn from.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::BadTime`] when `horizon_s` or `mttr_s` is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rates.len() != nodes.len()` or a rate is outside
+    /// `[0, 1]`.
+    pub fn seeded_rates(
+        seed: u64,
+        nodes: &[NodeId],
+        rates: &[f64],
+        mttr_s: f64,
+        horizon_s: f64,
+    ) -> Result<Self, FaultError> {
+        assert_eq!(rates.len(), nodes.len(), "one crash rate per node");
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)), "crash rates must lie in [0, 1]");
+        if !(horizon_s.is_finite() && horizon_s > 0.0) {
+            return Err(FaultError::BadTime { time: horizon_s });
+        }
+        if !(mttr_s.is_finite() && mttr_s >= 0.0) {
+            return Err(FaultError::BadTime { time: mttr_s });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = Self::new();
+        for (&node, &rate) in nodes.iter().zip(rates) {
+            let crashes = rng.gen_bool(rate);
+            let at = rng.gen_range(0.0..1.0) * horizon_s;
+            if crashes {
+                schedule = schedule.with_crash(node, at)?;
+                if mttr_s > 0.0 {
+                    schedule = schedule.with_recovery(node, at + mttr_s)?;
+                }
+            }
+        }
+        Ok(schedule)
+    }
+
     /// The events, sorted by time (stable).
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -352,6 +397,37 @@ mod tests {
         assert_eq!(k.node(), NodeId(3));
         assert!(k.to_string().contains("node-3"));
         assert!(FaultKind::Crash(NodeId(1)).to_string().contains("crash"));
+    }
+
+    #[test]
+    fn uniform_seeded_rates_reproduce_seeded_bit_for_bit() {
+        let nodes: Vec<NodeId> = (1..=8).map(NodeId).collect();
+        let a = FaultSchedule::seeded(42, &nodes, 0.5, 3.0, 10.0).unwrap();
+        let b = FaultSchedule::seeded_rates(42, &nodes, &[0.5; 8], 3.0, 10.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heterogeneous_rates_skew_crashes_toward_fragile_nodes() {
+        let nodes: Vec<NodeId> = (1..=2).map(NodeId).collect();
+        let mut fragile = 0usize;
+        let mut steady = 0usize;
+        for seed in 0..200u64 {
+            let s = FaultSchedule::seeded_rates(seed, &nodes, &[0.9, 0.1], 0.0, 10.0).unwrap();
+            let crashed = s.crashed_nodes();
+            fragile += usize::from(crashed.contains(&NodeId(1)));
+            steady += usize::from(crashed.contains(&NodeId(2)));
+        }
+        assert!(fragile > 3 * steady, "fragile {fragile} vs steady {steady}");
+    }
+
+    #[test]
+    fn seeded_rates_validates_lengths() {
+        let nodes = vec![NodeId(1)];
+        let err = std::panic::catch_unwind(|| {
+            FaultSchedule::seeded_rates(1, &nodes, &[0.5, 0.5], 0.0, 1.0)
+        });
+        assert!(err.is_err());
     }
 
     #[test]

@@ -111,6 +111,13 @@ impl NodeAssignment {
 /// simply re-arms, so fault-free runs are untouched. A timer firing on a
 /// dead attempt triggers re-dispatch after an exponential backoff
 /// (`backoff_base_s × 2^(attempt−1)`), up to `max_retries` retries.
+///
+/// Re-dispatch target selection is fully deterministic: candidates are
+/// ranked by availability preference score when one is supplied
+/// ([`simulate_with_faults_biased`]), then by least cumulative dispatched
+/// nominal compute-seconds, and remaining ties break by **ascending node
+/// id** — so recovery-policy comparisons are never confounded by tie
+/// order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Heartbeat timeout as a multiple of the attempt's nominal PT.
@@ -153,6 +160,50 @@ impl RetryPolicy {
                 backoff_base_s: self.backoff_base_s,
                 min_timeout_s: self.min_timeout_s,
             })
+        }
+    }
+}
+
+/// Controller-side preference scores for re-dispatch target selection:
+/// when an orphaned attempt must be re-placed, candidates with a strictly
+/// higher score win before the least-loaded rule applies (score ties fall
+/// back to load, then ascending node id). The proactive controller feeds
+/// learned per-node survival probabilities here so orphans land on the
+/// most-available node rather than merely the least-loaded one. An empty
+/// preference set reproduces [`simulate_with_faults`] exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RedispatchPrefs {
+    /// Score per node id (`scores[id]`); nodes beyond the vector score 0.
+    scores: Vec<f64>,
+}
+
+impl RedispatchPrefs {
+    /// No preferences: selection is purely least-loaded (lowest id ties).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Preference scores indexed by node id. Non-finite scores are
+    /// rejected at [`simulate_with_faults_biased`] validation.
+    pub fn from_scores(scores: Vec<f64>) -> Self {
+        Self { scores }
+    }
+
+    /// The score of `node` (0 when unknown).
+    pub fn score_of(&self, node: NodeId) -> f64 {
+        self.scores.get(node.0).copied().unwrap_or(0.0)
+    }
+
+    /// Whether any score is set.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.scores.iter().all(|s| s.is_finite()) {
+            Ok(())
+        } else {
+            Err(SimError::BadRedispatchPrefs)
         }
     }
 }
@@ -237,6 +288,8 @@ pub enum SimError {
         /// The unreachable node.
         node: NodeId,
     },
+    /// A [`RedispatchPrefs`] score is non-finite.
+    BadRedispatchPrefs,
     /// Invalid [`RetryPolicy`] parameters.
     BadRetryPolicy {
         /// Offending timeout factor.
@@ -272,6 +325,9 @@ impl fmt::Display for SimError {
             }
             SimError::UnreachableNode { task, node } => {
                 write!(f, "task {task} assigned to {node}, which has no route from the controller")
+            }
+            SimError::BadRedispatchPrefs => {
+                write!(f, "redispatch preference scores must be finite")
             }
             SimError::BadRetryPolicy { timeout_factor, backoff_base_s, min_timeout_s } => write!(
                 f,
@@ -404,8 +460,8 @@ pub fn simulate(
         NetTopology::Mesh(mesh) => {
             config.retry.validate()?;
             validate_reachable(mesh, cluster, tasks, assignment)?;
-            let report =
-                MeshSim::new(cluster, mesh, tasks, config).run(assignment, &FaultSchedule::new());
+            let report = MeshSim::new(cluster, mesh, tasks, config, RedispatchPrefs::none())
+                .run(assignment, &FaultSchedule::new());
             Ok(report.to_sim_report())
         }
         NetTopology::Star(net) => {
@@ -874,6 +930,8 @@ struct FaultSim<'a> {
     /// Resource demand currently resident per node (capacity bookkeeping
     /// for retries; aborts release it, completions keep it for the round).
     resident: HashMap<NodeId, f64>,
+    /// Availability preference scores for re-dispatch target selection.
+    prefs: RedispatchPrefs,
     pending: usize,
     last_resolution: f64,
 }
@@ -1187,11 +1245,13 @@ impl FaultSim<'_> {
         }
         let next = st.attempt + 1;
         let demand = self.tasks[task].resource_demand;
-        // Deterministic target selection: least cumulative dispatched
-        // nominal compute seconds among up nodes with a live link, ties
-        // broken by ascending node id. The controller is always a
-        // candidate (it cannot fault), so selection only fails on capacity.
-        let mut best: Option<(f64, NodeId)> = None;
+        // Deterministic target selection: highest availability preference
+        // score first (when prefs are set), then least cumulative
+        // dispatched nominal compute seconds among up nodes with a live
+        // link, ties broken by ascending node id. The controller is always
+        // a candidate (it cannot fault), so selection only fails on
+        // capacity.
+        let mut best: Option<(f64, f64, NodeId)> = None;
         for n in self.cluster.nodes() {
             let id = n.id();
             if self.down.contains(&id) || self.link_down.contains(&id) {
@@ -1203,17 +1263,20 @@ impl FaultSim<'_> {
                     continue;
                 }
             }
+            let score = self.prefs.score_of(id);
             let load = self.dispatched_load.get(&id).copied().unwrap_or(0.0);
             let better = match best {
                 None => true,
-                Some((bl, bid)) => load < bl || (load == bl && id < bid),
+                Some((bs, bl, bid)) => {
+                    score > bs || (score == bs && (load < bl || (load == bl && id < bid)))
+                }
             };
             if better {
-                best = Some((load, id));
+                best = Some((score, load, id));
             }
         }
         match best {
-            Some((_, node)) => {
+            Some((_, _, node)) => {
                 self.failures.push(FailureRecord {
                     time: now,
                     kind: FailureKind::Redispatched { task, node, attempt: next },
@@ -1377,6 +1440,8 @@ struct MeshSim<'a> {
     /// Per-node FIFO of (task, attempt) results parked while the node was
     /// unreachable.
     waiting: Vec<Vec<(usize, usize)>>,
+    /// Availability preference scores for re-dispatch target selection.
+    prefs: RedispatchPrefs,
     pending: usize,
     last_resolution: f64,
 }
@@ -1387,6 +1452,7 @@ impl<'a> MeshSim<'a> {
         mesh: &'a MeshNetwork,
         tasks: &'a [SimTask],
         config: SimConfig,
+        prefs: RedispatchPrefs,
     ) -> Self {
         let n = mesh.nodes();
         let m = mesh.num_edges();
@@ -1421,6 +1487,7 @@ impl<'a> MeshSim<'a> {
             down: vec![false; n],
             straggle: vec![1.0; n],
             waiting: vec![Vec::new(); n],
+            prefs,
             pending: 0,
             last_resolution: config.partition_overhead_s,
         }
@@ -1890,10 +1957,11 @@ impl<'a> MeshSim<'a> {
         }
         let next = st.attempt + 1;
         let demand = self.tasks[task].resource_demand;
-        // Deterministic target selection, as on the star: least cumulative
-        // dispatched nominal compute seconds among up nodes the controller
-        // can currently reach, ties broken by ascending node id.
-        let mut best: Option<(f64, NodeId)> = None;
+        // Deterministic target selection, as on the star: preference score
+        // first, then least cumulative dispatched nominal compute seconds
+        // among up nodes the controller can currently reach, ties broken
+        // by ascending node id.
+        let mut best: Option<(f64, f64, NodeId)> = None;
         for n in self.cluster.nodes() {
             let id = n.id();
             if self.down[id.0] || (id != self.controller && !self.routes.reachable(id.0)) {
@@ -1902,17 +1970,20 @@ impl<'a> MeshSim<'a> {
             if self.config.enforce_capacity && self.resident[id.0] + demand > n.capacity() + 1e-9 {
                 continue;
             }
+            let score = self.prefs.score_of(id);
             let load = self.dispatched_load[id.0];
             let better = match best {
                 None => true,
-                Some((bl, bid)) => load < bl || (load == bl && id < bid),
+                Some((bs, bl, bid)) => {
+                    score > bs || (score == bs && (load < bl || (load == bl && id < bid)))
+                }
             };
             if better {
-                best = Some((load, id));
+                best = Some((score, load, id));
             }
         }
         match best {
-            Some((_, node)) => {
+            Some((_, _, node)) => {
                 self.failures.push(FailureRecord {
                     time: now,
                     kind: FailureKind::Redispatched { task, node, attempt: next },
@@ -2009,8 +2080,37 @@ pub fn simulate_with_faults(
     config: SimConfig,
     schedule: &FaultSchedule,
 ) -> Result<FaultReport, SimError> {
+    simulate_with_faults_biased(
+        cluster,
+        tasks,
+        assignment,
+        config,
+        schedule,
+        &RedispatchPrefs::none(),
+    )
+}
+
+/// [`simulate_with_faults`] with availability-biased re-dispatch targeting:
+/// when the controller re-places an orphaned attempt, candidates with a
+/// strictly higher [`RedispatchPrefs`] score win before the least-loaded
+/// rule applies (score ties fall back to load, then ascending node id).
+/// With empty prefs this is bit-identical to [`simulate_with_faults`].
+///
+/// # Errors
+///
+/// As [`simulate_with_faults`], plus [`SimError::BadRedispatchPrefs`] for
+/// non-finite scores.
+pub fn simulate_with_faults_biased(
+    cluster: &Cluster,
+    tasks: &[SimTask],
+    assignment: &NodeAssignment,
+    config: SimConfig,
+    schedule: &FaultSchedule,
+    prefs: &RedispatchPrefs,
+) -> Result<FaultReport, SimError> {
     validate_assignment(cluster, tasks, assignment, config)?;
     config.retry.validate()?;
+    prefs.validate()?;
     for ev in schedule.events() {
         let node = ev.kind.node();
         if cluster.node(node).is_none() {
@@ -2022,7 +2122,9 @@ pub fn simulate_with_faults(
     }
     if let NetTopology::Mesh(mesh) = cluster.topology() {
         validate_reachable(mesh, cluster, tasks, assignment)?;
-        return Ok(MeshSim::new(cluster, mesh, tasks, config).run(assignment, schedule));
+        return Ok(
+            MeshSim::new(cluster, mesh, tasks, config, prefs.clone()).run(assignment, schedule)
+        );
     }
 
     let mut sim = FaultSim {
@@ -2045,6 +2147,7 @@ pub fn simulate_with_faults(
         waiting: HashMap::new(),
         dispatched_load: HashMap::new(),
         resident: HashMap::new(),
+        prefs: prefs.clone(),
         pending: 0,
         last_resolution: config.partition_overhead_s,
     };
@@ -2472,6 +2575,71 @@ mod fault_tests {
         assert!(has_kind(&r, |k| matches!(k, FailureKind::NodeRecovered(n) if *n == NodeId(1))));
         assert!(r.down_at_end.is_empty());
         assert_eq!(r.timelines[0].unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn redispatch_prefers_lowest_node_id_on_load_ties() {
+        let c = Cluster::testbed_with_workers(3).unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_crash(NodeId(1), 0.3).unwrap();
+        let r = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        assert_eq!(r.completed_count(), 1);
+        // Nodes 0, 2 and 3 all carry zero dispatched load when the retry
+        // fires; the tie breaks by ascending node id.
+        assert!(has_kind(
+            &r,
+            |k| matches!(k, FailureKind::Redispatched { task: 0, node, .. } if *node == NodeId(0))
+        ));
+        assert_eq!(r.timelines[0].unwrap().node, NodeId(0));
+    }
+
+    #[test]
+    fn availability_bias_overrides_the_least_loaded_rule() {
+        let c = Cluster::testbed_with_workers(3).unwrap();
+        // The decoy keeps node 3 the *most* loaded candidate, so only the
+        // preference score can send the retry there.
+        let tasks =
+            vec![SimTask::new(1e6, 1e4, 1.0).unwrap(), SimTask::new(1e8, 0.0, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(2);
+        a.assign(0, Some(NodeId(1)));
+        a.assign(1, Some(NodeId(3)));
+        let schedule = FaultSchedule::new().with_crash(NodeId(1), 0.3).unwrap();
+        let prefs = RedispatchPrefs::from_scores(vec![0.1, 0.1, 0.1, 0.9]);
+        let r = simulate_with_faults_biased(&c, &tasks, &a, cfg(), &schedule, &prefs).unwrap();
+        assert!(has_kind(
+            &r,
+            |k| matches!(k, FailureKind::Redispatched { task: 0, node, .. } if *node == NodeId(3))
+        ));
+        assert_eq!(r.timelines[0].unwrap().node, NodeId(3));
+    }
+
+    #[test]
+    fn uniform_bias_scores_degenerate_to_the_plain_rule() {
+        let c = Cluster::testbed_with_workers(3).unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let schedule = FaultSchedule::new().with_crash(NodeId(1), 0.3).unwrap();
+        let plain = simulate_with_faults(&c, &tasks, &a, cfg(), &schedule).unwrap();
+        let prefs = RedispatchPrefs::from_scores(vec![0.5; 4]);
+        let biased = simulate_with_faults_biased(&c, &tasks, &a, cfg(), &schedule, &prefs).unwrap();
+        assert_eq!(plain.processing_time.to_bits(), biased.processing_time.to_bits());
+        assert_eq!(plain.timelines, biased.timelines);
+        assert_eq!(plain.failures, biased.failures);
+    }
+
+    #[test]
+    fn non_finite_bias_scores_are_rejected() {
+        let c = Cluster::testbed_with_workers(1).unwrap();
+        let tasks = vec![SimTask::new(1e6, 1e4, 1.0).unwrap()];
+        let mut a = NodeAssignment::empty(1);
+        a.assign(0, Some(NodeId(1)));
+        let prefs = RedispatchPrefs::from_scores(vec![0.5, f64::NAN]);
+        let err = simulate_with_faults_biased(&c, &tasks, &a, cfg(), &FaultSchedule::new(), &prefs)
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadRedispatchPrefs));
     }
 
     #[test]

@@ -152,6 +152,95 @@ pub fn timelines_to_csv(report: &SimReport) -> String {
     out
 }
 
+/// One node's availability exposure over a fault-injected round: how long
+/// it was reachable, how long it was not, and how many times it crashed.
+/// This is the failure-history export the availability learner consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeExposure {
+    /// The node.
+    pub node: NodeId,
+    /// Seconds the node was up with a live route.
+    pub up_s: f64,
+    /// Seconds the node was crashed or cut off by a link outage.
+    pub down_s: f64,
+    /// Crash events observed (link outages extend `down_s` but are not
+    /// counted here — a dropped link is weaker evidence of fragility).
+    pub crashes: u64,
+}
+
+/// Per-node exposure summary of a failure log over a `horizon_s`-second
+/// round, one entry per id in `nodes` (sorted by node id).
+///
+/// A node is *down* while crashed or while its link is out; overlapping
+/// outages do not double-count. Outages still open at `horizon_s` are
+/// closed there, so `up_s + down_s == horizon_s` for every node. The
+/// summary is a pure function of the record set: records are re-sorted by
+/// time internally, so caller-side ordering cannot perturb it.
+pub fn node_exposures(
+    failures: &[FailureRecord],
+    nodes: &[NodeId],
+    horizon_s: f64,
+) -> Vec<NodeExposure> {
+    use std::collections::BTreeMap;
+
+    #[derive(Default, Clone, Copy)]
+    struct Track {
+        crashed: bool,
+        link_down: bool,
+        down_since: Option<f64>,
+        down_s: f64,
+        crashes: u64,
+    }
+
+    let horizon = horizon_s.max(0.0);
+    let mut tracks: BTreeMap<usize, Track> =
+        nodes.iter().map(|n| (n.0, Track::default())).collect();
+    let mut ordered: Vec<&FailureRecord> = failures.iter().collect();
+    ordered.sort_by(|a, b| a.time.total_cmp(&b.time));
+    for rec in ordered {
+        let (node, crash_delta, link_delta) = match rec.kind {
+            FailureKind::NodeCrashed(n) => (n, Some(true), None),
+            FailureKind::NodeRecovered(n) => (n, Some(false), None),
+            FailureKind::LinkWentDown(n) => (n, None, Some(true)),
+            FailureKind::LinkRestored(n) => (n, None, Some(false)),
+            _ => continue,
+        };
+        let Some(t) = tracks.get_mut(&node.0) else { continue };
+        let was_down = t.crashed || t.link_down;
+        if let Some(c) = crash_delta {
+            if c && !t.crashed {
+                t.crashes += 1;
+            }
+            t.crashed = c;
+        }
+        if let Some(l) = link_delta {
+            t.link_down = l;
+        }
+        let now_down = t.crashed || t.link_down;
+        let at = rec.time.clamp(0.0, horizon);
+        if !was_down && now_down {
+            t.down_since = Some(at);
+        } else if was_down && !now_down {
+            t.down_s += at - t.down_since.take().unwrap_or(at);
+        }
+    }
+    tracks
+        .into_iter()
+        .map(|(id, mut t)| {
+            if let Some(since) = t.down_since.take() {
+                t.down_s += horizon - since;
+            }
+            let down = t.down_s.clamp(0.0, horizon);
+            NodeExposure {
+                node: NodeId(id),
+                up_s: horizon - down,
+                down_s: down,
+                crashes: t.crashes,
+            }
+        })
+        .collect()
+}
+
 /// One node's utilisation over a round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeUtilization {
@@ -259,6 +348,61 @@ mod tests {
         let busy: Vec<usize> =
             u.iter().filter(|x| x.compute_busy_s > 0.0).map(|x| x.node.0).collect();
         assert_eq!(busy, vec![1, 2]);
+    }
+
+    #[test]
+    fn exposures_split_the_horizon_and_count_crashes() {
+        let log = vec![
+            FailureRecord { time: 10.0, kind: FailureKind::NodeCrashed(NodeId(1)) },
+            FailureRecord { time: 30.0, kind: FailureKind::NodeRecovered(NodeId(1)) },
+            FailureRecord { time: 50.0, kind: FailureKind::LinkWentDown(NodeId(2)) },
+            // node 3 crashes and never recovers: open interval closes at horizon
+            FailureRecord { time: 80.0, kind: FailureKind::NodeCrashed(NodeId(3)) },
+            // task-level records are ignored by the exposure summary
+            FailureRecord { time: 81.0, kind: FailureKind::TaskFailed { task: 0, attempts: 2 } },
+        ];
+        let nodes = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let exp = node_exposures(&log, &nodes, 100.0);
+        assert_eq!(exp.len(), 4);
+        assert_eq!(exp[0].node, NodeId(1));
+        assert!((exp[0].down_s - 20.0).abs() < 1e-9);
+        assert!((exp[0].up_s - 80.0).abs() < 1e-9);
+        assert_eq!(exp[0].crashes, 1);
+        // link outage counts as downtime but not a crash
+        assert!((exp[1].down_s - 50.0).abs() < 1e-9);
+        assert_eq!(exp[1].crashes, 0);
+        assert!((exp[2].down_s - 20.0).abs() < 1e-9);
+        assert_eq!(exp[2].crashes, 1);
+        // untouched node is fully up
+        assert!((exp[3].up_s - 100.0).abs() < 1e-9);
+        assert_eq!(exp[3].crashes, 0);
+    }
+
+    #[test]
+    fn exposures_overlapping_outages_do_not_double_count() {
+        let log = vec![
+            FailureRecord { time: 10.0, kind: FailureKind::LinkWentDown(NodeId(5)) },
+            FailureRecord { time: 20.0, kind: FailureKind::NodeCrashed(NodeId(5)) },
+            FailureRecord { time: 40.0, kind: FailureKind::LinkRestored(NodeId(5)) },
+            FailureRecord { time: 60.0, kind: FailureKind::NodeRecovered(NodeId(5)) },
+        ];
+        let exp = node_exposures(&log, &[NodeId(5)], 100.0);
+        assert!((exp[0].down_s - 50.0).abs() < 1e-9, "{}", exp[0].down_s);
+        assert_eq!(exp[0].crashes, 1);
+    }
+
+    #[test]
+    fn exposures_are_arrival_order_invariant() {
+        let log = vec![
+            FailureRecord { time: 10.0, kind: FailureKind::NodeCrashed(NodeId(1)) },
+            FailureRecord { time: 30.0, kind: FailureKind::NodeRecovered(NodeId(1)) },
+            FailureRecord { time: 5.0, kind: FailureKind::LinkWentDown(NodeId(2)) },
+            FailureRecord { time: 55.0, kind: FailureKind::LinkRestored(NodeId(2)) },
+        ];
+        let mut shuffled = log.clone();
+        shuffled.reverse();
+        let nodes = [NodeId(1), NodeId(2)];
+        assert_eq!(node_exposures(&log, &nodes, 60.0), node_exposures(&shuffled, &nodes, 60.0));
     }
 
     #[test]
