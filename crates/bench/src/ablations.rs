@@ -183,11 +183,24 @@ pub fn quality_gap(opts: &RunOpts) -> Result<QualityGap, Box<dyn Error>> {
         Method::RandomMapping,
         Method::Dml,
     ];
-    // Oracle capture per day for normalisation.
+    // Oracle capture per day for normalisation. The oracle solve now
+    // carries a certificate (see `dcta_core::pipeline::SolveCertificate`);
+    // log it so `reproduce` output records whether the "exact" oracle was
+    // actually proved optimal on every evaluation day.
     let mut oracle = Vec::new();
     for &day in &days {
         let r = prepared.run(&RunSpec::new(Method::ExactOracle, day))?;
-        oracle.push(r.into_healthy().expect("healthy").captured_importance);
+        let report = r.into_healthy().expect("healthy");
+        if let Some(cert) = report.solver {
+            println!(
+                "[oracle day {day}: proved_optimal={} gap={:.4}% upper_bound={:.4} nodes={}]",
+                cert.proved_optimal,
+                100.0 * cert.gap,
+                cert.upper_bound,
+                cert.nodes
+            );
+        }
+        oracle.push(report.captured_importance);
     }
     let mut rows = Vec::new();
     let mut table = Table::new(

@@ -1,8 +1,9 @@
 //! Tracked performance harness for the deterministic parallel layer.
 //!
 //! ```text
-//! perfbench [serve_throughput | edgesim_scale] [--quick] [--seed N]
-//!           [--threads N] [--key NAME] [--trend PATH] [--out PATH]
+//! perfbench [serve_throughput | edgesim_scale | bnb_solve_large]
+//!           [--quick] [--seed N] [--threads N] [--key NAME]
+//!           [--trend PATH] [--out PATH]
 //! ```
 //!
 //! Times the hot compute paths — the blocked matmul kernel against the
@@ -32,6 +33,12 @@
 //! 1/2/8 threads, with the pre-PR7 star event loop (BinaryHeap queue,
 //! HashMap state, linear node lookup) kept verbatim as the measured
 //! baseline. Again use a distinct key (e.g. `ci-<sha>-scale`).
+//!
+//! The `bnb_solve_large` mode runs the production-size solver sweep
+//! (`dcta_bench::portfolio`): exact branch-and-bound under a deadline vs
+//! the anytime portfolio at 40–1200 tasks, with the certified optimality
+//! gap encoded in each portfolio row's name. Use a distinct key (e.g.
+//! `ci-<sha>-portfolio`).
 
 use buildings::scenario::Scenario;
 use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
@@ -82,6 +89,8 @@ enum Mode {
     ServeThroughput,
     /// The simulator scale sweep (star/mesh × node count × threads).
     EdgesimScale,
+    /// The production-size exact-vs-portfolio solver sweep.
+    BnbSolveLarge,
 }
 
 struct Args {
@@ -105,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "serve_throughput" => mode = Mode::ServeThroughput,
             "edgesim_scale" => mode = Mode::EdgesimScale,
+            "bnb_solve_large" => mode = Mode::BnbSolveLarge,
             "--quick" => opts.quick = true,
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
@@ -128,8 +138,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perfbench [serve_throughput | edgesim_scale] [--quick] [--seed N] \
-                     [--threads N] [--key NAME] [--trend PATH] [--out PATH]"
+                    "perfbench [serve_throughput | edgesim_scale | bnb_solve_large] [--quick] \
+                     [--seed N] [--threads N] [--key NAME] [--trend PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -282,6 +292,18 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
         let rows = dcta_bench::scale::edgesim_scale(opts)?;
         return Ok(Report {
             generated_by: "perfbench edgesim_scale".to_string(),
+            quick: opts.quick,
+            seed: opts.seed,
+            host_threads: parallel::max_threads(),
+            // No importance evaluations run in this mode.
+            cache_hit_rate: 0.0,
+            rows,
+        });
+    }
+    if args.mode == Mode::BnbSolveLarge {
+        let rows = dcta_bench::portfolio::bnb_solve_large(opts)?;
+        return Ok(Report {
+            generated_by: "perfbench bnb_solve_large".to_string(),
             quick: opts.quick,
             seed: opts.seed,
             host_threads: parallel::max_threads(),

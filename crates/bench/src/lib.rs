@@ -17,6 +17,7 @@
 //! | [`faultsweep`] | Robustness extension: crash-rate × MTTR recovery grid |
 //! | [`serving`] | Serving extension: allocation-as-a-service throughput (`perfbench serve_throughput`) |
 //! | [`scale`] | Scale extension: star/mesh events-per-second sweep (`perfbench edgesim_scale`) |
+//! | [`portfolio`] | Anytime portfolio: exact-vs-portfolio at production sizes (`perfbench bnb_solve_large`) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +28,7 @@ pub mod distribution;
 pub mod extensions;
 pub mod faultsweep;
 pub mod localmodel;
+pub mod portfolio;
 pub mod scale;
 pub mod serving;
 pub mod solvers;

@@ -21,7 +21,7 @@ use crate::local::{LocalError, LocalModelKind, LocalProcess};
 use crate::processor::{FleetError, ProcessorFleet};
 use crate::recovery::{self, RecoveryError, RecoveryMode};
 use crate::task::{EdgeTask, TaskId};
-use crate::tatim::{TatimError, TatimInstance};
+use crate::tatim::{TatimError, TatimInstance, EXACT_ORACLE_NODE_BUDGET};
 use buildings::scenario::Scenario;
 use edgesim::cluster::{Cluster, ClusterError, MeshSpec};
 use edgesim::faults::FaultSchedule;
@@ -32,7 +32,7 @@ use edgesim::run::{
 };
 use edgesim::trace::node_exposures;
 use edgesim::trace::FailureRecord;
-use knapsack::exact::{BranchAndBound, SolverOptions};
+use knapsack::portfolio::SolveBudget;
 use learn::transfer::MtlConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -249,6 +249,21 @@ from_err!(Dcta, DctaError);
 from_err!(Sim, SimError);
 from_err!(Recovery, RecoveryError);
 
+/// Optimality certificate of the solver that produced an allocation,
+/// surfaced so a node-capped branch-and-bound incumbent is distinguishable
+/// from a proved optimum (the old silent-failure path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveCertificate {
+    /// Whether the allocation is proved optimal for its objective.
+    pub proved_optimal: bool,
+    /// Relative optimality gap certificate (`0.0` when proved optimal).
+    pub gap: f64,
+    /// Relaxation upper bound on the optimal objective.
+    pub upper_bound: f64,
+    /// Branch-and-bound nodes explored (deterministic under a node budget).
+    pub nodes: u64,
+}
+
 /// One day's evaluation outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DayReport {
@@ -266,6 +281,11 @@ pub struct DayReport {
     pub scheduled: usize,
     /// True importance captured by the executed set.
     pub captured_importance: f64,
+    /// The allocator's optimality certificate, when the method runs an
+    /// exact/portfolio solve ([`Method::ExactOracle`] today). `None` for
+    /// heuristic and learned allocators, and for pre-computed allocations
+    /// fed straight into [`PreparedPipeline::execute`].
+    pub solver: Option<SolveCertificate>,
 }
 
 /// Outcome of a fault-injected day: the healthy reference run, the faulted
@@ -868,10 +888,26 @@ impl<'a> PreparedPipeline<'a> {
         method: Method,
         day: usize,
     ) -> Result<(Allocation, f64), PipelineError> {
+        let (allocation, overhead, _) = self.allocate_certified(method, day)?;
+        Ok((allocation, overhead))
+    }
+
+    /// [`Self::allocate`] plus the solver's [`SolveCertificate`] when
+    /// `method` runs an exact/portfolio solve (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn allocate_certified(
+        &mut self,
+        method: Method,
+        day: usize,
+    ) -> Result<(Allocation, f64, Option<SolveCertificate>), PipelineError> {
         self.check_day(day)?;
         let start = Instant::now();
         let ctx = self.scenario.day(day);
         let blind = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        let mut certificate = None;
         let allocation = match method {
             Method::RandomMapping => random_mapping(&blind, &mut self.rng),
             Method::Dml => dml_balanced(&blind),
@@ -880,10 +916,15 @@ impl<'a> PreparedPipeline<'a> {
             }
             Method::ExactOracle => {
                 let instance = blind.with_importances(&self.true_importances[day]);
-                let problem = instance.to_knapsack()?;
-                let sol = BranchAndBound::with_options(SolverOptions::new().node_limit(200_000))
-                    .solve(&problem);
-                instance.allocation_from_packing(&sol.packing)
+                let outcome =
+                    instance.solve_portfolio(SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET))?;
+                certificate = Some(SolveCertificate {
+                    proved_optimal: outcome.proved_optimal,
+                    gap: outcome.gap,
+                    upper_bound: outcome.upper_bound,
+                    nodes: outcome.nodes,
+                });
+                outcome.allocation
             }
             Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
             Method::Dcta => {
@@ -893,7 +934,7 @@ impl<'a> PreparedPipeline<'a> {
                 self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
             }
         };
-        Ok((allocation, start.elapsed().as_secs_f64()))
+        Ok((allocation, start.elapsed().as_secs_f64(), certificate))
     }
 
     /// Produces `method`'s *proactive* allocation for day `day`: the same
@@ -982,8 +1023,10 @@ impl<'a> PreparedPipeline<'a> {
         let _threads = spec.threads.map(parallel::ScopedThreads::new);
         match &spec.faults {
             None => {
-                let (allocation, overhead) = self.allocate(spec.method, spec.day)?;
-                let report = self.execute(spec.method, spec.day, allocation, overhead)?;
+                let (allocation, overhead, certificate) =
+                    self.allocate_certified(spec.method, spec.day)?;
+                let mut report = self.execute(spec.method, spec.day, allocation, overhead)?;
+                report.solver = certificate;
                 Ok(RunReport::Healthy(report))
             }
             Some((schedule, mode)) => {
@@ -1057,6 +1100,7 @@ impl<'a> PreparedPipeline<'a> {
             decision_performance,
             scheduled,
             captured_importance,
+            solver: None,
         })
     }
 

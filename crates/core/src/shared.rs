@@ -36,11 +36,12 @@ use crate::features::{local_features, TaskHistory};
 use crate::importance::{CopModels, ImportanceEvaluator};
 use crate::pipeline::{
     DayReport, FaultRunReport, Method, PipelineConfig, PipelineError, RunReport, RunSpec,
+    SolveCertificate,
 };
 use crate::processor::ProcessorFleet;
 use crate::recovery::{self, RecoveryMode};
 use crate::task::EdgeTask;
-use crate::tatim::TatimInstance;
+use crate::tatim::{TatimInstance, EXACT_ORACLE_NODE_BUDGET};
 use buildings::scenario::Scenario;
 use edgesim::cluster::Cluster;
 use edgesim::faults::FaultSchedule;
@@ -49,7 +50,7 @@ use edgesim::run::{
     simulate, simulate_with_faults, simulate_with_faults_biased, RedispatchPrefs, RetryPolicy,
     SimTask,
 };
-use knapsack::exact::{BranchAndBound, SolverOptions};
+use knapsack::portfolio::SolveBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Range;
@@ -208,10 +209,26 @@ impl PreparedCore {
     ///
     /// See [`PipelineError`] variants.
     pub fn allocate(&self, method: Method, day: usize) -> Result<(Allocation, f64), PipelineError> {
+        let (allocation, overhead, _) = self.allocate_certified(method, day)?;
+        Ok((allocation, overhead))
+    }
+
+    /// [`Self::allocate`] plus the solver's [`SolveCertificate`] when
+    /// `method` runs an exact/portfolio solve (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    pub fn allocate_certified(
+        &self,
+        method: Method,
+        day: usize,
+    ) -> Result<(Allocation, f64, Option<SolveCertificate>), PipelineError> {
         self.check_day(day)?;
         let start = Instant::now();
         let ctx = self.scenario.day(day);
         let blind = self.blind_instance();
+        let mut certificate = None;
         let allocation = match method {
             Method::RandomMapping => {
                 // Per-request RNG keyed by (seed, day): deterministic and
@@ -230,10 +247,15 @@ impl PreparedCore {
             }
             Method::ExactOracle => {
                 let instance = blind.with_importances(&self.true_importances[day]);
-                let problem = instance.to_knapsack()?;
-                let sol = BranchAndBound::with_options(SolverOptions::new().node_limit(200_000))
-                    .solve(&problem);
-                instance.allocation_from_packing(&sol.packing)
+                let outcome =
+                    instance.solve_portfolio(SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET))?;
+                certificate = Some(SolveCertificate {
+                    proved_optimal: outcome.proved_optimal,
+                    gap: outcome.gap,
+                    upper_bound: outcome.upper_bound,
+                    nodes: outcome.nodes,
+                });
+                outcome.allocation
             }
             Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
             Method::Dcta => {
@@ -241,7 +263,7 @@ impl PreparedCore {
                 self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
             }
         };
-        Ok((allocation, start.elapsed().as_secs_f64()))
+        Ok((allocation, start.elapsed().as_secs_f64(), certificate))
     }
 
     /// The `&self` counterpart of
@@ -308,8 +330,10 @@ impl PreparedCore {
     pub fn run(&self, spec: &RunSpec) -> Result<RunReport, PipelineError> {
         match spec.faults() {
             None => {
-                let (allocation, overhead) = self.allocate(spec.method(), spec.day())?;
-                let report = self.execute(spec.method(), spec.day(), allocation, overhead)?;
+                let (allocation, overhead, certificate) =
+                    self.allocate_certified(spec.method(), spec.day())?;
+                let mut report = self.execute(spec.method(), spec.day(), allocation, overhead)?;
+                report.solver = certificate;
                 Ok(RunReport::Healthy(report))
             }
             Some((schedule, mode)) => {
@@ -361,6 +385,7 @@ impl PreparedCore {
             decision_performance,
             scheduled,
             captured_importance,
+            solver: None,
         })
     }
 

@@ -10,10 +10,21 @@ use crate::allocation::Allocation;
 use crate::processor::ProcessorFleet;
 use crate::task::EdgeTask;
 use knapsack::exact::{BranchAndBound, SolverOptions};
-use knapsack::greedy;
+use knapsack::greedy::{self, DensityIndex};
+use knapsack::portfolio::{solve_portfolio, SolveBudget};
 use knapsack::problem::{Item, Packing, Problem, ProblemError, Sack};
 use rl::alloc_env::AllocSpec;
 use std::fmt;
+
+/// Node budget the pipeline's `ExactOracle` method grants branch-and-bound,
+/// applied *per top-level subtree* by the portfolio (the deterministic
+/// parallel split of `knapsack::exact`). Paper-scale instances (tens of
+/// tasks × ~10 processors) exhaust their tree well inside this budget, so
+/// the oracle stays a proved optimum there; on production-size instances
+/// the oracle degrades gracefully to a certified incumbent instead of
+/// silently truncating. Shared by `pipeline.rs` and `shared.rs`, which
+/// previously each hard-coded their own copy.
+pub const EXACT_ORACLE_NODE_BUDGET: u64 = 200_000;
 
 /// A complete TATIM instance: tasks plus the processor fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +60,25 @@ impl From<ProblemError> for TatimError {
     fn from(e: ProblemError) -> Self {
         TatimError::Problem(e)
     }
+}
+
+/// Result of [`TatimInstance::solve_portfolio`]: the allocation plus the
+/// solver's optimality certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioOutcome {
+    /// The allocation found.
+    pub allocation: Allocation,
+    /// Captured importance of the allocation (the TATIM objective).
+    pub profit: f64,
+    /// Surrogate-relaxation upper bound on the optimal objective.
+    pub upper_bound: f64,
+    /// Relative optimality gap certificate (`0.0` when proved optimal).
+    pub gap: f64,
+    /// Whether the allocation is proved optimal.
+    pub proved_optimal: bool,
+    /// Branch-and-bound nodes explored (deterministic in budgeted modes,
+    /// reported as 0 in `SolveBudget::Exact`; see the portfolio docs).
+    pub nodes: u64,
 }
 
 impl TatimInstance {
@@ -154,6 +184,32 @@ impl TatimInstance {
         Ok((self.allocation_from_packing(&sol.packing), sol.profit))
     }
 
+    /// Anytime portfolio allocation (`knapsack::portfolio`): greedy warm
+    /// start, surrogate-relaxation upper bound, then branch-and-bound under
+    /// `budget`, returning the allocation together with its optimality
+    /// certificate. With `SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET)`
+    /// this is the pipeline's `ExactOracle`; `SolveBudget::Anytime` is the
+    /// production-size configuration.
+    ///
+    /// Bit-identical across thread counts in every mode (see the portfolio
+    /// module's determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    pub fn solve_portfolio(&self, budget: SolveBudget) -> Result<PortfolioOutcome, TatimError> {
+        let problem = self.to_knapsack()?;
+        let r = solve_portfolio(&problem, budget);
+        Ok(PortfolioOutcome {
+            allocation: self.allocation_from_packing(&r.solution.packing),
+            profit: r.solution.profit,
+            upper_bound: r.upper_bound,
+            gap: r.gap(),
+            proved_optimal: r.proved_optimal,
+            nodes: r.nodes,
+        })
+    }
+
     /// Availability-weighted greedy allocation: maximises the *expected
     /// retained* importance `Σ_j I_j · m_{p(j)}`, where `m_p =
     /// sack_weights[p]` is processor `p`'s retention multiplier (for the
@@ -186,23 +242,15 @@ impl TatimInstance {
         );
         let problem = self.to_knapsack()?;
         let n = problem.num_items();
-        let total_w: f64 =
-            problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
-        let total_v: f64 =
-            problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            let da = problem.items()[a].density(total_w, total_v);
-            let db = problem.items()[b].density(total_w, total_v);
-            db.partial_cmp(&da).expect("densities comparable").then(
-                problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"),
-            )
-        });
+        // Same profit-density order (and tie-break) as `greedy`, deduplicated
+        // into the reusable index.
+        let index = DensityIndex::new(&problem);
+        let (total_w, total_v) = index.scales();
         let mut packing = Packing::empty(n);
         let mut residual: Vec<(f64, f64)> =
             problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect();
         let mut weighted_profit = 0.0;
-        for &i in &order {
+        for &i in index.order() {
             let item = problem.items()[i];
             // Highest multiplier first; among equal multipliers, best fit.
             let mut best: Option<(usize, f64, f64)> = None;

@@ -1,5 +1,6 @@
 //! Upper bounds on MCMK optima, used for branch-and-bound pruning and as
-//! optimality certificates in tests.
+//! optimality certificates in tests and the anytime portfolio
+//! ([`crate::portfolio`]).
 
 use crate::problem::Problem;
 
@@ -61,6 +62,138 @@ pub fn upper_bound_subset(
     wb.min(vb)
 }
 
+/// Interior surrogate multipliers tried by [`surrogate_bound_subset`] on top
+/// of the two pure-dimension endpoints evaluated by [`upper_bound_subset`].
+/// A fixed grid keeps the bound a pure function of the instance (no search
+/// state), which the portfolio's determinism contract relies on.
+const SURROGATE_THETAS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+/// Surrogate-relaxation upper bound over the whole instance: the tightest of
+/// [`upper_bound`] and the fractional bounds of the combined constraints
+/// `Σ (θ·w + (1−θ)·v) x ≤ θ·W + (1−θ)·V` for each `θ` in a fixed grid.
+///
+/// Validity: every feasible packing satisfies both aggregate constraints, so
+/// it satisfies any convex combination of them; the fractional optimum of
+/// that single combined knapsack therefore bounds the MCMK optimum, and so
+/// does the minimum over `θ`. This is the surrogate dual of the aggregate
+/// relaxation (equivalently, a Lagrangian bound on the aggregated pair),
+/// and is never looser than [`upper_bound`] because the endpoints are
+/// included.
+pub fn surrogate_bound(problem: &Problem) -> f64 {
+    let total_w: f64 = problem.sacks().iter().map(|s| s.weight_capacity).sum();
+    let total_v: f64 = problem.sacks().iter().map(|s| s.volume_capacity).sum();
+    surrogate_bound_subset(problem, &(0..problem.num_items()).collect::<Vec<_>>(), total_w, total_v)
+}
+
+/// [`surrogate_bound`] restricted to the item subset `indices` under explicit
+/// aggregate residual capacities — used to certify whole branch-and-bound
+/// subtrees against a warm-start incumbent before exploring them.
+pub fn surrogate_bound_subset(
+    problem: &Problem,
+    indices: &[usize],
+    aggregate_weight: f64,
+    aggregate_volume: f64,
+) -> f64 {
+    let mut best = upper_bound_subset(problem, indices, aggregate_weight, aggregate_volume);
+    let w = aggregate_weight.max(0.0);
+    let v = aggregate_volume.max(0.0);
+    for theta in SURROGATE_THETAS {
+        let items: Vec<(f64, f64)> = indices
+            .iter()
+            .map(|&i| {
+                let item = problem.items()[i];
+                (theta * item.weight + (1.0 - theta) * item.volume, item.profit)
+            })
+            .collect();
+        best = best.min(fractional_bound(&items, theta * w + (1.0 - theta) * v));
+    }
+    best
+}
+
+/// Precomputed suffix-bound accelerator for branch-and-bound.
+///
+/// At every node the solver evaluates [`upper_bound_subset`] on the
+/// not-yet-branched suffix `order[depth..]` — two sorts and three
+/// allocations per node. The exploration order is fixed, so the sorted
+/// density view of any suffix equals the stable-sorted *whole* order
+/// filtered to positions `≥ depth` (stable sorting commutes with taking
+/// subsequences under the same comparator). One sort per dimension up front
+/// therefore lets each query run in `O(n)` with no allocation while
+/// visiting items in exactly the sequence the per-node sort would have
+/// produced — the same floating-point accumulation, hence bit-identical
+/// bounds.
+pub struct SuffixBounds {
+    by_weight: Vec<DimEntry>,
+    by_volume: Vec<DimEntry>,
+}
+
+#[derive(Clone, Copy)]
+struct DimEntry {
+    /// Position of the item in the exploration order.
+    pos: u32,
+    size: f64,
+    profit: f64,
+}
+
+impl SuffixBounds {
+    /// Builds the per-dimension density-sorted views of `problem` over the
+    /// fixed exploration `order`.
+    pub fn new(problem: &Problem, order: &[usize]) -> Self {
+        fn build(problem: &Problem, order: &[usize], weight_dim: bool) -> Vec<DimEntry> {
+            let mut entries: Vec<DimEntry> = order
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let item = problem.items()[i];
+                    DimEntry {
+                        pos: pos as u32,
+                        size: if weight_dim { item.weight } else { item.volume },
+                        profit: item.profit,
+                    }
+                })
+                .collect();
+            // Same comparator as `fractional_bound`, so filtering this sort
+            // by position reproduces its per-suffix sort exactly.
+            entries.sort_by(|a, b| {
+                let da = if a.size <= 1e-15 { f64::INFINITY } else { a.profit / a.size };
+                let db = if b.size <= 1e-15 { f64::INFINITY } else { b.profit / b.size };
+                db.partial_cmp(&da).expect("finite or +inf densities")
+            });
+            entries
+        }
+        Self { by_weight: build(problem, order, true), by_volume: build(problem, order, false) }
+    }
+
+    /// Upper bound on the profit attainable from the suffix `order[depth..]`
+    /// under the given aggregate residual capacities. Bit-identical to
+    /// `upper_bound_subset(problem, &order[depth..], agg_w, agg_v)`.
+    pub fn bound(&self, depth: usize, aggregate_weight: f64, aggregate_volume: f64) -> f64 {
+        let wb = dim_bound(&self.by_weight, depth, aggregate_weight.max(0.0));
+        let vb = dim_bound(&self.by_volume, depth, aggregate_volume.max(0.0));
+        wb.min(vb)
+    }
+}
+
+fn dim_bound(sorted: &[DimEntry], depth: usize, capacity: f64) -> f64 {
+    let mut remaining = capacity;
+    let mut bound = 0.0;
+    for e in sorted {
+        if (e.pos as usize) < depth {
+            continue;
+        }
+        if e.size <= 1e-15 {
+            bound += e.profit;
+        } else if e.size <= remaining {
+            remaining -= e.size;
+            bound += e.profit;
+        } else {
+            bound += e.profit * (remaining / e.size);
+            break;
+        }
+    }
+    bound
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +248,92 @@ mod tests {
         assert!((b - 4.0).abs() < 1e-12);
         assert_eq!(upper_bound_subset(&p, &[], 4.0, 2.0), 0.0);
         assert_eq!(upper_bound_subset(&p, &[0], -1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn surrogate_never_looser_than_aggregate_bound() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..12);
+            let m = rng.gen_range(1..4);
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0), rng.gen_range(0.0..9.0))
+                })
+                .collect();
+            let sacks: Vec<(f64, f64)> =
+                (0..m).map(|_| (rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0))).collect();
+            let p = problem(items, sacks);
+            assert!(surrogate_bound(&p) <= upper_bound(&p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn surrogate_bounds_the_optimum() {
+        use crate::exact::brute_force;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..40 {
+            let n = rng.gen_range(1..8);
+            let m = rng.gen_range(1..4);
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..5.0f64).round(),
+                        rng.gen_range(0.0..5.0f64).round(),
+                        rng.gen_range(0.0..9.0f64).round(),
+                    )
+                })
+                .collect();
+            let sacks: Vec<(f64, f64)> = (0..m)
+                .map(|_| (rng.gen_range(0.0..8.0f64).round(), rng.gen_range(0.0..8.0f64).round()))
+                .collect();
+            let p = problem(items, sacks);
+            let opt = brute_force(&p).profit;
+            let sb = surrogate_bound(&p);
+            assert!(sb + 1e-9 >= opt, "round {round}: surrogate {sb} < optimum {opt}");
+        }
+    }
+
+    #[test]
+    fn suffix_bounds_bit_identical_to_subset_bound() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..15);
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    // Include zero sizes and duplicate densities so stable-
+                    // sort tie handling is actually exercised.
+                    (
+                        rng.gen_range(0.0..3.0f64).round(),
+                        rng.gen_range(0.0..3.0f64).round(),
+                        rng.gen_range(0.0..5.0f64).round(),
+                    )
+                })
+                .collect();
+            let p = problem(items, vec![(7.0, 7.0), (3.0, 5.0)]);
+            // An arbitrary (shuffled) exploration order.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let sb = SuffixBounds::new(&p, &order);
+            for depth in 0..=n {
+                for (agg_w, agg_v) in [(10.0, 12.0), (3.5, 2.0), (0.0, 5.0), (-1.0, 4.0)] {
+                    let fast = sb.bound(depth, agg_w, agg_v);
+                    let slow = upper_bound_subset(&p, &order[depth..], agg_w, agg_v);
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "depth {depth} caps ({agg_w},{agg_v})"
+                    );
+                }
+            }
+        }
     }
 }

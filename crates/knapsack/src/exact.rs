@@ -7,7 +7,7 @@
 //! what the data-driven allocators amortise. The exact solver is the
 //! reference that CRL/DCTA allocation quality is measured against.
 
-use crate::bounds::upper_bound_subset;
+use crate::bounds::{surrogate_bound_subset, SuffixBounds};
 use crate::problem::{Packing, Problem, Solution};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -205,18 +205,54 @@ impl BranchAndBound {
     /// (lexicographic in the branching sequence) and keeps the first
     /// strict improvement, which is exactly the serial solver's answer.
     pub fn solve(&self, problem: &Problem) -> Solution {
+        self.solve_reporting(problem).solution
+    }
+
+    /// Like [`BranchAndBound::solve`], but also reports whether the search
+    /// ran to exhaustion — i.e. whether the returned incumbent is *proved*
+    /// optimal — and how many nodes were explored. Callers running with a
+    /// node or deadline budget should use this instead of `solve` whenever
+    /// incumbent-versus-optimum matters downstream.
+    pub fn solve_reporting(&self, problem: &Problem) -> SearchReport {
         let order = density_order(problem);
         let deadline = self.options.deadline.map(|d| Instant::now() + d);
+        let bounds = SuffixBounds::new(problem, &order);
         if self.options.parallel && problem.num_items() > 0 {
-            solve_parallel(problem, order, &self.options, deadline)
+            solve_parallel(
+                problem,
+                &order,
+                &self.options,
+                deadline,
+                f64::NEG_INFINITY,
+                &bounds,
+                &|_| false,
+            )
         } else {
-            solve_serial(problem, order, &self.options, deadline)
+            solve_serial(problem, &order, &self.options, deadline, f64::NEG_INFINITY, &bounds)
         }
     }
 }
 
+/// Outcome of [`BranchAndBound::solve_reporting`]: the incumbent plus an
+/// explicit optimality signal, closing the old silent-failure path where a
+/// node-capped solve was indistinguishable from a proved optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Best packing found.
+    pub solution: Solution,
+    /// True when no node/deadline budget cut exploration short, so
+    /// `solution` is proved optimal (over the region not excluded by a
+    /// warm-start floor, which only ever excludes sub-incumbent packings).
+    pub completed: bool,
+    /// Explored node count. Deterministic for serial runs and for parallel
+    /// runs with a node budget (shared-bound pruning disabled); for
+    /// parallel exhaustive runs the count depends on thread interleaving
+    /// and is reported as observed.
+    pub nodes: u64,
+}
+
 /// Item exploration order: decreasing profit per aggregate size.
-fn density_order(problem: &Problem) -> Vec<usize> {
+pub(crate) fn density_order(problem: &Problem) -> Vec<usize> {
     let total_w: f64 = problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
     let total_v: f64 = problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
     let mut order: Vec<usize> = (0..problem.num_items()).collect();
@@ -234,100 +270,56 @@ fn full_residual(problem: &Problem) -> Vec<(f64, f64)> {
 
 fn solve_serial(
     problem: &Problem,
-    order: Vec<usize>,
+    order: &[usize],
     options: &SolverOptions,
     deadline: Option<Instant>,
-) -> Solution {
+    floor: f64,
+    bounds: &SuffixBounds,
+) -> SearchReport {
     let n = problem.num_items();
     let mut search = Search {
         problem,
         order,
+        bounds,
         best: Packing::empty(n),
         best_profit: -1.0,
+        floor,
         residual: full_residual(problem),
         current: Packing::empty(n),
         nodes: 0,
         node_limit: options.node_limit,
+        limit_hit: false,
         deadline,
         deadline_hit: false,
     };
-    search.dfs(0, 0.0);
+    search.dfs_shared(0, 0.0, None);
     let profit = search.best_profit.max(0.0);
-    Solution { packing: search.best, profit }
+    SearchReport {
+        solution: Solution { packing: search.best, profit },
+        completed: !search.limit_hit && !search.deadline_hit,
+        nodes: search.nodes,
+    }
 }
 
 struct Search<'a> {
     problem: &'a Problem,
-    order: Vec<usize>,
+    order: &'a [usize],
+    bounds: &'a SuffixBounds,
     best: Packing,
     best_profit: f64,
+    /// Warm-start incumbent profit: subtrees whose optimistic potential is
+    /// strictly below this are pruned. `NEG_INFINITY` disables the floor.
+    /// Strictness matters — a path tying the floor (hence possibly tying
+    /// the optimum) is never cut, so the serial DFS's first optimum
+    /// achiever survives and the returned packing is unchanged.
+    floor: f64,
     residual: Vec<(f64, f64)>,
     current: Packing,
     nodes: u64,
     node_limit: Option<u64>,
+    limit_hit: bool,
     deadline: Option<Instant>,
     deadline_hit: bool,
-}
-
-impl Search<'_> {
-    fn dfs(&mut self, depth: usize, profit: f64) {
-        self.nodes += 1;
-        if let Some(limit) = self.node_limit {
-            if self.nodes > limit {
-                return;
-            }
-        }
-        if self.deadline_hit {
-            return;
-        }
-        if let Some(d) = self.deadline {
-            if self.nodes & 1023 == 0 && Instant::now() >= d {
-                self.deadline_hit = true;
-                return;
-            }
-        }
-        if profit > self.best_profit {
-            self.best_profit = profit;
-            self.best = self.current.clone();
-        }
-        if depth == self.order.len() {
-            return;
-        }
-
-        // Prune: fractional bound on the remaining items over aggregate
-        // residual capacity.
-        let rest: Vec<usize> = self.order[depth..].to_vec();
-        let agg_w: f64 = self.residual.iter().map(|r| r.0.max(0.0)).sum();
-        let agg_v: f64 = self.residual.iter().map(|r| r.1.max(0.0)).sum();
-        let bound = upper_bound_subset(self.problem, &rest, agg_w, agg_v);
-        if profit + bound <= self.best_profit + 1e-12 {
-            return;
-        }
-
-        let item_idx = self.order[depth];
-        let item = self.problem.items()[item_idx];
-
-        // Branch 1..M: place into each distinct-residual sack that fits.
-        let mut seen: Vec<(f64, f64)> = Vec::new();
-        for s in 0..self.problem.num_sacks() {
-            let (rw, rv) = self.residual[s];
-            if item.weight > rw + 1e-12 || item.volume > rv + 1e-12 {
-                continue;
-            }
-            // Symmetry: identical residual sacks are interchangeable.
-            if seen.iter().any(|&(w, v)| (w - rw).abs() < 1e-12 && (v - rv).abs() < 1e-12) {
-                continue;
-            }
-            seen.push((rw, rv));
-            self.residual[s] = (rw - item.weight, rv - item.volume);
-            self.current.assign(item_idx, Some(s));
-            self.dfs(depth + 1, profit + item.profit);
-            self.current.assign(item_idx, None);
-            self.residual[s] = (rw, rv);
-        }
-        // Branch 0: skip the item.
-        self.dfs(depth + 1, profit);
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -388,7 +380,9 @@ struct SubtreeRoot {
 struct PrefixEnum<'a> {
     problem: &'a Problem,
     order: &'a [usize],
+    bounds: &'a SuffixBounds,
     split_depth: usize,
+    floor: f64,
     residual: Vec<(f64, f64)>,
     current: Packing,
     enum_best: f64,
@@ -408,11 +402,14 @@ impl PrefixEnum<'_> {
         // enumeration incumbent — a lower bar than the serial solver's
         // global incumbent at the same node, so this prunes a *subset* of
         // what the serial solver prunes and can never cut off its answer.
-        let rest = &self.order[depth..];
         let agg_w: f64 = self.residual.iter().map(|r| r.0.max(0.0)).sum();
         let agg_v: f64 = self.residual.iter().map(|r| r.1.max(0.0)).sum();
-        let bound = upper_bound_subset(self.problem, rest, agg_w, agg_v);
+        let bound = self.bounds.bound(depth, agg_w, agg_v);
         if profit + bound <= self.enum_best + 1e-12 {
+            return;
+        }
+        // Warm-start floor: strictly sub-incumbent prefixes need no slots.
+        if profit + bound < self.floor {
             return;
         }
         if depth == self.split_depth {
@@ -447,11 +444,19 @@ impl PrefixEnum<'_> {
     }
 }
 
-fn enumerate_prefix(problem: &Problem, order: &[usize], split_depth: usize) -> (Vec<Slot>, f64) {
+fn enumerate_prefix(
+    problem: &Problem,
+    order: &[usize],
+    bounds: &SuffixBounds,
+    split_depth: usize,
+    floor: f64,
+) -> (Vec<Slot>, f64) {
     let mut en = PrefixEnum {
         problem,
         order,
+        bounds,
         split_depth,
+        floor,
         residual: full_residual(problem),
         current: Packing::empty(problem.num_items()),
         enum_best: -1.0,
@@ -461,32 +466,38 @@ fn enumerate_prefix(problem: &Problem, order: &[usize], split_depth: usize) -> (
     (en.slots, en.enum_best)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_parallel(
     problem: &Problem,
-    order: Vec<usize>,
+    order: &[usize],
     options: &SolverOptions,
     deadline: Option<Instant>,
-) -> Solution {
+    floor: f64,
+    bounds: &SuffixBounds,
+    skip_subtree: &(dyn Fn(&SubtreeRoot) -> bool + Sync),
+) -> SearchReport {
     let n = problem.num_items();
     // Deepen the split until enough independent subtrees exist. Each
     // candidate depth re-enumerates from scratch; the prefix region is tiny
     // relative to the full tree, so this costs a negligible serial prelude.
     let max_split = n.min(PAR_MAX_SPLIT_DEPTH);
     let mut split_depth = 1usize.min(max_split);
-    let (mut slots, mut enum_best) = enumerate_prefix(problem, &order, split_depth);
+    let (mut slots, mut enum_best) = enumerate_prefix(problem, order, bounds, split_depth, floor);
     while split_depth < max_split
         && (1..PAR_SUBTREE_TARGET)
             .contains(&slots.iter().filter(|s| matches!(s, Slot::Subtree(_))).count())
     {
         split_depth += 1;
-        (slots, enum_best) = enumerate_prefix(problem, &order, split_depth);
+        (slots, enum_best) = enumerate_prefix(problem, order, bounds, split_depth, floor);
     }
 
     // A node budget makes each subtree's exploration depend on its pruning
     // history, so the shared bound must be off for the anytime result to
     // stay thread-count invariant; each subtree then is a pure function.
+    // (Seeding with the warm floor is safe for the same reason the floor
+    // prune is: the shared prune is strict.)
     let shared = if options.node_limit.is_none() {
-        Some(AtomicU64::new(enum_best.max(0.0).to_bits()))
+        Some(AtomicU64::new(enum_best.max(0.0).max(floor).to_bits()))
     } else {
         None
     };
@@ -500,51 +511,104 @@ fn solve_parallel(
         .collect();
     // Grain 1: subtrees are few but expensive, the exact case the
     // serial-below-threshold default grain would mis-handle.
-    let results: Vec<(f64, Packing)> = parallel::par_map_grained(&roots, 1, |root| {
+    let results: Vec<(f64, Packing, bool, u64)> = parallel::par_map_grained(&roots, 1, |root| {
+        // A subtree whose surrogate-certified maximum is below the floor
+        // can be discarded wholesale: it cannot contain anything the
+        // portfolio would return. The predicate is a pure function of the
+        // root, so the partition of skipped subtrees is thread-invariant.
+        if skip_subtree(root) {
+            return (f64::NEG_INFINITY, Packing::empty(n), true, 0);
+        }
         let mut search = Search {
             problem,
-            order: order.clone(),
+            order,
+            bounds,
             best: Packing::empty(n),
             best_profit: -1.0,
+            floor,
             residual: root.residual.clone(),
             current: root.current.clone(),
             nodes: 0,
             node_limit: options.node_limit,
+            limit_hit: false,
             deadline,
             deadline_hit: false,
         };
         search.dfs_shared(root.depth, root.profit, shared.as_ref());
-        (search.best_profit, search.best)
+        (search.best_profit, search.best, !search.limit_hit && !search.deadline_hit, search.nodes)
     });
 
     // Serial reduction in DFS slot order: first strict improvement wins,
     // reproducing the serial solver's first optimum achiever.
     let mut best_profit = -1.0;
     let mut best = Packing::empty(n);
+    let mut completed = true;
+    let mut nodes = 0u64;
     let mut sub_results = results.into_iter();
     for slot in slots {
         let (profit, packing) = match slot {
             Slot::Candidate { profit, packing } => (profit, packing),
-            Slot::Subtree(_) => sub_results.next().expect("one result per subtree"),
+            Slot::Subtree(_) => {
+                let (profit, packing, sub_completed, sub_nodes) =
+                    sub_results.next().expect("one result per subtree");
+                completed &= sub_completed;
+                nodes += sub_nodes;
+                (profit, packing)
+            }
         };
         if profit > best_profit {
             best_profit = profit;
             best = packing;
         }
     }
-    Solution { packing: best, profit: best_profit.max(0.0) }
+    SearchReport {
+        solution: Solution { packing: best, profit: best_profit.max(0.0) },
+        completed,
+        nodes,
+    }
+}
+
+/// Portfolio entry point (see [`crate::portfolio`]): parallel subtree
+/// branch-and-bound seeded with a warm-start incumbent `floor`, with whole
+/// subtrees certified-and-skipped via the surrogate relaxation when their
+/// optimistic maximum is strictly below the floor.
+///
+/// The node budget, when given, applies per subtree (shared bound off), so
+/// the result is thread-count invariant in every mode.
+pub(crate) fn solve_with_floor(
+    problem: &Problem,
+    node_limit: Option<u64>,
+    floor: f64,
+) -> SearchReport {
+    let order = density_order(problem);
+    let bounds = SuffixBounds::new(problem, &order);
+    let options = SolverOptions { node_limit, deadline: None, parallel: true };
+    let skip = |root: &SubtreeRoot| {
+        let agg_w: f64 = root.residual.iter().map(|r| r.0.max(0.0)).sum();
+        let agg_v: f64 = root.residual.iter().map(|r| r.1.max(0.0)).sum();
+        root.profit + surrogate_bound_subset(problem, &order[root.depth..], agg_w, agg_v) < floor
+    };
+    if problem.num_items() == 0 {
+        return SearchReport {
+            solution: Solution { packing: Packing::empty(0), profit: 0.0 },
+            completed: true,
+            nodes: 0,
+        };
+    }
+    solve_parallel(problem, &order, &options, None, floor, &bounds, &skip)
 }
 
 impl Search<'_> {
-    /// [`Search::dfs`] plus an optional shared incumbent: improvements are
-    /// published with a monotone `fetch_max` over the profit bits, and
-    /// subtrees are additionally pruned against the shared bound with a
-    /// *strict* `<` so tie-potential paths survive (see the module notes on
-    /// determinism).
+    /// The branch-and-bound DFS, with an optional shared incumbent:
+    /// improvements are published with a monotone `fetch_max` over the
+    /// profit bits, and subtrees are additionally pruned against the shared
+    /// bound with a *strict* `<` so tie-potential paths survive (see the
+    /// module notes on determinism). `shared = None` is the serial solver.
     fn dfs_shared(&mut self, depth: usize, profit: f64, shared: Option<&AtomicU64>) {
         self.nodes += 1;
         if let Some(limit) = self.node_limit {
             if self.nodes > limit {
+                self.limit_hit = true;
                 return;
             }
         }
@@ -568,12 +632,17 @@ impl Search<'_> {
             return;
         }
 
-        let rest = &self.order[depth..];
+        // Prune: fractional bound on the remaining items over aggregate
+        // residual capacity (precomputed, bit-identical to the old per-node
+        // sort — see `SuffixBounds`).
         let agg_w: f64 = self.residual.iter().map(|r| r.0.max(0.0)).sum();
         let agg_v: f64 = self.residual.iter().map(|r| r.1.max(0.0)).sum();
-        let bound = upper_bound_subset(self.problem, rest, agg_w, agg_v);
+        let bound = self.bounds.bound(depth, agg_w, agg_v);
         let potential = profit + bound;
         if potential <= self.best_profit + 1e-12 {
+            return;
+        }
+        if potential < self.floor {
             return;
         }
         if let Some(shared) = shared {

@@ -31,22 +31,65 @@ use crate::problem::{Packing, Problem, Solution};
 /// # }
 /// ```
 pub fn greedy(problem: &Problem) -> Solution {
-    let n = problem.num_items();
-    let total_w: f64 = problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
-    let total_v: f64 = problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        let da = problem.items()[a].density(total_w, total_v);
-        let db = problem.items()[b].density(total_w, total_v);
-        db.partial_cmp(&da).expect("densities comparable").then(
-            problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"),
-        )
-    });
+    greedy_with_index(problem, &DensityIndex::new(problem))
+}
 
+/// Reusable profit-density ordering for greedy passes.
+///
+/// `greedy` used to re-sort a fresh density index on every call; callers
+/// that solve the same item set repeatedly — day-over-day re-allocation,
+/// the portfolio warm start, benchmark sweeps — can build the index once
+/// and pass it to [`greedy_with_index`] to skip the `O(N log N)` sort.
+/// The placement produced through a reused index is bit-identical to a
+/// fresh `greedy` call (pinned by a regression test against the original
+/// inline implementation).
+#[derive(Debug, Clone)]
+pub struct DensityIndex {
+    order: Vec<usize>,
+    total_w: f64,
+    total_v: f64,
+}
+
+impl DensityIndex {
+    /// Sorts the items of `problem` by decreasing profit density, breaking
+    /// density ties by decreasing profit.
+    pub fn new(problem: &Problem) -> Self {
+        let total_w: f64 =
+            problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
+        let total_v: f64 =
+            problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
+        let mut order: Vec<usize> = (0..problem.num_items()).collect();
+        order.sort_by(|&a, &b| {
+            let da = problem.items()[a].density(total_w, total_v);
+            let db = problem.items()[b].density(total_w, total_v);
+            db.partial_cmp(&da).expect("densities comparable").then(
+                problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"),
+            )
+        });
+        Self { order, total_w, total_v }
+    }
+
+    /// Item indices in greedy placement order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The aggregate `(weight, volume)` capacity scales the densities were
+    /// normalised by (both clamped to ≥ 1e-12).
+    pub fn scales(&self) -> (f64, f64) {
+        (self.total_w, self.total_v)
+    }
+}
+
+/// [`greedy`] with a prebuilt [`DensityIndex`] (which must have been built
+/// for this `problem`'s items and sacks).
+pub fn greedy_with_index(problem: &Problem, index: &DensityIndex) -> Solution {
+    let n = problem.num_items();
+    let (total_w, total_v) = (index.total_w, index.total_v);
     let mut packing = Packing::empty(n);
     let mut residual: Vec<(f64, f64)> =
         problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect();
-    for &i in &order {
+    for &i in &index.order {
         let item = problem.items()[i];
         // Best fit: the feasible sack minimising leftover headroom.
         let mut best: Option<(usize, f64)> = None;
@@ -230,6 +273,89 @@ mod tests {
         let s0 = greedy(&p);
         let s1 = local_search(&p, s0.clone(), 100);
         assert_eq!(s0, s1);
+    }
+
+    /// The original `greedy`, verbatim as it stood before the sort was
+    /// hoisted into `DensityIndex` — the regression oracle for exact
+    /// output equality.
+    fn greedy_original(problem: &Problem) -> Solution {
+        let n = problem.num_items();
+        let total_w: f64 =
+            problem.sacks().iter().map(|s| s.weight_capacity).sum::<f64>().max(1e-12);
+        let total_v: f64 =
+            problem.sacks().iter().map(|s| s.volume_capacity).sum::<f64>().max(1e-12);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let da = problem.items()[a].density(total_w, total_v);
+            let db = problem.items()[b].density(total_w, total_v);
+            db.partial_cmp(&da).expect("densities comparable").then(
+                problem.items()[b].profit.partial_cmp(&problem.items()[a].profit).expect("finite"),
+            )
+        });
+
+        let mut packing = Packing::empty(n);
+        let mut residual: Vec<(f64, f64)> =
+            problem.sacks().iter().map(|s| (s.weight_capacity, s.volume_capacity)).collect();
+        for &i in &order {
+            let item = problem.items()[i];
+            let mut best: Option<(usize, f64)> = None;
+            for (s, &(rw, rv)) in residual.iter().enumerate() {
+                if item.weight <= rw + 1e-12 && item.volume <= rv + 1e-12 {
+                    let slack = (rw - item.weight) / total_w + (rv - item.volume) / total_v;
+                    if best.is_none_or(|(_, b)| slack < b) {
+                        best = Some((s, slack));
+                    }
+                }
+            }
+            if let Some((s, _)) = best {
+                residual[s].0 -= item.weight;
+                residual[s].1 -= item.volume;
+                packing.assign(i, Some(s));
+            }
+        }
+        let profit = packing.profit(problem);
+        Solution { packing, profit }
+    }
+
+    #[test]
+    fn indexed_greedy_bit_identical_to_original() {
+        let mut rng = StdRng::seed_from_u64(8080);
+        for round in 0..60 {
+            let n = rng.gen_range(0..40);
+            let m = rng.gen_range(1..8);
+            // Duplicate densities and zero sizes exercise the tie-break.
+            let items: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..4.0f64).round(),
+                        rng.gen_range(0.0..4.0f64).round(),
+                        rng.gen_range(0.0..6.0f64).round(),
+                    )
+                })
+                .collect();
+            let sacks: Vec<(f64, f64)> =
+                (0..m).map(|_| (rng.gen_range(0.0..9.0), rng.gen_range(0.0..9.0))).collect();
+            let p = problem(items, sacks);
+            let reference = greedy_original(&p);
+
+            let fresh = greedy(&p);
+            assert_eq!(fresh.packing.placement(), reference.packing.placement(), "round {round}");
+            assert_eq!(fresh.profit.to_bits(), reference.profit.to_bits(), "round {round}");
+
+            // Reusing one index across repeated solves must not drift.
+            let index = DensityIndex::new(&p);
+            for _ in 0..3 {
+                let reused = greedy_with_index(&p, &index);
+                assert_eq!(reused.packing.placement(), reference.packing.placement());
+                assert_eq!(reused.profit.to_bits(), reference.profit.to_bits());
+            }
+
+            // And the full warm-start chain stays put too.
+            let ls_reference = local_search(&p, reference.clone(), 32);
+            let ls_now = greedy_with_local_search(&p);
+            assert_eq!(ls_now.packing.placement(), ls_reference.packing.placement());
+            assert_eq!(ls_now.profit.to_bits(), ls_reference.profit.to_bits());
+        }
     }
 
     #[test]

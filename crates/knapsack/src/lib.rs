@@ -10,8 +10,11 @@
 //! * [`exact`] — branch-and-bound (optionally anytime) and brute force.
 //! * [`greedy`] — density greedy + local search, the on-edge-affordable
 //!   heuristics.
+//! * [`portfolio`] — anytime solver portfolio: warm start + budgeted
+//!   branch-and-bound + optimality-gap certificate, for production-size
+//!   instances.
 //! * [`dp`] — pseudo-polynomial single-sack DPs (1-D and 2-D).
-//! * [`bounds`] — fractional relaxation upper bounds.
+//! * [`bounds`] — fractional and surrogate relaxation upper bounds.
 //! * [`generator`] — long-tail random instances shaped like TATIM
 //!   workloads.
 //!
@@ -42,4 +45,5 @@ pub mod dp;
 pub mod exact;
 pub mod generator;
 pub mod greedy;
+pub mod portfolio;
 pub mod problem;
