@@ -21,6 +21,7 @@ fn spec(n: usize, m: usize) -> AllocSpec {
         time_limit: (n as f64 / m as f64 / 2.0).max(1.0),
         time_limits: None,
         capacities: vec![8.0; m],
+        route_factors: None,
     }
 }
 

@@ -18,7 +18,7 @@ fn bench_bandwidth(c: &mut Criterion) {
     group.sample_size(30);
     for &factor in &[0.5f64, 1.0, 2.0] {
         let mut cluster = Cluster::paper_testbed().expect("testbed");
-        cluster.network_mut().scale_bandwidth(factor);
+        cluster.network_mut().expect("star testbed").scale_bandwidth(factor);
         group.bench_with_input(
             BenchmarkId::new("simulate_scaled", format!("{factor}x")),
             &cluster,
@@ -34,8 +34,8 @@ fn bench_bandwidth(c: &mut Criterion) {
     group.bench_function("scale_bandwidth_op", |b| {
         let mut cluster = Cluster::paper_testbed().expect("testbed");
         b.iter(|| {
-            cluster.network_mut().scale_bandwidth(2.0);
-            cluster.network_mut().scale_bandwidth(0.5);
+            cluster.network_mut().expect("star testbed").scale_bandwidth(2.0);
+            cluster.network_mut().expect("star testbed").scale_bandwidth(0.5);
         })
     });
     group.finish();

@@ -6,10 +6,11 @@
 use buildings::scenario::{Scenario, ScenarioConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcta_core::baselines::{dml_balanced, random_mapping};
+use dcta_core::objective::AllocQuery;
 use dcta_core::pipeline::{Method, Pipeline, PipelineConfig};
 use dcta_core::processor::ProcessorFleet;
 use dcta_core::task::{EdgeTask, TaskId};
-use dcta_core::tatim::TatimInstance;
+use dcta_core::tatim::{SolverKind, TatimInstance};
 use edgesim::cluster::Cluster;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,7 +56,7 @@ fn bench_allocators(c: &mut Criterion) {
             b.iter(|| black_box(dml_balanced(i)))
         });
         group.bench_with_input(BenchmarkId::new("greedy_knapsack", workers), &inst, |b, i| {
-            b.iter(|| black_box(i.solve_greedy().expect("greedy")))
+            b.iter(|| black_box(i.solve(&SolverKind::Greedy).expect("greedy")))
         });
     }
     group.finish();
@@ -83,12 +84,14 @@ fn bench_dcta_end_to_end(c: &mut Criterion) {
     let mut prepared = Pipeline::builder(config).prepare(&scenario).expect("prepare");
     let day = prepared.test_days().start;
     // Warm the agent cache so we measure steady-state inference.
-    prepared.allocate(Method::Dcta, day).expect("warm-up");
+    prepared.allocate(&AllocQuery::new(Method::Dcta, day)).expect("warm-up");
 
     let mut group = c.benchmark_group("fig9_dcta_cached_decision");
     group.sample_size(10);
     group.bench_function("dcta_allocate_cached", |b| {
-        b.iter(|| black_box(prepared.allocate(Method::Dcta, day).expect("allocate")))
+        b.iter(|| {
+            black_box(prepared.allocate(&AllocQuery::new(Method::Dcta, day)).expect("allocate"))
+        })
     });
     group.finish();
 }

@@ -1,0 +1,134 @@
+//! Standalone driver for the topology-aware mesh allocation study
+//! (the PR-10 objective extension).
+//!
+//! ```text
+//! mesh_alloc [--quick] [--seed N] [--out DIR] [--threads N]
+//!            [--trend PATH --key NAME]
+//! ```
+//!
+//! Solves each mesh world twice per solver — blind over the raw fleet and
+//! aware over the route-deflated fleet of `dcta_core::objective` — replays
+//! both allocations through the mesh fluid simulator, and scores retained
+//! importance per makespan second. Prints the study table plus the
+//! aware-over-blind gains, and writes `<out>/mesh_alloc.json`. With
+//! `--trend PATH --key NAME` the per-cell rows (`wall_ms` = solver
+//! wall-clock, `speedup` = the world's aware/blind gain) are additionally
+//! upserted as a (non-gating) trend entry — CI uses
+//! `--key ci-<sha>-meshalloc`.
+
+use dcta_bench::common::RunOpts;
+use dcta_bench::meshalloc;
+use dcta_bench::trend::{self, TrendEntry};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    opts: RunOpts,
+    out: PathBuf,
+    trend: Option<PathBuf>,
+    key: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut opts = RunOpts::default();
+    let mut out = PathBuf::from("results");
+    let mut trend = None;
+    let mut key = "local-meshalloc".to_string();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--trend" => {
+                trend = Some(PathBuf::from(iter.next().ok_or("--trend needs a value")?));
+            }
+            "--key" => {
+                key = iter.next().ok_or("--key needs a value")?;
+            }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                let threads: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                parallel::set_max_threads(threads);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mesh_alloc [--quick] [--seed N] [--out DIR] [--threads N] \
+                     [--trend PATH --key NAME]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { opts, out, trend, key })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t = Instant::now();
+    let study = match meshalloc::run(&args.opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mesh allocation study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", study.table.render());
+    for g in &study.gains {
+        println!("[{} nodes, {}: aware/blind imp-per-s = {:.3}]", g.nodes, g.solver, g.gain);
+    }
+    if fs::create_dir_all(&args.out).is_err() {
+        eprintln!("could not create {}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let path = args.out.join("mesh_alloc.json");
+    match serde_json::to_string_pretty(&study) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("[saved {}]", path.display());
+        }
+        Err(e) => {
+            eprintln!("could not serialise the study: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(trend_path) = &args.trend {
+        let entry = TrendEntry {
+            key: args.key.clone(),
+            quick: study.quick,
+            seed: study.seed,
+            host_threads: parallel::max_threads(),
+            cache_hit_rate: 0.0,
+            rows: study.trend_rows(),
+        };
+        let existing = fs::read_to_string(trend_path).ok();
+        let merged = trend::upsert(existing.as_deref(), &entry);
+        if let Err(e) = fs::write(trend_path, merged) {
+            eprintln!("error writing {}: {e}", trend_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[trend {} updated under key `{}`]", trend_path.display(), args.key);
+    }
+    println!("[mesh allocation study done in {:.1?}]", t.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,7 +1,7 @@
 //! Tracked performance harness for the deterministic parallel layer.
 //!
 //! ```text
-//! perfbench [serve_throughput | edgesim_scale | bnb_solve_large]
+//! perfbench [serve_throughput | edgesim_scale | bnb_solve_large | mesh_alloc]
 //!           [--quick] [--seed N] [--threads N] [--key NAME]
 //!           [--trend PATH] [--out PATH]
 //! ```
@@ -39,6 +39,12 @@
 //! the anytime portfolio at 40–1200 tasks, with the certified optimality
 //! gap encoded in each portfolio row's name. Use a distinct key (e.g.
 //! `ci-<sha>-portfolio`).
+//!
+//! The `mesh_alloc` mode runs the topology-aware allocation study
+//! (`dcta_bench::meshalloc`): blind vs route-deflated solves on large mesh
+//! testbeds, each row's `wall_ms` the solver wall-clock and `speedup` the
+//! world's aware-over-blind importance-per-makespan gain. Use a distinct
+//! key (e.g. `ci-<sha>-meshalloc`).
 
 use buildings::scenario::Scenario;
 use dcta_bench::common::{f3, paper_pipeline, paper_scenario, RunOpts, Table};
@@ -91,6 +97,8 @@ enum Mode {
     EdgesimScale,
     /// The production-size exact-vs-portfolio solver sweep.
     BnbSolveLarge,
+    /// The topology-aware vs blind mesh allocation study.
+    MeshAlloc,
 }
 
 struct Args {
@@ -115,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
             "serve_throughput" => mode = Mode::ServeThroughput,
             "edgesim_scale" => mode = Mode::EdgesimScale,
             "bnb_solve_large" => mode = Mode::BnbSolveLarge,
+            "mesh_alloc" => mode = Mode::MeshAlloc,
             "--quick" => opts.quick = true,
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
@@ -138,8 +147,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perfbench [serve_throughput | edgesim_scale | bnb_solve_large] [--quick] \
-                     [--seed N] [--threads N] [--key NAME] [--trend PATH] [--out PATH]"
+                    "perfbench [serve_throughput | edgesim_scale | bnb_solve_large | mesh_alloc] \
+                     [--quick] [--seed N] [--threads N] [--key NAME] [--trend PATH] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -226,6 +235,7 @@ fn warm_dqn_agent(
         time_limit: 3.0,
         time_limits: None,
         capacities: vec![2.5, 2.5],
+        route_factors: None,
     };
     let mut env = AllocEnv::new(spec)?;
     let mut rng = StdRng::seed_from_u64(0x5EED_0004);
@@ -304,6 +314,18 @@ fn run(args: &Args) -> Result<Report, Box<dyn Error>> {
         let rows = dcta_bench::portfolio::bnb_solve_large(opts)?;
         return Ok(Report {
             generated_by: "perfbench bnb_solve_large".to_string(),
+            quick: opts.quick,
+            seed: opts.seed,
+            host_threads: parallel::max_threads(),
+            // No importance evaluations run in this mode.
+            cache_hit_rate: 0.0,
+            rows,
+        });
+    }
+    if args.mode == Mode::MeshAlloc {
+        let rows = dcta_bench::meshalloc::run(opts)?.trend_rows();
+        return Ok(Report {
+            generated_by: "perfbench mesh_alloc".to_string(),
             quick: opts.quick,
             seed: opts.seed,
             host_threads: parallel::max_threads(),

@@ -11,13 +11,15 @@
 //! With no `--exp`, every experiment runs. Available ids: `fig2`, `fig3`,
 //! `fig45`, `tab1`, `rl-stale` (covers both staleness ablations),
 //! `local-model`, `fig9`, `fig10`, `fig11`, `knapsack`, `weights`,
-//! `env-lookup`, `quality-gap`, `shapley`, `medium`, `fault-sweep`.
+//! `env-lookup`, `quality-gap`, `shapley`, `medium`, `fault-sweep`,
+//! `mesh-alloc`.
 //! Tables print to stdout; JSON snapshots land in `--out` (default
 //! `results/`).
 
 use dcta_bench::common::RunOpts;
 use dcta_bench::{
-    ablations, distribution, extensions, faultsweep, localmodel, solvers, staleness, sweeps,
+    ablations, distribution, extensions, faultsweep, localmodel, meshalloc, solvers, staleness,
+    sweeps,
 };
 use serde::Serialize;
 use std::error::Error;
@@ -44,6 +46,7 @@ const ALL: &[&str] = &[
     "medium",
     "hetero-budget",
     "fault-sweep",
+    "mesh-alloc",
 ];
 
 struct Args {
@@ -192,6 +195,11 @@ fn run_one(id: &str, opts: &RunOpts, out: &Path) -> Result<(), Box<dyn Error>> {
             let r = faultsweep::run(opts)?;
             print!("{}", r.table.render());
             save(out, "fault_sweep", &r)
+        }
+        "mesh-alloc" => {
+            let r = meshalloc::run(opts)?;
+            print!("{}", r.table.render());
+            save(out, "mesh_alloc", &r)
         }
         other => Err(format!("unknown experiment `{other}`").into()),
     }

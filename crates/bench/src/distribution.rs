@@ -18,7 +18,7 @@ use dcta_core::importance::{CopModels, ImportanceEvaluator};
 use dcta_core::processor::ProcessorFleet;
 use dcta_core::shapley::shapley_importances;
 use dcta_core::task::{EdgeTask, TaskId};
-use dcta_core::tatim::TatimInstance;
+use dcta_core::tatim::{SolverKind, TatimInstance};
 use edgesim::cluster::Cluster;
 use learn::transfer::MtlConfig;
 use rand::rngs::StdRng;
@@ -149,7 +149,7 @@ pub fn fig3(opts: &RunOpts) -> Result<Fig3, Box<dyn Error>> {
         // unlike plain leave-one-out — credits jointly-important task
         // groups (see the `shapley` experiment).
         let imp = shapley_importances(&evaluator, day, opts.pick(12, 5), &mut rng)?;
-        let (accurate_alloc, _) = base.with_importances(&imp).solve_greedy()?;
+        let accurate_alloc = base.with_importances(&imp).solve(&SolverKind::Greedy)?.allocation;
         let size = accurate_alloc.scheduled_count();
         let mask: Vec<bool> = (0..n).map(|j| accurate_alloc.processor_of(j).is_some()).collect();
         let saving_accurate = evaluator.energy_report(day, &mask)?.saving();

@@ -11,10 +11,11 @@ use crate::common::{
 };
 use crate::sweeps::METHODS;
 use dcta_core::importance::{CopModels, ImportanceEvaluator};
+use dcta_core::objective::AllocQuery;
 use dcta_core::processor::ProcessorFleet;
 use dcta_core::shapley::{efficiency_gap, shapley_importances};
 use dcta_core::task::{EdgeTask, TaskId};
-use dcta_core::tatim::TatimInstance;
+use dcta_core::tatim::{SolverKind, TatimInstance};
 use edgesim::cluster::Cluster;
 use edgesim::network::MediumMode;
 use edgesim::node::DeviceModel;
@@ -108,7 +109,7 @@ pub fn medium(opts: &RunOpts) -> Result<MediumStudy, Box<dyn Error>> {
     for method in METHODS {
         let mut per_day = Vec::new();
         for &day in &days {
-            per_day.push(prepared.allocate(method, day)?);
+            per_day.push(prepared.allocate(&AllocQuery::new(method, day))?);
         }
         allocations.push(per_day);
     }
@@ -119,15 +120,23 @@ pub fn medium(opts: &RunOpts) -> Result<MediumStudy, Box<dyn Error>> {
         for (mi, method) in METHODS.iter().enumerate() {
             let mut pts = Vec::new();
             for (di, &day) in days.iter().enumerate() {
-                let (alloc, overhead) = allocations[mi][di].clone();
-                pts.push(prepared.execute(*method, day, alloc, overhead)?.processing_time_s);
+                let decision = allocations[mi][di].clone();
+                pts.push(
+                    prepared
+                        .execute(*method, day, decision.allocation, decision.overhead_s)?
+                        .processing_time_s,
+                );
             }
             out.push(mean(&pts));
         }
         Ok(out)
     };
     let per_link_pt = run_all(&mut prepared)?;
-    prepared.cluster_mut().network_mut().set_medium(MediumMode::SharedMedium);
+    prepared
+        .cluster_mut()
+        .network_mut()
+        .expect("star testbed")
+        .set_medium(MediumMode::SharedMedium);
     let shared_pt = run_all(&mut prepared)?;
 
     let mut table = Table::new(
@@ -211,12 +220,12 @@ pub fn hetero_budget(opts: &RunOpts) -> Result<HeteroBudget, Box<dyn Error>> {
         let uniform =
             TatimInstance::new(tasks.clone(), uniform_fleet.clone()).with_importances(&imp);
         let hetero = TatimInstance::new(tasks.clone(), hetero_fleet.clone()).with_importances(&imp);
-        let (ua, uv) = uniform.solve_greedy()?;
-        let (ha, hv) = hetero.solve_greedy()?;
-        u_cap.push(uv);
-        h_cap.push(hv);
-        u_sched.push(ua.scheduled_count() as f64);
-        h_sched.push(ha.scheduled_count() as f64);
+        let u = uniform.solve(&SolverKind::Greedy)?;
+        let h = hetero.solve(&SolverKind::Greedy)?;
+        u_cap.push(u.objective);
+        h_cap.push(h.objective);
+        u_sched.push(u.allocation.scheduled_count() as f64);
+        h_sched.push(h.allocation.scheduled_count() as f64);
     }
 
     let result = HeteroBudget {

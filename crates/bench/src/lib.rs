@@ -28,6 +28,7 @@ pub mod distribution;
 pub mod extensions;
 pub mod faultsweep;
 pub mod localmodel;
+pub mod meshalloc;
 pub mod portfolio;
 pub mod scale;
 pub mod serving;

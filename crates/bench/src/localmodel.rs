@@ -12,7 +12,7 @@ use dcta_core::importance::{CopModels, ImportanceEvaluator};
 use dcta_core::local::{LocalModelKind, LocalProcess};
 use dcta_core::processor::ProcessorFleet;
 use dcta_core::task::{EdgeTask, TaskId};
-use dcta_core::tatim::TatimInstance;
+use dcta_core::tatim::{SolverKind, TatimInstance};
 use edgesim::cluster::Cluster;
 use learn::transfer::MtlConfig;
 use serde::Serialize;
@@ -66,7 +66,7 @@ pub fn run(opts: &RunOpts) -> Result<LocalModel, Box<dyn Error>> {
     let mut labels_by_day: Vec<Vec<f64>> = Vec::new();
     for day in scenario.days() {
         let imp = evaluator.importances(day)?;
-        let (opt, _) = base.with_importances(&imp).solve_greedy()?;
+        let opt = base.with_importances(&imp).solve(&SolverKind::Greedy)?.allocation;
         let selected: Vec<bool> = (0..n).map(|j| opt.processor_of(j).is_some()).collect();
         let rows: Vec<Vec<f64>> =
             (0..n).map(|j| local_features(&scenario, &models, &history, day, j)).collect();

@@ -61,12 +61,12 @@ fn legacy_event_loop(
     // a default fallback; the testbed never overrode a link, so the map
     // stays empty and every lookup pays the hash-and-miss.
     let legacy_links: HashMap<NodeId, Link> = HashMap::new();
-    let default_link = cluster.network().link(NodeId(1));
+    let default_link = cluster.network().expect("star testbed").link(NodeId(1));
     let link_of = |node: NodeId| legacy_links.get(&node).copied().unwrap_or(default_link);
     // Legacy `Cluster::node`: a linear scan per event.
     let node_of = |id: NodeId| cluster.nodes().iter().find(|n| n.id() == id).expect("validated");
     let shared_key = NodeId(usize::MAX);
-    let link_key = |node: NodeId| match cluster.network().medium() {
+    let link_key = |node: NodeId| match cluster.network().expect("star testbed").medium() {
         MediumMode::PerNodeLink => node,
         MediumMode::SharedMedium => shared_key,
     };

@@ -25,7 +25,7 @@ use crate::common::{paper_scenario, pct, RunOpts, Table};
 use dcta_core::importance::{CopModels, ImportanceEvaluator};
 use dcta_core::processor::ProcessorFleet;
 use dcta_core::task::{EdgeTask, TaskId};
-use dcta_core::tatim::TatimInstance;
+use dcta_core::tatim::{SolverKind, TatimInstance};
 use edgesim::cluster::Cluster;
 use learn::transfer::MtlConfig;
 use rl::crl::{EnvironmentRecord, EnvironmentStore};
@@ -54,12 +54,12 @@ fn value_under_belief(
     belief: &[f64],
     truth: &[f64],
 ) -> Result<f64, Box<dyn Error>> {
-    let (alloc, _) = instance.with_importances(belief).solve_greedy()?;
+    let alloc = instance.with_importances(belief).solve(&SolverKind::Greedy)?.allocation;
     let captured: f64 = (0..instance.num_tasks())
         .filter(|&j| alloc.processor_of(j).is_some())
         .map(|j| truth[j])
         .sum();
-    let (_, oracle) = instance.with_importances(truth).solve_greedy()?;
+    let oracle = instance.with_importances(truth).solve(&SolverKind::Greedy)?.objective;
     Ok(if oracle > 1e-12 { captured / oracle } else { 1.0 })
 }
 

@@ -8,6 +8,7 @@
 
 use crate::common::{f1, mean, paper_pipeline, paper_scenario, prepare_cached, RunOpts, Table};
 use buildings::scenario::{Scenario, ScenarioConfig};
+use dcta_core::objective::AllocQuery;
 use dcta_core::pipeline::{Method, PipelineConfig, RunSpec};
 use serde::Serialize;
 use std::error::Error;
@@ -157,7 +158,7 @@ pub fn fig11(opts: &RunOpts) -> Result<Sweep, Box<dyn Error>> {
     for method in METHODS {
         let mut per_day = Vec::new();
         for &day in &days {
-            per_day.push(prepared.allocate(method, day)?);
+            per_day.push(prepared.allocate(&AllocQuery::new(method, day))?);
         }
         allocations.push(per_day);
     }
@@ -168,14 +169,22 @@ pub fn fig11(opts: &RunOpts) -> Result<Sweep, Box<dyn Error>> {
     let mut points = Vec::new();
     let mut current = 1.0;
     for factor in factors {
-        prepared.cluster_mut().network_mut().scale_bandwidth(factor / current);
+        prepared
+            .cluster_mut()
+            .network_mut()
+            .expect("star testbed")
+            .scale_bandwidth(factor / current);
         current = factor;
         let mut pt = Vec::new();
         for (mi, method) in METHODS.iter().enumerate() {
             let mut per_day = Vec::new();
             for (di, &day) in days.iter().enumerate() {
-                let (alloc, overhead) = allocations[mi][di].clone();
-                per_day.push(prepared.execute(*method, day, alloc, overhead)?.processing_time_s);
+                let decision = allocations[mi][di].clone();
+                per_day.push(
+                    prepared
+                        .execute(*method, day, decision.allocation, decision.overhead_s)?
+                        .processing_time_s,
+                );
             }
             pt.push(mean(&per_day));
         }

@@ -19,7 +19,7 @@
 use crate::allocation::Allocation;
 use crate::crl_alloc::{CrlAllocator, CrlOutcome, SharedCrlAllocator};
 use crate::local::{LocalError, LocalProcess};
-use crate::tatim::{TatimError, TatimInstance};
+use crate::tatim::{SolverKind, TatimError, TatimInstance};
 use rl::crl::CrlError;
 use std::fmt;
 
@@ -179,7 +179,7 @@ impl DctaAllocator {
         }
         // Feasible projection: knapsack with combined scores as profits…
         let scored = instance.with_importances(&combined);
-        let (packed, _) = scored.solve_greedy()?;
+        let packed = scored.solve(&SolverKind::Greedy)?.allocation;
         // …then speed-aware placement of the selected set: heaviest tasks
         // onto the fastest processors, respecting both budgets.
         let allocation = speed_aware_placement(instance, &packed);
@@ -252,7 +252,7 @@ impl SharedDcta {
             combined.push((self.w1 * f1 + self.w2 * f2) / norm);
         }
         let scored = instance.with_importances(&combined);
-        let (packed, _) = scored.solve_greedy()?;
+        let packed = scored.solve(&SolverKind::Greedy)?.allocation;
         let allocation = speed_aware_placement(instance, &packed);
         Ok(DctaOutcome { allocation, combined_scores: combined, crl: crl_outcome })
     }

@@ -59,6 +59,7 @@ pub mod dcta;
 pub mod features;
 pub mod importance;
 pub mod local;
+pub mod objective;
 pub mod pipeline;
 pub mod processor;
 pub mod recovery;

@@ -18,10 +18,11 @@ use crate::dcta::{DctaAllocator, DctaError};
 use crate::features::{local_features, TaskHistory};
 use crate::importance::{prediction_features, CopModels, ImportanceError, ImportanceEvaluator};
 use crate::local::{LocalError, LocalModelKind, LocalProcess};
+use crate::objective::{self, AllocOutcome, AllocQuery, Objective};
 use crate::processor::{FleetError, ProcessorFleet};
 use crate::recovery::{self, RecoveryError, RecoveryMode};
 use crate::task::{EdgeTask, TaskId};
-use crate::tatim::{TatimError, TatimInstance, EXACT_ORACLE_NODE_BUDGET};
+use crate::tatim::{SolverKind, TatimError, TatimInstance, EXACT_ORACLE_NODE_BUDGET};
 use buildings::scenario::Scenario;
 use edgesim::cluster::{Cluster, ClusterError, MeshSpec};
 use edgesim::faults::FaultSchedule;
@@ -249,20 +250,7 @@ from_err!(Dcta, DctaError);
 from_err!(Sim, SimError);
 from_err!(Recovery, RecoveryError);
 
-/// Optimality certificate of the solver that produced an allocation,
-/// surfaced so a node-capped branch-and-bound incumbent is distinguishable
-/// from a proved optimum (the old silent-failure path).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SolveCertificate {
-    /// Whether the allocation is proved optimal for its objective.
-    pub proved_optimal: bool,
-    /// Relative optimality gap certificate (`0.0` when proved optimal).
-    pub gap: f64,
-    /// Relaxation upper bound on the optimal objective.
-    pub upper_bound: f64,
-    /// Branch-and-bound nodes explored (deterministic under a node budget).
-    pub nodes: u64,
-}
+pub use crate::tatim::SolveCertificate;
 
 /// One day's evaluation outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -358,13 +346,26 @@ pub struct RunSpec {
     day: usize,
     faults: Option<(FaultSchedule, RecoveryMode)>,
     threads: Option<usize>,
+    objective: Objective,
 }
 
 impl RunSpec {
     /// A fault-free run of `method` on evaluation day `day`, at the
-    /// session's ambient thread count.
+    /// session's ambient thread count, under the blank (classic)
+    /// objective.
     pub fn new(method: Method, day: usize) -> Self {
-        Self { method, day, faults: None, threads: None }
+        Self { method, day, faults: None, threads: None, objective: Objective::default() }
+    }
+
+    /// Shapes the allocation with `objective` (route-cost deflation,
+    /// survival weighting, importance overrides). A blank objective
+    /// reproduces the classic behaviour bit-for-bit. Under faults with
+    /// [`RecoveryMode::Proactive`], survival weighting is forced on
+    /// regardless of what the objective says.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Injects `schedule` mid-run and reacts with `mode`. The resulting
@@ -403,6 +404,11 @@ impl RunSpec {
     /// The pinned thread count, when set.
     pub fn thread_override(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The allocation objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
     }
 }
 
@@ -599,6 +605,10 @@ impl Pipeline {
         let time_limit =
             (cfg.time_limit_fraction * total_ref_time / cfg.workers.max(1) as f64).max(1e-6);
         let fleet = ProcessorFleet::from_cluster(&cluster, time_limit)?;
+        // Per-processor route budget factors of the topology (exactly 1.0
+        // everywhere on the uniform star testbed). Computed once: the
+        // cluster's routes are fixed for the pipeline's lifetime.
+        let route_factors = objective::route_budget_factors(&cluster, &fleet);
 
         // True importance of every evaluation day (oracles + CRL history +
         // metrics all need it). The cache memoises every decision-function
@@ -614,13 +624,19 @@ impl Pipeline {
         let mut history = TaskHistory::new(n);
         let mut local_rows = Vec::new();
         let mut local_labels = Vec::new();
-        let base = TatimInstance::new(tasks.clone(), fleet.clone());
+        let mut base = TatimInstance::new(tasks.clone(), fleet.clone());
+        if cfg.crl.route_feature {
+            // The route feature column changes the DQN state dimension, so
+            // the offline store must see the same geometry the online
+            // queries will.
+            base = base.with_route_factors(route_factors.clone());
+        }
         for d in 0..cfg.env_history_days {
             let day = scenario.day(d);
             let imp = &true_importances[d];
             crl.observe(day.sensing.clone(), imp.clone())?;
             // Optimal selection labels from the greedy oracle.
-            let (opt, _) = base.with_importances(imp).solve_greedy()?;
+            let opt = base.with_importances(imp).solve(&SolverKind::Greedy)?.allocation;
             let selected: Vec<bool> = (0..n).map(|j| opt.processor_of(j).is_some()).collect();
             for j in 0..n {
                 local_rows.push(local_features(scenario, &models, &history, day, j));
@@ -678,6 +694,7 @@ impl Pipeline {
             models,
             cluster,
             fleet,
+            route_factors,
             tasks,
             true_importances,
             crl,
@@ -789,6 +806,7 @@ pub struct PreparedPipeline<'a> {
     models: CopModels,
     cluster: Cluster,
     fleet: ProcessorFleet,
+    route_factors: Vec<f64>,
     tasks: Vec<EdgeTask>,
     true_importances: Vec<Vec<f64>>,
     crl: CrlAllocator,
@@ -877,119 +895,165 @@ impl<'a> PreparedPipeline<'a> {
         Ok(())
     }
 
-    /// Produces `method`'s allocation for evaluation day `day`, plus the
-    /// wall-clock seconds the allocator itself consumed.
+    /// Produces the allocation described by `query`: `query.method()` on
+    /// `query.day()`, shaped by the typed [`Objective`] — importance
+    /// overrides, survival weighting (the proactive path), and route-cost
+    /// budget deflation (the topology-aware path), each independently
+    /// optional. A blank objective reproduces the classic per-method
+    /// behaviour bit-for-bit; on the uniform star testbed every route
+    /// budget factor is exactly `1.0`, so enabling route cost there is
+    /// also a bitwise no-op (see [`crate::objective`]).
     ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
-    pub fn allocate(
+    pub fn allocate(&mut self, query: &AllocQuery) -> Result<AllocOutcome, PipelineError> {
+        let (method, day) = (query.method(), query.day());
+        let obj = query.objective();
+        self.check_day(day)?;
+        let start = Instant::now();
+        // Route-cost objective: deflate each processor's Eq.-3 budget by
+        // its route budget factor, so expensive-to-reach processors can
+        // host less and every solver mode optimises importance per unit
+        // (compute + transfer) without any solver-internal change.
+        let fleet = if obj.route_cost() {
+            objective::deflated_fleet_with(&self.fleet, &self.route_factors)?
+        } else {
+            self.fleet.clone()
+        };
+        let mut blind = TatimInstance::new(self.tasks.clone(), fleet);
+        if self.config.crl.route_feature {
+            blind = blind.with_route_factors(self.route_factors.clone());
+        }
+        let mut certificate = None;
+        let allocation = if obj.survival() {
+            let ctx = self.scenario.day(day);
+            // The importance estimates the method would act on; RM/DML
+            // carry no per-task signal and fall back to their plain path.
+            let estimates: Option<Vec<f64>> = match obj.importances() {
+                Some(imp) => Some(imp.to_vec()),
+                None => match method {
+                    Method::GreedyOracle | Method::ExactOracle => {
+                        Some(self.true_importances[day].clone())
+                    }
+                    Method::Crl => {
+                        Some(self.crl.allocate(&blind, &ctx.sensing)?.estimated_importances)
+                    }
+                    Method::Dcta => {
+                        let rows: Vec<Vec<f64>> = (0..self.tasks.len())
+                            .map(|j| {
+                                local_features(self.scenario, &self.models, &self.history, ctx, j)
+                            })
+                            .collect();
+                        Some(self.dcta.allocate(&blind, &ctx.sensing, &rows)?.combined_scores)
+                    }
+                    Method::RandomMapping | Method::Dml => None,
+                },
+            };
+            match estimates {
+                None => self.plain_allocation(method, day, &blind, None, &mut certificate)?,
+                Some(mut est) => {
+                    for e in &mut est {
+                        *e = e.clamp(0.0, 1.0);
+                    }
+                    let pc = self.config.proactive;
+                    let draw_seed = proactive_draw_seed(pc.seed ^ self.config.seed, day as u64);
+                    let weights: Vec<f64> = self
+                        .fleet
+                        .processors()
+                        .iter()
+                        .map(|p| {
+                            (1.0 - pc.weight)
+                                + pc.weight * self.availability.survival(p.node.0, &pc, draw_seed)
+                        })
+                        .collect();
+                    blind
+                        .with_importances(&est)
+                        .solve(&SolverKind::WeightedGreedy(weights))?
+                        .allocation
+                }
+            }
+        } else {
+            self.plain_allocation(method, day, &blind, obj.importances(), &mut certificate)?
+        };
+        Ok(AllocOutcome { allocation, overhead_s: start.elapsed().as_secs_f64(), certificate })
+    }
+
+    /// The classic per-method dispatch: importances from `overrides` when
+    /// set, else the day's true importances (oracles) or the method's own
+    /// estimates (CRL/DCTA).
+    fn plain_allocation(
         &mut self,
         method: Method,
         day: usize,
-    ) -> Result<(Allocation, f64), PipelineError> {
-        let (allocation, overhead, _) = self.allocate_certified(method, day)?;
-        Ok((allocation, overhead))
+        blind: &TatimInstance,
+        overrides: Option<&[f64]>,
+        certificate: &mut Option<SolveCertificate>,
+    ) -> Result<Allocation, PipelineError> {
+        let ctx = self.scenario.day(day);
+        let importances = overrides.unwrap_or(&self.true_importances[day]);
+        Ok(match method {
+            Method::RandomMapping => random_mapping(blind, &mut self.rng),
+            Method::Dml => dml_balanced(blind),
+            Method::GreedyOracle => {
+                blind.with_importances(importances).solve(&SolverKind::Greedy)?.allocation
+            }
+            Method::ExactOracle => {
+                let report = blind.with_importances(importances).solve(&SolverKind::Portfolio(
+                    SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET),
+                ))?;
+                *certificate = report.certificate;
+                report.allocation
+            }
+            Method::Crl => self.crl.allocate(blind, &ctx.sensing)?.allocation,
+            Method::Dcta => {
+                let rows: Vec<Vec<f64>> = (0..self.tasks.len())
+                    .map(|j| local_features(self.scenario, &self.models, &self.history, ctx, j))
+                    .collect();
+                self.dcta.allocate(blind, &ctx.sensing, &rows)?.allocation
+            }
+        })
     }
 
-    /// [`Self::allocate`] plus the solver's [`SolveCertificate`] when
-    /// `method` runs an exact/portfolio solve (`None` otherwise).
+    /// [`Self::allocate`] under the blank objective, returning the tuple
+    /// shape of the pre-query API.
     ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
+    #[deprecated(note = "use `allocate(&AllocQuery::new(method, day))`")]
     pub fn allocate_certified(
         &mut self,
         method: Method,
         day: usize,
     ) -> Result<(Allocation, f64, Option<SolveCertificate>), PipelineError> {
-        self.check_day(day)?;
-        let start = Instant::now();
-        let ctx = self.scenario.day(day);
-        let blind = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
-        let mut certificate = None;
-        let allocation = match method {
-            Method::RandomMapping => random_mapping(&blind, &mut self.rng),
-            Method::Dml => dml_balanced(&blind),
-            Method::GreedyOracle => {
-                blind.with_importances(&self.true_importances[day]).solve_greedy()?.0
-            }
-            Method::ExactOracle => {
-                let instance = blind.with_importances(&self.true_importances[day]);
-                let outcome =
-                    instance.solve_portfolio(SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET))?;
-                certificate = Some(SolveCertificate {
-                    proved_optimal: outcome.proved_optimal,
-                    gap: outcome.gap,
-                    upper_bound: outcome.upper_bound,
-                    nodes: outcome.nodes,
-                });
-                outcome.allocation
-            }
-            Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
-            Method::Dcta => {
-                let rows: Vec<Vec<f64>> = (0..self.tasks.len())
-                    .map(|j| local_features(self.scenario, &self.models, &self.history, ctx, j))
-                    .collect();
-                self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
-            }
-        };
-        Ok((allocation, start.elapsed().as_secs_f64(), certificate))
+        let out = self.allocate(&AllocQuery::new(method, day))?;
+        Ok((out.allocation, out.overhead_s, out.certificate))
     }
 
-    /// Produces `method`'s *proactive* allocation for day `day`: the same
-    /// importance estimates the method would act on, but each processor's
-    /// profit is scaled by `(1 - w) + w * survival(node)` with `w` the
-    /// [`crate::availability::ProactiveConfig::weight`] and `survival` the
-    /// learned availability posterior's estimate — so at-risk processors
-    /// only win tasks their capacity advantage can still justify.
-    ///
-    /// Methods that carry no per-task importance signal
-    /// ([`Method::RandomMapping`], [`Method::Dml`]) fall back to their
-    /// plain allocation. The oracles use the true importances; CRL its
-    /// estimated importances; DCTA its combined scores.
+    /// [`Self::allocate`] under `Objective::new().with_survival(true)`,
+    /// returning the tuple shape of the pre-query API.
     ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
+    #[deprecated(note = "use `allocate` with `Objective::new().with_survival(true)`")]
     pub fn allocate_proactive(
         &mut self,
         method: Method,
         day: usize,
     ) -> Result<(Allocation, f64), PipelineError> {
-        self.check_day(day)?;
-        let start = Instant::now();
-        let ctx = self.scenario.day(day);
-        let blind = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
-        let estimates: Option<Vec<f64>> = match method {
-            Method::GreedyOracle | Method::ExactOracle => Some(self.true_importances[day].clone()),
-            Method::Crl => Some(self.crl.allocate(&blind, &ctx.sensing)?.estimated_importances),
-            Method::Dcta => {
-                let rows: Vec<Vec<f64>> = (0..self.tasks.len())
-                    .map(|j| local_features(self.scenario, &self.models, &self.history, ctx, j))
-                    .collect();
-                Some(self.dcta.allocate(&blind, &ctx.sensing, &rows)?.combined_scores)
-            }
-            Method::RandomMapping | Method::Dml => None,
-        };
-        let Some(mut est) = estimates else {
-            return self.allocate(method, day);
-        };
-        for e in &mut est {
-            *e = e.clamp(0.0, 1.0);
-        }
-        let pc = self.config.proactive;
-        let draw_seed = proactive_draw_seed(pc.seed ^ self.config.seed, day as u64);
-        let weights: Vec<f64> = self
-            .fleet
-            .processors()
-            .iter()
-            .map(|p| {
-                (1.0 - pc.weight) + pc.weight * self.availability.survival(p.node.0, &pc, draw_seed)
-            })
-            .collect();
-        let (allocation, _) = blind.with_importances(&est).solve_greedy_weighted(&weights)?;
-        Ok((allocation, start.elapsed().as_secs_f64()))
+        let query =
+            AllocQuery::new(method, day).with_objective(Objective::new().with_survival(true));
+        let out = self.allocate(&query)?;
+        Ok((out.allocation, out.overhead_s))
+    }
+
+    /// The per-processor route budget factors of the prepared cluster
+    /// (`1.0` everywhere on the uniform star testbed), aligned with
+    /// [`Self::fleet`] columns.
+    pub fn route_factors(&self) -> &[f64] {
+        &self.route_factors
     }
 
     /// Feeds evaluation day `day`'s observed importances back into the CRL
@@ -1023,14 +1087,17 @@ impl<'a> PreparedPipeline<'a> {
         let _threads = spec.threads.map(parallel::ScopedThreads::new);
         match &spec.faults {
             None => {
-                let (allocation, overhead, certificate) =
-                    self.allocate_certified(spec.method, spec.day)?;
-                let mut report = self.execute(spec.method, spec.day, allocation, overhead)?;
-                report.solver = certificate;
+                let query =
+                    AllocQuery::new(spec.method, spec.day).with_objective(spec.objective.clone());
+                let out = self.allocate(&query)?;
+                let mut report =
+                    self.execute(spec.method, spec.day, out.allocation, out.overhead_s)?;
+                report.solver = out.certificate;
                 Ok(RunReport::Healthy(report))
             }
             Some((schedule, mode)) => {
-                let report = self.run_faulted_impl(spec.method, spec.day, schedule, *mode)?;
+                let report =
+                    self.run_faulted_impl(spec.method, spec.day, schedule, *mode, &spec.objective)?;
                 Ok(RunReport::Faulted(Box::new(report)))
             }
         }
@@ -1150,13 +1217,17 @@ impl<'a> PreparedPipeline<'a> {
     /// Propagates [`CrlError`] from freezing the CRL allocators (e.g. an
     /// empty environment store).
     pub fn into_core(self) -> Result<crate::shared::PreparedCore, PipelineError> {
-        let base = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        let mut base = TatimInstance::new(self.tasks.clone(), self.fleet.clone());
+        if self.config.crl.route_feature {
+            base = base.with_route_factors(self.route_factors.clone());
+        }
         Ok(crate::shared::PreparedCore::from_parts(
             Scenario::clone(self.scenario),
             self.config,
             self.models,
             self.cluster,
             self.fleet,
+            self.route_factors,
             self.tasks,
             self.true_importances,
             self.crl.freeze(&base)?,
@@ -1173,15 +1244,21 @@ impl<'a> PreparedPipeline<'a> {
         day: usize,
         schedule: &FaultSchedule,
         mode: RecoveryMode,
+        base_objective: &Objective,
     ) -> Result<FaultRunReport, PipelineError> {
         self.check_day(day)?;
         // Proactive mode shapes the *initial* allocation with the learned
-        // availability posterior; every other mode allocates blind to
-        // faults and differs only in its reaction.
-        let (allocation, _) = match mode {
-            RecoveryMode::Proactive => self.allocate_proactive(method, day)?,
-            _ => self.allocate(method, day)?,
+        // availability posterior (survival weighting forced on); every
+        // other mode allocates with the spec's objective as-is and differs
+        // only in its reaction.
+        let objective = if mode == RecoveryMode::Proactive {
+            base_objective.clone().with_survival(true)
+        } else {
+            base_objective.clone()
         };
+        let allocation = self
+            .allocate(&AllocQuery::new(method, day).with_objective(objective.clone()))?
+            .allocation;
         let sim_tasks: Vec<SimTask> = self
             .tasks
             .iter()
@@ -1234,7 +1311,16 @@ impl<'a> PreparedPipeline<'a> {
             // Finished = delivered, or never scheduled in the first place.
             let finished: Vec<bool> =
                 (0..n).map(|j| allocation.processor_of(j).is_none() || delivered_mask[j]).collect();
-            let instance = self.instance_for_day(day)?;
+            // Recovery re-solves under the same objective the round was
+            // allocated with: a route-cost objective deflates the
+            // survivors' budgets too.
+            let instance = if objective.route_cost() {
+                let fleet = objective::deflated_fleet_with(&self.fleet, &self.route_factors)?;
+                TatimInstance::new(self.tasks.clone(), fleet)
+                    .with_importances(&self.true_importances[day])
+            } else {
+                self.instance_for_day(day)?
+            };
             let budget = self.config.recovery_budget_fraction;
             let plan = match mode {
                 RecoveryMode::Resolve => {
@@ -1436,7 +1522,7 @@ mod tests {
         let day = prepared.test_days().start;
         let inst = prepared.instance_for_day(day).unwrap();
         for method in [Method::GreedyOracle, Method::ExactOracle, Method::Crl, Method::Dcta] {
-            let (alloc, _) = prepared.allocate(method, day).unwrap();
+            let alloc = prepared.allocate(&AllocQuery::new(method, day)).unwrap().allocation;
             assert!(
                 alloc.is_feasible(inst.tasks(), inst.fleet()),
                 "{method}: {:?}",
@@ -1525,7 +1611,8 @@ mod fault_tests {
         let mut prepared = Pipeline::new(quick_config()).prepare(&s).unwrap();
         let day = prepared.test_days().start;
         let healthy = prepared.run_day(Method::GreedyOracle, day).unwrap();
-        let (alloc, _) = prepared.allocate(Method::GreedyOracle, day).unwrap();
+        let alloc =
+            prepared.allocate(&AllocQuery::new(Method::GreedyOracle, day)).unwrap().allocation;
         let victim = busiest_node(&prepared, &alloc);
         let schedule =
             FaultSchedule::new().with_crash(victim, healthy.processing_time_s * 0.1).unwrap();

@@ -17,7 +17,7 @@
 use crate::allocation::Allocation;
 use crate::availability::{AvailabilityModel, ProactiveConfig};
 use crate::processor::{FleetError, Processor, ProcessorFleet};
-use crate::tatim::{TatimError, TatimInstance};
+use crate::tatim::{SolverKind, TatimError, TatimInstance};
 use edgesim::node::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -240,7 +240,7 @@ pub fn replan(
     let fleet = surviving_fleet(instance.fleet(), &cols, budget_fraction)?;
     let tasks = unfinished.iter().map(|&j| instance.tasks()[j].clone()).collect();
     let sub = TatimInstance::new(tasks, fleet);
-    let (sub_alloc, _) = sub.solve_greedy()?;
+    let sub_alloc = sub.solve(&SolverKind::Greedy)?.allocation;
     for (k, &j) in unfinished.iter().enumerate() {
         if let Some(p) = sub_alloc.processor_of(k) {
             allocation.assign(j, Some(cols[p]));
@@ -285,7 +285,7 @@ pub fn replan_proactive(
         .collect();
     let tasks = unfinished.iter().map(|&j| instance.tasks()[j].clone()).collect();
     let sub = TatimInstance::new(tasks, fleet);
-    let (sub_alloc, _) = sub.solve_greedy_weighted(&weights)?;
+    let sub_alloc = sub.solve(&SolverKind::WeightedGreedy(weights))?.allocation;
     for (k, &j) in unfinished.iter().enumerate() {
         if let Some(p) = sub_alloc.processor_of(k) {
             allocation.assign(j, Some(cols[p]));

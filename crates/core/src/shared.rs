@@ -34,6 +34,7 @@ use crate::crl_alloc::SharedCrlAllocator;
 use crate::dcta::SharedDcta;
 use crate::features::{local_features, TaskHistory};
 use crate::importance::{CopModels, ImportanceEvaluator};
+use crate::objective::{self, AllocOutcome, AllocQuery, Objective};
 use crate::pipeline::{
     DayReport, FaultRunReport, Method, PipelineConfig, PipelineError, RunReport, RunSpec,
     SolveCertificate,
@@ -41,7 +42,7 @@ use crate::pipeline::{
 use crate::processor::ProcessorFleet;
 use crate::recovery::{self, RecoveryMode};
 use crate::task::EdgeTask;
-use crate::tatim::{TatimInstance, EXACT_ORACLE_NODE_BUDGET};
+use crate::tatim::{SolverKind, TatimInstance, EXACT_ORACLE_NODE_BUDGET};
 use buildings::scenario::Scenario;
 use edgesim::cluster::Cluster;
 use edgesim::faults::FaultSchedule;
@@ -66,6 +67,7 @@ pub struct PreparedCore {
     models: CopModels,
     cluster: Cluster,
     fleet: ProcessorFleet,
+    route_factors: Vec<f64>,
     tasks: Vec<EdgeTask>,
     true_importances: Vec<Vec<f64>>,
     crl: SharedCrlAllocator,
@@ -83,6 +85,7 @@ impl PreparedCore {
         models: CopModels,
         cluster: Cluster,
         fleet: ProcessorFleet,
+        route_factors: Vec<f64>,
         tasks: Vec<EdgeTask>,
         true_importances: Vec<Vec<f64>>,
         crl: SharedCrlAllocator,
@@ -97,6 +100,7 @@ impl PreparedCore {
             models,
             cluster,
             fleet,
+            route_factors,
             tasks,
             true_importances,
             crl,
@@ -105,6 +109,13 @@ impl PreparedCore {
             cache,
             availability,
         }
+    }
+
+    /// The per-processor route budget factors of the frozen cluster
+    /// (`1.0` everywhere on the uniform star testbed), aligned with
+    /// [`Self::fleet`] columns.
+    pub fn route_factors(&self) -> &[f64] {
+        &self.route_factors
     }
 
     /// The frozen availability posterior [`RecoveryMode::Proactive`] runs
@@ -202,34 +213,91 @@ impl PreparedCore {
             .collect()
     }
 
-    /// Produces `method`'s allocation for evaluation day `day`, plus the
-    /// wall-clock seconds the allocator itself consumed.
+    /// Produces the allocation described by `query` — the `&self`
+    /// counterpart of [`crate::pipeline::PreparedPipeline::allocate`],
+    /// with the same typed [`Objective`] semantics (importance overrides,
+    /// survival weighting, route-cost budget deflation). A blank objective
+    /// reproduces the classic per-method behaviour bit-for-bit.
     ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
-    pub fn allocate(&self, method: Method, day: usize) -> Result<(Allocation, f64), PipelineError> {
-        let (allocation, overhead, _) = self.allocate_certified(method, day)?;
-        Ok((allocation, overhead))
+    pub fn allocate(&self, query: &AllocQuery) -> Result<AllocOutcome, PipelineError> {
+        let (method, day) = (query.method(), query.day());
+        let obj = query.objective();
+        self.check_day(day)?;
+        let start = Instant::now();
+        let fleet = if obj.route_cost() {
+            objective::deflated_fleet_with(&self.fleet, &self.route_factors)?
+        } else {
+            self.fleet.clone()
+        };
+        let mut blind = TatimInstance::new(self.tasks.clone(), fleet);
+        if self.config.crl.route_feature {
+            blind = blind.with_route_factors(self.route_factors.clone());
+        }
+        let mut certificate = None;
+        let allocation = if obj.survival() {
+            let ctx = self.scenario.day(day);
+            let estimates: Option<Vec<f64>> = match obj.importances() {
+                Some(imp) => Some(imp.to_vec()),
+                None => match method {
+                    Method::GreedyOracle | Method::ExactOracle => {
+                        Some(self.true_importances[day].clone())
+                    }
+                    Method::Crl => {
+                        Some(self.crl.allocate(&blind, &ctx.sensing)?.estimated_importances)
+                    }
+                    Method::Dcta => {
+                        let rows = self.local_rows(day);
+                        Some(self.dcta.allocate(&blind, &ctx.sensing, &rows)?.combined_scores)
+                    }
+                    Method::RandomMapping | Method::Dml => None,
+                },
+            };
+            match estimates {
+                None => self.plain_allocation(method, day, &blind, None, &mut certificate)?,
+                Some(mut est) => {
+                    for e in &mut est {
+                        *e = e.clamp(0.0, 1.0);
+                    }
+                    let pc = self.config.proactive;
+                    let draw_seed = proactive_draw_seed(pc.seed ^ self.config.seed, day as u64);
+                    let weights: Vec<f64> = self
+                        .fleet
+                        .processors()
+                        .iter()
+                        .map(|p| {
+                            (1.0 - pc.weight)
+                                + pc.weight * self.availability.survival(p.node.0, &pc, draw_seed)
+                        })
+                        .collect();
+                    blind
+                        .with_importances(&est)
+                        .solve(&SolverKind::WeightedGreedy(weights))?
+                        .allocation
+                }
+            }
+        } else {
+            self.plain_allocation(method, day, &blind, obj.importances(), &mut certificate)?
+        };
+        Ok(AllocOutcome { allocation, overhead_s: start.elapsed().as_secs_f64(), certificate })
     }
 
-    /// [`Self::allocate`] plus the solver's [`SolveCertificate`] when
-    /// `method` runs an exact/portfolio solve (`None` otherwise).
-    ///
-    /// # Errors
-    ///
-    /// See [`PipelineError`] variants.
-    pub fn allocate_certified(
+    /// The classic per-method dispatch (see
+    /// `PreparedPipeline::plain_allocation`); RandomMapping draws from the
+    /// per-request `(seed, day)` RNG of the module docs.
+    fn plain_allocation(
         &self,
         method: Method,
         day: usize,
-    ) -> Result<(Allocation, f64, Option<SolveCertificate>), PipelineError> {
-        self.check_day(day)?;
-        let start = Instant::now();
+        blind: &TatimInstance,
+        overrides: Option<&[f64]>,
+        certificate: &mut Option<SolveCertificate>,
+    ) -> Result<Allocation, PipelineError> {
         let ctx = self.scenario.day(day);
-        let blind = self.blind_instance();
-        let mut certificate = None;
-        let allocation = match method {
+        let importances = overrides.unwrap_or(&self.true_importances[day]);
+        Ok(match method {
             Method::RandomMapping => {
                 // Per-request RNG keyed by (seed, day): deterministic and
                 // interleaving-invariant, unlike the batch pipeline's
@@ -239,80 +307,59 @@ impl PreparedCore {
                         ^ 0x51AB
                         ^ (day as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
-                random_mapping(&blind, &mut rng)
+                random_mapping(blind, &mut rng)
             }
-            Method::Dml => dml_balanced(&blind),
+            Method::Dml => dml_balanced(blind),
             Method::GreedyOracle => {
-                blind.with_importances(&self.true_importances[day]).solve_greedy()?.0
+                blind.with_importances(importances).solve(&SolverKind::Greedy)?.allocation
             }
             Method::ExactOracle => {
-                let instance = blind.with_importances(&self.true_importances[day]);
-                let outcome =
-                    instance.solve_portfolio(SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET))?;
-                certificate = Some(SolveCertificate {
-                    proved_optimal: outcome.proved_optimal,
-                    gap: outcome.gap,
-                    upper_bound: outcome.upper_bound,
-                    nodes: outcome.nodes,
-                });
-                outcome.allocation
+                let report = blind.with_importances(importances).solve(&SolverKind::Portfolio(
+                    SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET),
+                ))?;
+                *certificate = report.certificate;
+                report.allocation
             }
-            Method::Crl => self.crl.allocate(&blind, &ctx.sensing)?.allocation,
+            Method::Crl => self.crl.allocate(blind, &ctx.sensing)?.allocation,
             Method::Dcta => {
                 let rows = self.local_rows(day);
-                self.dcta.allocate(&blind, &ctx.sensing, &rows)?.allocation
+                self.dcta.allocate(blind, &ctx.sensing, &rows)?.allocation
             }
-        };
-        Ok((allocation, start.elapsed().as_secs_f64(), certificate))
+        })
     }
 
-    /// The `&self` counterpart of
-    /// [`crate::pipeline::PreparedPipeline::allocate_proactive`]: the
-    /// method's own importance estimates priced over processors whose
-    /// profit is scaled by `(1 - w) + w * survival(node)` from the frozen
-    /// availability posterior. Methods without a per-task signal
-    /// ([`Method::RandomMapping`], [`Method::Dml`]) fall back to
-    /// [`Self::allocate`].
+    /// [`Self::allocate`] under the blank objective, returning the tuple
+    /// shape of the pre-query API.
     ///
     /// # Errors
     ///
     /// See [`PipelineError`] variants.
+    #[deprecated(note = "use `allocate(&AllocQuery::new(method, day))`")]
+    pub fn allocate_certified(
+        &self,
+        method: Method,
+        day: usize,
+    ) -> Result<(Allocation, f64, Option<SolveCertificate>), PipelineError> {
+        let out = self.allocate(&AllocQuery::new(method, day))?;
+        Ok((out.allocation, out.overhead_s, out.certificate))
+    }
+
+    /// [`Self::allocate`] under `Objective::new().with_survival(true)`,
+    /// returning the tuple shape of the pre-query API.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] variants.
+    #[deprecated(note = "use `allocate` with `Objective::new().with_survival(true)`")]
     pub fn allocate_proactive(
         &self,
         method: Method,
         day: usize,
     ) -> Result<(Allocation, f64), PipelineError> {
-        self.check_day(day)?;
-        let start = Instant::now();
-        let ctx = self.scenario.day(day);
-        let blind = self.blind_instance();
-        let estimates: Option<Vec<f64>> = match method {
-            Method::GreedyOracle | Method::ExactOracle => Some(self.true_importances[day].clone()),
-            Method::Crl => Some(self.crl.allocate(&blind, &ctx.sensing)?.estimated_importances),
-            Method::Dcta => {
-                let rows = self.local_rows(day);
-                Some(self.dcta.allocate(&blind, &ctx.sensing, &rows)?.combined_scores)
-            }
-            Method::RandomMapping | Method::Dml => None,
-        };
-        let Some(mut est) = estimates else {
-            return self.allocate(method, day);
-        };
-        for e in &mut est {
-            *e = e.clamp(0.0, 1.0);
-        }
-        let pc = self.config.proactive;
-        let draw_seed = proactive_draw_seed(pc.seed ^ self.config.seed, day as u64);
-        let weights: Vec<f64> = self
-            .fleet
-            .processors()
-            .iter()
-            .map(|p| {
-                (1.0 - pc.weight) + pc.weight * self.availability.survival(p.node.0, &pc, draw_seed)
-            })
-            .collect();
-        let (allocation, _) = blind.with_importances(&est).solve_greedy_weighted(&weights)?;
-        Ok((allocation, start.elapsed().as_secs_f64()))
+        let query =
+            AllocQuery::new(method, day).with_objective(Objective::new().with_survival(true));
+        let out = self.allocate(&query)?;
+        Ok((out.allocation, out.overhead_s))
     }
 
     /// Executes one evaluation run described by `spec` — the `&self`
@@ -330,14 +377,17 @@ impl PreparedCore {
     pub fn run(&self, spec: &RunSpec) -> Result<RunReport, PipelineError> {
         match spec.faults() {
             None => {
-                let (allocation, overhead, certificate) =
-                    self.allocate_certified(spec.method(), spec.day())?;
-                let mut report = self.execute(spec.method(), spec.day(), allocation, overhead)?;
-                report.solver = certificate;
+                let query = AllocQuery::new(spec.method(), spec.day())
+                    .with_objective(spec.objective().clone());
+                let out = self.allocate(&query)?;
+                let mut report =
+                    self.execute(spec.method(), spec.day(), out.allocation, out.overhead_s)?;
+                report.solver = out.certificate;
                 Ok(RunReport::Healthy(report))
             }
             Some((schedule, mode)) => {
-                let report = self.run_faulted(spec.method(), spec.day(), schedule, mode)?;
+                let report =
+                    self.run_faulted(spec.method(), spec.day(), schedule, mode, spec.objective())?;
                 Ok(RunReport::Faulted(Box::new(report)))
             }
         }
@@ -403,12 +453,17 @@ impl PreparedCore {
         day: usize,
         schedule: &FaultSchedule,
         mode: RecoveryMode,
+        base_objective: &Objective,
     ) -> Result<FaultRunReport, PipelineError> {
         self.check_day(day)?;
-        let (allocation, _) = match mode {
-            RecoveryMode::Proactive => self.allocate_proactive(method, day)?,
-            _ => self.allocate(method, day)?,
+        let objective = if mode == RecoveryMode::Proactive {
+            base_objective.clone().with_survival(true)
+        } else {
+            base_objective.clone()
         };
+        let allocation = self
+            .allocate(&AllocQuery::new(method, day).with_objective(objective.clone()))?
+            .allocation;
         let sim_tasks = self.sim_tasks()?;
         let node_assignment = allocation.to_node_assignment(&self.fleet);
 
@@ -452,7 +507,15 @@ impl PreparedCore {
         if mode != RecoveryMode::None && !orphans.is_empty() && !survivors.is_empty() {
             let finished: Vec<bool> =
                 (0..n).map(|j| allocation.processor_of(j).is_none() || delivered_mask[j]).collect();
-            let instance = self.instance_for_day(day)?;
+            // Recovery re-solves under the same objective the round was
+            // allocated with (route-cost deflation included).
+            let instance = if objective.route_cost() {
+                let fleet = objective::deflated_fleet_with(&self.fleet, &self.route_factors)?;
+                TatimInstance::new(self.tasks.clone(), fleet)
+                    .with_importances(&self.true_importances[day])
+            } else {
+                self.instance_for_day(day)?
+            };
             let budget = self.config.recovery_budget_fraction;
             let plan = match mode {
                 RecoveryMode::Resolve => {
@@ -668,10 +731,10 @@ mod tests {
         let s = small_scenario();
         let core = Pipeline::new(quick_config()).prepare(&s).unwrap().into_core().unwrap();
         let day = core.test_days().start;
-        let (a, _) = core.allocate(Method::RandomMapping, day).unwrap();
-        let (b, _) = core.allocate(Method::RandomMapping, day).unwrap();
+        let a = core.allocate(&AllocQuery::new(Method::RandomMapping, day)).unwrap().allocation;
+        let b = core.allocate(&AllocQuery::new(Method::RandomMapping, day)).unwrap().allocation;
         assert_eq!(a, b, "same (seed, day) must draw the same mapping");
-        let (c, _) = core.allocate(Method::RandomMapping, day + 1).unwrap();
+        let c = core.allocate(&AllocQuery::new(Method::RandomMapping, day + 1)).unwrap().allocation;
         assert_ne!(a, c, "different days draw different mappings");
     }
 

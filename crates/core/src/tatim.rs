@@ -26,11 +26,14 @@ use std::fmt;
 /// previously each hard-coded their own copy.
 pub const EXACT_ORACLE_NODE_BUDGET: u64 = 200_000;
 
-/// A complete TATIM instance: tasks plus the processor fleet.
+/// A complete TATIM instance: tasks plus the processor fleet, optionally
+/// annotated with per-processor route budget factors (the topology-aware
+/// feature the RL layer consumes; see [`crate::objective`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TatimInstance {
     tasks: Vec<EdgeTask>,
     fleet: ProcessorFleet,
+    route_factors: Option<Vec<f64>>,
 }
 
 /// Error constructing or reducing an instance.
@@ -62,6 +65,55 @@ impl From<ProblemError> for TatimError {
     }
 }
 
+/// Optimality certificate of the solver that produced an allocation,
+/// surfaced so a node-capped branch-and-bound incumbent is distinguishable
+/// from a proved optimum (the old silent-failure path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveCertificate {
+    /// Whether the allocation is proved optimal for its objective.
+    pub proved_optimal: bool,
+    /// Relative optimality gap certificate (`0.0` when proved optimal).
+    pub gap: f64,
+    /// Relaxation upper bound on the optimal objective.
+    pub upper_bound: f64,
+    /// Branch-and-bound nodes explored (deterministic under a node budget).
+    pub nodes: u64,
+}
+
+/// Which solver a [`TatimInstance::solve`] request runs. Every variant is
+/// deterministic and bit-identical across thread counts; the kinds are
+/// *distinct algorithms*, not quality tiers — in particular
+/// [`SolverKind::WeightedGreedy`] with unit weights places like plain
+/// greedy *without* the local-search polish, so the two are deliberately
+/// separate kinds rather than one with a default weight.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverKind {
+    /// Greedy + local search (the paper's edge-affordable solver).
+    Greedy,
+    /// Multiplier-weighted greedy: maximises `Σ_j I_j · m_{p(j)}` for
+    /// per-sack multipliers `m` (survival weighting uses this). No local
+    /// search; deterministic multiplier/best-fit/index tie-breaks.
+    WeightedGreedy(Vec<f64>),
+    /// Exact branch-and-bound under explicit [`SolverOptions`].
+    Exact(SolverOptions),
+    /// Anytime portfolio under a [`SolveBudget`]; the only kind that
+    /// returns a [`SolveCertificate`].
+    Portfolio(SolveBudget),
+}
+
+/// What [`TatimInstance::solve`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// The allocation found.
+    pub allocation: Allocation,
+    /// The solver's objective value: captured importance for
+    /// [`SolverKind::Greedy`]/[`SolverKind::Exact`]/[`SolverKind::Portfolio`],
+    /// the multiplier-weighted sum for [`SolverKind::WeightedGreedy`].
+    pub objective: f64,
+    /// Optimality certificate ([`SolverKind::Portfolio`] only).
+    pub certificate: Option<SolveCertificate>,
+}
+
 /// Result of [`TatimInstance::solve_portfolio`]: the allocation plus the
 /// solver's optimality certificate.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,7 +136,34 @@ pub struct PortfolioOutcome {
 impl TatimInstance {
     /// Creates an instance.
     pub fn new(tasks: Vec<EdgeTask>, fleet: ProcessorFleet) -> Self {
-        Self { tasks, fleet }
+        Self { tasks, fleet, route_factors: None }
+    }
+
+    /// Annotates the instance with per-processor route budget factors
+    /// (`(0, 1]`, `1.0` = cheapest route; see
+    /// [`crate::objective::route_budget_factors`]). The factors do *not*
+    /// change the knapsack reduction — budget deflation happens in the
+    /// fleet — they ride along as the flag-gated route feature column of
+    /// [`Self::to_alloc_spec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` has the wrong length or holds a non-finite or
+    /// non-positive value.
+    #[must_use]
+    pub fn with_route_factors(mut self, factors: Vec<f64>) -> Self {
+        assert_eq!(factors.len(), self.fleet.len(), "route factor vector length");
+        assert!(
+            factors.iter().all(|f| f.is_finite() && *f > 0.0),
+            "route factors must be finite and positive"
+        );
+        self.route_factors = Some(factors);
+        self
+    }
+
+    /// The route budget factors, when annotated.
+    pub fn route_factors(&self) -> Option<&[f64]> {
+        self.route_factors.as_deref()
     }
 
     /// The tasks.
@@ -117,7 +196,7 @@ impl TatimInstance {
             .zip(importances)
             .map(|(t, &i)| t.with_importance(i).expect("importance in range"))
             .collect();
-        Self { tasks, fleet: self.fleet.clone() }
+        Self { tasks, fleet: self.fleet.clone(), route_factors: self.route_factors.clone() }
     }
 
     /// The Theorem-1 reduction: tasks → items, processors → sacks.
@@ -146,105 +225,77 @@ impl TatimInstance {
         Allocation::from_placement(packing.placement().to_vec())
     }
 
-    /// Optimal allocation via branch-and-bound (the offline reference the
-    /// data-driven allocators are measured against).
+    /// The unified solver entry point: runs `kind` over the knapsack
+    /// reduction and reports the allocation, the objective value, and —
+    /// for [`SolverKind::Portfolio`] — the optimality certificate.
     ///
-    /// # Errors
-    ///
-    /// Propagates the reduction.
-    pub fn solve_exact(&self) -> Result<(Allocation, f64), TatimError> {
-        self.solve_exact_with(&SolverOptions::new())
-    }
-
-    /// Exact allocation under explicit [`SolverOptions`] — an anytime node
-    /// budget, a wall-clock deadline, or the parallel subtree search
-    /// (which returns the identical optimum and assignment; see the
-    /// determinism notes on [`BranchAndBound`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the reduction.
-    pub fn solve_exact_with(
-        &self,
-        options: &SolverOptions,
-    ) -> Result<(Allocation, f64), TatimError> {
-        let problem = self.to_knapsack()?;
-        let sol = BranchAndBound::with_options(*options).solve(&problem);
-        Ok((self.allocation_from_packing(&sol.packing), sol.profit))
-    }
-
-    /// Greedy + local-search allocation (edge-affordable).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the reduction.
-    pub fn solve_greedy(&self) -> Result<(Allocation, f64), TatimError> {
-        let problem = self.to_knapsack()?;
-        let sol = greedy::greedy_with_local_search(&problem);
-        Ok((self.allocation_from_packing(&sol.packing), sol.profit))
-    }
-
-    /// Anytime portfolio allocation (`knapsack::portfolio`): greedy warm
-    /// start, surrogate-relaxation upper bound, then branch-and-bound under
-    /// `budget`, returning the allocation together with its optimality
-    /// certificate. With `SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET)`
-    /// this is the pipeline's `ExactOracle`; `SolveBudget::Anytime` is the
-    /// production-size configuration.
-    ///
-    /// Bit-identical across thread counts in every mode (see the portfolio
-    /// module's determinism contract).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the reduction.
-    pub fn solve_portfolio(&self, budget: SolveBudget) -> Result<PortfolioOutcome, TatimError> {
-        let problem = self.to_knapsack()?;
-        let r = solve_portfolio(&problem, budget);
-        Ok(PortfolioOutcome {
-            allocation: self.allocation_from_packing(&r.solution.packing),
-            profit: r.solution.profit,
-            upper_bound: r.upper_bound,
-            gap: r.gap(),
-            proved_optimal: r.proved_optimal,
-            nodes: r.nodes,
-        })
-    }
-
-    /// Availability-weighted greedy allocation: maximises the *expected
-    /// retained* importance `Σ_j I_j · m_{p(j)}`, where `m_p =
-    /// sack_weights[p]` is processor `p`'s retention multiplier (for the
-    /// proactive path, `(1 − w) + w · survival_p`). The plain objective is
-    /// the `m ≡ 1` special case.
-    ///
-    /// Items are visited in the same profit-density order as
-    /// [`TatimInstance::solve_greedy`]; each is placed into the feasible
-    /// sack with the highest multiplier, multiplier ties broken by
-    /// best-fit slack and then the lowest sack index — fully
-    /// deterministic, no RNG. Returns the allocation and the weighted
-    /// objective value.
+    /// Every kind is bit-identical across thread counts; the older
+    /// `solve_greedy`/`solve_greedy_weighted`/`solve_exact_with`/
+    /// `solve_portfolio` entry points are deprecated wrappers over this
+    /// method and pinned bit-identical by `tests/api_equivalence.rs`.
     ///
     /// # Panics
     ///
-    /// Panics if `sack_weights` has the wrong length or holds a
-    /// non-finite or negative weight.
+    /// [`SolverKind::WeightedGreedy`] panics if the weight vector has the
+    /// wrong length or holds a non-finite or negative weight.
     ///
     /// # Errors
     ///
     /// Propagates the reduction.
-    pub fn solve_greedy_weighted(
-        &self,
-        sack_weights: &[f64],
-    ) -> Result<(Allocation, f64), TatimError> {
+    pub fn solve(&self, kind: &SolverKind) -> Result<SolveReport, TatimError> {
+        let problem = self.to_knapsack()?;
+        Ok(match kind {
+            SolverKind::Greedy => {
+                let sol = greedy::greedy_with_local_search(&problem);
+                SolveReport {
+                    allocation: self.allocation_from_packing(&sol.packing),
+                    objective: sol.profit,
+                    certificate: None,
+                }
+            }
+            SolverKind::WeightedGreedy(weights) => self.weighted_greedy(&problem, weights),
+            SolverKind::Exact(options) => {
+                let sol = BranchAndBound::with_options(*options).solve(&problem);
+                SolveReport {
+                    allocation: self.allocation_from_packing(&sol.packing),
+                    objective: sol.profit,
+                    certificate: None,
+                }
+            }
+            SolverKind::Portfolio(budget) => {
+                let r = solve_portfolio(&problem, *budget);
+                SolveReport {
+                    allocation: self.allocation_from_packing(&r.solution.packing),
+                    objective: r.solution.profit,
+                    certificate: Some(SolveCertificate {
+                        proved_optimal: r.proved_optimal,
+                        gap: r.gap(),
+                        upper_bound: r.upper_bound,
+                        nodes: r.nodes,
+                    }),
+                }
+            }
+        })
+    }
+
+    /// The multiplier-weighted greedy loop: maximises the *expected
+    /// retained* importance `Σ_j I_j · m_{p(j)}`, where `m_p = weights[p]`
+    /// is processor `p`'s retention multiplier (for the proactive path,
+    /// `(1 − w) + w · survival_p`). Items are visited in the same
+    /// profit-density order as [`SolverKind::Greedy`]; each is placed into
+    /// the feasible sack with the highest multiplier, multiplier ties
+    /// broken by best-fit slack and then the lowest sack index — fully
+    /// deterministic, no RNG, no local search.
+    fn weighted_greedy(&self, problem: &Problem, sack_weights: &[f64]) -> SolveReport {
         assert_eq!(sack_weights.len(), self.fleet.len(), "sack weight vector length");
         assert!(
             sack_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "sack weights must be finite and non-negative"
         );
-        let problem = self.to_knapsack()?;
         let n = problem.num_items();
         // Same profit-density order (and tie-break) as `greedy`, deduplicated
         // into the reusable index.
-        let index = DensityIndex::new(&problem);
+        let index = DensityIndex::new(problem);
         let (total_w, total_v) = index.scales();
         let mut packing = Packing::empty(n);
         let mut residual: Vec<(f64, f64)> =
@@ -276,7 +327,90 @@ impl TatimInstance {
                 weighted_profit += item.profit * m;
             }
         }
-        Ok((self.allocation_from_packing(&packing), weighted_profit))
+        SolveReport {
+            allocation: self.allocation_from_packing(&packing),
+            objective: weighted_profit,
+            certificate: None,
+        }
+    }
+
+    /// Optimal allocation via branch-and-bound (the offline reference the
+    /// data-driven allocators are measured against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    pub fn solve_exact(&self) -> Result<(Allocation, f64), TatimError> {
+        let r = self.solve(&SolverKind::Exact(SolverOptions::new()))?;
+        Ok((r.allocation, r.objective))
+    }
+
+    /// Exact allocation under explicit [`SolverOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    #[deprecated(note = "use `solve(&SolverKind::Exact(options))`")]
+    pub fn solve_exact_with(
+        &self,
+        options: &SolverOptions,
+    ) -> Result<(Allocation, f64), TatimError> {
+        let r = self.solve(&SolverKind::Exact(*options))?;
+        Ok((r.allocation, r.objective))
+    }
+
+    /// Greedy + local-search allocation (edge-affordable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    #[deprecated(note = "use `solve(&SolverKind::Greedy)`")]
+    pub fn solve_greedy(&self) -> Result<(Allocation, f64), TatimError> {
+        let r = self.solve(&SolverKind::Greedy)?;
+        Ok((r.allocation, r.objective))
+    }
+
+    /// Anytime portfolio allocation: greedy warm start,
+    /// surrogate-relaxation upper bound, then branch-and-bound under
+    /// `budget`. With `SolveBudget::NodeBudget(EXACT_ORACLE_NODE_BUDGET)`
+    /// this is the pipeline's `ExactOracle`; `SolveBudget::Anytime` is the
+    /// production-size configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    #[deprecated(note = "use `solve(&SolverKind::Portfolio(budget))`")]
+    pub fn solve_portfolio(&self, budget: SolveBudget) -> Result<PortfolioOutcome, TatimError> {
+        let r = self.solve(&SolverKind::Portfolio(budget))?;
+        let c = r.certificate.expect("portfolio solves always certify");
+        Ok(PortfolioOutcome {
+            allocation: r.allocation,
+            profit: r.objective,
+            upper_bound: c.upper_bound,
+            gap: c.gap,
+            proved_optimal: c.proved_optimal,
+            nodes: c.nodes,
+        })
+    }
+
+    /// Availability-weighted greedy allocation (see
+    /// [`SolverKind::WeightedGreedy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sack_weights` has the wrong length or holds a
+    /// non-finite or negative weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reduction.
+    #[deprecated(note = "use `solve(&SolverKind::WeightedGreedy(weights))`")]
+    pub fn solve_greedy_weighted(
+        &self,
+        sack_weights: &[f64],
+    ) -> Result<(Allocation, f64), TatimError> {
+        let r = self.solve(&SolverKind::WeightedGreedy(sack_weights.to_vec()))?;
+        Ok((r.allocation, r.objective))
     }
 
     /// The RL view of the instance (for CRL): task demands and processor
@@ -291,11 +425,15 @@ impl TatimInstance {
             time_limit: self.fleet.time_limit_s(),
             time_limits: Some((0..self.fleet.len()).map(|p| self.fleet.time_limit_of(p)).collect()),
             capacities: self.fleet.capacities(),
+            route_factors: self.route_factors.clone(),
         }
     }
 }
 
 #[cfg(test)]
+// The suite deliberately keeps exercising the deprecated wrappers: they are
+// pinned bit-identical to the unified `solve` until removal.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::processor::Processor;

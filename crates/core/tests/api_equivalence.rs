@@ -6,6 +6,7 @@
 
 use buildings::scenario::{Scenario, ScenarioConfig};
 use dcta_core::cache::ImportanceCache;
+use dcta_core::objective::{AllocQuery, Objective};
 use dcta_core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 use dcta_core::recovery::RecoveryMode;
 use edgesim::faults::FaultSchedule;
@@ -196,4 +197,135 @@ fn run_spec_and_report_accessors() {
     assert!(faulted.as_faulted().is_some());
     assert_eq!(faulted.method(), Method::Dml);
     assert!(faulted.allocation().scheduled_count() > 0);
+}
+
+/// The unified `allocate(&AllocQuery)` and the deprecated tuple wrappers
+/// must agree to the bit on every method. Each side gets a fresh prepare so
+/// the stateful RandomMapping draws the same sequence.
+#[test]
+#[allow(deprecated)]
+fn allocate_query_matches_deprecated_wrappers() {
+    let s = small_scenario();
+    let mut old = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let mut new = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let day = old.test_days().start;
+    for method in [
+        Method::RandomMapping,
+        Method::Dml,
+        Method::GreedyOracle,
+        Method::ExactOracle,
+        Method::Crl,
+        Method::Dcta,
+    ] {
+        let (alloc, _, cert) = old.allocate_certified(method, day).unwrap();
+        let out = new.allocate(&AllocQuery::new(method, day)).unwrap();
+        assert_eq!(alloc, out.allocation, "{method}: allocation diverged");
+        assert_eq!(cert, out.certificate, "{method}: certificate diverged");
+    }
+}
+
+/// `allocate_proactive` is pinned to the survival objective.
+#[test]
+#[allow(deprecated)]
+fn allocate_proactive_matches_survival_objective() {
+    let s = small_scenario();
+    let mut old = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let mut new = Pipeline::new(quick_config()).prepare(&s).unwrap();
+    let day = old.test_days().start;
+    for method in [Method::GreedyOracle, Method::Crl, Method::Dcta] {
+        let (alloc, _) = old.allocate_proactive(method, day).unwrap();
+        let query =
+            AllocQuery::new(method, day).with_objective(Objective::new().with_survival(true));
+        let out = new.allocate(&query).unwrap();
+        assert_eq!(alloc, out.allocation, "{method}: proactive allocation diverged");
+        assert!(out.certificate.is_none(), "survival-weighted solves do not certify");
+    }
+}
+
+/// The same wrapper contract on the frozen `PreparedCore` — `&self`
+/// serving, so one core can answer both sides back to back.
+#[test]
+#[allow(deprecated)]
+fn core_allocate_wrappers_match_unified_query() {
+    let s = small_scenario();
+    let core = Pipeline::new(quick_config()).prepare(&s).unwrap().into_core().unwrap();
+    let day = core.test_days().start;
+    for method in [
+        Method::RandomMapping,
+        Method::Dml,
+        Method::GreedyOracle,
+        Method::ExactOracle,
+        Method::Crl,
+        Method::Dcta,
+    ] {
+        let (alloc, _, cert) = core.allocate_certified(method, day).unwrap();
+        let out = core.allocate(&AllocQuery::new(method, day)).unwrap();
+        assert_eq!(alloc, out.allocation, "{method}: core allocation diverged");
+        assert_eq!(cert, out.certificate, "{method}: core certificate diverged");
+        let (p_alloc, _) = core.allocate_proactive(method, day).unwrap();
+        let survival =
+            AllocQuery::new(method, day).with_objective(Objective::new().with_survival(true));
+        assert_eq!(
+            p_alloc,
+            core.allocate(&survival).unwrap().allocation,
+            "{method}: core proactive diverged"
+        );
+    }
+}
+
+/// The deprecated per-solver methods on `TatimInstance` are thin wrappers
+/// over `solve(&SolverKind)` and must match it bit-for-bit.
+#[test]
+#[allow(deprecated)]
+fn solver_wrappers_match_unified_solve() {
+    use dcta_core::processor::ProcessorFleet;
+    use dcta_core::task::{EdgeTask, TaskId};
+    use dcta_core::tatim::{SolverKind, TatimInstance};
+    use knapsack::exact::SolverOptions;
+    use knapsack::portfolio::SolveBudget;
+
+    let cluster = edgesim::cluster::Cluster::paper_testbed().unwrap();
+    let tasks: Vec<EdgeTask> = (0..10)
+        .map(|i| {
+            EdgeTask::new(
+                TaskId(i),
+                format!("t{i}"),
+                1e6 + 3e5 * i as f64,
+                1.0,
+                0.05 + 0.09 * i as f64,
+            )
+            .unwrap()
+        })
+        .collect();
+    let total: f64 = tasks.iter().map(EdgeTask::reference_time_s).sum();
+    let fleet = ProcessorFleet::from_cluster(&cluster, 0.4 * total / 9.0).unwrap();
+    let inst = TatimInstance::new(tasks, fleet);
+
+    let (ga, gv) = inst.solve_greedy().unwrap();
+    let g = inst.solve(&SolverKind::Greedy).unwrap();
+    assert_eq!(ga, g.allocation);
+    assert_eq!(gv.to_bits(), g.objective.to_bits());
+    assert!(g.certificate.is_none());
+
+    let weights = vec![0.9, 0.3, 1.0, 0.7, 0.5, 0.8, 0.6, 0.4, 1.0];
+    let (wa, wv) = inst.solve_greedy_weighted(&weights).unwrap();
+    let w = inst.solve(&SolverKind::WeightedGreedy(weights)).unwrap();
+    assert_eq!(wa, w.allocation);
+    assert_eq!(wv.to_bits(), w.objective.to_bits());
+
+    let options = SolverOptions::default();
+    let (ea, ev) = inst.solve_exact_with(&options).unwrap();
+    let e = inst.solve(&SolverKind::Exact(options)).unwrap();
+    assert_eq!(ea, e.allocation);
+    assert_eq!(ev.to_bits(), e.objective.to_bits());
+
+    let budget = SolveBudget::NodeBudget(50_000);
+    let p_old = inst.solve_portfolio(budget).unwrap();
+    let p = inst.solve(&SolverKind::Portfolio(budget)).unwrap();
+    assert_eq!(p_old.allocation, p.allocation);
+    assert_eq!(p_old.profit.to_bits(), p.objective.to_bits());
+    let cert = p.certificate.expect("portfolio solves always certify");
+    assert_eq!(p_old.proved_optimal, cert.proved_optimal);
+    assert_eq!(p_old.upper_bound.to_bits(), cert.upper_bound.to_bits());
+    assert_eq!(p_old.nodes, cert.nodes);
 }

@@ -77,6 +77,60 @@ impl From<NetworkError> for ClusterError {
     }
 }
 
+/// A topology-specific accessor was called on a cluster of the other
+/// topology (e.g. [`Cluster::network`] on a mesh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyError {
+    /// What the accessor needed.
+    pub expected: &'static str,
+    /// What the cluster actually is.
+    pub actual: &'static str,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster is a {}, not a {}", self.actual, self.expected)
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Deterministic per-node cost of moving bits between the controller and a
+/// node, queried once per allocation round via [`Cluster::route_costs`].
+///
+/// `per_bit_s` carries the congestion proxy: on a mesh it is the maximum
+/// over the node's static route (controller→node shortest path) of
+/// `load_e / bandwidth_e`, where `load_e` counts how many controller→worker
+/// routes traverse edge `e` — a shared backbone edge carrying 50 routes is
+/// 50× as expensive per bit as a private leaf link of the same capacity.
+/// This is a proxy, not the simulator's proportional-share contention: it
+/// prices the *worst case* where every worker's flow is concurrently on the
+/// wire, which is exactly the congestion the allocator should avoid
+/// creating. `latency_s` (summed hop latency) is second-order for the
+/// multi-megabit transfers TATIM moves and is reported but not folded into
+/// budget deflation.
+///
+/// On a star every worker has a dedicated uplink carrying exactly one
+/// route, so the proxy degenerates to `1 / bandwidth` — the star uplink
+/// term — and a uniform star yields identical costs on every worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteCost {
+    /// Summed hop latency of the static route, seconds.
+    pub latency_s: f64,
+    /// Congestion-adjusted seconds per bit (`∞` when unreachable).
+    pub per_bit_s: f64,
+}
+
+impl RouteCost {
+    /// Zero cost (the controller's own entry).
+    pub const FREE: Self = Self { latency_s: 0.0, per_bit_s: 0.0 };
+
+    /// Nominal seconds to move `bits` over this route under the proxy.
+    pub fn transfer_time(&self, bits: f64) -> f64 {
+        self.latency_s + bits * self.per_bit_s
+    }
+}
+
 /// The network a cluster sits on: the paper's star, or a general mesh.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetTopology {
@@ -250,27 +304,95 @@ impl Cluster {
 
     /// The star network (immutable).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a mesh cluster — star-only call sites (Fig. 11 sweeps,
-    /// the paper testbeds) use this; topology-generic code matches on
-    /// [`Self::topology`] instead.
-    pub fn network(&self) -> &StarNetwork {
+    /// [`TopologyError`] on a mesh cluster — star-only call sites (Fig. 11
+    /// sweeps, the paper testbeds) use this; topology-generic code matches
+    /// on [`Self::topology`] instead.
+    pub fn network(&self) -> Result<&StarNetwork, TopologyError> {
         match &self.topology {
-            NetTopology::Star(s) => s,
-            NetTopology::Mesh(_) => panic!("network(): cluster is a mesh, not a star"),
+            NetTopology::Star(s) => Ok(s),
+            NetTopology::Mesh(_) => Err(TopologyError { expected: "star", actual: "mesh" }),
         }
     }
 
     /// The star network (mutable — e.g. for bandwidth sweeps).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a mesh cluster (see [`Self::network`]).
-    pub fn network_mut(&mut self) -> &mut StarNetwork {
+    /// [`TopologyError`] on a mesh cluster (see [`Self::network`]).
+    pub fn network_mut(&mut self) -> Result<&mut StarNetwork, TopologyError> {
         match &mut self.topology {
-            NetTopology::Star(s) => s,
-            NetTopology::Mesh(_) => panic!("network_mut(): cluster is a mesh, not a star"),
+            NetTopology::Star(s) => Ok(s),
+            NetTopology::Mesh(_) => Err(TopologyError { expected: "star", actual: "mesh" }),
+        }
+    }
+
+    /// Per-node controller↔node route costs, aligned with [`Self::nodes`]
+    /// (the controller's entry is [`RouteCost::FREE`]).
+    ///
+    /// Deterministic and cheap — one Dijkstra plus one path walk per node
+    /// on a mesh, a table read per node on a star — so allocators can query
+    /// it once per round. See [`RouteCost`] for the congestion proxy.
+    pub fn route_costs(&self) -> Vec<RouteCost> {
+        match &self.topology {
+            NetTopology::Star(s) => self
+                .nodes
+                .iter()
+                .map(|n| {
+                    if n.id() == self.controller {
+                        RouteCost::FREE
+                    } else {
+                        let link = s.link(n.id());
+                        // One dedicated uplink, one route: load is 1.
+                        RouteCost {
+                            latency_s: link.latency_s(),
+                            per_bit_s: 1.0 / link.bandwidth_bps(),
+                        }
+                    }
+                })
+                .collect(),
+            NetTopology::Mesh(m) => {
+                let routes = m.routes_from(self.controller.0, &[]);
+                // Edge load: how many controller→worker routes cross each
+                // edge (the congestion proxy's numerator).
+                let mut load = vec![0u32; m.num_edges()];
+                let paths: Vec<Vec<usize>> = self
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        let v = n.id().0;
+                        if v == self.controller.0 || !routes.reachable(v) {
+                            Vec::new()
+                        } else {
+                            routes.path_edges(v)
+                        }
+                    })
+                    .collect();
+                for path in &paths {
+                    for &e in path {
+                        load[e] += 1;
+                    }
+                }
+                self.nodes
+                    .iter()
+                    .zip(&paths)
+                    .map(|(n, path)| {
+                        let v = n.id().0;
+                        if v == self.controller.0 {
+                            RouteCost::FREE
+                        } else if !routes.reachable(v) {
+                            RouteCost { latency_s: f64::INFINITY, per_bit_s: f64::INFINITY }
+                        } else {
+                            let per_bit_s = path
+                                .iter()
+                                .map(|&e| f64::from(load[e]) / m.link(e).bandwidth_bps())
+                                .fold(0.0f64, f64::max);
+                            RouteCost { latency_s: m.path_latency(&routes, v), per_bit_s }
+                        }
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -500,10 +622,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mesh, not a star")]
-    fn star_accessor_panics_on_mesh() {
-        let c = Cluster::mesh_testbed(MeshSpec::new(9, 7)).unwrap();
-        let _ = c.network();
+    fn star_accessor_errors_on_mesh() {
+        let mut c = Cluster::mesh_testbed(MeshSpec::new(9, 7)).unwrap();
+        let err = c.network().unwrap_err();
+        assert_eq!(err, TopologyError { expected: "star", actual: "mesh" });
+        assert_eq!(err.to_string(), "cluster is a mesh, not a star");
+        assert!(c.network_mut().is_err());
+        let star = Cluster::paper_testbed().unwrap();
+        assert!(star.network().is_ok());
+    }
+
+    #[test]
+    fn star_route_costs_are_the_uplink_term() {
+        let c = Cluster::paper_testbed().unwrap();
+        let costs = c.route_costs();
+        assert_eq!(costs.len(), c.nodes().len());
+        assert_eq!(costs[0], RouteCost::FREE);
+        for cost in &costs[1..] {
+            assert_eq!(cost.per_bit_s, 1.0 / DEFAULT_WIFI_BPS);
+            assert_eq!(cost.latency_s, 1e-3);
+        }
+        let t = costs[1].transfer_time(6e6);
+        assert!((t - (1e-3 + 1.0)).abs() < 1e-12, "6 Mbit over 6 Mbps ≈ 1 s, got {t}");
+    }
+
+    #[test]
+    fn mesh_route_costs_price_shared_edges() {
+        // Path graph 0—1—2: edge (0,1) carries both worker routes, edge
+        // (1,2) only node 2's, so node 2's bottleneck is the shared edge.
+        let link = Link::new(1e6, 1e-4).unwrap();
+        let mut b = MeshNetwork::builder(3);
+        b.add_edge(0, 1, link).unwrap();
+        b.add_edge(1, 2, link).unwrap();
+        let nodes = vec![
+            Node::new(NodeId(0), DeviceModel::Laptop),
+            Node::new(NodeId(1), DeviceModel::RaspberryPiB),
+            Node::new(NodeId(2), DeviceModel::RaspberryPiB),
+        ];
+        let c = Cluster::new_mesh(nodes, b.build(), NodeId(0)).unwrap();
+        let costs = c.route_costs();
+        assert_eq!(costs[0], RouteCost::FREE);
+        assert!((costs[1].per_bit_s - 2.0 / 1e6).abs() < 1e-18, "shared edge load 2");
+        assert!((costs[2].per_bit_s - 2.0 / 1e6).abs() < 1e-18, "bottleneck is shared edge");
+        assert!((costs[1].latency_s - 1e-4).abs() < 1e-18);
+        assert!((costs[2].latency_s - 2e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mesh_route_costs_deterministic_on_testbed() {
+        let c = Cluster::mesh_testbed(MeshSpec::new(100, 42)).unwrap();
+        let a = c.route_costs();
+        let b = c.route_costs();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a[1..].iter().all(|r| r.per_bit_s.is_finite() && r.per_bit_s > 0.0));
     }
 
     #[test]

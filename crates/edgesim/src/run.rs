@@ -514,7 +514,7 @@ fn simulate_event_loop(
     config: SimConfig,
 ) -> SimReport {
     let controller = cluster.controller();
-    let net = cluster.network();
+    let net = cluster.network().expect("star simulation path");
     let shared = matches!(net.medium(), MediumMode::SharedMedium);
     let slots = cluster.nodes().iter().map(|n| n.id().0).max().unwrap_or(0) + 1;
     let t0 = config.partition_overhead_s;
@@ -734,7 +734,10 @@ fn node_leg(
             (t0, t0) // local task: no network hop
         } else {
             let start = link_free.max(t0);
-            let dur = cluster.network().transfer_time(node, tasks[i].input_bits);
+            let dur = cluster
+                .network()
+                .expect("star simulation path")
+                .transfer_time(node, tasks[i].input_bits);
             link_free = start + dur;
             link_busy += dur;
             (start, start + dur)
@@ -774,7 +777,10 @@ fn node_leg(
             tl.compute_end
         } else {
             let start = link_free.max(tl.compute_end);
-            let dur = cluster.network().transfer_time(node, tasks[idxs[k]].result_bits);
+            let dur = cluster
+                .network()
+                .expect("star simulation path")
+                .transfer_time(node, tasks[idxs[k]].result_bits);
             link_free = start + dur;
             link_busy += dur;
             start + dur
@@ -938,11 +944,14 @@ struct FaultSim<'a> {
 
 impl FaultSim<'_> {
     fn per_node_links(&self) -> bool {
-        matches!(self.cluster.network().medium(), MediumMode::PerNodeLink)
+        matches!(
+            self.cluster.network().expect("star simulation path").medium(),
+            MediumMode::PerNodeLink
+        )
     }
 
     fn link_key(&self, node: NodeId) -> NodeId {
-        match self.cluster.network().medium() {
+        match self.cluster.network().expect("star simulation path").medium() {
             MediumMode::PerNodeLink => node,
             MediumMode::SharedMedium => NodeId(usize::MAX),
         }
@@ -958,9 +967,16 @@ impl FaultSim<'_> {
         let nominal = if node == self.controller {
             compute
         } else {
-            self.cluster.network().transfer_time(node, spec.input_bits)
+            self.cluster
+                .network()
+                .expect("star simulation path")
+                .transfer_time(node, spec.input_bits)
                 + compute
-                + self.cluster.network().transfer_time(node, spec.result_bits)
+                + self
+                    .cluster
+                    .network()
+                    .expect("star simulation path")
+                    .transfer_time(node, spec.result_bits)
         };
         (self.config.retry.timeout_factor * nominal).max(self.config.retry.min_timeout_s)
     }
@@ -976,7 +992,11 @@ impl FaultSim<'_> {
         } else {
             let free = self.link_free.entry(self.link_key(node)).or_insert(t);
             let start = free.max(t);
-            let dur = self.cluster.network().transfer_time(node, spec.input_bits);
+            let dur = self
+                .cluster
+                .network()
+                .expect("star simulation path")
+                .transfer_time(node, spec.input_bits);
             *free = start + dur;
             *self.link_busy.entry(node).or_insert(0.0) += dur;
             (start, start + dur)
@@ -1098,8 +1118,11 @@ impl FaultSim<'_> {
                         }
                         let free = self.link_free.entry(self.link_key(n)).or_insert(now);
                         let start = free.max(now);
-                        let dur =
-                            self.cluster.network().transfer_time(n, self.tasks[task].result_bits);
+                        let dur = self
+                            .cluster
+                            .network()
+                            .expect("star simulation path")
+                            .transfer_time(n, self.tasks[task].result_bits);
                         *free = start + dur;
                         *self.link_busy.entry(n).or_insert(0.0) += dur;
                         let s = self.state[task].as_mut().expect("present");
@@ -1165,7 +1188,11 @@ impl FaultSim<'_> {
         } else {
             let free = self.link_free.entry(self.link_key(node)).or_insert(now);
             let start = free.max(now);
-            let dur = self.cluster.network().transfer_time(node, self.tasks[task].result_bits);
+            let dur = self
+                .cluster
+                .network()
+                .expect("star simulation path")
+                .transfer_time(node, self.tasks[task].result_bits);
             *free = start + dur;
             *self.link_busy.entry(node).or_insert(0.0) += dur;
             let s = self.state[task].as_mut().expect("live");
@@ -2215,9 +2242,9 @@ mod tests {
         a.assign(0, Some(NodeId(1)));
         let r = simulate(&c, &tasks, &a, cfg()).unwrap();
         let tl = r.timelines[0].unwrap();
-        let link = c.network().transfer_time(NodeId(1), 1e6);
+        let link = c.network().expect("star simulation path").transfer_time(NodeId(1), 1e6);
         let compute = c.node(NodeId(1)).unwrap().compute_time(1e6);
-        let back = c.network().transfer_time(NodeId(1), 1e4);
+        let back = c.network().expect("star simulation path").transfer_time(NodeId(1), 1e4);
         assert!((tl.compute_start - link).abs() < 1e-9);
         assert!((tl.compute_end - (link + compute)).abs() < 1e-9);
         assert!((r.processing_time - (link + compute + back)).abs() < 1e-9);
@@ -2326,7 +2353,7 @@ mod tests {
         let mut a = NodeAssignment::empty(1);
         a.assign(0, Some(NodeId(1)));
         let before = simulate(&c, &tasks, &a, cfg()).unwrap().processing_time;
-        c.network_mut().scale_bandwidth(4.0);
+        c.network_mut().expect("star simulation path").scale_bandwidth(4.0);
         let after = simulate(&c, &tasks, &a, cfg()).unwrap().processing_time;
         assert!(after < before);
     }
@@ -2343,9 +2370,10 @@ mod tests {
         let expected_compute = c.node(NodeId(2)).unwrap().compute_time(1e6)
             + c.node(NodeId(2)).unwrap().compute_time(2e6);
         assert!((r.node_busy[&NodeId(2)] - expected_compute).abs() < 1e-9);
-        let expected_link = c.network().transfer_time(NodeId(2), 1e6)
-            + c.network().transfer_time(NodeId(2), 2e6)
-            + 2.0 * c.network().transfer_time(NodeId(2), 1e4);
+        let expected_link =
+            c.network().expect("star simulation path").transfer_time(NodeId(2), 1e6)
+                + c.network().expect("star simulation path").transfer_time(NodeId(2), 2e6)
+                + 2.0 * c.network().expect("star simulation path").transfer_time(NodeId(2), 1e4);
         assert!((r.link_busy[&NodeId(2)] - expected_link).abs() < 1e-9);
     }
 
@@ -2806,7 +2834,8 @@ mod medium_tests {
         // task's compute cannot start before 3 transfer times have elapsed.
         let third_start =
             r_shared.timelines.iter().flatten().map(|t| t.compute_start).fold(0.0f64, f64::max);
-        let one_transfer = shared.network().transfer_time(NodeId(1), 1e6);
+        let one_transfer =
+            shared.network().expect("star simulation path").transfer_time(NodeId(1), 1e6);
         assert!(
             third_start >= 3.0 * one_transfer - 1e-9,
             "transfers overlapped: {third_start} < {}",
@@ -2816,7 +2845,8 @@ mod medium_tests {
         let r_par = simulate(&per_link, &tasks, &a, cfg).unwrap();
         let par_third =
             r_par.timelines.iter().flatten().map(|t| t.compute_start).fold(0.0f64, f64::max);
-        let par_one = per_link.network().transfer_time(NodeId(1), 1e6);
+        let par_one =
+            per_link.network().expect("star simulation path").transfer_time(NodeId(1), 1e6);
         assert!(par_third < 2.0 * par_one, "per-link transfers did not overlap");
     }
 
@@ -2825,7 +2855,7 @@ mod medium_tests {
         // All tasks on one node: both media serialise identically.
         let shared = shared_cluster();
         let mut per_link_cluster = shared_cluster();
-        *per_link_cluster.network_mut() =
+        *per_link_cluster.network_mut().expect("star simulation path") =
             StarNetwork::uniform(1e6, 0.0).unwrap().with_medium(MediumMode::PerNodeLink);
         let tasks: Vec<SimTask> = (0..3).map(|_| SimTask::new(1e6, 1e4, 1.0).unwrap()).collect();
         let mut a = NodeAssignment::empty(3);

@@ -61,7 +61,7 @@ proptest! {
     fn more_bandwidth_never_hurts((tasks, assignment) in workload(), factor in 1.1f64..8.0) {
         let slow = Cluster::paper_testbed().expect("testbed");
         let mut fast = Cluster::paper_testbed().expect("testbed");
-        fast.network_mut().scale_bandwidth(factor);
+        fast.network_mut().expect("star testbed").scale_bandwidth(factor);
         let pt_slow =
             simulate(&slow, &tasks, &assignment, config()).expect("run").processing_time;
         let pt_fast =

@@ -34,6 +34,12 @@ pub struct AllocSpec {
     pub time_limits: Option<Vec<f64>>,
     /// Per-processor resource capacities `V_p` (Eq. 4).
     pub capacities: Vec<f64>,
+    /// Optional per-processor route budget factors (`(0, 1]`, `1.0` =
+    /// cheapest route; see the core objective module). When set, one extra
+    /// state column per processor is appended to the encoding so the agent
+    /// can see route expense — flag-gated upstream so star runs stay
+    /// bit-identical when disabled.
+    pub route_factors: Option<Vec<f64>>,
 }
 
 /// Error validating an [`AllocSpec`].
@@ -45,7 +51,8 @@ pub enum SpecError {
     NoProcessors,
     /// A negative or non-finite number was supplied.
     BadValue,
-    /// `time_limits` length differs from the processor count.
+    /// A per-processor vector (`time_limits` or `route_factors`) length
+    /// differs from the processor count.
     RaggedLimits,
 }
 
@@ -56,7 +63,7 @@ impl fmt::Display for SpecError {
             SpecError::NoProcessors => write!(f, "spec has no processors"),
             SpecError::BadValue => write!(f, "spec contains a negative or non-finite value"),
             SpecError::RaggedLimits => {
-                write!(f, "time_limits length differs from the processor count")
+                write!(f, "per-processor vector length differs from the processor count")
             }
         }
     }
@@ -95,6 +102,14 @@ impl AllocSpec {
                 return Err(SpecError::RaggedLimits);
             }
             if limits.iter().any(|&t| !(t.is_finite() && t >= 0.0)) {
+                return Err(SpecError::BadValue);
+            }
+        }
+        if let Some(factors) = &self.route_factors {
+            if factors.len() != self.capacities.len() {
+                return Err(SpecError::RaggedLimits);
+            }
+            if factors.iter().any(|&r| !(r.is_finite() && r > 0.0 && r <= 1.0)) {
                 return Err(SpecError::BadValue);
             }
         }
@@ -190,12 +205,21 @@ impl AllocEnv {
             .sum()
     }
 
-    /// The state-vector length for a given geometry, exposed so agents can
-    /// be constructed before an environment exists.
+    /// The state-vector length for a given geometry *without* the optional
+    /// route block, exposed so agents can be constructed before an
+    /// environment exists. Specs carrying `route_factors` add one more
+    /// column per processor (see [`AllocEnv::state_dim_for_routed`]).
     pub fn state_dim_for(num_tasks: usize, num_processors: usize) -> usize {
         // selection matrix + environment matrix + residual time + residual
         // resource + one-hot cursor.
         2 * num_tasks * num_processors + 3 * num_processors
+    }
+
+    /// The state-vector length for a geometry whose spec carries route
+    /// budget factors: the plain geometry plus one route column per
+    /// processor.
+    pub fn state_dim_for_routed(num_tasks: usize, num_processors: usize) -> usize {
+        Self::state_dim_for(num_tasks, num_processors) + num_processors
     }
 
     /// The action-space size for a geometry (`N` assignments + advance).
@@ -230,6 +254,11 @@ impl AllocEnv {
         for p in 0..m {
             s.push(f64::from(p == self.cursor && !self.done));
         }
+        // Optional route block, appended last so every earlier offset is
+        // unchanged when the feature is off.
+        if let Some(factors) = &self.spec.route_factors {
+            s.extend_from_slice(factors);
+        }
         s
     }
 
@@ -254,7 +283,12 @@ impl Environment for AllocEnv {
     }
 
     fn state_dim(&self) -> usize {
-        Self::state_dim_for(self.spec.num_tasks(), self.spec.num_processors())
+        let (n, m) = (self.spec.num_tasks(), self.spec.num_processors());
+        if self.spec.route_factors.is_some() {
+            Self::state_dim_for_routed(n, m)
+        } else {
+            Self::state_dim_for(n, m)
+        }
     }
 
     fn reset(&mut self) -> Vec<f64> {
@@ -320,6 +354,7 @@ mod tests {
             time_limit: 2.0,
             time_limits: None,
             capacities: vec![1.0, 1.0],
+            route_factors: None,
         }
     }
 
@@ -349,6 +384,7 @@ mod tests {
             time_limit: 1.0,
             time_limits: None,
             capacities: vec![2.0, 4.0],
+            route_factors: None,
         };
         assert_eq!(s.environment_matrix(), vec![1.0, 2.0, 2.0, 4.0]);
     }
@@ -391,6 +427,7 @@ mod tests {
             time_limit: 10.0,
             time_limits: None,
             capacities: vec![10.0],
+            route_factors: None,
         };
         let mut env = AllocEnv::new(s).unwrap();
         env.reset();
@@ -409,6 +446,7 @@ mod tests {
             time_limit: 2.0,
             time_limits: None,
             capacities: vec![2.0],
+            route_factors: None,
         };
         let mut env = AllocEnv::new(s).unwrap();
         env.reset();
@@ -439,6 +477,7 @@ mod tests {
             time_limit: 1.0,
             time_limits: None,
             capacities: vec![1.0],
+            route_factors: None,
         };
         let mut env = AllocEnv::new(s).unwrap();
         env.reset();
@@ -452,6 +491,35 @@ mod tests {
         let mut env = AllocEnv::new(spec()).unwrap();
         env.reset();
         assert!(matches!(env.step(9), Err(StepError::UnknownAction { action: 9, num_actions: 4 })));
+    }
+
+    #[test]
+    fn route_factors_append_columns_without_shifting_offsets() {
+        let plain = AllocEnv::new(spec()).unwrap();
+        let routed =
+            AllocEnv::new(AllocSpec { route_factors: Some(vec![1.0, 0.25]), ..spec() }).unwrap();
+        assert_eq!(routed.state_dim(), plain.state_dim() + 2);
+        assert_eq!(routed.state_dim(), AllocEnv::state_dim_for_routed(3, 2));
+        let mut p = plain;
+        let mut r = routed;
+        let ps = p.reset();
+        let rs = r.reset();
+        // The routed state is the plain state plus the factor block at the
+        // end — every earlier offset is untouched.
+        assert_eq!(&rs[..ps.len()], &ps[..]);
+        assert_eq!(&rs[ps.len()..], &[1.0, 0.25]);
+    }
+
+    #[test]
+    fn route_factors_are_validated() {
+        let bad_len = AllocSpec { route_factors: Some(vec![1.0]), ..spec() };
+        assert_eq!(bad_len.validate(), Err(SpecError::RaggedLimits));
+        let bad_zero = AllocSpec { route_factors: Some(vec![1.0, 0.0]), ..spec() };
+        assert_eq!(bad_zero.validate(), Err(SpecError::BadValue));
+        let bad_big = AllocSpec { route_factors: Some(vec![1.0, 1.5]), ..spec() };
+        assert_eq!(bad_big.validate(), Err(SpecError::BadValue));
+        let ok = AllocSpec { route_factors: Some(vec![1.0, 0.5]), ..spec() };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]
@@ -479,6 +547,7 @@ mod heterogeneous_tests {
             // "powerful edge node").
             time_limits: Some(vec![1.0, 2.0]),
             capacities: vec![5.0, 5.0],
+            route_factors: None,
         }
     }
 

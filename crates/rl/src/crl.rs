@@ -203,6 +203,11 @@ pub struct CrlConfig {
     pub dqn: DqnConfig,
     /// Seed for agent initialisation and exploration.
     pub seed: u64,
+    /// Feed the per-processor route budget factor column to the agent
+    /// (topology-aware state). Changes the state dimension, so it must be
+    /// consistent between pretraining and allocation; off by default so
+    /// star runs stay bit-identical.
+    pub route_feature: bool,
 }
 
 impl Default for CrlConfig {
@@ -218,6 +223,7 @@ impl Default for CrlConfig {
                 ..DqnConfig::default()
             },
             seed: 17,
+            route_feature: false,
         }
     }
 }
@@ -677,6 +683,7 @@ mod tests {
             time_limit: 1.0, // each processor fits exactly one task
             time_limits: None,
             capacities: vec![1.0, 1.0],
+            route_factors: None,
         }
     }
 
@@ -839,6 +846,7 @@ mod shared_tests {
             time_limit: 1.0,
             time_limits: None,
             capacities: vec![1.0, 1.0],
+            route_factors: None,
         }
     }
 
@@ -984,6 +992,7 @@ mod offline_tests {
             time_limit: 1.0,
             time_limits: None,
             capacities: vec![1.0, 1.0],
+            route_factors: None,
         }
     }
 

@@ -29,6 +29,7 @@
 //!     time_limit: 1.0,
 //!     time_limits: None,
 //!     capacities: vec![1.0],
+//!     route_factors: None,
 //! };
 //! let mut env = AllocEnv::new(spec)?;
 //! env.reset();

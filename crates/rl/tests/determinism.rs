@@ -13,6 +13,7 @@ fn spec(n: usize) -> AllocSpec {
         time_limit: 1.0,
         time_limits: None,
         capacities: vec![1.0, 1.0],
+        route_factors: None,
     }
 }
 
@@ -89,6 +90,7 @@ fn train_large_batch_at(threads: usize) -> Vec<u64> {
         time_limit: 2.0,
         time_limits: None,
         capacities: vec![2.0, 2.0],
+        route_factors: None,
     };
     let mut env = AllocEnv::new(task_spec).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);

@@ -3,6 +3,7 @@
 
 use dcta_core::allocation::Allocation;
 use dcta_core::cache::CacheStats;
+use dcta_core::objective::AllocQuery;
 use dcta_core::pipeline::{Method, PipelineError, RunReport, RunSpec};
 use dcta_core::shared::PreparedCore;
 use rl::alloc_env::{AllocEnv, AllocSpec, SpecError};
@@ -192,8 +193,11 @@ impl Tenant {
         match query {
             Query::Run(spec) => Ok(AllocResponse::Run(self.core.run(spec)?)),
             Query::Decision { method, day } => {
-                let (allocation, allocator_seconds) = self.core.allocate(*method, *day)?;
-                Ok(AllocResponse::Decision { allocation, allocator_seconds })
+                let out = self.core.allocate(&AllocQuery::new(*method, *day))?;
+                Ok(AllocResponse::Decision {
+                    allocation: out.allocation,
+                    allocator_seconds: out.overhead_s,
+                })
             }
             Query::QValues { day, state } => {
                 let signature = self.core.signature_of_day(*day)?;
@@ -471,8 +475,11 @@ mod tests {
             .unwrap()
             .into_decision()
             .unwrap();
-        let (direct_alloc, _) =
-            service.with_core("a", |c| c.allocate(Method::GreedyOracle, day)).unwrap().unwrap();
+        let direct_alloc = service
+            .with_core("a", |c| c.allocate(&AllocQuery::new(Method::GreedyOracle, day)))
+            .unwrap()
+            .unwrap()
+            .allocation;
         assert_eq!(decision, direct_alloc);
 
         // Wrong-arity Q-value states are rejected before touching a batch.

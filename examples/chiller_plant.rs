@@ -11,7 +11,7 @@ use tatim::buildings::scenario::{Scenario, ScenarioConfig};
 use tatim::core::importance::{prediction_features, CopModels, ImportanceEvaluator};
 use tatim::core::processor::ProcessorFleet;
 use tatim::core::task::{EdgeTask, TaskId};
-use tatim::core::tatim::TatimInstance;
+use tatim::core::tatim::{SolverKind, TatimInstance};
 use tatim::edgesim::cluster::Cluster;
 use tatim::edgesim::run::{simulate, SimConfig, SimTask};
 use tatim::learn::transfer::MtlConfig;
@@ -96,7 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total_time: f64 = tasks.iter().map(EdgeTask::reference_time_s).sum();
     let fleet = ProcessorFleet::from_cluster(&cluster, 0.5 * total_time / 9.0)?;
     let instance = TatimInstance::new(tasks, fleet);
-    let (allocation, value) = instance.solve_greedy()?;
+    let report = instance.solve(&SolverKind::Greedy)?;
+    let (allocation, value) = (report.allocation, report.objective);
     println!("\n== 4. TATIM allocation ==");
     println!(
         "  scheduled {} of {} tasks, captured importance {:.4}",

@@ -68,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         time_limit: 1.5, // one task per processor, plus slack
         time_limits: None,
         capacities: vec![4.0, 2.0],
+        route_factors: None,
     };
 
     let mut crl = Crl::new(store, CrlConfig { episodes: 120, ..CrlConfig::default() });

@@ -3,6 +3,7 @@
 //! claims hold across the whole stack.
 
 use tatim::buildings::scenario::{Scenario, ScenarioConfig};
+use tatim::core::objective::AllocQuery;
 use tatim::core::pipeline::{Method, Pipeline, PipelineConfig, RunSpec};
 use tatim::rl::crl::CrlConfig;
 use tatim::rl::dqn::DqnConfig;
@@ -138,13 +139,15 @@ fn bandwidth_scaling_cuts_processing_time_end_to_end() {
     let s = scenario();
     let mut prepared = Pipeline::builder(config()).prepare(&s).expect("prepare");
     let day = prepared.test_days().start;
-    let (alloc, overhead) = prepared.allocate(Method::Dml, day).expect("allocate");
+    let out = prepared.allocate(&AllocQuery::new(Method::Dml, day)).expect("allocate");
     let slow = prepared
-        .execute(Method::Dml, day, alloc.clone(), overhead)
+        .execute(Method::Dml, day, out.allocation.clone(), out.overhead_s)
         .expect("slow run")
         .processing_time_s;
-    prepared.cluster_mut().network_mut().scale_bandwidth(4.0);
-    let fast =
-        prepared.execute(Method::Dml, day, alloc, overhead).expect("fast run").processing_time_s;
+    prepared.cluster_mut().network_mut().expect("star testbed").scale_bandwidth(4.0);
+    let fast = prepared
+        .execute(Method::Dml, day, out.allocation, out.overhead_s)
+        .expect("fast run")
+        .processing_time_s;
     assert!(fast < slow, "bandwidth x4 should cut PT: {fast} !< {slow}");
 }

@@ -59,7 +59,10 @@ fn slow_node_inflates_pt_only_when_used() {
 #[test]
 fn congested_link_inflates_transfer_bound_workloads() {
     let mut congested = Cluster::paper_testbed().expect("testbed");
-    congested.network_mut().set_link(NodeId(2), Link::new(1e5, 0.5).expect("valid link"));
+    congested
+        .network_mut()
+        .expect("star testbed")
+        .set_link(NodeId(2), Link::new(1e5, 0.5).expect("valid link"));
 
     let ts = tasks(4);
     let on_congested = round_robin(4, &[2]);
@@ -77,7 +80,10 @@ fn timelines_remain_causally_ordered_under_failures() {
     let mut cluster = Cluster::paper_testbed().expect("testbed");
     let node = cluster.node_mut(NodeId(4)).expect("node 4").clone().with_slowdown(5.0);
     *cluster.node_mut(NodeId(4)).expect("node 4") = node;
-    cluster.network_mut().set_link(NodeId(5), Link::new(2e5, 0.2).expect("valid"));
+    cluster
+        .network_mut()
+        .expect("star testbed")
+        .set_link(NodeId(5), Link::new(2e5, 0.2).expect("valid"));
 
     let ts = tasks(12);
     let a = round_robin(12, &[4, 5, 6]);

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use tatim::core::processor::{Processor, ProcessorFleet};
 use tatim::core::task::{EdgeTask, TaskId};
-use tatim::core::tatim::TatimInstance;
+use tatim::core::tatim::{SolverKind, TatimInstance};
 use tatim::edgesim::node::NodeId;
 use tatim::knapsack::exact::BranchAndBound;
 
@@ -66,7 +66,7 @@ proptest! {
 
     #[test]
     fn greedy_bounded_by_exact(inst in instance_strategy()) {
-        let (_, greedy) = inst.solve_greedy().expect("greedy");
+        let greedy = inst.solve(&SolverKind::Greedy).expect("greedy").objective;
         let (_, exact) = inst.solve_exact().expect("exact");
         prop_assert!(greedy <= exact + 1e-9, "greedy {greedy} > exact {exact}");
     }

@@ -25,6 +25,7 @@ fn trained_dqn_approaches_knapsack_optimum_on_small_instance() {
         time_limit: 1.0,
         time_limits: None,
         capacities: vec![1.0, 1.0],
+        route_factors: None,
     };
     // Ground truth from the exact solver via the same shape.
     let problem = Problem::new(
@@ -156,6 +157,7 @@ fn masked_env_never_offers_infeasible_assignments() {
             time_limit: rng.gen_range(0.5..4.0),
             time_limits: None,
             capacities: (0..m).map(|_| rng.gen_range(0.5..4.0)).collect(),
+            route_factors: None,
         };
         let mut env = AllocEnv::new(spec.clone()).expect("env");
         env.reset();
